@@ -1,0 +1,135 @@
+use crate::structures::Structure;
+
+/// Circuit-level raw fault rates, in arbitrary units per bit, for every
+/// tracked structure.
+///
+/// The paper (Section VI) fixes the raw rate at 1 unit/bit for the baseline
+/// and studies two protected variants (Figure 8a):
+///
+/// * **RHC** — ROB, LQ and SQ built from radiation-hardened circuitry
+///   (ROB 0.25, LQ 0.4, SQ 0.35 units/bit);
+/// * **EDR** — ROB, LQ and SQ protected by error detection and recovery
+///   (rate 0).
+///
+/// Cache rates are unchanged in both variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRates {
+    name: &'static str,
+    rates: [f64; Structure::ALL.len()],
+}
+
+impl FaultRates {
+    /// Uniform rates of 1 unit/bit (the paper's baseline assumption).
+    #[must_use]
+    pub fn baseline() -> FaultRates {
+        FaultRates { name: "Baseline", rates: [1.0; Structure::ALL.len()] }
+    }
+
+    /// Radiation-Hardened Circuitry rates of Figure 8(a).
+    #[must_use]
+    pub fn rhc() -> FaultRates {
+        let mut fr = FaultRates::baseline();
+        fr.name = "RHC";
+        fr.set(Structure::Rob, 0.25);
+        fr.set(Structure::LqTag, 0.4);
+        fr.set(Structure::LqData, 0.4);
+        fr.set(Structure::SqTag, 0.35);
+        fr.set(Structure::SqData, 0.35);
+        fr
+    }
+
+    /// Error Detection and Recovery rates of Figure 8(a).
+    #[must_use]
+    pub fn edr() -> FaultRates {
+        let mut fr = FaultRates::baseline();
+        fr.name = "EDR";
+        fr.set(Structure::Rob, 0.0);
+        fr.set(Structure::LqTag, 0.0);
+        fr.set(Structure::LqData, 0.0);
+        fr.set(Structure::SqTag, 0.0);
+        fr.set(Structure::SqData, 0.0);
+        fr
+    }
+
+    /// Builds a custom table starting from uniform 1 unit/bit.
+    #[must_use]
+    pub fn custom(name: &'static str) -> FaultRates {
+        FaultRates { name, rates: [1.0; Structure::ALL.len()] }
+    }
+
+    /// Table name, used in reports ("Baseline", "RHC", "EDR").
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Rate of one structure, in units/bit.
+    #[inline]
+    #[must_use]
+    pub fn rate(&self, s: Structure) -> f64 {
+        self.rates[s.index()]
+    }
+
+    /// Sets the rate of one structure.
+    pub fn set(&mut self, s: Structure, rate: f64) -> &mut FaultRates {
+        assert!(rate >= 0.0, "fault rates must be non-negative");
+        self.rates[s.index()] = rate;
+        self
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_uniform_one() {
+        let fr = FaultRates::baseline();
+        for s in Structure::ALL {
+            assert_eq!(fr.rate(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn rhc_matches_figure_8a() {
+        let fr = FaultRates::rhc();
+        assert_eq!(fr.rate(Structure::Rob), 0.25);
+        assert_eq!(fr.rate(Structure::Iq), 1.0);
+        assert_eq!(fr.rate(Structure::Fu), 1.0);
+        assert_eq!(fr.rate(Structure::RegFile), 1.0);
+        assert_eq!(fr.rate(Structure::LqTag), 0.4);
+        assert_eq!(fr.rate(Structure::LqData), 0.4);
+        assert_eq!(fr.rate(Structure::SqTag), 0.35);
+        assert_eq!(fr.rate(Structure::SqData), 0.35);
+        assert_eq!(fr.rate(Structure::Dl1Data), 1.0);
+        assert_eq!(fr.rate(Structure::L2Data), 1.0);
+    }
+
+    #[test]
+    fn edr_zeroes_protected_structures() {
+        let fr = FaultRates::edr();
+        for s in [
+            Structure::Rob,
+            Structure::LqTag,
+            Structure::LqData,
+            Structure::SqTag,
+            Structure::SqData,
+        ] {
+            assert_eq!(fr.rate(s), 0.0);
+        }
+        assert_eq!(fr.rate(Structure::Iq), 1.0);
+        assert_eq!(fr.rate(Structure::Dtlb), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rates_rejected() {
+        FaultRates::custom("bad").set(Structure::Iq, -1.0);
+    }
+}

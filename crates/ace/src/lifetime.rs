@@ -1,0 +1,396 @@
+//! Lifetime analysis for address-based structures (Biswas et al., ISCA'05).
+//!
+//! For a writeback cache, data is ACE during Fill⇒Read, Read⇒Read,
+//! Write⇒Read and Write⇒Evict intervals; Read⇒Evict tails and data
+//! overwritten before being read are un-ACE. Analysis is performed at 4-byte
+//! word granularity so that strided access patterns leave parts of a line
+//! un-ACE (paper Section IV-A.5) and 4-byte stores mark only half of an
+//! 8-byte span ACE.
+
+use std::collections::HashMap;
+
+/// Per-word lifetime state.
+///
+/// Dirtiness persists across reads: once written, a word's data will be
+/// written back at eviction, so it stays ACE from the write through the
+/// writeback (or until overwritten). The clean states lose ACE-ness after
+/// their last read (Read⇒Evict is un-ACE only for clean data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WordState {
+    /// No tracked content (pre-fill).
+    Invalid,
+    /// Filled from the next level, not yet read: a read would make the
+    /// interval since the fill ACE.
+    Filled(u64),
+    /// Clean, last event was a read.
+    ReadLast(u64),
+    /// Dirty, not read since the write: ACE through to the next read,
+    /// overwrite (retroactively un-ACE) or the eviction writeback.
+    Dirty(u64),
+    /// Dirty and read since the write: ACE through further reads and the
+    /// eviction writeback; only an overwrite ends the ACE span un-ACE.
+    DirtyRead(u64),
+}
+
+#[derive(Debug)]
+struct LineState {
+    words: Box<[WordState]>,
+    fill_cycle: u64,
+    /// End of the last interval during which the line's *data* was ACE;
+    /// used for the tag-array approximation.
+    last_ace_end: Option<u64>,
+}
+
+/// Word-granularity lifetime analysis for one cache level.
+///
+/// The caller streams `fill` / `read` / `write` / `evict` events in cycle
+/// order; [`CacheLifetime::finish`] closes open intervals as if every
+/// resident line were evicted at the final cycle (so dirty data is counted
+/// as Write⇒Evict ACE, matching the live-out treatment of memory).
+#[derive(Debug)]
+pub struct CacheLifetime {
+    line_bytes: u64,
+    words_per_line: usize,
+    lines: HashMap<u64, LineState>,
+    data_ace: u128,
+    tag_ace: u128,
+    tag_bits: u32,
+}
+
+impl CacheLifetime {
+    /// Creates an analyzer for a cache with `line_bytes`-byte lines and
+    /// `tag_bits` of tag+state per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a positive multiple of 4.
+    #[must_use]
+    pub fn new(line_bytes: u64, tag_bits: u32) -> CacheLifetime {
+        assert!(line_bytes >= 4 && line_bytes % 4 == 0, "line size must be a multiple of 4");
+        CacheLifetime {
+            line_bytes,
+            words_per_line: (line_bytes / 4) as usize,
+            lines: HashMap::new(),
+            data_ace: 0,
+            tag_ace: 0,
+            tag_bits,
+        }
+    }
+
+    fn line_base(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    fn line_entry(&mut self, base: u64, cycle: u64) -> &mut LineState {
+        let words = self.words_per_line;
+        self.lines.entry(base).or_insert_with(|| LineState {
+            words: vec![WordState::Invalid; words].into_boxed_slice(),
+            fill_cycle: cycle,
+            last_ace_end: None,
+        })
+    }
+
+    /// Records a line fill at `cycle`. If the line is already resident the
+    /// previous copy is finalized first (defensive; well-ordered event
+    /// streams evict before refilling).
+    pub fn fill(&mut self, addr: u64, cycle: u64) {
+        let base = self.line_base(addr);
+        if self.lines.contains_key(&base) {
+            self.evict(base, cycle);
+        }
+        let words = self.words_per_line;
+        self.lines.insert(
+            base,
+            LineState {
+                words: vec![WordState::Filled(cycle); words].into_boxed_slice(),
+                fill_cycle: cycle,
+                last_ace_end: None,
+            },
+        );
+    }
+
+    /// Records an ACE read of `bytes` bytes at `addr`.
+    pub fn read(&mut self, addr: u64, bytes: u64, cycle: u64) {
+        let mut ace = 0u128;
+        let line_bytes = self.line_bytes;
+        let first = addr / 4;
+        let last = (addr + bytes - 1) / 4;
+        for w in first..=last {
+            let base = (w * 4) & !(line_bytes - 1);
+            let line = self.line_entry(base, cycle);
+            let idx = ((w * 4 - base) / 4) as usize;
+            line.words[idx] = match line.words[idx] {
+                WordState::Invalid => WordState::ReadLast(cycle),
+                WordState::Filled(t0) | WordState::ReadLast(t0) => {
+                    ace += u128::from(cycle.saturating_sub(t0)) * 32;
+                    WordState::ReadLast(cycle)
+                }
+                WordState::Dirty(t0) | WordState::DirtyRead(t0) => {
+                    ace += u128::from(cycle.saturating_sub(t0)) * 32;
+                    WordState::DirtyRead(cycle)
+                }
+            };
+            line.last_ace_end = Some(line.last_ace_end.map_or(cycle, |c| c.max(cycle)));
+        }
+        self.data_ace += ace;
+    }
+
+    /// Records a write of `bytes` bytes at `addr`. Previous contents of the
+    /// covered words become un-ACE retroactively (overwritten before read).
+    pub fn write(&mut self, addr: u64, bytes: u64, cycle: u64) {
+        let line_bytes = self.line_bytes;
+        let first = addr / 4;
+        let last = (addr + bytes - 1) / 4;
+        for w in first..=last {
+            let base = (w * 4) & !(line_bytes - 1);
+            let line = self.line_entry(base, cycle);
+            let idx = ((w * 4 - base) / 4) as usize;
+            line.words[idx] = WordState::Dirty(cycle);
+        }
+    }
+
+    /// Records the eviction of the line containing `addr` at `cycle`. Dirty
+    /// words are written back and thus ACE since their last write.
+    pub fn evict(&mut self, addr: u64, cycle: u64) {
+        let base = self.line_base(addr);
+        let Some(line) = self.lines.remove(&base) else { return };
+        let mut ace = 0u128;
+        let mut any_dirty = false;
+        for w in line.words.iter() {
+            if let WordState::Dirty(t0) | WordState::DirtyRead(t0) = w {
+                ace += u128::from(cycle.saturating_sub(*t0)) * 32;
+                any_dirty = true;
+            }
+        }
+        self.data_ace += ace;
+        let tag_end = if any_dirty { Some(cycle) } else { line.last_ace_end };
+        if let Some(end) = tag_end {
+            self.tag_ace +=
+                u128::from(end.saturating_sub(line.fill_cycle)) * u128::from(self.tag_bits);
+        }
+    }
+
+    /// Closes all open intervals at `end_cycle` and returns
+    /// `(data_ace_bit_cycles, tag_ace_bit_cycles)`.
+    pub fn finish(&mut self, end_cycle: u64) -> (u128, u128) {
+        let bases: Vec<u64> = self.lines.keys().copied().collect();
+        for base in bases {
+            self.evict(base, end_cycle);
+        }
+        (self.data_ace, self.tag_ace)
+    }
+
+    /// Number of currently resident lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// Entry-granularity lifetime analysis for the DTLB.
+///
+/// A translation is ACE from its fill (or previous use) to its last use by
+/// an ACE memory access: a corrupted translation that is subsequently used
+/// produces a wrong effective address. Read⇒Evict tails are un-ACE (the
+/// paper's "read to evict is un-ACE" DTLB rule, Section IV-B).
+#[derive(Debug)]
+pub struct TlbLifetime {
+    entries: HashMap<u64, WordState>,
+    ace: u128,
+    entry_bits: u32,
+}
+
+impl TlbLifetime {
+    /// Creates an analyzer with `entry_bits` vulnerable bits per entry.
+    #[must_use]
+    pub fn new(entry_bits: u32) -> TlbLifetime {
+        TlbLifetime { entries: HashMap::new(), ace: 0, entry_bits }
+    }
+
+    /// Records a TLB fill for `vpn`.
+    pub fn fill(&mut self, vpn: u64, cycle: u64) {
+        self.entries.insert(vpn, WordState::Filled(cycle));
+    }
+
+    /// Records an ACE use (translation) of `vpn`.
+    pub fn read(&mut self, vpn: u64, cycle: u64) {
+        let state = self.entries.entry(vpn).or_insert(WordState::Filled(cycle));
+        match *state {
+            WordState::Invalid => {}
+            WordState::Filled(t0)
+            | WordState::ReadLast(t0)
+            | WordState::Dirty(t0)
+            | WordState::DirtyRead(t0) => {
+                self.ace += u128::from(cycle.saturating_sub(t0)) * u128::from(self.entry_bits);
+            }
+        }
+        *state = WordState::ReadLast(cycle);
+    }
+
+    /// Records the eviction of `vpn`'s entry (contributes nothing: the tail
+    /// after the last use is un-ACE).
+    pub fn evict(&mut self, vpn: u64) {
+        self.entries.remove(&vpn);
+    }
+
+    /// Returns accumulated ACE bit-cycles.
+    #[must_use]
+    pub fn finish(&mut self) -> u128 {
+        self.ace
+    }
+
+    /// Number of tracked (resident) translations.
+    #[must_use]
+    pub fn resident_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_read_interval_is_ace() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x1000, 100);
+        c.read(0x1000, 8, 150); // two words ACE for 50 cycles each
+        let (data, _) = c.finish(150);
+        assert_eq!(data, 2 * 50 * 32);
+    }
+
+    #[test]
+    fn read_to_evict_tail_is_unace() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x1000, 0);
+        c.read(0x1000, 4, 10);
+        c.evict(0x1000, 500);
+        let (data, _) = c.finish(500);
+        assert_eq!(data, 10 * 32, "only fill->read counts");
+    }
+
+    #[test]
+    fn write_to_evict_is_ace_writeback() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        c.write(0x0, 4, 10);
+        c.evict(0x0, 110);
+        let (data, _) = c.finish(110);
+        assert_eq!(data, 100 * 32);
+    }
+
+    #[test]
+    fn overwritten_before_read_is_unace() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        c.write(0x0, 4, 10);
+        c.write(0x0, 4, 50); // first write wasted
+        c.read(0x0, 4, 60);
+        let (data, _) = c.finish(60);
+        // Only the second write's 10 cycles are ACE.
+        assert_eq!(data, 10 * 32);
+    }
+
+    #[test]
+    fn unread_fill_contributes_nothing() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x40, 0);
+        c.evict(0x40, 1000);
+        let (data, tag) = c.finish(1000);
+        assert_eq!(data, 0);
+        assert_eq!(tag, 0, "clean never-read line has un-ACE tag");
+    }
+
+    #[test]
+    fn word_granularity_strided_access() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        // Read only one 4-byte word out of the 16 in the line.
+        c.read(0x0, 4, 100);
+        let (data, _) = c.finish(100);
+        assert_eq!(data, 100 * 32, "15 of 16 words stay un-ACE");
+    }
+
+    #[test]
+    fn read_read_chains_accumulate() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        c.read(0x0, 4, 10);
+        c.read(0x0, 4, 30);
+        c.read(0x0, 4, 70);
+        let (data, _) = c.finish(70);
+        assert_eq!(data, 70 * 32);
+    }
+
+    #[test]
+    fn dirty_line_ace_through_finish() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        c.write(0x0, 8, 20);
+        let (data, tag) = c.finish(120);
+        assert_eq!(data, 2 * 100 * 32);
+        assert_eq!(tag, 120 * 32, "dirty line's tag ACE from fill to writeback");
+    }
+
+    #[test]
+    fn refill_without_evict_is_tolerated() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        c.write(0x0, 4, 10);
+        c.fill(0x0, 50); // implicit evict at 50
+        let (data, _) = c.finish(50);
+        assert_eq!(data, 40 * 32);
+    }
+
+    #[test]
+    fn dirty_word_stays_ace_across_reads_until_writeback() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        c.write(0x0, 4, 10);
+        c.read(0x0, 4, 20); // write->read ACE
+        c.evict(0x0, 100); // still dirty: read->writeback also ACE
+        let (data, _) = c.finish(100);
+        assert_eq!(data, (10 + 80) * 32);
+    }
+
+    #[test]
+    fn dirty_read_then_overwrite_ends_span_unace() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        c.write(0x0, 4, 10);
+        c.read(0x0, 4, 20);
+        c.write(0x0, 4, 50); // tail [20,50) un-ACE, new dirty span starts
+        c.evict(0x0, 60);
+        let (data, _) = c.finish(60);
+        assert_eq!(data, (10 + 10) * 32);
+    }
+
+    #[test]
+    fn tlb_fill_use_intervals() {
+        let mut t = TlbLifetime::new(64);
+        t.fill(7, 0);
+        t.read(7, 100);
+        t.read(7, 250);
+        t.evict(7);
+        assert_eq!(t.finish(), 250 * 64);
+        assert_eq!(t.resident_entries(), 0);
+    }
+
+    #[test]
+    fn tlb_unused_entry_is_unace() {
+        let mut t = TlbLifetime::new(64);
+        t.fill(3, 0);
+        t.evict(3);
+        assert_eq!(t.finish(), 0);
+    }
+
+    #[test]
+    fn cross_line_read_touches_both_lines() {
+        let mut c = CacheLifetime::new(64, 32);
+        c.fill(0x0, 0);
+        c.fill(0x40, 0);
+        c.read(0x3C, 8, 10); // last word of line 0, first of line 1
+        let (data, _) = c.finish(10);
+        assert_eq!(data, 2 * 10 * 32);
+    }
+}

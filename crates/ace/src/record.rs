@@ -1,0 +1,199 @@
+use crate::structures::Structure;
+
+/// Identifier of a committed dynamic instruction, assigned densely in commit
+/// order by the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DynId(pub u64);
+
+/// A residency interval: this instruction held `bits` ACE-candidate bits in
+/// `structure` during `[start, end)` cycles.
+///
+/// Whether those bit-cycles are finally counted as ACE depends on the
+/// instruction's liveness, resolved later by the deadness engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slice {
+    /// Structure occupied.
+    pub structure: Structure,
+    /// First cycle of residency (inclusive).
+    pub start: u64,
+    /// Last cycle of residency (exclusive).
+    pub end: u64,
+    /// Number of bits held ACE during the interval.
+    pub bits: u32,
+}
+
+impl Slice {
+    /// Bit-cycles contributed if the owning instruction turns out ACE.
+    #[must_use]
+    pub fn bit_cycles(&self) -> u128 {
+        u128::from(self.end.saturating_sub(self.start)) * u128::from(self.bits)
+    }
+}
+
+/// Fixed-capacity set of residency slices for one dynamic instruction.
+///
+/// An instruction occupies at most: ROB, IQ, LQ tag, LQ data (or SQ tag +
+/// SQ data), and an FU — so eight slots suffice and no heap allocation is
+/// needed on the commit fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Residency {
+    slices: [Option<Slice>; 8],
+    len: u8,
+}
+
+impl Residency {
+    /// An empty residency set.
+    #[must_use]
+    pub fn new() -> Residency {
+        Residency::default()
+    }
+
+    /// Adds a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than eight slices are added.
+    pub fn push(&mut self, slice: Slice) {
+        let i = usize::from(self.len);
+        assert!(i < self.slices.len(), "residency overflow");
+        self.slices[i] = Some(slice);
+        self.len += 1;
+    }
+
+    /// Iterates over the stored slices.
+    pub fn iter(&self) -> impl Iterator<Item = &Slice> {
+        self.slices[..usize::from(self.len)].iter().filter_map(Option::as_ref)
+    }
+
+    /// Number of stored slices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether no slices are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// How the deadness engine should treat a committed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AceKind {
+    /// Control transfer: ACE unconditionally (it steered committed control
+    /// flow).
+    Branch,
+    /// Produces a register value: ACE iff some transitive consumer is ACE.
+    Value,
+    /// Writes memory: ACE iff a committed load reads any stored byte before
+    /// it is overwritten, or the data survives to the end of the run
+    /// (live-out).
+    Store,
+    /// No-operation: un-ACE by definition.
+    Nop,
+    /// Halt: ACE (it determines program termination).
+    Halt,
+}
+
+/// Memory footprint of a load or store, used for memory-level deadness and
+/// cache lifetime bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access width in bytes (4 or 8).
+    pub bytes: u8,
+}
+
+impl MemRef {
+    /// Iterates over the 4-byte-aligned word indices covered by the access.
+    pub fn words(&self) -> impl Iterator<Item = u64> {
+        let first = self.addr / 4;
+        let last = (self.addr + u64::from(self.bytes) - 1) / 4;
+        first..=last
+    }
+}
+
+/// Everything the analyzer needs to know about one committed instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrRecord {
+    /// Deadness class.
+    pub kind: AceKind,
+    /// Architected source registers (`None`-padded; the zero register must
+    /// not appear here).
+    pub srcs: [Option<u8>; 3],
+    /// Architected destination register, if any.
+    pub dest: Option<u8>,
+    /// Memory reference for loads and stores.
+    pub mem: Option<MemRef>,
+    /// Residency intervals to credit if the instruction is ACE.
+    pub residency: Residency,
+}
+
+impl InstrRecord {
+    /// Creates a record with no register or memory effects.
+    #[must_use]
+    pub fn of_kind(kind: AceKind) -> InstrRecord {
+        InstrRecord { kind, srcs: [None; 3], dest: None, mem: None, residency: Residency::new() }
+    }
+}
+
+/// Lifetime of one physical register, reported when the register is freed
+/// (or at the end of simulation).
+///
+/// The register's ACE interval is `[write_cycle, latest read by a live
+/// consumer]` — rename registers "cannot hold ACE data all the time"
+/// (paper Section III); this record is how that is measured.
+#[derive(Debug, Clone)]
+pub struct PregRecord {
+    /// Cycle at which the producing instruction wrote the register.
+    pub write_cycle: u64,
+    /// `(consumer, read cycle)` pairs for every issue-time read.
+    pub reads: Vec<(DynId, u64)>,
+    /// Register width in bits.
+    pub bits: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_bit_cycles() {
+        let s = Slice { structure: Structure::Rob, start: 10, end: 15, bits: 76 };
+        assert_eq!(s.bit_cycles(), 5 * 76);
+        let empty = Slice { structure: Structure::Rob, start: 10, end: 10, bits: 76 };
+        assert_eq!(empty.bit_cycles(), 0);
+    }
+
+    #[test]
+    fn residency_holds_up_to_eight() {
+        let mut r = Residency::new();
+        assert!(r.is_empty());
+        for i in 0..8 {
+            r.push(Slice { structure: Structure::Iq, start: i, end: i + 1, bits: 32 });
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.iter().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "residency overflow")]
+    fn residency_overflow_panics() {
+        let mut r = Residency::new();
+        for i in 0..9 {
+            r.push(Slice { structure: Structure::Iq, start: i, end: i + 1, bits: 32 });
+        }
+    }
+
+    #[test]
+    fn memref_word_coverage() {
+        let aligned4 = MemRef { addr: 8, bytes: 4 };
+        assert_eq!(aligned4.words().collect::<Vec<_>>(), vec![2]);
+        let aligned8 = MemRef { addr: 8, bytes: 8 };
+        assert_eq!(aligned8.words().collect::<Vec<_>>(), vec![2, 3]);
+        let straddle = MemRef { addr: 6, bytes: 4 };
+        assert_eq!(straddle.words().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,275 @@
+use std::fmt;
+
+use crate::deadness::DeadnessStats;
+use crate::faultrates::FaultRates;
+use crate::structures::{Structure, StructureClass, StructureSizes};
+
+/// Per-structure AVF results of one simulation.
+#[derive(Debug, Clone)]
+pub struct AvfReport {
+    name: String,
+    cycles: u64,
+    sizes: StructureSizes,
+    ace_bit_cycles: [u128; Structure::ALL.len()],
+    deadness: DeadnessStats,
+}
+
+impl AvfReport {
+    /// Assembles a report from raw accumulator values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        cycles: u64,
+        sizes: StructureSizes,
+        ace_bit_cycles: [u128; Structure::ALL.len()],
+        deadness: DeadnessStats,
+    ) -> AvfReport {
+        assert!(cycles > 0, "AVF is undefined for a zero-cycle run");
+        AvfReport { name: name.into(), cycles, sizes, ace_bit_cycles, deadness }
+    }
+
+    /// Name of the measured program.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Simulated cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Structure sizes the AVFs are normalized against.
+    #[must_use]
+    pub fn sizes(&self) -> &StructureSizes {
+        &self.sizes
+    }
+
+    /// Dead-instruction statistics from the deadness engine.
+    #[must_use]
+    pub fn deadness(&self) -> DeadnessStats {
+        self.deadness
+    }
+
+    /// Architectural Vulnerability Factor of one structure, in `[0, 1]`.
+    #[must_use]
+    pub fn avf(&self, s: Structure) -> f64 {
+        let denom = u128::from(self.sizes.bits(s)) * u128::from(self.cycles);
+        if denom == 0 {
+            return 0.0;
+        }
+        let v = self.ace_bit_cycles[s.index()] as f64 / denom as f64;
+        v.min(1.0)
+    }
+
+    /// Bit-count-weighted AVF over a class.
+    #[must_use]
+    pub fn class_avf(&self, class: StructureClass) -> f64 {
+        let mut ace = 0u128;
+        let mut bits = 0u64;
+        for s in Structure::ALL {
+            if s.class() == class {
+                ace += self.ace_bit_cycles[s.index()];
+                bits += self.sizes.bits(s);
+            }
+        }
+        if bits == 0 {
+            return 0.0;
+        }
+        let v = ace as f64 / (bits as f64 * self.cycles as f64);
+        v.min(1.0)
+    }
+
+    /// Derates the AVFs by circuit-level fault rates, producing SER.
+    #[must_use]
+    pub fn ser(&self, rates: &FaultRates) -> SerReport {
+        let mut units = [0.0; Structure::ALL.len()];
+        for s in Structure::ALL {
+            units[s.index()] = self.avf(s) * self.sizes.bits(s) as f64 * rates.rate(s);
+        }
+        SerReport {
+            name: self.name.clone(),
+            rates_name: rates.name(),
+            sizes: self.sizes.clone(),
+            units,
+        }
+    }
+}
+
+/// SER of one program under one fault-rate table, reported exactly the way
+/// the paper does: per-class values normalized by the class's total bits
+/// ("units/bit").
+#[derive(Debug, Clone)]
+pub struct SerReport {
+    name: String,
+    rates_name: &'static str,
+    sizes: StructureSizes,
+    units: [f64; Structure::ALL.len()],
+}
+
+impl SerReport {
+    /// Name of the measured program.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the fault-rate table used ("Baseline", "RHC", "EDR").
+    #[must_use]
+    pub fn rates_name(&self) -> &'static str {
+        self.rates_name
+    }
+
+    /// Absolute SER contribution of one structure, in units.
+    #[must_use]
+    pub fn structure_units(&self, s: Structure) -> f64 {
+        self.units[s.index()]
+    }
+
+    /// SER of a class, normalized by the class's total bits (units/bit).
+    #[must_use]
+    pub fn class_units_per_bit(&self, class: StructureClass) -> f64 {
+        let bits = self.sizes.class_bits(class);
+        if bits == 0 {
+            return 0.0;
+        }
+        let sum: f64 = Structure::ALL
+            .iter()
+            .filter(|s| s.class() == class)
+            .map(|s| self.units[s.index()])
+            .sum();
+        sum / bits as f64
+    }
+
+    /// SER of the queueing structures, units/bit (the paper's "QS" bars).
+    #[must_use]
+    pub fn qs(&self) -> f64 {
+        self.class_units_per_bit(StructureClass::Qs)
+    }
+
+    /// SER of QS plus the register file, units/bit ("QS+RF" bars and the
+    /// "core" SER of Table III).
+    #[must_use]
+    pub fn qs_rf(&self) -> f64 {
+        let bits = self.sizes.class_bits(StructureClass::Qs)
+            + self.sizes.class_bits(StructureClass::Rf);
+        let sum: f64 = Structure::ALL
+            .iter()
+            .filter(|s| matches!(s.class(), StructureClass::Qs | StructureClass::Rf))
+            .map(|s| self.units[s.index()])
+            .sum();
+        sum / bits as f64
+    }
+
+    /// SER of DL1 + DTLB, units/bit.
+    #[must_use]
+    pub fn dl1_dtlb(&self) -> f64 {
+        self.class_units_per_bit(StructureClass::Dl1Dtlb)
+    }
+
+    /// SER of the L2, units/bit.
+    #[must_use]
+    pub fn l2(&self) -> f64 {
+        self.class_units_per_bit(StructureClass::L2)
+    }
+
+    /// Overall SER across all tracked structures, units/bit.
+    #[must_use]
+    pub fn overall(&self) -> f64 {
+        let bits: u64 = Structure::ALL.iter().map(|&s| self.sizes.bits(s)).sum();
+        let sum: f64 = self.units.iter().sum();
+        sum / bits as f64
+    }
+}
+
+impl fmt::Display for SerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SER of `{}` under {} rates (units/bit):", self.name, self.rates_name)?;
+        writeln!(f, "  QS       = {:.3}", self.qs())?;
+        writeln!(f, "  QS+RF    = {:.3}", self.qs_rf())?;
+        writeln!(f, "  DL1+DTLB = {:.3}", self.dl1_dtlb())?;
+        writeln!(f, "  L2       = {:.3}", self.l2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(s: Structure, frac: f64) -> AvfReport {
+        let sizes = StructureSizes::baseline();
+        let cycles = 1000u64;
+        let mut ace = [0u128; Structure::ALL.len()];
+        ace[s.index()] =
+            (frac * sizes.bits(s) as f64 * cycles as f64) as u128;
+        AvfReport::new("t", cycles, sizes, ace, DeadnessStats::default())
+    }
+
+    #[test]
+    fn avf_is_fraction_of_bit_cycles() {
+        let r = report_with(Structure::Rob, 0.5);
+        assert!((r.avf(Structure::Rob) - 0.5).abs() < 1e-9);
+        assert_eq!(r.avf(Structure::Iq), 0.0);
+    }
+
+    #[test]
+    fn avf_clamps_at_one() {
+        let sizes = StructureSizes::baseline();
+        let mut ace = [0u128; Structure::ALL.len()];
+        ace[Structure::Iq.index()] = u128::from(sizes.bits(Structure::Iq)) * 2000;
+        let r = AvfReport::new("t", 1000, sizes, ace, DeadnessStats::default());
+        assert_eq!(r.avf(Structure::Iq), 1.0);
+    }
+
+    #[test]
+    fn ser_baseline_equals_avf_weighting() {
+        let r = report_with(Structure::Rob, 1.0);
+        let ser = r.ser(&FaultRates::baseline());
+        let sizes = StructureSizes::baseline();
+        // Only the ROB contributes; QS units/bit = rob_bits / qs_bits.
+        let expect = sizes.bits(Structure::Rob) as f64
+            / sizes.class_bits(StructureClass::Qs) as f64;
+        assert!((ser.qs() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edr_zeroes_protected_contributions() {
+        let r = report_with(Structure::Rob, 1.0);
+        let ser = r.ser(&FaultRates::edr());
+        assert_eq!(ser.qs(), 0.0, "ROB rate is 0 under EDR");
+    }
+
+    #[test]
+    fn full_avf_uniform_rates_gives_one_unit_per_bit() {
+        let sizes = StructureSizes::baseline();
+        let cycles = 100u64;
+        let mut ace = [0u128; Structure::ALL.len()];
+        for s in Structure::ALL {
+            ace[s.index()] = u128::from(sizes.bits(s)) * u128::from(cycles);
+        }
+        let r = AvfReport::new("t", cycles, sizes, ace, DeadnessStats::default());
+        let ser = r.ser(&FaultRates::baseline());
+        assert!((ser.qs() - 1.0).abs() < 1e-9);
+        assert!((ser.qs_rf() - 1.0).abs() < 1e-9);
+        assert!((ser.dl1_dtlb() - 1.0).abs() < 1e-9);
+        assert!((ser.l2() - 1.0).abs() < 1e-9);
+        assert!((ser.overall() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-cycle")]
+    fn zero_cycles_rejected() {
+        let _ = AvfReport::new(
+            "t",
+            0,
+            StructureSizes::baseline(),
+            [0; Structure::ALL.len()],
+            DeadnessStats::default(),
+        );
+    }
+}

@@ -1,0 +1,322 @@
+use std::fmt;
+
+/// A vulnerable hardware structure tracked by the ACE analysis.
+///
+/// The split of LQ/SQ into tag and data arrays mirrors the paper's Figure
+/// 8(a), which assigns (potentially) distinct circuit-level fault rates to
+/// each array, and its Section IV-A.1 observation that an LQ entry's data
+/// array holds ACE bits only after the fill returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Structure {
+    /// Re-order buffer.
+    Rob,
+    /// Integer issue queue.
+    Iq,
+    /// Load queue address/tag array.
+    LqTag,
+    /// Load queue data array.
+    LqData,
+    /// Store queue address/tag array.
+    SqTag,
+    /// Store queue data array.
+    SqData,
+    /// Function-unit pipeline latches.
+    Fu,
+    /// Merged physical (rename) register file.
+    RegFile,
+    /// L1 data cache, data array.
+    Dl1Data,
+    /// L1 data cache, tag array.
+    Dl1Tag,
+    /// Data TLB (fully-associative CAM + payload).
+    Dtlb,
+    /// Unified L2 cache, data array.
+    L2Data,
+    /// Unified L2 cache, tag array.
+    L2Tag,
+}
+
+impl Structure {
+    /// Every tracked structure, in display order.
+    pub const ALL: [Structure; 13] = [
+        Structure::Rob,
+        Structure::Iq,
+        Structure::LqTag,
+        Structure::LqData,
+        Structure::SqTag,
+        Structure::SqData,
+        Structure::Fu,
+        Structure::RegFile,
+        Structure::Dl1Data,
+        Structure::Dl1Tag,
+        Structure::Dtlb,
+        Structure::L2Data,
+        Structure::L2Tag,
+    ];
+
+    /// Stable dense index for table lookups.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::Rob => "ROB",
+            Structure::Iq => "IQ",
+            Structure::LqTag => "LQ.tag",
+            Structure::LqData => "LQ.data",
+            Structure::SqTag => "SQ.tag",
+            Structure::SqData => "SQ.data",
+            Structure::Fu => "FU",
+            Structure::RegFile => "RF",
+            Structure::Dl1Data => "DL1.data",
+            Structure::Dl1Tag => "DL1.tag",
+            Structure::Dtlb => "DTLB",
+            Structure::L2Data => "L2.data",
+            Structure::L2Tag => "L2.tag",
+        }
+    }
+
+    /// The reporting class this structure belongs to.
+    #[must_use]
+    pub fn class(self) -> StructureClass {
+        match self {
+            Structure::Rob
+            | Structure::Iq
+            | Structure::LqTag
+            | Structure::LqData
+            | Structure::SqTag
+            | Structure::SqData
+            | Structure::Fu => StructureClass::Qs,
+            Structure::RegFile => StructureClass::Rf,
+            Structure::Dl1Data | Structure::Dl1Tag | Structure::Dtlb => StructureClass::Dl1Dtlb,
+            Structure::L2Data | Structure::L2Tag => StructureClass::L2,
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reporting classes used throughout the paper's figures: queueing
+/// structures (QS), the register file, the L1 data side, and the L2.
+///
+/// The paper normalizes SER per class by the total number of bits in the
+/// class ("units/bit"); [`crate::SerReport`] reproduces that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureClass {
+    /// Queueing structures: ROB, IQ, LQ, SQ, FU.
+    Qs,
+    /// Physical register file.
+    Rf,
+    /// L1 data cache plus data TLB.
+    Dl1Dtlb,
+    /// Unified L2 cache.
+    L2,
+}
+
+impl StructureClass {
+    /// All classes in display order.
+    pub const ALL: [StructureClass; 4] = [
+        StructureClass::Qs,
+        StructureClass::Rf,
+        StructureClass::Dl1Dtlb,
+        StructureClass::L2,
+    ];
+
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StructureClass::Qs => "QS",
+            StructureClass::Rf => "RF",
+            StructureClass::Dl1Dtlb => "DL1+DTLB",
+            StructureClass::L2 => "L2",
+        }
+    }
+}
+
+impl fmt::Display for StructureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Physical sizes of every tracked structure, in bits.
+///
+/// The simulator derives one of these from its machine configuration; the
+/// defaults below correspond to the paper's Table I baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureSizes {
+    /// ROB entries.
+    pub rob_entries: u32,
+    /// Bits per ROB entry (Table I: 76).
+    pub rob_entry_bits: u32,
+    /// IQ entries.
+    pub iq_entries: u32,
+    /// Bits per IQ entry (Table I: 32).
+    pub iq_entry_bits: u32,
+    /// LQ entries.
+    pub lq_entries: u32,
+    /// SQ entries.
+    pub sq_entries: u32,
+    /// Bits in the tag/address half of an LQ/SQ entry (Table I gives 128
+    /// bits/entry total; we split 64/64).
+    pub lsq_tag_bits: u32,
+    /// Bits in the data half of an LQ/SQ entry.
+    pub lsq_data_bits: u32,
+    /// Number of single-cycle ALUs.
+    pub n_alus: u32,
+    /// Number of multipliers.
+    pub n_muls: u32,
+    /// Multiplier latency in cycles (= pipeline depth for occupancy).
+    pub mul_latency: u32,
+    /// Latch bits per FU pipeline stage (two operands + result).
+    pub fu_stage_bits: u32,
+    /// Physical (rename) registers.
+    pub rf_regs: u32,
+    /// Bits per physical register.
+    pub rf_reg_bits: u32,
+    /// L1 data cache lines.
+    pub dl1_lines: u32,
+    /// Line size in bytes (shared by DL1 and L2).
+    pub line_bytes: u32,
+    /// Tag+state bits per DL1 line.
+    pub dl1_tag_bits: u32,
+    /// L2 lines.
+    pub l2_lines: u32,
+    /// Tag+state bits per L2 line.
+    pub l2_tag_bits: u32,
+    /// DTLB entries.
+    pub dtlb_entries: u32,
+    /// Bits per DTLB entry (VPN CAM tag + PPN payload + state).
+    pub dtlb_entry_bits: u32,
+}
+
+impl StructureSizes {
+    /// Sizes for the paper's Table I baseline configuration.
+    #[must_use]
+    pub fn baseline() -> StructureSizes {
+        StructureSizes {
+            rob_entries: 80,
+            rob_entry_bits: 76,
+            iq_entries: 20,
+            iq_entry_bits: 32,
+            lq_entries: 32,
+            sq_entries: 32,
+            lsq_tag_bits: 64,
+            lsq_data_bits: 64,
+            n_alus: 4,
+            n_muls: 1,
+            mul_latency: 7,
+            fu_stage_bits: 192,
+            rf_regs: 80,
+            rf_reg_bits: 64,
+            dl1_lines: 1024, // 64 kB / 64 B
+            line_bytes: 64,
+            dl1_tag_bits: 32,
+            l2_lines: 16_384, // 1 MB / 64 B
+            l2_tag_bits: 32,
+            dtlb_entries: 256,
+            dtlb_entry_bits: 64,
+        }
+    }
+
+    /// Total bits of one structure.
+    #[must_use]
+    pub fn bits(&self, s: Structure) -> u64 {
+        let (entries, per) = match s {
+            Structure::Rob => (self.rob_entries, self.rob_entry_bits),
+            Structure::Iq => (self.iq_entries, self.iq_entry_bits),
+            Structure::LqTag => (self.lq_entries, self.lsq_tag_bits),
+            Structure::LqData => (self.lq_entries, self.lsq_data_bits),
+            Structure::SqTag => (self.sq_entries, self.lsq_tag_bits),
+            Structure::SqData => (self.sq_entries, self.lsq_data_bits),
+            Structure::Fu => {
+                (self.n_alus + self.n_muls * self.mul_latency, self.fu_stage_bits)
+            }
+            Structure::RegFile => (self.rf_regs, self.rf_reg_bits),
+            Structure::Dl1Data => (self.dl1_lines, self.line_bytes * 8),
+            Structure::Dl1Tag => (self.dl1_lines, self.dl1_tag_bits),
+            Structure::Dtlb => (self.dtlb_entries, self.dtlb_entry_bits),
+            Structure::L2Data => (self.l2_lines, self.line_bytes * 8),
+            Structure::L2Tag => (self.l2_lines, self.l2_tag_bits),
+        };
+        u64::from(entries) * u64::from(per)
+    }
+
+    /// Total bits across a class (the paper's per-class normalization
+    /// denominator).
+    #[must_use]
+    pub fn class_bits(&self, class: StructureClass) -> u64 {
+        Structure::ALL
+            .iter()
+            .filter(|s| s.class() == class)
+            .map(|&s| self.bits(s))
+            .sum()
+    }
+
+    /// Total bits in the core (QS + RF).
+    #[must_use]
+    pub fn core_bits(&self) -> u64 {
+        self.class_bits(StructureClass::Qs) + self.class_bits(StructureClass::Rf)
+    }
+}
+
+impl Default for StructureSizes {
+    fn default() -> Self {
+        StructureSizes::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_bit_counts_match_table_i() {
+        let s = StructureSizes::baseline();
+        assert_eq!(s.bits(Structure::Rob), 80 * 76);
+        assert_eq!(s.bits(Structure::Iq), 20 * 32);
+        assert_eq!(s.bits(Structure::LqTag) + s.bits(Structure::LqData), 32 * 128);
+        assert_eq!(s.bits(Structure::RegFile), 80 * 64);
+        assert_eq!(s.bits(Structure::Dl1Data), 64 * 1024 * 8);
+        assert_eq!(s.bits(Structure::L2Data), 1024 * 1024 * 8);
+    }
+
+    #[test]
+    fn classes_partition_all_structures() {
+        let s = StructureSizes::baseline();
+        let total: u64 = Structure::ALL.iter().map(|&x| s.bits(x)).sum();
+        let by_class: u64 = StructureClass::ALL.iter().map(|&c| s.class_bits(c)).sum();
+        assert_eq!(total, by_class);
+    }
+
+    #[test]
+    fn fu_counts_mul_pipeline_stages() {
+        let s = StructureSizes::baseline();
+        assert_eq!(s.bits(Structure::Fu), (4 + 7) * 192);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, s) in Structure::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let mut names: Vec<_> = Structure::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Structure::ALL.len());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for ACE-analysis invariants.
+
+use avf_ace::{
+    AceKind, AvfAnalyzer, CacheLifetime, DeadnessEngine, FaultRates, InstrRecord, Liveness,
+    MemRef, Slice, Structure, StructureClass, StructureSizes,
+};
+use proptest::prelude::*;
+
+/// A tiny random "program" over 4 registers and 8 memory words, expressed
+/// directly as instruction records.
+#[derive(Debug, Clone)]
+enum Op {
+    Alu { dest: u8, srcs: Vec<u8> },
+    Load { dest: u8, word: u8 },
+    Store { src: u8, word: u8 },
+    Branch { src: u8 },
+    Nop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..5, proptest::collection::vec(1u8..5, 0..2))
+            .prop_map(|(dest, srcs)| Op::Alu { dest, srcs }),
+        (1u8..5, 0u8..8).prop_map(|(dest, word)| Op::Load { dest, word }),
+        (1u8..5, 0u8..8).prop_map(|(src, word)| Op::Store { src, word }),
+        (1u8..5).prop_map(|src| Op::Branch { src }),
+        Just(Op::Nop),
+    ]
+}
+
+fn to_record(op: &Op) -> InstrRecord {
+    match op {
+        Op::Alu { dest, srcs } => {
+            let mut r = InstrRecord::of_kind(AceKind::Value);
+            r.dest = Some(*dest);
+            for (i, s) in srcs.iter().enumerate() {
+                r.srcs[i] = Some(*s);
+            }
+            r
+        }
+        Op::Load { dest, word } => {
+            let mut r = InstrRecord::of_kind(AceKind::Value);
+            r.dest = Some(*dest);
+            r.mem = Some(MemRef { addr: u64::from(*word) * 8, bytes: 8 });
+            r
+        }
+        Op::Store { src, word } => {
+            let mut r = InstrRecord::of_kind(AceKind::Store);
+            r.srcs[0] = Some(*src);
+            r.mem = Some(MemRef { addr: u64::from(*word) * 8, bytes: 8 });
+            r
+        }
+        Op::Branch { src } => {
+            let mut r = InstrRecord::of_kind(AceKind::Branch);
+            r.srcs[0] = Some(*src);
+            r
+        }
+        Op::Nop => InstrRecord::of_kind(AceKind::Nop),
+    }
+}
+
+proptest! {
+    /// Every committed instruction resolves to Live or Dead after finish();
+    /// counts are conserved.
+    #[test]
+    fn deadness_always_fully_resolves(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut e = DeadnessEngine::new();
+        let ids: Vec<_> = ops.iter().map(|op| e.commit(to_record(op))).collect();
+        e.finish();
+        let stats = e.stats();
+        prop_assert_eq!(stats.committed, ops.len() as u64);
+        prop_assert_eq!(stats.live + stats.dead, stats.committed);
+        for id in ids {
+            prop_assert_ne!(e.liveness(id), Liveness::Unknown);
+        }
+    }
+
+    /// Branches are always live; NOPs are always dead.
+    #[test]
+    fn branch_live_nop_dead(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut e = DeadnessEngine::new();
+        let ids: Vec<_> = ops.iter().map(|op| e.commit(to_record(op))).collect();
+        e.finish();
+        for (op, id) in ops.iter().zip(ids) {
+            match op {
+                Op::Branch { .. } => prop_assert_eq!(e.liveness(id), Liveness::Live),
+                Op::Nop => prop_assert_eq!(e.liveness(id), Liveness::Dead),
+                _ => {}
+            }
+        }
+    }
+
+    /// A producer directly feeding a live consumer is live (one-step
+    /// consistency of the transitive rule).
+    #[test]
+    fn direct_producer_of_live_consumer_is_live(
+        ops in proptest::collection::vec(op_strategy(), 1..150)
+    ) {
+        let mut e = DeadnessEngine::new();
+        let ids: Vec<_> = ops.iter().map(|op| e.commit(to_record(op))).collect();
+        e.finish();
+        // Recompute def-use pairs the slow way.
+        let mut last_def: [Option<usize>; 8] = [None; 8];
+        for (i, op) in ops.iter().enumerate() {
+            let (srcs, dest): (Vec<u8>, Option<u8>) = match op {
+                Op::Alu { dest, srcs } => (srcs.clone(), Some(*dest)),
+                Op::Load { dest, .. } => (vec![], Some(*dest)),
+                Op::Store { src, .. } => (vec![*src], None),
+                Op::Branch { src } => (vec![*src], None),
+                Op::Nop => (vec![], None),
+            };
+            for s in srcs {
+                if let Some(p) = last_def[usize::from(s)] {
+                    if e.liveness(ids[i]) == Liveness::Live {
+                        prop_assert_eq!(
+                            e.liveness(ids[p]),
+                            Liveness::Live,
+                            "producer {} of live consumer {} must be live", p, i
+                        );
+                    }
+                }
+            }
+            if let Some(d) = dest {
+                last_def[usize::from(d)] = Some(i);
+            }
+        }
+    }
+
+    /// Cache lifetime ACE never exceeds bits × elapsed cycles.
+    #[test]
+    fn cache_ace_bounded(
+        events in proptest::collection::vec((0u8..4, 0u64..4, 1u64..64), 1..300)
+    ) {
+        let mut c = CacheLifetime::new(64, 32);
+        let mut cycle = 0u64;
+        for (kind, line, dt) in events {
+            cycle += dt;
+            let addr = line * 64;
+            match kind {
+                0 => c.fill(addr, cycle),
+                1 => c.read(addr, 8, cycle),
+                2 => c.write(addr, 8, cycle),
+                _ => c.evict(addr, cycle),
+            }
+        }
+        let (data, tag) = c.finish(cycle);
+        // 4 lines tracked at most: 4 * 512 data bits, 4 * 32 tag bits.
+        prop_assert!(data <= u128::from(cycle) * 4 * 512);
+        prop_assert!(tag <= u128::from(cycle) * 4 * 32);
+    }
+
+    /// AVF values from random commit streams are always within [0, 1] and
+    /// SER under baseline rates equals the bit-weighted AVF.
+    #[test]
+    fn avf_in_unit_interval(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let sizes = StructureSizes::baseline();
+        let mut a = AvfAnalyzer::new("prop", sizes);
+        let mut cycle = 0u64;
+        for op in &ops {
+            let mut rec = to_record(op);
+            rec.residency.push(Slice {
+                structure: Structure::Rob,
+                start: cycle,
+                end: cycle + 5,
+                bits: 76,
+            });
+            a.commit(rec);
+            cycle += 1;
+        }
+        let report = a.finish(cycle + 10);
+        for s in Structure::ALL {
+            let v = report.avf(s);
+            prop_assert!((0.0..=1.0).contains(&v), "{s} avf {v}");
+        }
+        let ser = report.ser(&FaultRates::baseline());
+        let qs = report.class_avf(StructureClass::Qs);
+        prop_assert!((ser.qs() - qs).abs() < 1e-9);
+    }
+}

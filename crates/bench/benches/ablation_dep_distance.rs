@@ -1,0 +1,43 @@
+//! Ablation: dependency distance and miss-shadow chain length vs IQ AVF.
+//!
+//! Section IV-A.2: low ILP (short dependency distance, more instructions
+//! dependent on the miss) raises IQ occupancy and hence IQ AVF.
+
+use avf_ace::{FaultRates, Structure};
+use avf_codegen::Knobs;
+use avf_sim::MachineConfig;
+use avf_stressmark::{evaluate_knobs, Fitness};
+
+fn main() {
+    avf_bench::run("ablation_dep_distance", |cfg| {
+        let machine = MachineConfig::baseline();
+        let fitness = Fitness::core(FaultRates::baseline());
+        let budget = cfg.final_instructions / 4;
+
+        println!("instructions dependent on the L2 miss vs IQ AVF:");
+        for dep in [0u32, 4, 8, 16, 24] {
+            let mut knobs = Knobs::paper_baseline();
+            knobs.n_dep_on_miss = dep;
+            let (_, result, _) = evaluate_knobs(&machine, &fitness, &knobs, budget);
+            println!(
+                "  dep-on-miss {:>2}: IQ AVF {:.3}  iq_occ {:>5.1}",
+                dep,
+                result.report.avf(Structure::Iq),
+                result.stats.avg_iq_occupancy()
+            );
+        }
+
+        println!("dependency distance vs IQ AVF (spacing raises ILP):");
+        for dist in [1u32, 2, 4, 8] {
+            let mut knobs = Knobs::paper_baseline();
+            knobs.dep_distance = dist;
+            let (_, result, _) = evaluate_knobs(&machine, &fitness, &knobs, budget);
+            println!(
+                "  distance {:>2}: IQ AVF {:.3}  ipc {:.2}",
+                dist,
+                result.report.avf(Structure::Iq),
+                result.stats.ipc()
+            );
+        }
+    });
+}

@@ -1,0 +1,37 @@
+//! Ablation: the L2-miss vs L2-hit (miss-free) generator templates under
+//! each fault-rate configuration.
+//!
+//! Section VI-A: under EDR rates (ROB/LQ/SQ protected) stalling no longer
+//! pays — the GA switches to the miss-free template because IPC, FU and RF
+//! activity dominate what is left. This sweep shows the crossover directly.
+
+use avf_ace::FaultRates;
+use avf_codegen::{Knobs, L2Mode};
+use avf_sim::MachineConfig;
+use avf_stressmark::{evaluate_knobs, Fitness};
+
+fn main() {
+    avf_bench::run("ablation_l2_mode", |cfg| {
+        let machine = MachineConfig::baseline();
+        let budget = cfg.final_instructions / 4;
+        println!("core SER (QS+RF units/bit) by template and fault rates:");
+        println!("{:<10} {:>10} {:>10} {:>10}", "rates", "miss", "hit", "winner");
+        for rates in [FaultRates::baseline(), FaultRates::rhc(), FaultRates::edr()] {
+            let fitness = Fitness::core(rates.clone());
+            let mut scores = Vec::new();
+            for mode in [L2Mode::Miss, L2Mode::Hit] {
+                let mut knobs = Knobs::paper_baseline();
+                knobs.l2_mode = mode;
+                let (_, _, score) = evaluate_knobs(&machine, &fitness, &knobs, budget);
+                scores.push(score);
+            }
+            println!(
+                "{:<10} {:>10.3} {:>10.3} {:>10}",
+                rates.name(),
+                scores[0],
+                scores[1],
+                if scores[0] >= scores[1] { "miss" } else { "hit" }
+            );
+        }
+    });
+}

@@ -1,0 +1,33 @@
+//! Ablation: inner-loop size vs core SER.
+//!
+//! Section IV-B argues the loop should be about ROB-sized — equal to the
+//! ROB it minimizes L2 misses per ROB-full of instructions while keeping
+//! the miss shadow saturated — and caps the search at 1.2 × ROB. This sweep
+//! regenerates that design rationale.
+
+use avf_ace::FaultRates;
+use avf_codegen::Knobs;
+use avf_sim::MachineConfig;
+use avf_stressmark::{evaluate_knobs, Fitness};
+
+fn main() {
+    avf_bench::run("ablation_loop_size", |cfg| {
+        let machine = MachineConfig::baseline();
+        let fitness = Fitness::core(FaultRates::baseline());
+        println!("loop size vs core SER (QS+RF units/bit), ROB = 80:");
+        for loop_size in [12u32, 24, 40, 56, 72, 80, 88, 96] {
+            let mut knobs = Knobs::paper_baseline();
+            knobs.loop_size = loop_size;
+            let (sm, result, score) =
+                evaluate_knobs(&machine, &fitness, &knobs, cfg.final_instructions / 4);
+            println!(
+                "  loop {:>3} (emitted {:>3}): QS+RF {:.3}  rob_occ {:>5.1}  ipc {:.2}",
+                loop_size,
+                sm.derived.body_len,
+                score,
+                result.stats.avg_rob_occupancy(),
+                result.stats.ipc()
+            );
+        }
+    });
+}

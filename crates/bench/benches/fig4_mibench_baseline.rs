@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig4 (see DESIGN.md §4).
+
+fn main() {
+    avf_bench::run("fig4_mibench_baseline", |cfg| {
+        let table = avf_stressmark::fig4(cfg);
+        println!("{table}");
+        if let Some((who, v)) = table.column_max("QS+RF") {
+            println!("highest QS+RF: {who} = {v:.3}");
+        }
+    });
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 5: the GA's final knob settings (5a) and
+//! its convergence curve with cataclysm dips (5b).
+
+fn main() {
+    avf_bench::run("fig5_ga_convergence", |cfg| {
+        let fig5 = avf_stressmark::fig5(cfg);
+        println!("{fig5}");
+        let ser = fig5.outcome.result.report.ser(&avf_ace::FaultRates::baseline());
+        println!("final stressmark SER:");
+        print!("{ser}");
+        println!("evaluations: {}", fig5.outcome.ga.evaluations);
+    });
+}

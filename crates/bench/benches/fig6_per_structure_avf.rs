@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 6: per-structure AVF of the SPEC int,
+//! SPEC fp and MiBench proxies against the stressmark.
+
+fn main() {
+    avf_bench::run("fig6_per_structure_avf", |cfg| {
+        for table in avf_stressmark::fig6(cfg) {
+            println!("{table}");
+        }
+    });
+}

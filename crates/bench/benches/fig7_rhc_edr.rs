@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 7: core SER of every workload and the
+//! re-targeted stressmarks under the RHC (7a) and EDR (7b) fault rates.
+
+fn main() {
+    avf_bench::run("fig7_rhc_edr", |cfg| {
+        for table in avf_stressmark::fig7(cfg) {
+            println!("{table}");
+            if let Some((who, v)) = table.column_max("QS+RF") {
+                println!("highest QS+RF: {who} = {v:.3}\n");
+            }
+        }
+    });
+}

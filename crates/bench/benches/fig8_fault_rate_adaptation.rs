@@ -1,0 +1,28 @@
+//! Regenerates the paper's Figure 8: how the methodology adapts the
+//! stressmark when circuit-level fault rates change (8a rates are inputs;
+//! 8b queueing AVFs; 8c/8d knob settings).
+
+use avf_ace::{FaultRates, Structure};
+
+fn main() {
+    avf_bench::run("fig8_fault_rate_adaptation", |cfg| {
+        println!("== Figure 8(a): circuit-level fault rates (units/bit, inputs) ==");
+        for rates in [FaultRates::baseline(), FaultRates::rhc(), FaultRates::edr()] {
+            print!("{:>9}:", rates.name());
+            for s in [
+                Structure::Rob,
+                Structure::Iq,
+                Structure::Fu,
+                Structure::RegFile,
+                Structure::LqTag,
+                Structure::SqTag,
+            ] {
+                print!("  {}={:.2}", s.name(), rates.rate(s));
+            }
+            println!();
+        }
+        println!();
+        let fig8 = avf_stressmark::fig8(cfg);
+        println!("{fig8}");
+    });
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 9: the stressmark re-targeted to the
+//! scaled-up Configuration A (Table II).
+
+fn main() {
+    avf_bench::run("fig9_config_a", |cfg| {
+        let fig9 = avf_stressmark::fig9(cfg);
+        println!("{fig9}");
+    });
+}

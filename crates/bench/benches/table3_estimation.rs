@@ -1,0 +1,21 @@
+//! Regenerates the paper's Table III: worst-case core-SER estimation
+//! methodologies compared (stressmark vs best individual program vs sum of
+//! highest per-structure SERs vs raw circuit-level sum), plus the
+//! Section VI instantaneous-occupancy bound.
+
+fn main() {
+    avf_bench::run("table3_estimation", |cfg| {
+        let t3 = avf_stressmark::table3(cfg);
+        println!("{t3}");
+        for (name, vals) in t3.table.rows() {
+            let sm = vals[0];
+            let best = vals[1];
+            if best > 0.0 {
+                println!(
+                    "  {name}: stressmark exceeds the best individual program by {:.0}%",
+                    100.0 * (sm / best - 1.0)
+                );
+            }
+        }
+    });
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the substrate itself: simulator
+//! throughput on stall-bound and compute-bound kernels, code-generation
+//! latency, and the functional ACE verifier.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use avf_codegen::{dead_fraction, generate, Knobs, TargetParams};
+use avf_sim::{simulate, MachineConfig};
+
+fn sim_throughput(c: &mut Criterion) {
+    let machine = MachineConfig::baseline();
+    let params = TargetParams::baseline();
+    let miss_bound = generate(&Knobs::paper_baseline(), &params);
+    let mut hit_knobs = Knobs::paper_baseline();
+    hit_knobs.l2_mode = avf_codegen::L2Mode::Hit;
+    let compute_bound = generate(&hit_knobs, &params);
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let instructions = 50_000u64;
+    group.throughput(Throughput::Elements(instructions));
+    group.bench_function("stall_bound_stressmark", |b| {
+        b.iter(|| simulate(&machine, &miss_bound.program, instructions));
+    });
+    group.bench_function("compute_bound_stressmark", |b| {
+        b.iter(|| simulate(&machine, &compute_bound.program, instructions));
+    });
+    let workload = avf_workloads::by_name("403.gcc").expect("gcc proxy").build();
+    group.bench_function("workload_gcc_proxy", |b| {
+        b.iter(|| simulate(&machine, &workload, instructions));
+    });
+    group.finish();
+}
+
+fn codegen_latency(c: &mut Criterion) {
+    let params = TargetParams::baseline();
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(20);
+    group.bench_function("generate_stressmark_program", |b| {
+        b.iter(|| generate(&Knobs::paper_baseline(), &params));
+    });
+    let sm = generate(&Knobs::paper_baseline(), &params);
+    group.bench_function("functional_ace_verify_10k", |b| {
+        b.iter(|| dead_fraction(&sm.program, 10_000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, codegen_latency);
+criterion_main!(benches);

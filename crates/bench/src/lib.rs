@@ -1,0 +1,46 @@
+//! Shared scaffolding for the experiment-regeneration benches.
+//!
+//! Every figure/table of the paper's evaluation has a `cargo bench` target
+//! that regenerates it (see DESIGN.md §4). Budgets honour the
+//! `AVF_EXPERIMENT_SCALE` environment variable:
+//!
+//! * `smoke` — seconds per target (CI);
+//! * `standard` (default) — tens of seconds per target;
+//! * `full` — minutes per target, closest to the paper's scale.
+
+use std::time::Instant;
+
+use avf_ga::GaParams;
+use avf_stressmark::ExperimentConfig;
+
+/// Experiment scale selected via `AVF_EXPERIMENT_SCALE`.
+#[must_use]
+pub fn config() -> ExperimentConfig {
+    match std::env::var("AVF_EXPERIMENT_SCALE").as_deref() {
+        Ok("smoke") => ExperimentConfig::smoke(),
+        Ok("full") => ExperimentConfig {
+            workload_instructions: 8_000_000,
+            eval_instructions: 300_000,
+            final_instructions: 8_000_000,
+            ga: GaParams { population: 24, generations: 32, ..GaParams::quick() },
+            ..ExperimentConfig::standard()
+        },
+        _ => ExperimentConfig::standard(),
+    }
+}
+
+/// Runs one experiment body with wall-clock reporting.
+pub fn run(name: &str, body: impl FnOnce(&ExperimentConfig)) {
+    let cfg = config();
+    eprintln!(
+        "[{name}] scale: workloads {}k instr, GA {}x{}, eval {}k, final {}k",
+        cfg.workload_instructions / 1000,
+        cfg.ga.population,
+        cfg.ga.generations,
+        cfg.eval_instructions / 1000,
+        cfg.final_instructions / 1000,
+    );
+    let t = Instant::now();
+    body(&cfg);
+    eprintln!("[{name}] regenerated in {:.1}s", t.elapsed().as_secs_f64());
+}

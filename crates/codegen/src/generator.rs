@@ -1,0 +1,424 @@
+//! The stressmark code generator (paper Figure 2 and Section IV-B).
+//!
+//! Template, per inner-loop iteration:
+//!
+//! 1. a self-dependent pointer-chasing load that misses (or, in
+//!    [`L2Mode::Hit`], hits) the L2 — the long-latency anchor with no
+//!    memory-level parallelism;
+//! 2. stores covering the non-pointer slots of recently-chased ("previous")
+//!    cache lines, driving DL1/L2/DTLB ACE coverage;
+//! 3. coverage loads reading those freshly-stored slots (Write⇒Read, and
+//!    the reads keep the stores ACE);
+//! 4. interleaved dependence chains: a chain waiting on the chase load
+//!    (IQ occupancy in the miss shadow), load-seeded chains, and
+//!    independent arithmetic on store-accumulator registers;
+//! 5. mandatory merge/fold operations that fold every produced value into a
+//!    stored accumulator — the structural guarantee that *every*
+//!    instruction is ACE;
+//! 6. the lag-pointer move and an always-taken loop branch.
+
+use avf_isa::{DataSegment, Opcode, Operand, Program, ProgramBuilder, Reg, DATA_BASE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::knobs::{Knobs, L2Mode, TargetParams};
+use crate::schedule::{Item, Scheduler};
+
+/// Byte offset of the chase array within the data segment (a guard margin
+/// absorbs negative lagged-store offsets near the start).
+const CHASE_MARGIN: u64 = 4096;
+
+/// Register roles.
+const R_P: u8 = 1; // chase pointer
+const R_PREV: u8 = 2; // lagged pointer (previous chase line)
+const R_ONE: u8 = 3; // constant 1 for the loop branch
+const R_Q: u8 = 30; // DTLB touch-chain pointer
+const POOL_BASE: u8 = 4; // first general-pool register
+
+/// Byte offset within a line reserved for the DTLB touch chain's pointers
+/// (slot 7; slot 0 holds the chase pointer, slots 1..=6 are store targets).
+const TOUCH_SLOT: u64 = 56;
+
+/// Derived properties of a generated stressmark, reported alongside the
+/// knob values in the Figure 5a/8c/8d/9b tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derived {
+    /// Total instructions in the emitted loop body.
+    pub body_len: u32,
+    /// Chain (load-dependent) arithmetic operations.
+    pub chain_ops: u32,
+    /// Independent arithmetic operations.
+    pub indep_ops: u32,
+    /// Merge/fold bookkeeping operations.
+    pub merge_ops: u32,
+    /// Realized average dependence-chain length (load to store).
+    pub avg_chain_len: f64,
+    /// Chase-array footprint in bytes.
+    pub footprint: u64,
+}
+
+/// A generated stressmark candidate: the program plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Stressmark {
+    /// The runnable program (text + initialized chase array).
+    pub program: Program,
+    /// The knob values that produced it (post-repair).
+    pub knobs: Knobs,
+    /// Derived structural properties.
+    pub derived: Derived,
+}
+
+/// Generates a stressmark candidate from (repaired) knob values.
+///
+/// # Panics
+///
+/// Panics if the knobs are infeasible; use [`Knobs::repair`] or
+/// [`Knobs::from_genome`] first.
+#[must_use]
+pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
+    let mut knobs = knobs.clone();
+    knobs.repair(params);
+    let mut rng = SmallRng::seed_from_u64(knobs.seed);
+
+    let footprint = match knobs.l2_mode {
+        L2Mode::Miss => params.miss_footprint(),
+        L2Mode::Hit => params.hit_footprint(),
+    };
+    let line = u64::from(params.line_bytes);
+    let n_nodes = (footprint / line) as usize;
+
+    // Chase array: node i -> node i+1 (cyclic), one node per cache line.
+    let mut data = DataSegment::zeroed((CHASE_MARGIN + footprint) as usize);
+    let chase_base = DATA_BASE + CHASE_MARGIN;
+    for i in 0..n_nodes {
+        let next = chase_base + ((i + 1) % n_nodes) as u64 * line;
+        data.put_u64(CHASE_MARGIN as usize + i * line as usize, next);
+    }
+
+    // DTLB touch chain: one node per page, cyclic, kept in reserved slot 7
+    // of a per-page line chosen to spread across cache sets. Touching every
+    // page each `n_pages` iterations keeps all DTLB entries continuously
+    // read ("cover every line in the DTLB without evictions", Figure 2).
+    let lines_per_page = (params.page_bytes / line).max(1);
+    let n_pages = ((footprint + params.page_bytes - 1) / params.page_bytes).max(1);
+    let touch_addr = |p: u64| -> u64 {
+        let l = if lines_per_page > 1 { 1 + (3 * p) % (lines_per_page - 1) } else { 0 };
+        let node = chase_base + p * params.page_bytes + l * line + TOUCH_SLOT;
+        node.min(chase_base + footprint - 8)
+    };
+    for p in 0..n_pages {
+        let next = touch_addr((p + 1) % n_pages);
+        let at = touch_addr(p);
+        data.put_u64((at - DATA_BASE) as usize, next);
+    }
+
+    // Register allocation.
+    let n_chains = knobs.chain_count();
+    let n_x = (knobs.n_stores.min(8)).max(1);
+    let x_regs: Vec<u8> = (0..n_x as u8).map(|i| POOL_BASE + i).collect();
+    let c_regs: Vec<u8> = (0..n_chains as u8).map(|i| POOL_BASE + n_x as u8 + i).collect();
+    let t_regs: [u8; 2] = [
+        POOL_BASE + (n_x + n_chains) as u8,
+        POOL_BASE + (n_x + n_chains) as u8 + 1,
+    ];
+    assert!(t_regs[1] < 31, "register pool overflow");
+
+    // Arithmetic budget split.
+    let arith_budget = knobs.arith_budget();
+    let d = knobs.n_dep_on_miss;
+    let indep = knobs.n_indep_arith.min(arith_budget - d);
+    let chain_ops_total = arith_budget - d - indep;
+
+    // Build schedulable items.
+    let mut sched = Scheduler::new(knobs.seed ^ 0x5eed, knobs.dep_distance);
+    let s = knobs.n_stores as usize;
+    let l_cov = (knobs.n_loads - 1) as usize; // coverage loads (chase excluded)
+
+    // Store offsets: slots 1..=6 on the previous chase line (slot 0 is the
+    // chase pointer, slot 7 the DTLB touch chain), then slots on deeper
+    // lagged lines.
+    let offset_of = |j: usize| -> i32 {
+        let slot = (j % 6) as i32 + 1;
+        let lag = (j / 6) as i32;
+        8 * slot - i32::try_from(line).expect("line fits i32") * lag
+    };
+    let store_items: Vec<usize> = (0..s)
+        .map(|j| {
+            sched.add(Item::store(Opcode::Stq, x_regs[j % x_regs.len()], R_PREV, offset_of(j)))
+        })
+        .collect();
+
+    // Coverage loads match stores ascending from j = 0: store j is
+    // overwritten by store j+6 (same slot, one lag deeper) one iteration
+    // later, so every store with j + 6 < S must be read in the same
+    // iteration to stay ACE; the highest-lag store of each slot survives to
+    // the next full pass. `Knobs::repair` guarantees enough coverage loads.
+    let mut load_items = Vec::with_capacity(l_cov);
+    for k in 0..l_cov {
+        let j = k % s;
+        let dest = if (k as u32) < n_chains.saturating_sub(1) {
+            c_regs[k + 1] // seeds chain k+1
+        } else {
+            t_regs[k % 2] // folded into an accumulator
+        };
+        let it = sched.add(Item::load(Opcode::Ldq, dest, R_PREV, offset_of(j)));
+        sched.add_dep(store_items[j], it);
+        load_items.push(it);
+    }
+
+    // Folds: extra loads xor into an always-stored accumulator; the next
+    // load reusing the temp register must wait for the fold.
+    let mut merge_ops = 0u32;
+    let mut x_rr = 0usize;
+    for (k, &load_it) in load_items.iter().enumerate().skip(n_chains.saturating_sub(1) as usize)
+    {
+        let x = x_regs[x_rr % x_regs.len()];
+        x_rr += 1;
+        let fold =
+            sched.add(Item::alu(Opcode::Xor, x, x, Operand::Reg(Reg::of(t_regs[k % 2]))));
+        sched.add_dep(load_it, fold);
+        sched.set_chain(fold, 100 + (k % 2)); // spacing key on the temp reg
+        if let Some(&next_load) = load_items.get(k + 2) {
+            sched.add_dep(fold, next_load);
+        }
+        merge_ops += 1;
+    }
+
+    // Dependence chains. Chain 0 waits on the chase load; chains 1.. are
+    // seeded by their coverage load.
+    let frac_long = knobs.frac_long_latency;
+    let rand_op = move |rng: &mut SmallRng| -> Opcode {
+        if rng.gen_bool(frac_long) {
+            Opcode::Mul
+        } else {
+            [Opcode::Add, Opcode::Sub, Opcode::Xor][rng.gen_range(0..3)]
+        }
+    };
+    let frac_rr = knobs.frac_reg_reg;
+    let x_for_operand = x_regs.clone();
+    let rand_operand = move |rng: &mut SmallRng| -> Operand {
+        if rng.gen_bool(frac_rr) {
+            Operand::Reg(Reg::of(x_for_operand[rng.gen_range(0..x_for_operand.len())]))
+        } else {
+            Operand::Imm(rng.gen_range(1..64))
+        }
+    };
+
+    let mut chain_lens = vec![0u32; n_chains as usize];
+    let mut chain_tail: Vec<Option<usize>> = vec![None; n_chains as usize];
+
+    // Chain 0: the miss-shadow chain.
+    let mut prev_item: Option<usize> = None;
+    for di in 0..d {
+        let src = if di == 0 { R_P } else { c_regs[0] };
+        let it = sched.add(Item::alu(rand_op(&mut rng), c_regs[0], src, rand_operand(&mut rng)));
+        sched.set_chain(it, 0);
+        if let Some(p) = prev_item {
+            sched.add_dep(p, it);
+        }
+        prev_item = Some(it);
+        chain_lens[0] += 1;
+    }
+    chain_tail[0] = prev_item;
+
+    // Remaining chain ops round-robin over chains 1.. (or chain 0 if alone).
+    let targets: Vec<u32> =
+        if n_chains > 1 { (1..n_chains).collect() } else { vec![0] };
+    for i in 0..chain_ops_total {
+        let c = targets[i as usize % targets.len()] as usize;
+        let reg = c_regs[c];
+        let it = sched.add(Item::alu(rand_op(&mut rng), reg, reg, rand_operand(&mut rng)));
+        sched.set_chain(it, c);
+        let prev = chain_tail[c].or(if c == 0 { None } else { load_items.get(c - 1).copied() });
+        if let Some(p) = prev {
+            sched.add_dep(p, it);
+        }
+        chain_lens[c] += 1;
+        chain_tail[c] = Some(it);
+    }
+
+    // Merges: every chain folds into a stored accumulator once per
+    // iteration — this is what makes every chain value reach memory.
+    for c in 0..n_chains as usize {
+        let x = x_regs[c % x_regs.len()];
+        // Chain 0 may be empty (no miss-shadow or round-robin ops); its
+        // merge then folds the chase pointer itself.
+        let src = if c == 0 && chain_lens[0] == 0 { R_P } else { c_regs[c] };
+        let it = sched.add(Item::alu(Opcode::Xor, x, x, Operand::Reg(Reg::of(src))));
+        let prev = chain_tail[c].or(if c == 0 { None } else { load_items.get(c - 1).copied() });
+        if let Some(p) = prev {
+            sched.add_dep(p, it);
+        }
+        merge_ops += 1;
+    }
+
+    // Independent arithmetic on the accumulators (no load dependence).
+    for i in 0..indep {
+        let x = x_regs[i as usize % x_regs.len()];
+        let op = rand_op(&mut rng);
+        let operand = if rng.gen_bool(knobs.frac_reg_reg) {
+            Operand::Reg(Reg::of(x_regs[rng.gen_range(0..x_regs.len())]))
+        } else {
+            Operand::Imm(rng.gen_range(1..64))
+        };
+        sched.add(Item::alu(op, x, x, operand));
+    }
+
+    // Emit the program.
+    let mut b = ProgramBuilder::new(stressmark_name(&knobs)).with_data(data);
+    b.load_addr(Reg::of(R_P), chase_base);
+    b.load_addr(Reg::of(R_PREV), chase_base);
+    b.addi(Reg::of(R_ONE), Reg::ZERO, 1);
+    for (i, &x) in x_regs.iter().enumerate() {
+        b.addi(Reg::of(x), Reg::ZERO, (17 + i as i16) * 3);
+    }
+    b.load_addr(Reg::of(R_Q), touch_addr(0));
+    let top = b.here();
+    // The self-dependent chase load: no MLP across iterations.
+    b.ldq(Reg::of(R_P), Reg::of(R_P), 0);
+    // DTLB touch chase (cache-resident) and its ACE-preserving merge.
+    b.ldq(Reg::of(R_Q), Reg::of(R_Q), 0);
+    let order = sched.schedule();
+    for inst in &order {
+        b.push(*inst);
+    }
+    b.alu_rr(Opcode::Xor, Reg::of(x_regs[0]), Reg::of(x_regs[0]), Reg::of(R_Q));
+    b.mov(Reg::of(R_PREV), Reg::of(R_P));
+    b.bne(Reg::of(R_ONE), top);
+    let program = b.build().expect("generated program is structurally valid");
+
+    let chain_count = chain_lens.len().max(1) as f64;
+    let avg_chain_len = 1.0 + chain_lens.iter().sum::<u32>() as f64 / chain_count;
+    let derived = Derived {
+        body_len: order.len() as u32 + 5,
+        chain_ops: chain_ops_total + d,
+        indep_ops: indep,
+        merge_ops,
+        avg_chain_len,
+        footprint,
+    };
+    Stressmark { program, knobs, derived }
+}
+
+fn stressmark_name(k: &Knobs) -> String {
+    format!(
+        "stressmark[{}:L{}/S{}/D{}]",
+        match k.l2_mode {
+            L2Mode::Miss => "miss",
+            L2Mode::Hit => "hit",
+        },
+        k.n_loads,
+        k.n_stores,
+        k.n_dep_on_miss
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TargetParams {
+        TargetParams::baseline()
+    }
+
+    #[test]
+    fn generates_requested_loop_size() {
+        let mut k = Knobs::paper_baseline();
+        k.repair(&params());
+        let sm = generate(&k, &params());
+        // body_len counts everything between `top` and the branch inclusive.
+        assert_eq!(sm.derived.body_len, sm.knobs.loop_size);
+    }
+
+    #[test]
+    fn loop_contains_requested_mix() {
+        let mut k = Knobs::paper_baseline();
+        k.repair(&params());
+        let sm = generate(&k, &params());
+        let insts = sm.program.insts();
+        let loads = insts.iter().filter(|i| i.op.is_load()).count() as u32;
+        let stores = insts.iter().filter(|i| i.op.is_store()).count() as u32;
+        // +1: the always-present DTLB touch load.
+        assert_eq!(loads, sm.knobs.n_loads + 1);
+        assert_eq!(stores, sm.knobs.n_stores);
+    }
+
+    #[test]
+    fn no_nops_or_halts_emitted() {
+        let sm = generate(&Knobs::paper_baseline(), &params());
+        assert!(sm.program.insts().iter().all(|i| i.op != Opcode::Nop && i.op != Opcode::Halt));
+    }
+
+    #[test]
+    fn chase_array_is_cyclic() {
+        let sm = generate(&Knobs::paper_baseline(), &params());
+        let data = sm.program.data();
+        let line = 64usize;
+        let n = (sm.derived.footprint as usize) / line;
+        let base = DATA_BASE + CHASE_MARGIN;
+        // Follow the chain n hops and confirm it returns to the start.
+        let mut p = base;
+        for _ in 0..n {
+            let off = (p - data.base) as usize;
+            p = u64::from_le_bytes(data.bytes[off..off + 8].try_into().unwrap());
+        }
+        assert_eq!(p, base);
+    }
+
+    #[test]
+    fn hit_mode_shrinks_footprint() {
+        let mut k = Knobs::paper_baseline();
+        k.l2_mode = L2Mode::Hit;
+        let sm = generate(&k, &params());
+        assert_eq!(sm.derived.footprint, params().hit_footprint());
+        assert!(sm.derived.footprint < params().miss_footprint());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&Knobs::paper_baseline(), &params());
+        let b = generate(&Knobs::paper_baseline(), &params());
+        assert_eq!(a.program.insts(), b.program.insts());
+    }
+
+    #[test]
+    fn different_seed_changes_schedule() {
+        let mut k1 = Knobs::paper_baseline();
+        k1.frac_long_latency = 0.5;
+        let mut k2 = k1.clone();
+        k2.seed = 999;
+        let a = generate(&k1, &params());
+        let b = generate(&k2, &params());
+        assert_ne!(a.program.insts(), b.program.insts(), "seed must reshuffle the schedule");
+    }
+
+    #[test]
+    fn long_latency_fraction_controls_muls() {
+        let mut lo = Knobs::paper_baseline();
+        lo.frac_long_latency = 0.0;
+        let mut hi = lo.clone();
+        hi.frac_long_latency = 1.0;
+        let n_mul = |sm: &Stressmark| {
+            sm.program.insts().iter().filter(|i| i.op == Opcode::Mul).count()
+        };
+        let a = generate(&lo, &params());
+        let b = generate(&hi, &params());
+        assert_eq!(n_mul(&a), 0);
+        assert!(n_mul(&b) > 5);
+    }
+
+    #[test]
+    fn uses_many_architected_registers() {
+        let sm = generate(&Knobs::paper_baseline(), &params());
+        let mut used = std::collections::HashSet::new();
+        for inst in sm.program.insts() {
+            if let Some(d) = inst.dest_reg() {
+                used.insert(d.number());
+            }
+            for s in inst.src_regs().into_iter().flatten() {
+                used.insert(s.number());
+            }
+        }
+        assert!(used.len() >= 12, "expected a wide register footprint, got {}", used.len());
+    }
+}

@@ -1,0 +1,328 @@
+//! The code generator's knobs (paper Section IV-B) and their feasibility
+//! repair.
+//!
+//! The Genetic Algorithm manipulates a normalized genome in `[0, 1]^11`;
+//! [`Knobs::from_genome`] maps it onto the feasible knob space for a target
+//! microarchitecture, and [`Knobs::repair`] enforces the structural
+//! constraints that keep every generated instruction ACE.
+
+/// The subset of a machine configuration the code generator needs.
+///
+/// `avf-codegen` deliberately does not depend on the simulator crate; the
+/// caller (normally `avf-stressmark`) builds one of these from its
+/// `MachineConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetParams {
+    /// Re-order buffer entries: the inner loop is capped at 1.2× this
+    /// (paper Section IV-B).
+    pub rob_entries: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// DTLB entries; the chase array spans `page_bytes × dtlb_entries` so
+    /// every translation is covered (Figure 2).
+    pub dtlb_entries: u32,
+    /// L1 data cache capacity in bytes (sizes the L2-hit template's
+    /// footprint).
+    pub dl1_bytes: u64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+}
+
+impl TargetParams {
+    /// Parameters for the paper's Table I baseline machine.
+    #[must_use]
+    pub fn baseline() -> TargetParams {
+        TargetParams {
+            rob_entries: 80,
+            line_bytes: 64,
+            page_bytes: 8192,
+            dtlb_entries: 256,
+            dl1_bytes: 64 * 1024,
+            l2_bytes: 1024 * 1024,
+        }
+    }
+
+    /// Maximum inner-loop size (1.2 × ROB, paper Section IV-B).
+    #[must_use]
+    pub fn max_loop_size(&self) -> u32 {
+        (self.rob_entries as f64 * 1.2) as u32
+    }
+
+    /// Chase-array footprint for the L2-miss template.
+    #[must_use]
+    pub fn miss_footprint(&self) -> u64 {
+        self.page_bytes * u64::from(self.dtlb_entries)
+    }
+
+    /// Chase-array footprint for the L2-hit (miss-free) template: a quarter
+    /// of the DL1, so after a short warmup the chase never leaves the L1
+    /// and the machine runs with no long-latency stalls — the behaviour the
+    /// GA exploits under EDR fault rates (paper Section VI-A).
+    #[must_use]
+    pub fn hit_footprint(&self) -> u64 {
+        (self.dl1_bytes / 4).max(4 * u64::from(self.line_bytes))
+    }
+}
+
+/// Which long-latency template the generator uses (knob 8, the "code
+/// generator switch").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Mode {
+    /// Pointer chase over a footprint larger than the L2: every chase load
+    /// is a serialized L2 miss (the Figure 2 template).
+    Miss,
+    /// Pointer chase over a footprint that hits in the L2 but misses the
+    /// DL1 — the variant the GA selects when ROB/LQ/SQ are protected
+    /// (Section VI-A, Configuration EDR).
+    Hit,
+}
+
+/// Number of genes in the GA genome.
+pub const GENOME_LEN: usize = 11;
+
+/// Code generator knobs (paper Section IV-B, Figures 5a/8c/8d/9b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knobs {
+    /// Inner loop size in instructions (including loads, stores, arithmetic,
+    /// the lag-pointer move and the loop branch).
+    pub loop_size: u32,
+    /// Number of loads, including the pointer-chasing load.
+    pub n_loads: u32,
+    /// Number of stores.
+    pub n_stores: u32,
+    /// Independent arithmetic instructions (not transitively dependent on
+    /// any load).
+    pub n_indep_arith: u32,
+    /// Instructions dependent on the long-latency chase load (they occupy
+    /// the IQ in the miss shadow).
+    pub n_dep_on_miss: u32,
+    /// Desired average dependence-chain length from a load to a store.
+    pub avg_dep_chain_len: f64,
+    /// Minimum instruction distance between dependent instructions.
+    pub dep_distance: u32,
+    /// Fraction of chain/independent arithmetic that is long-latency
+    /// (multiply).
+    pub frac_long_latency: f64,
+    /// Fraction of arithmetic using a register second operand (vs an
+    /// immediate).
+    pub frac_reg_reg: f64,
+    /// Seed for schedule randomization (knob 7).
+    pub seed: u64,
+    /// L2-miss vs L2-hit template (knob 8).
+    pub l2_mode: L2Mode,
+}
+
+impl Knobs {
+    /// The paper's final baseline GA solution (Figure 5a), used as a
+    /// reference point and in tests.
+    #[must_use]
+    pub fn paper_baseline() -> Knobs {
+        Knobs {
+            loop_size: 81,
+            n_loads: 29,
+            n_stores: 28,
+            n_indep_arith: 5,
+            n_dep_on_miss: 7,
+            avg_dep_chain_len: 2.14,
+            dep_distance: 6,
+            frac_long_latency: 0.8,
+            frac_reg_reg: 0.93,
+            seed: 1,
+            l2_mode: L2Mode::Miss,
+        }
+    }
+
+    /// Maps a normalized genome (`[0,1]` per gene) onto feasible knobs for
+    /// `params`. Panics if `genes.len() != GENOME_LEN`.
+    #[must_use]
+    pub fn from_genome(genes: &[f64], params: &TargetParams) -> Knobs {
+        assert_eq!(genes.len(), GENOME_LEN, "genome length mismatch");
+        let g = |i: usize| genes[i].clamp(0.0, 1.0);
+        let max_loop = params.max_loop_size();
+        let loop_size = lerp_u32(10, max_loop, g(0));
+        let mut k = Knobs {
+            loop_size,
+            n_loads: lerp_u32(1, loop_size / 2, g(1)),
+            n_stores: lerp_u32(1, loop_size / 2, g(2)),
+            n_indep_arith: lerp_u32(0, loop_size / 4, g(3)),
+            n_dep_on_miss: lerp_u32(0, loop_size / 3, g(4)),
+            avg_dep_chain_len: 1.0 + g(5) * 15.0,
+            dep_distance: lerp_u32(1, 8, g(6)),
+            frac_long_latency: g(7),
+            frac_reg_reg: g(8),
+            seed: (g(9) * u32::MAX as f64) as u64,
+            l2_mode: if g(10) < 0.5 { L2Mode::Miss } else { L2Mode::Hit },
+        };
+        k.repair(params);
+        k
+    }
+
+    /// Clamps the knobs into the feasible region:
+    ///
+    /// * loop size within `[8, 1.2 × ROB]`;
+    /// * at least one load (the chase) and one store (the ACE sink);
+    /// * fixed overhead (chase + lag move + branch) plus memory operations,
+    ///   merge/fold bookkeeping, miss-shadow and independent arithmetic all
+    ///   fit within the loop.
+    pub fn repair(&mut self, params: &TargetParams) {
+        self.loop_size = self.loop_size.clamp(10, params.max_loop_size());
+        self.dep_distance = self.dep_distance.clamp(1, 8);
+        self.frac_long_latency = self.frac_long_latency.clamp(0.0, 1.0);
+        self.frac_reg_reg = self.frac_reg_reg.clamp(0.0, 1.0);
+        self.avg_dep_chain_len = self.avg_dep_chain_len.clamp(1.0, 16.0);
+
+        // Fixed overhead beyond the chase load (which n_loads counts): the
+        // DTLB-coverage touch load and its merge, the lag-pointer move, and
+        // the loop branch.
+        let overhead = 4u32;
+        let body = self.loop_size - overhead;
+
+        // Memory ops must leave room for the mandatory merge ops (one per
+        // load) that guarantee every value transitively reaches a store.
+        self.n_loads = self.n_loads.clamp(1, 25);
+        self.n_stores = self.n_stores.clamp(1, 25);
+        let min_loads = match self.l2_mode {
+            // The L2-hit template cycles a small footprint, so stores are
+            // overwritten within a few hundred iterations: at least one
+            // coverage load must exist to keep them ACE.
+            L2Mode::Hit => 2,
+            L2Mode::Miss => 1,
+        };
+        self.n_loads = self.n_loads.max(min_loads);
+        // loads + stores + merges(= n_loads) + folds(= extra loads beyond
+        // chain registers) must fit in ~3/4 of the body.
+        while self.mem_cost() > body.saturating_mul(3) / 4 {
+            if self.n_stores > 1 && self.n_stores >= self.n_loads {
+                self.n_stores -= 1;
+            } else if self.n_loads > min_loads {
+                self.n_loads -= 1;
+            } else {
+                break;
+            }
+        }
+        // A cache line offers 6 store slots per iteration (slot 0 holds the
+        // chase pointer, slot 7 the DTLB touch chain); stores beyond those
+        // reuse slots on lagged lines and are overwritten within a few
+        // iterations, so each must be read by a matching coverage load in
+        // the same iteration to stay ACE. Under the L2-hit template that
+        // applies to *every* store.
+        self.n_stores = self.n_stores.min(6 + (self.n_loads - 1));
+        if self.l2_mode == L2Mode::Hit {
+            self.n_stores = self.n_stores.min(self.n_loads - 1).max(1);
+        }
+
+        let arith_budget = body.saturating_sub(self.mem_cost());
+        self.n_dep_on_miss = self.n_dep_on_miss.min(arith_budget);
+        let after_miss = arith_budget - self.n_dep_on_miss;
+        // Chain ops approach the requested average length, then independent
+        // arithmetic takes what is left.
+        let chains = self.chain_count();
+        let chain_target =
+            (((self.avg_dep_chain_len - 1.0) * f64::from(chains)).round() as u32).min(after_miss);
+        self.n_indep_arith = self.n_indep_arith.min(after_miss - chain_target);
+    }
+
+    /// Number of load-seeded dependence chains (bounded by the register
+    /// pool; extra loads fold into existing chains).
+    #[must_use]
+    pub fn chain_count(&self) -> u32 {
+        self.n_loads.min(8)
+    }
+
+    /// Instructions consumed by memory operations and their ACE-preserving
+    /// bookkeeping: loads + stores + one merge per chain + one fold per
+    /// extra load.
+    #[must_use]
+    pub fn mem_cost(&self) -> u32 {
+        let folds = self.n_loads.saturating_sub(self.chain_count());
+        self.n_loads + self.n_stores + self.chain_count() + folds
+    }
+
+    /// Arithmetic instructions available for chains and independent ops.
+    #[must_use]
+    pub fn arith_budget(&self) -> u32 {
+        (self.loop_size - 4).saturating_sub(self.mem_cost())
+    }
+}
+
+fn lerp_u32(lo: u32, hi: u32, t: f64) -> u32 {
+    if hi <= lo {
+        return lo;
+    }
+    lo + ((f64::from(hi - lo) * t).round() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_maps_into_feasible_region() {
+        let params = TargetParams::baseline();
+        for pattern in 0..64u32 {
+            let genes: Vec<f64> = (0..GENOME_LEN)
+                .map(|i| f64::from((pattern >> (i % 6)) & 1) * 0.9 + 0.05)
+                .collect();
+            let k = Knobs::from_genome(&genes, &params);
+            assert!(k.loop_size >= 10 && k.loop_size <= 96, "loop {}", k.loop_size);
+            assert!(k.n_loads >= 1);
+            assert!(k.n_stores >= 1);
+            assert!(k.mem_cost() + k.n_dep_on_miss + k.n_indep_arith + 4 <= k.loop_size);
+        }
+    }
+
+    #[test]
+    fn extreme_genomes_are_repaired() {
+        let params = TargetParams::baseline();
+        let all_ones = vec![1.0; GENOME_LEN];
+        let k = Knobs::from_genome(&all_ones, &params);
+        assert!(k.loop_size <= params.max_loop_size());
+        assert_eq!(k.l2_mode, L2Mode::Hit);
+        let all_zero = vec![0.0; GENOME_LEN];
+        let k = Knobs::from_genome(&all_zero, &params);
+        assert_eq!(k.loop_size, 10);
+        assert_eq!(k.l2_mode, L2Mode::Miss);
+    }
+
+    #[test]
+    fn max_loop_size_is_1_2x_rob() {
+        assert_eq!(TargetParams::baseline().max_loop_size(), 96);
+    }
+
+    #[test]
+    fn footprints() {
+        let p = TargetParams::baseline();
+        assert_eq!(p.miss_footprint(), 2 * 1024 * 1024);
+        assert_eq!(p.hit_footprint(), 16 * 1024, "hit template stays L1-resident");
+    }
+
+    #[test]
+    fn hit_mode_forces_matched_stores() {
+        let params = TargetParams::baseline();
+        let mut k = Knobs::paper_baseline();
+        k.l2_mode = L2Mode::Hit;
+        k.n_loads = 1;
+        k.n_stores = 10;
+        k.repair(&params);
+        assert!(k.n_loads >= 2);
+        assert!(k.n_stores <= k.n_loads - 1);
+    }
+
+    #[test]
+    fn paper_knobs_are_feasible_after_repair() {
+        let params = TargetParams::baseline();
+        let mut k = Knobs::paper_baseline();
+        k.repair(&params);
+        assert!(k.loop_size <= params.max_loop_size());
+        assert!(k.n_loads >= 1 && k.n_stores >= 1);
+        assert!(k.arith_budget() >= k.n_dep_on_miss + k.n_indep_arith);
+    }
+
+    #[test]
+    #[should_panic(expected = "genome length")]
+    fn wrong_genome_length_panics() {
+        let _ = Knobs::from_genome(&[0.5; 3], &TargetParams::baseline());
+    }
+}

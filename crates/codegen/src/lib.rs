@@ -1,0 +1,47 @@
+//! # avf-codegen
+//!
+//! The AVF stressmark **code generator** (Nair, John & Eeckhout, MICRO 2010,
+//! Section IV): a parameterized kernel generator whose knobs span the space
+//! of ACE-preserving, occupancy-maximizing loops, designed to be driven by
+//! a genetic algorithm.
+//!
+//! The knobs (Section IV-B) are: instruction mix (loads/stores/arithmetic),
+//! dependency distance, fraction of long-latency arithmetic, average
+//! dependence-chain length, register usage (reg-reg vs immediate),
+//! instructions dependent on the L2 miss, a schedule-randomizing seed, and
+//! the L2-miss/L2-hit template switch.
+//!
+//! Two properties distinguish this from a power virus or verification
+//! generator (paper Section IV-B, "Unique Requirements"):
+//!
+//! 1. **100% ACE-ness** — every value loaded or produced transitively
+//!    produces a value that is stored to memory, and stored results are not
+//!    overwritten before they are read. The generator enforces this
+//!    *structurally* (merge/fold accumulators, store/load offset matching);
+//!    [`dead_fraction`] verifies it dynamically.
+//! 2. **Maximal susceptible state**, not maximal switching activity: the
+//!    long-latency anchor deliberately *stalls* the machine with full
+//!    queues.
+//!
+//! ## Example
+//!
+//! ```
+//! use avf_codegen::{generate, Knobs, TargetParams, dead_fraction};
+//!
+//! let params = TargetParams::baseline();
+//! let sm = generate(&Knobs::paper_baseline(), &params);
+//! // Every instruction in the steady-state loop is ACE.
+//! assert!(dead_fraction(&sm.program, 20_000) < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aceness;
+mod generator;
+mod knobs;
+mod schedule;
+
+pub use aceness::dead_fraction;
+pub use generator::{generate, Derived, Stressmark};
+pub use knobs::{Knobs, L2Mode, TargetParams, GENOME_LEN};

@@ -1,0 +1,73 @@
+//! Property test of the generator's central guarantee: *every* feasible
+//! knob setting yields a (steady-state) 100% ACE program — the requirement
+//! that distinguishes an AVF stressmark from a power virus or random
+//! verification stimulus (paper Section IV-B).
+
+use avf_codegen::{dead_fraction, generate, Knobs, L2Mode, TargetParams, GENOME_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_genome_yields_an_ace_program(genes in proptest::collection::vec(0.0f64..1.0, GENOME_LEN)) {
+        let params = TargetParams::baseline();
+        let sm = generate(&Knobs::from_genome(&genes, &params), &params);
+        let frac = dead_fraction(&sm.program, 20_000);
+        prop_assert!(
+            frac < 0.02,
+            "knobs {:?} produced dead fraction {frac:.4}",
+            sm.knobs
+        );
+    }
+
+    #[test]
+    fn emitted_mix_matches_knobs(genes in proptest::collection::vec(0.0f64..1.0, GENOME_LEN)) {
+        let params = TargetParams::baseline();
+        let sm = generate(&Knobs::from_genome(&genes, &params), &params);
+        let loads = sm.program.insts().iter().filter(|i| i.op.is_load()).count() as u32;
+        let stores = sm.program.insts().iter().filter(|i| i.op.is_store()).count() as u32;
+        prop_assert_eq!(loads, sm.knobs.n_loads + 1, "chase + coverage + DTLB touch");
+        prop_assert_eq!(stores, sm.knobs.n_stores);
+        prop_assert_eq!(sm.derived.body_len, sm.knobs.loop_size);
+    }
+
+    #[test]
+    fn repair_is_idempotent(genes in proptest::collection::vec(0.0f64..1.0, GENOME_LEN)) {
+        let params = TargetParams::baseline();
+        let k1 = Knobs::from_genome(&genes, &params);
+        let mut k2 = k1.clone();
+        k2.repair(&params);
+        prop_assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn config_a_knob_space_is_also_ace(genes in proptest::collection::vec(0.0f64..1.0, GENOME_LEN)) {
+        // The larger Table II machine: bigger ROB/IQ/DTLB/L2.
+        let params = TargetParams {
+            rob_entries: 96,
+            line_bytes: 64,
+            page_bytes: 8192,
+            dtlb_entries: 512,
+            dl1_bytes: 64 * 1024,
+            l2_bytes: 2 * 1024 * 1024,
+        };
+        let sm = generate(&Knobs::from_genome(&genes, &params), &params);
+        prop_assert!(sm.knobs.loop_size <= params.max_loop_size());
+        let frac = dead_fraction(&sm.program, 20_000);
+        prop_assert!(frac < 0.02, "dead fraction {frac:.4}");
+    }
+}
+
+#[test]
+fn hit_mode_is_ace_at_multiple_footprint_cycles() {
+    // The hit template cycles its small footprint many times within even a
+    // short run; store overwrites across passes must not create dead code.
+    let params = TargetParams::baseline();
+    let mut k = Knobs::paper_baseline();
+    k.l2_mode = L2Mode::Hit;
+    let sm = generate(&k, &params);
+    // 16 kB footprint = 256 iterations/pass; 60k steps ≈ 10+ passes.
+    let frac = dead_fraction(&sm.program, 60_000);
+    assert!(frac < 0.02, "hit-mode dead fraction {frac:.4}");
+}

@@ -1,0 +1,244 @@
+//! Command-line interface to the AVF stressmark methodology.
+//!
+//! ```text
+//! avf-stressmark search   [--rates baseline|rhc|edr] [--machine baseline|config-a]
+//!                         [--population N] [--generations N] [--eval N] [--final N] [--seed N]
+//! avf-stressmark suite    [--rates ...] [--machine ...] [--instructions N] [--tsv]
+//! avf-stressmark fig      <3|4|5|6|7|8|9|table3> [--smoke]
+//! avf-stressmark bounds   [--machine ...]
+//! ```
+
+use std::process::ExitCode;
+
+use avf_ace::FaultRates;
+use avf_ga::GaParams;
+use avf_sim::MachineConfig;
+use avf_stressmark::{
+    fig3, fig4, fig5, fig6, fig7, fig8, fig9, generate_stressmark, instantaneous_qs_bound,
+    instantaneous_qs_bound_general, raw_sum_core, run_suite, table3, ExperimentConfig, Fitness,
+    KnobSettings, SearchConfig,
+};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn parse_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+}
+
+fn rates_of(args: &Args) -> Result<FaultRates, String> {
+    match args.flag("rates").unwrap_or("baseline") {
+        "baseline" => Ok(FaultRates::baseline()),
+        "rhc" => Ok(FaultRates::rhc()),
+        "edr" => Ok(FaultRates::edr()),
+        other => Err(format!("unknown fault-rate table `{other}` (baseline|rhc|edr)")),
+    }
+}
+
+fn machine_of(args: &Args) -> Result<MachineConfig, String> {
+    match args.flag("machine").unwrap_or("baseline") {
+        "baseline" => Ok(MachineConfig::baseline()),
+        "config-a" => Ok(MachineConfig::config_a()),
+        other => Err(format!("unknown machine `{other}` (baseline|config-a)")),
+    }
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let rates = rates_of(args)?;
+    let machine = machine_of(args)?;
+    let mut config = SearchConfig::quick(machine, Fitness::overall(rates.clone()));
+    config.ga = GaParams {
+        population: args.parse_u64("population", 16)? as usize,
+        generations: args.parse_u64("generations", 24)? as usize,
+        seed: args.parse_u64("seed", GaParams::quick().seed)?,
+        ..GaParams::quick()
+    };
+    config.eval_instructions = args.parse_u64("eval", 120_000)?;
+    config.final_instructions = args.parse_u64("final", 2_000_000)?;
+
+    eprintln!(
+        "searching ({} rates, {} x {} GA)...",
+        rates.name(),
+        config.ga.population,
+        config.ga.generations
+    );
+    let outcome = generate_stressmark(&config);
+    println!("knob settings:");
+    print!("{}", KnobSettings::of(&outcome));
+    let ser = outcome.result.report.ser(&rates);
+    print!("{ser}");
+    println!("dead fraction: {:.4}", outcome.result.report.deadness().dead_fraction());
+    for g in &outcome.ga.history {
+        println!(
+            "gen\t{}\t{:.5}\t{:.5}{}",
+            g.generation,
+            g.mean,
+            g.best,
+            if g.cataclysm { "\tcataclysm" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &Args) -> Result<(), String> {
+    let rates = rates_of(args)?;
+    let machine = machine_of(args)?;
+    let instructions = args.parse_u64("instructions", 2_000_000)?;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let runs = run_suite(&machine, &avf_workloads::all(), instructions, threads);
+    if args.has("tsv") {
+        println!("name\tqs\tqs_rf\tdl1_dtlb\tl2\tipc");
+        for (w, r) in &runs {
+            let ser = r.report.ser(&rates);
+            println!(
+                "{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.3}",
+                w.name(),
+                ser.qs(),
+                ser.qs_rf(),
+                ser.dl1_dtlb(),
+                ser.l2(),
+                r.stats.ipc()
+            );
+        }
+    } else {
+        println!("{:<18} {:>8} {:>8} {:>10} {:>8} {:>6}", "program", "QS", "QS+RF", "DL1+DTLB", "L2", "IPC");
+        for (w, r) in &runs {
+            let ser = r.report.ser(&rates);
+            println!(
+                "{:<18} {:>8.3} {:>8.3} {:>10.3} {:>8.3} {:>6.2}",
+                w.name(),
+                ser.qs(),
+                ser.qs_rf(),
+                ser.dl1_dtlb(),
+                ser.l2(),
+                r.stats.ipc()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fig(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .get(1)
+        .ok_or("fig requires an argument: 3|4|5|6|7|8|9|table3")?;
+    let cfg = if args.has("smoke") {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::standard()
+    };
+    match which.as_str() {
+        "3" => println!("{}", fig3(&cfg)),
+        "4" => println!("{}", fig4(&cfg)),
+        "5" => println!("{}", fig5(&cfg)),
+        "6" => {
+            for t in fig6(&cfg) {
+                println!("{t}");
+            }
+        }
+        "7" => {
+            for t in fig7(&cfg) {
+                println!("{t}");
+            }
+        }
+        "8" => println!("{}", fig8(&cfg)),
+        "9" => println!("{}", fig9(&cfg)),
+        "table3" => println!("{}", table3(&cfg)),
+        other => return Err(format!("unknown figure `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_bounds(args: &Args) -> Result<(), String> {
+    let machine = machine_of(args)?;
+    let sizes = machine.structure_sizes();
+    println!("closed-form core bounds for `{}` (units/bit):", machine.name);
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "rates", "raw sum", "inst (QS)", "inst gen."
+    );
+    for rates in [FaultRates::baseline(), FaultRates::rhc(), FaultRates::edr()] {
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10.3}",
+            rates.name(),
+            raw_sum_core(&sizes, &rates),
+            instantaneous_qs_bound(&sizes, &rates),
+            instantaneous_qs_bound_general(&sizes, &rates),
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "\
+usage: avf-stressmark <command> [options]
+
+commands:
+  search    generate a stressmark via the GA (options: --rates, --machine,
+            --population, --generations, --eval, --final, --seed)
+  suite     run the 33-program proxy suite (options: --rates, --machine,
+            --instructions, --tsv)
+  fig       regenerate a paper figure: fig <3|4|5|6|7|8|9|table3> [--smoke]
+  bounds    print the closed-form worst-case bounds
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&argv);
+    let result = match args.positional.first().map(String::as_str) {
+        Some("search") => cmd_search(&args),
+        Some("suite") => cmd_suite(&args),
+        Some("fig") => cmd_fig(&args),
+        Some("bounds") => cmd_bounds(&args),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

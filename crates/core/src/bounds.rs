@@ -1,0 +1,187 @@
+//! Closed-form bounds on core SER — the paper's Section VI "back of the
+//! envelope" analysis and the Section VII comparison methodologies.
+//!
+//! * [`instantaneous_qs_bound`]: the highest *instantaneous* queueing-
+//!   structure SER, achieved in the shadow of an L2 miss when the ROB is
+//!   full and its entries are spread to fill the LQ and SQ (the paper
+//!   computes 0.899 units/bit for the baseline). This is unsustainable —
+//!   any forward progress drains the queues — so the stressmark's measured
+//!   value approaching it is the paper's evidence of near-optimality.
+//! * [`raw_sum`]: the naive worst case that ignores program masking
+//!   entirely (AVF = 1 everywhere): 1.0 / 0.59 / 0.39 units/bit for
+//!   Baseline / RHC / EDR in the paper — "an over-estimation [that] will
+//!   lead to an extremely pessimistic design".
+
+use avf_ace::{FaultRates, Structure, StructureClass, StructureSizes};
+
+/// Highest instantaneous QS occupancy SER, units/bit: ROB 100% ACE, its
+/// entries distributed to fill the LQ and SQ, the remainder in the IQ, and
+/// the FUs idle (no instruction can be executing while everything waits on
+/// the miss).
+#[must_use]
+pub fn instantaneous_qs_bound(sizes: &StructureSizes, rates: &FaultRates) -> f64 {
+    let rob = sizes.rob_entries as f64;
+    let lq = (sizes.lq_entries as f64).min(rob);
+    let sq = (sizes.sq_entries as f64).min(rob - lq);
+    let iq = (sizes.iq_entries as f64).min(rob - lq - sq);
+
+    let mut units = 0.0;
+    units += sizes.bits(Structure::Rob) as f64 * rates.rate(Structure::Rob);
+    let iq_frac = iq / sizes.iq_entries as f64;
+    units += sizes.bits(Structure::Iq) as f64 * iq_frac * rates.rate(Structure::Iq);
+    let lq_frac = lq / sizes.lq_entries as f64;
+    units += sizes.bits(Structure::LqTag) as f64 * lq_frac * rates.rate(Structure::LqTag);
+    units += sizes.bits(Structure::LqData) as f64 * lq_frac * rates.rate(Structure::LqData);
+    let sq_frac = sq / sizes.sq_entries as f64;
+    units += sizes.bits(Structure::SqTag) as f64 * sq_frac * rates.rate(Structure::SqTag);
+    units += sizes.bits(Structure::SqData) as f64 * sq_frac * rates.rate(Structure::SqData);
+    // FU contribution is zero: all activity has ceased in the miss shadow.
+    units / sizes.class_bits(StructureClass::Qs) as f64
+}
+
+/// Generalized instantaneous QS bound: the best *transient* allocation of
+/// in-flight instructions to structures under the given fault rates.
+///
+/// The ROB is full (always possible); IQ/LQ/SQ/FU occupancies are bounded
+/// by their capacities and by the ROB size in total, and are allocated
+/// greedily by rate-weighted bits per entry. Unlike
+/// [`instantaneous_qs_bound`] (the paper's miss-shadow scenario with idle
+/// FUs), this remains a valid upper bound under protected configurations
+/// such as EDR, where the worst case is compute-active rather than
+/// stall-bound.
+#[must_use]
+pub fn instantaneous_qs_bound_general(sizes: &StructureSizes, rates: &FaultRates) -> f64 {
+    let mut units = sizes.bits(Structure::Rob) as f64 * rates.rate(Structure::Rob);
+    // (capacity, bits-per-entry × rate, total bits × rate)
+    let lq_bits = (sizes.bits(Structure::LqTag) as f64 * rates.rate(Structure::LqTag)
+        + sizes.bits(Structure::LqData) as f64 * rates.rate(Structure::LqData))
+        / sizes.lq_entries as f64;
+    let sq_bits = (sizes.bits(Structure::SqTag) as f64 * rates.rate(Structure::SqTag)
+        + sizes.bits(Structure::SqData) as f64 * rates.rate(Structure::SqData))
+        / sizes.sq_entries as f64;
+    let iq_bits =
+        sizes.bits(Structure::Iq) as f64 * rates.rate(Structure::Iq) / sizes.iq_entries as f64;
+    let fu_slots = sizes.n_alus + sizes.n_muls * sizes.mul_latency;
+    let fu_bits = sizes.bits(Structure::Fu) as f64 * rates.rate(Structure::Fu) / fu_slots as f64;
+
+    let mut options = [
+        (sizes.lq_entries as f64, lq_bits),
+        (sizes.sq_entries as f64, sq_bits),
+        (sizes.iq_entries as f64, iq_bits),
+        (fu_slots as f64, fu_bits),
+    ];
+    options.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut budget = sizes.rob_entries as f64;
+    for (cap, per_entry) in options {
+        let take = cap.min(budget);
+        units += take * per_entry;
+        budget -= take;
+        if budget <= 0.0 {
+            break;
+        }
+    }
+    units / sizes.class_bits(StructureClass::Qs) as f64
+}
+
+/// The naive "sum of raw circuit-level fault rates" worst case over a set
+/// of classes, units/bit — no derating by program behaviour at all.
+#[must_use]
+pub fn raw_sum(sizes: &StructureSizes, rates: &FaultRates, classes: &[StructureClass]) -> f64 {
+    let mut units = 0.0;
+    let mut bits = 0u64;
+    for s in Structure::ALL {
+        if classes.contains(&s.class()) {
+            units += sizes.bits(s) as f64 * rates.rate(s);
+            bits += sizes.bits(s);
+        }
+    }
+    units / bits as f64
+}
+
+/// Raw-sum worst case for the core (QS + RF), the quantity the paper quotes
+/// as 1 / 0.59 / 0.39 units/bit.
+#[must_use]
+pub fn raw_sum_core(sizes: &StructureSizes, rates: &FaultRates) -> f64 {
+    raw_sum(sizes, rates, &[StructureClass::Qs, StructureClass::Rf])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_instantaneous_bound_near_paper_value() {
+        // The paper computes 0.899 units/bit with its exact per-structure
+        // bit widths; ours differ slightly in the FU sizing, so we check
+        // the same ballpark.
+        let v = instantaneous_qs_bound(&StructureSizes::baseline(), &FaultRates::baseline());
+        assert!((0.8..0.95).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn bound_accounts_for_rob_capacity() {
+        // 80 ROB entries: 32 LQ + 32 SQ + 16 of 20 IQ slots.
+        let sizes = StructureSizes::baseline();
+        let v = instantaneous_qs_bound(&sizes, &FaultRates::baseline());
+        let manual = (sizes.bits(Structure::Rob) as f64
+            + sizes.bits(Structure::Iq) as f64 * (16.0 / 20.0)
+            + (sizes.bits(Structure::LqTag) + sizes.bits(Structure::LqData)) as f64
+            + (sizes.bits(Structure::SqTag) + sizes.bits(Structure::SqData)) as f64)
+            / sizes.class_bits(StructureClass::Qs) as f64;
+        assert!((v - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_bound_dominates_miss_shadow_bound() {
+        let sizes = StructureSizes::baseline();
+        for rates in [FaultRates::baseline(), FaultRates::rhc(), FaultRates::edr()] {
+            let shadow = instantaneous_qs_bound(&sizes, &rates);
+            let general = instantaneous_qs_bound_general(&sizes, &rates);
+            assert!(
+                general >= shadow - 1e-12,
+                "{}: general {general} must cover the miss-shadow scenario {shadow}",
+                rates.name()
+            );
+        }
+    }
+
+    #[test]
+    fn general_bound_under_edr_counts_iq_and_fu() {
+        // Under EDR only IQ, FU and RF carry fault rate; the general bound
+        // must allocate them fully.
+        let sizes = StructureSizes::baseline();
+        let rates = FaultRates::edr();
+        let v = instantaneous_qs_bound_general(&sizes, &rates);
+        let manual = (sizes.bits(Structure::Iq) + sizes.bits(Structure::Fu)) as f64
+            / sizes.class_bits(StructureClass::Qs) as f64;
+        assert!((v - manual).abs() < 1e-12, "{v} vs {manual}");
+    }
+
+    #[test]
+    fn raw_sum_baseline_is_one() {
+        let v = raw_sum_core(&StructureSizes::baseline(), &FaultRates::baseline());
+        assert!((v - 1.0).abs() < 1e-12, "uniform rates give exactly 1 unit/bit");
+    }
+
+    #[test]
+    fn raw_sum_orders_rate_tables() {
+        let sizes = StructureSizes::baseline();
+        let base = raw_sum_core(&sizes, &FaultRates::baseline());
+        let rhc = raw_sum_core(&sizes, &FaultRates::rhc());
+        let edr = raw_sum_core(&sizes, &FaultRates::edr());
+        assert!(base > rhc && rhc > edr, "{base} > {rhc} > {edr}");
+        // Paper quotes 0.59 and 0.39 with its widths; ours land nearby.
+        assert!((0.45..0.7).contains(&rhc), "rhc {rhc}");
+        assert!((0.3..0.5).contains(&edr), "edr {edr}");
+    }
+
+    #[test]
+    fn bounds_exceed_any_sustainable_value() {
+        // The instantaneous bound must beat the raw QS occupancy any real
+        // schedule can sustain (FU bits are forced idle but everything else
+        // is full).
+        let sizes = StructureSizes::baseline();
+        let v = instantaneous_qs_bound(&sizes, &FaultRates::baseline());
+        assert!(v < 1.0, "FU idleness keeps the bound below the raw sum");
+    }
+}

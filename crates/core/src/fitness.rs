@@ -1,0 +1,123 @@
+//! Fitness functions for the stressmark search.
+//!
+//! The paper's fitness is the simulated SER under the active circuit-level
+//! fault-rate table (Section V); re-targeting the stressmark to a protected
+//! design is "only a matter of changing the fitness function to reflect the
+//! new values" (Section VI-A). [`FitnessScope`] additionally allows
+//! core-only searches, which Section VII uses when discussing
+//! SER-mitigation trade-offs in the core.
+
+use avf_ace::{AvfReport, FaultRates};
+
+/// Which structures the fitness aggregates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitnessScope {
+    /// Mean of the per-class units/bit values (QS+RF, DL1+DTLB, L2).
+    ///
+    /// This is the default. The paper's fitness is total SER, which its
+    /// 100M-instruction runs can afford: cache coverage saturates for any
+    /// candidate, leaving the search gradient in the core. At this
+    /// reproduction's scaled budgets a bit-weighted total is ~93% L2 bits
+    /// and degenerates into a pure cache-coverage race (see
+    /// [`FitnessScope::BitWeighted`]), so the default balances the classes
+    /// the way the paper's own normalized reporting does.
+    Overall,
+    /// Total SER across all structures divided by total bits — the paper's
+    /// literal fitness; appropriate at paper-scale budgets.
+    BitWeighted,
+    /// Queueing structures plus the register file only.
+    Core,
+    /// Caches only (DL1 + DTLB + L2).
+    Caches,
+}
+
+/// A fault-rate-weighted SER fitness function.
+#[derive(Debug, Clone)]
+pub struct Fitness {
+    rates: FaultRates,
+    scope: FitnessScope,
+}
+
+impl Fitness {
+    /// Overall SER under `rates` — the paper's fitness.
+    #[must_use]
+    pub fn overall(rates: FaultRates) -> Fitness {
+        Fitness { rates, scope: FitnessScope::Overall }
+    }
+
+    /// Core-only SER under `rates`.
+    #[must_use]
+    pub fn core(rates: FaultRates) -> Fitness {
+        Fitness { rates, scope: FitnessScope::Core }
+    }
+
+    /// Custom scope.
+    #[must_use]
+    pub fn with_scope(rates: FaultRates, scope: FitnessScope) -> Fitness {
+        Fitness { rates, scope }
+    }
+
+    /// The fault-rate table in use.
+    #[must_use]
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// The aggregation scope.
+    #[must_use]
+    pub fn scope(&self) -> FitnessScope {
+        self.scope
+    }
+
+    /// Scores an AVF report (higher is worse-case, i.e. better for the
+    /// search), in normalized units/bit.
+    #[must_use]
+    pub fn score(&self, report: &AvfReport) -> f64 {
+        let ser = report.ser(&self.rates);
+        match self.scope {
+            FitnessScope::Overall => (ser.qs_rf() + ser.dl1_dtlb() + ser.l2()) / 3.0,
+            FitnessScope::BitWeighted => ser.overall(),
+            FitnessScope::Core => ser.qs_rf(),
+            FitnessScope::Caches => {
+                // Bit-weighted combination of the two cache classes.
+                let sizes = report.sizes();
+                let d_bits = sizes.class_bits(avf_ace::StructureClass::Dl1Dtlb) as f64;
+                let l_bits = sizes.class_bits(avf_ace::StructureClass::L2) as f64;
+                (ser.dl1_dtlb() * d_bits + ser.l2() * l_bits) / (d_bits + l_bits)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avf_ace::{DeadnessStats, Structure, StructureSizes};
+
+    fn full_report() -> AvfReport {
+        let sizes = StructureSizes::baseline();
+        let cycles = 100u64;
+        let mut ace = [0u128; Structure::ALL.len()];
+        for s in Structure::ALL {
+            ace[s.index()] = u128::from(sizes.bits(s)) * u128::from(cycles);
+        }
+        AvfReport::new("full", cycles, sizes, ace, DeadnessStats::default())
+    }
+
+    #[test]
+    fn full_avf_baseline_scores_one() {
+        let r = full_report();
+        assert!((Fitness::overall(FaultRates::baseline()).score(&r) - 1.0).abs() < 1e-9);
+        assert!((Fitness::core(FaultRates::baseline()).score(&r) - 1.0).abs() < 1e-9);
+        let caches = Fitness::with_scope(FaultRates::baseline(), FitnessScope::Caches);
+        assert!((caches.score(&r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edr_rates_lower_core_score() {
+        let r = full_report();
+        let edr = Fitness::core(FaultRates::edr()).score(&r);
+        let base = Fitness::core(FaultRates::baseline()).score(&r);
+        assert!(edr < base, "EDR zeroes ROB/LQ/SQ: {edr} vs {base}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # avf-stressmark
+//!
+//! The primary contribution of *AVF Stressmark: Towards an Automated
+//! Methodology for Bounding the Worst-Case Vulnerability to Soft Errors*
+//! (Nair, John & Eeckhout, MICRO 2010), reproduced end to end:
+//!
+//! * a **stressmark search** ([`generate_stressmark`]) that couples the
+//!   knob-driven ACE-preserving code generator (`avf-codegen`) to a genetic
+//!   algorithm (`avf-ga`) with simulated SER (`avf-sim` + `avf-ace`) as the
+//!   fitness — Figure 2's loop;
+//! * pluggable **fitness functions** ([`Fitness`]) so the search re-targets
+//!   itself to protected designs (RHC/EDR fault rates) and different
+//!   microarchitectures (Config A) without code changes;
+//! * closed-form **bounds** ([`instantaneous_qs_bound`], [`raw_sum_core`])
+//!   for the Section VI/VII estimation-methodology comparisons;
+//! * **experiment drivers** ([`experiments`]) regenerating every figure and
+//!   table of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use avf_stressmark::{generate_stressmark, Fitness, SearchConfig};
+//! use avf_sim::MachineConfig;
+//! use avf_ace::FaultRates;
+//!
+//! let config = SearchConfig::quick(
+//!     MachineConfig::baseline(),
+//!     Fitness::overall(FaultRates::baseline()),
+//! );
+//! let outcome = generate_stressmark(&config);
+//! println!("worst-case SER ≈ {:.3} units/bit", outcome.score);
+//! println!("knobs: {:?}", outcome.stressmark.knobs);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+pub mod experiments;
+mod fitness;
+mod search;
+mod table;
+
+pub use bounds::{
+    instantaneous_qs_bound, instantaneous_qs_bound_general, raw_sum, raw_sum_core,
+};
+pub use experiments::{
+    fig3, fig4, fig5, fig6, fig7, fig8, fig9, merged_avf, run_suite, stressmark_for, table3,
+    ExperimentConfig, Fig5, Fig8, Fig9, KnobSettings, Table3,
+};
+pub use fitness::{Fitness, FitnessScope};
+pub use search::{evaluate_knobs, generate_stressmark, target_params, SearchConfig, SearchOutcome};
+pub use table::Table;

@@ -1,0 +1,160 @@
+//! The end-to-end stressmark search: GA over code-generator knobs with
+//! simulated SER as the fitness (paper Figure 2's outer loop).
+
+use avf_codegen::{generate, Knobs, Stressmark, TargetParams, GENOME_LEN};
+use avf_ga::{optimize, GaParams, GaResult};
+use avf_sim::{simulate, MachineConfig, SimResult};
+
+use crate::fitness::Fitness;
+
+/// Configuration of one stressmark search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Target microarchitecture.
+    pub machine: MachineConfig,
+    /// Fitness function (fault rates + scope).
+    pub fitness: Fitness,
+    /// GA parameters.
+    pub ga: GaParams,
+    /// Instructions simulated per candidate evaluation (scaled-down
+    /// default; the paper ran 100M per candidate).
+    pub eval_instructions: u64,
+    /// Instructions simulated for the final re-evaluation of the winner.
+    pub final_instructions: u64,
+}
+
+impl SearchConfig {
+    /// A fast default: baseline machine, overall-SER fitness under the
+    /// given rates, quick GA, 150k-instruction evaluations.
+    #[must_use]
+    pub fn quick(machine: MachineConfig, fitness: Fitness) -> SearchConfig {
+        SearchConfig {
+            machine,
+            fitness,
+            ga: GaParams::quick(),
+            eval_instructions: 150_000,
+            final_instructions: 3_000_000,
+        }
+    }
+
+    /// The paper-scale configuration (50 × 50 GA); candidate budgets stay
+    /// simulator-scaled per DESIGN.md §7.
+    #[must_use]
+    pub fn paper(machine: MachineConfig, fitness: Fitness) -> SearchConfig {
+        SearchConfig { ga: GaParams::paper(), ..SearchConfig::quick(machine, fitness) }
+    }
+}
+
+/// Everything the search produced.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The winning stressmark (program + knobs + derived properties).
+    pub stressmark: Stressmark,
+    /// Long-budget re-evaluation of the winner.
+    pub result: SimResult,
+    /// Its fitness score at the final budget.
+    pub score: f64,
+    /// GA provenance (convergence history for Figure 5b).
+    pub ga: GaResult,
+}
+
+/// Derives code-generator target parameters from a machine configuration.
+#[must_use]
+pub fn target_params(machine: &MachineConfig) -> TargetParams {
+    TargetParams {
+        rob_entries: machine.rob_entries as u32,
+        line_bytes: machine.dl1.line_bytes,
+        page_bytes: machine.page_bytes,
+        dtlb_entries: machine.dtlb_entries as u32,
+        dl1_bytes: machine.dl1.size_bytes,
+        l2_bytes: machine.l2.size_bytes,
+    }
+}
+
+/// Runs the full search loop of Figure 2: the GA proposes knob values, the
+/// code generator materializes candidates, the simulator measures their
+/// SER, and the best candidate is re-evaluated at the final budget.
+#[must_use]
+pub fn generate_stressmark(config: &SearchConfig) -> SearchOutcome {
+    let params = target_params(&config.machine);
+    let machine = config.machine.clone();
+    let fitness = config.fitness.clone();
+    let eval_budget = config.eval_instructions;
+
+    let evaluate = move |genes: &[f64]| -> f64 {
+        let knobs = Knobs::from_genome(genes, &params);
+        let candidate = generate(&knobs, &params);
+        let result = simulate(&machine, &candidate.program, eval_budget);
+        fitness.score(&result.report)
+    };
+    let ga = optimize(GENOME_LEN, &config.ga, evaluate);
+
+    let params = target_params(&config.machine);
+    let knobs = Knobs::from_genome(&ga.best_genome, &params);
+    let stressmark = generate(&knobs, &params);
+    let result = simulate(&config.machine, &stressmark.program, config.final_instructions);
+    let score = config.fitness.score(&result.report);
+    SearchOutcome { stressmark, result, score, ga }
+}
+
+/// Evaluates fixed knob values (no search) at the given budget — useful for
+/// ablations and regression tests.
+#[must_use]
+pub fn evaluate_knobs(
+    machine: &MachineConfig,
+    fitness: &Fitness,
+    knobs: &Knobs,
+    instructions: u64,
+) -> (Stressmark, SimResult, f64) {
+    let params = target_params(machine);
+    let sm = generate(knobs, &params);
+    let result = simulate(machine, &sm.program, instructions);
+    let score = fitness.score(&result.report);
+    (sm, result, score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avf_ace::FaultRates;
+
+    #[test]
+    fn target_params_track_machine() {
+        let p = target_params(&MachineConfig::config_a());
+        assert_eq!(p.rob_entries, 96);
+        assert_eq!(p.dtlb_entries, 512);
+        assert_eq!(p.l2_bytes, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn tiny_search_improves_over_first_generation() {
+        let mut config = SearchConfig::quick(
+            MachineConfig::baseline(),
+            Fitness::overall(FaultRates::baseline()),
+        );
+        config.ga = GaParams { population: 6, generations: 5, ..GaParams::quick() };
+        config.eval_instructions = 8_000;
+        config.final_instructions = 20_000;
+        let outcome = generate_stressmark(&config);
+        assert!(outcome.ga.history.len() == 5);
+        let first = outcome.ga.history[0].best;
+        assert!(
+            outcome.ga.best_fitness >= first,
+            "search must never regress: {} vs {}",
+            outcome.ga.best_fitness,
+            first
+        );
+        assert!(outcome.score > 0.0);
+        assert!(outcome.stressmark.knobs.loop_size >= 10);
+    }
+
+    #[test]
+    fn evaluate_knobs_is_deterministic() {
+        let fitness = Fitness::overall(FaultRates::baseline());
+        let machine = MachineConfig::baseline();
+        let knobs = Knobs::paper_baseline();
+        let (_, _, a) = evaluate_knobs(&machine, &fitness, &knobs, 20_000);
+        let (_, _, b) = evaluate_knobs(&machine, &fitness, &knobs, 20_000);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal fixed-width table rendering for experiment output (the
+//! reproduction's stand-in for the paper's bar charts), plus TSV export for
+//! external plotting.
+
+use std::fmt;
+
+/// A named-row, named-column numeric table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push((name.into(), values));
+    }
+
+    /// Table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column labels.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Rows as `(name, values)` pairs.
+    #[must_use]
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Value at `(row_name, column_name)`, if present.
+    #[must_use]
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        let r = self.rows.iter().find(|(name, _)| name == row)?;
+        r.1.get(c).copied()
+    }
+
+    /// Maximum value in a column, with the owning row name.
+    #[must_use]
+    pub fn column_max(&self, column: &str) -> Option<(String, f64)> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .map(|(name, vals)| (name.clone(), vals[c]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Tab-separated rendering (header + rows), for plotting scripts.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "name");
+        for c in &self.columns {
+            let _ = write!(out, "\t{c}");
+        }
+        let _ = writeln!(out);
+        for (name, vals) in &self.rows {
+            let _ = write!(out, "{name}");
+            for v in vals {
+                let _ = write!(out, "\t{v:.6}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name_w = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4)
+            .max(self.title.len().min(24));
+        writeln!(f, "== {} ==", self.title)?;
+        write!(f, "{:<name_w$}", "")?;
+        for c in &self.columns {
+            write!(f, " {c:>10}")?;
+        }
+        writeln!(f)?;
+        for (name, vals) in &self.rows {
+            write!(f, "{name:<name_w$}")?;
+            for v in vals {
+                write!(f, " {v:>10.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push("row1", vec![1.0, 2.0]);
+        t.push("row2", vec![3.0, 0.5]);
+        t
+    }
+
+    #[test]
+    fn get_and_max() {
+        let t = sample();
+        assert_eq!(t.get("row1", "b"), Some(2.0));
+        assert_eq!(t.get("rowX", "b"), None);
+        assert_eq!(t.get("row1", "z"), None);
+        assert_eq!(t.column_max("a"), Some(("row2".to_owned(), 3.0)));
+    }
+
+    #[test]
+    fn display_contains_all_cells() {
+        let s = sample().to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("row1"));
+        assert!(s.contains("3.000"));
+    }
+
+    #[test]
+    fn tsv_round_trip_shape() {
+        let tsv = sample().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "name\ta\tb");
+        assert!(lines[1].starts_with("row1\t"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        sample().push("bad", vec![1.0]);
+    }
+}

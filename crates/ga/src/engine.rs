@@ -1,0 +1,238 @@
+//! The generational loop: evaluate → select → crossover/mutate → migrate,
+//! with elitism and cataclysm-on-convergence.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::history::{mean_std, GenerationStats};
+use crate::ops::{crossover, mutate, random_genome, tournament};
+use crate::params::GaParams;
+
+/// Result of a GA search.
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// Best genome found across all generations.
+    pub best_genome: Vec<f64>,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Per-generation statistics (Figure 5b's series).
+    pub history: Vec<GenerationStats>,
+    /// Total fitness evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Maximizes `fitness` over genomes of `genome_len` genes in `[0, 1]`.
+///
+/// Fitness evaluation is parallelized over `params.threads` scoped threads;
+/// the search itself is deterministic for a fixed seed and a deterministic
+/// fitness function.
+///
+/// # Panics
+///
+/// Panics if `params` fail [`GaParams::validate`] or `genome_len == 0`.
+pub fn optimize<F>(genome_len: usize, params: &GaParams, fitness: F) -> GaResult
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    params.validate();
+    assert!(genome_len > 0, "genome must have at least one gene");
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut population: Vec<Vec<f64>> =
+        (0..params.population).map(|_| random_genome(genome_len, &mut rng)).collect();
+
+    let mut best_genome = population[0].clone();
+    let mut best_fitness = f64::NEG_INFINITY;
+    let mut history = Vec::with_capacity(params.generations);
+    let mut evaluations = 0u64;
+    let mut stagnant = 0usize;
+
+    for generation in 0..params.generations {
+        let scores = evaluate_all(&population, &fitness, params.threads);
+        evaluations += scores.len() as u64;
+
+        let (mean, std_dev) = mean_std(&scores);
+        let (gen_best_idx, gen_best) = scores
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty population");
+        if gen_best > best_fitness {
+            best_fitness = gen_best;
+            best_genome = population[gen_best_idx].clone();
+            stagnant = 0;
+        } else {
+            stagnant += 1;
+        }
+
+        // Cataclysm (SNAP behaviour): on convergence or stagnation, move
+        // the best known solution into a fresh random population.
+        let converged = std_dev < params.convergence_epsilon && generation > 0;
+        let cataclysm =
+            (converged || stagnant >= params.cataclysm_patience) && generation + 1 < params.generations;
+        history.push(GenerationStats { generation, best: gen_best, mean, std_dev, cataclysm });
+
+        if generation + 1 == params.generations {
+            break;
+        }
+        if cataclysm {
+            stagnant = 0;
+            population = std::iter::once(best_genome.clone())
+                .chain((1..params.population).map(|_| random_genome(genome_len, &mut rng)))
+                .collect();
+            continue;
+        }
+
+        // Rank for elitism.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(params.population);
+        for &i in order.iter().take(params.elite) {
+            next.push(population[i].clone());
+        }
+        while next.len() < params.population {
+            let p1 = tournament(&scores, params.tournament, &mut rng);
+            let child = if rng.gen_bool(params.crossover_rate) {
+                let p2 = tournament(&scores, params.tournament, &mut rng);
+                crossover(&population[p1], &population[p2], &mut rng)
+            } else {
+                population[p1].clone()
+            };
+            let mut child = child;
+            mutate(&mut child, params.mutation_rate, params.mutation_sigma, &mut rng);
+            next.push(child);
+        }
+
+        // Migration: periodically replace the tail with fresh immigrants.
+        if params.migration_interval > 0
+            && (generation + 1) % params.migration_interval == 0
+        {
+            let n = params.migration_count.min(next.len() - params.elite);
+            let len = next.len();
+            for slot in (len - n)..len {
+                next[slot] = random_genome(genome_len, &mut rng);
+            }
+        }
+        population = next;
+    }
+
+    GaResult { best_genome, best_fitness, history, evaluations }
+}
+
+fn evaluate_all<F>(population: &[Vec<f64>], fitness: &F, threads: usize) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    if threads <= 1 || population.len() <= 1 {
+        return population.iter().map(|g| fitness(g)).collect();
+    }
+    let n = population.len();
+    let chunk = n.div_ceil(threads);
+    let mut scores = vec![0.0; n];
+    std::thread::scope(|scope| {
+        let mut remaining: &mut [f64] = &mut scores;
+        let mut offset = 0;
+        let mut handles = Vec::new();
+        while offset < n {
+            let take = chunk.min(n - offset);
+            let (head, tail) = remaining.split_at_mut(take);
+            remaining = tail;
+            let slice = &population[offset..offset + take];
+            handles.push(scope.spawn(move || {
+                for (out, genome) in head.iter_mut().zip(slice) {
+                    *out = fitness(genome);
+                }
+            }));
+            offset += take;
+        }
+        for h in handles {
+            h.join().expect("fitness worker panicked");
+        }
+    });
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smooth unimodal test function with maximum 0 at the target point.
+    fn sphere(genome: &[f64]) -> f64 {
+        -genome.iter().map(|&g| (g - 0.7) * (g - 0.7)).sum::<f64>()
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        let params = GaParams { population: 24, generations: 40, ..GaParams::quick() };
+        let result = optimize(6, &params, sphere);
+        assert!(
+            result.best_fitness > -0.02,
+            "GA should approach the optimum, got {}",
+            result.best_fitness
+        );
+        for g in &result.best_genome {
+            assert!((g - 0.7).abs() < 0.15, "gene {g} far from optimum");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let params = GaParams::quick().with_seed(99);
+        let a = optimize(5, &params, sphere);
+        let b = optimize(5, &params, sphere);
+        assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+        assert_eq!(a.best_genome, b.best_genome);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn history_has_one_entry_per_generation() {
+        let params = GaParams { population: 8, generations: 12, ..GaParams::quick() };
+        let result = optimize(4, &params, sphere);
+        assert_eq!(result.history.len(), 12);
+        assert_eq!(result.evaluations, 8 * 12);
+        for (i, h) in result.history.iter().enumerate() {
+            assert_eq!(h.generation, i);
+            assert!(h.best >= h.mean, "best {} >= mean {}", h.best, h.mean);
+        }
+    }
+
+    #[test]
+    fn best_fitness_is_monotone_over_history() {
+        let params = GaParams { population: 12, generations: 20, ..GaParams::quick() };
+        let result = optimize(4, &params, sphere);
+        let mut run_best = f64::NEG_INFINITY;
+        for h in &result.history {
+            run_best = run_best.max(h.best);
+        }
+        assert!((run_best - result.best_fitness).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cataclysm_triggers_on_constant_fitness() {
+        // Constant fitness: zero std-dev => convergence cataclysms.
+        let params = GaParams { population: 8, generations: 10, ..GaParams::quick() };
+        let result = optimize(4, &params, |_| 1.0);
+        assert!(
+            result.history.iter().any(|h| h.cataclysm),
+            "constant fitness must trigger a cataclysm"
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let seq = GaParams { threads: 1, ..GaParams::quick().with_seed(5) };
+        let par = GaParams { threads: 4, ..GaParams::quick().with_seed(5) };
+        let a = optimize(6, &seq, sphere);
+        let b = optimize(6, &par, sphere);
+        assert_eq!(a.best_genome, b.best_genome, "thread count must not change the search");
+    }
+
+    #[test]
+    fn single_gene_optimization() {
+        let params = GaParams { population: 16, generations: 25, ..GaParams::quick() };
+        let result = optimize(1, &params, |g| -(g[0] - 0.25).abs());
+        assert!((result.best_genome[0] - 0.25).abs() < 0.05);
+    }
+}

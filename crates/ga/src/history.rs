@@ -1,0 +1,51 @@
+/// Per-generation search statistics; the series behind the paper's
+/// Figure 5(b) convergence plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Best fitness in the generation.
+    pub best: f64,
+    /// Mean fitness over the generation (the quantity Figure 5b plots).
+    pub mean: f64,
+    /// Fitness standard deviation.
+    pub std_dev: f64,
+    /// Whether a cataclysm was triggered *after* this generation.
+    pub cataclysm: bool,
+}
+
+/// Computes mean and standard deviation of a fitness slice.
+#[must_use]
+pub fn mean_std(fitness: &[f64]) -> (f64, f64) {
+    if fitness.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = fitness.len() as f64;
+    let mean = fitness.iter().sum::<f64>() / n;
+    let var = fitness.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_of_constant_is_zero_dev() {
+        let (m, s) = mean_std(&[2.0, 2.0, 2.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slice_is_zeroes() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

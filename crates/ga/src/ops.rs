@@ -1,0 +1,104 @@
+//! Genetic operators over normalized genomes (`Vec<f64>` with every gene in
+//! `[0, 1]`).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Generates a uniformly random genome.
+#[must_use]
+pub fn random_genome(len: usize, rng: &mut SmallRng) -> Vec<f64> {
+    (0..len).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// Tournament selection: returns the index of the fittest of `k` random
+/// contestants.
+#[must_use]
+pub fn tournament(fitness: &[f64], k: usize, rng: &mut SmallRng) -> usize {
+    debug_assert!(!fitness.is_empty());
+    let mut best = rng.gen_range(0..fitness.len());
+    for _ in 1..k {
+        let c = rng.gen_range(0..fitness.len());
+        if fitness[c] > fitness[best] {
+            best = c;
+        }
+    }
+    best
+}
+
+/// Uniform crossover: each gene is drawn from either parent with equal
+/// probability.
+#[must_use]
+pub fn crossover(a: &[f64], b: &[f64], rng: &mut SmallRng) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&ga, &gb)| if rng.gen_bool(0.5) { ga } else { gb }).collect()
+}
+
+/// Per-gene Gaussian mutation with probability `rate` and step `sigma`;
+/// results are clamped back into `[0, 1]`.
+pub fn mutate(genome: &mut [f64], rate: f64, sigma: f64, rng: &mut SmallRng) {
+    for g in genome.iter_mut() {
+        if rng.gen_bool(rate) {
+            // Box-Muller keeps the dependency surface at `rand` alone.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let normal = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            *g = (*g + normal * sigma).clamp(0.0, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn random_genome_in_bounds() {
+        let g = random_genome(64, &mut rng());
+        assert_eq!(g.len(), 64);
+        assert!(g.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+
+    #[test]
+    fn tournament_prefers_fitter() {
+        let fitness = [0.0, 0.0, 10.0, 0.0];
+        let mut r = rng();
+        let mut wins = 0;
+        for _ in 0..200 {
+            if tournament(&fitness, 3, &mut r) == 2 {
+                wins += 1;
+            }
+        }
+        assert!(wins > 100, "fittest should win most tournaments, won {wins}");
+    }
+
+    #[test]
+    fn crossover_mixes_parent_genes() {
+        let a = vec![0.0; 32];
+        let b = vec![1.0; 32];
+        let child = crossover(&a, &b, &mut rng());
+        let ones = child.iter().filter(|&&g| g == 1.0).count();
+        assert!(ones > 4 && ones < 28, "child should mix parents, got {ones} from b");
+    }
+
+    #[test]
+    fn mutation_respects_bounds_and_rate() {
+        let mut r = rng();
+        let mut genome = vec![0.5; 1000];
+        mutate(&mut genome, 0.05, 0.2, &mut r);
+        let changed = genome.iter().filter(|&&g| g != 0.5).count();
+        assert!(changed > 10 && changed < 150, "~5% of genes should change, got {changed}");
+        assert!(genome.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let mut genome = vec![0.3; 16];
+        mutate(&mut genome, 0.0, 0.2, &mut rng());
+        assert!(genome.iter().all(|&g| g == 0.3));
+    }
+}

@@ -1,0 +1,130 @@
+/// Genetic algorithm parameters.
+///
+/// The paper drives IBM's SNAP framework with a crossover rate of 0.73 and
+/// a mutation probability of 0.05 (from the recommended ranges of
+/// Grefenstette and Srinivas & Patnaik), 50 individuals for 50 generations,
+/// and relies on SNAP's *cataclysm* — when the population converges, the
+/// best solution is moved into a fresh random population (visible as the
+/// fitness dip at generation 30 in Figure 5b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaParams {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Probability that a child is produced by crossover (else cloned).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Gaussian mutation step size (genes live in `[0, 1]`).
+    pub mutation_sigma: f64,
+    /// Individuals preserved unchanged each generation.
+    pub elite: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Generations without improvement before a cataclysm.
+    pub cataclysm_patience: usize,
+    /// Fitness standard deviation below which the population counts as
+    /// converged (also triggers a cataclysm).
+    pub convergence_epsilon: f64,
+    /// Inject fresh random immigrants every this many generations
+    /// (0 disables migration).
+    pub migration_interval: usize,
+    /// Number of immigrants per migration.
+    pub migration_count: usize,
+    /// RNG seed; the whole search is deterministic given the seed and a
+    /// deterministic fitness function.
+    pub seed: u64,
+    /// Number of worker threads for fitness evaluation (1 = sequential).
+    pub threads: usize,
+}
+
+impl GaParams {
+    /// The paper's configuration: 50 × 50 with crossover 0.73 and
+    /// mutation 0.05.
+    #[must_use]
+    pub fn paper() -> GaParams {
+        GaParams {
+            population: 50,
+            generations: 50,
+            crossover_rate: 0.73,
+            mutation_rate: 0.05,
+            mutation_sigma: 0.2,
+            elite: 2,
+            tournament: 3,
+            cataclysm_patience: 8,
+            convergence_epsilon: 1e-4,
+            migration_interval: 10,
+            migration_count: 4,
+            seed: 0xA5F5_7E55,
+            threads: available_threads(),
+        }
+    }
+
+    /// A scaled-down configuration for fast experiment regeneration
+    /// (DESIGN.md §7): 16 individuals × 24 generations.
+    #[must_use]
+    pub fn quick() -> GaParams {
+        GaParams { population: 16, generations: 24, ..GaParams::paper() }
+    }
+
+    /// Sets the seed (builder-style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> GaParams {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero population/generations, elite ≥ population, or rates
+    /// outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.population > 0, "population must be positive");
+        assert!(self.generations > 0, "generations must be positive");
+        assert!(self.elite < self.population, "elite must leave room for offspring");
+        assert!((0.0..=1.0).contains(&self.crossover_rate), "crossover rate in [0,1]");
+        assert!((0.0..=1.0).contains(&self.mutation_rate), "mutation rate in [0,1]");
+        assert!(self.tournament >= 1, "tournament size must be at least 1");
+    }
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams::quick()
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_match_section_v() {
+        let p = GaParams::paper();
+        assert_eq!(p.population, 50);
+        assert_eq!(p.generations, 50);
+        assert!((p.crossover_rate - 0.73).abs() < 1e-12);
+        assert!((p.mutation_rate - 0.05).abs() < 1e-12);
+        p.validate();
+    }
+
+    #[test]
+    fn quick_params_are_valid() {
+        GaParams::quick().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "elite")]
+    fn oversized_elite_rejected() {
+        let mut p = GaParams::quick();
+        p.elite = p.population;
+        p.validate();
+    }
+}

@@ -1,0 +1,292 @@
+use crate::error::IsaError;
+use crate::inst::{Inst, Operand};
+use crate::opcode::Opcode;
+use crate::program::{DataSegment, Program};
+use crate::reg::Reg;
+
+/// A forward- or backward-referenced position in a program under
+/// construction. Created by [`ProgramBuilder::label`] or
+/// [`ProgramBuilder::here`], consumed by the branch emitters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Incremental assembler for [`Program`]s with label resolution.
+///
+/// # Example
+///
+/// ```
+/// use avf_isa::{ProgramBuilder, Reg};
+///
+/// let r1 = Reg::new(1)?;
+/// let mut b = ProgramBuilder::new("count");
+/// b.addi(r1, Reg::ZERO, 3);
+/// let top = b.here();
+/// b.subi(r1, r1, 1);
+/// b.bne(r1, top);
+/// b.halt();
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), avf_isa::IsaError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    data: DataSegment,
+    labels: Vec<Option<u32>>,
+    patches: Vec<(usize, Label)>,
+    entry: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program with an empty data segment.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            data: DataSegment::default(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+            entry: 0,
+        }
+    }
+
+    /// Attaches an initialized data segment.
+    #[must_use]
+    pub fn with_data(mut self, data: DataSegment) -> ProgramBuilder {
+        self.data = data;
+        self
+    }
+
+    /// Sets the entry point to the *next* emitted instruction.
+    pub fn entry_here(&mut self) {
+        self.entry = self.insts.len() as u32;
+    }
+
+    /// Creates an unbound label for forward references.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    pub fn bind(&mut self, label: Label) {
+        self.labels[label.0] = Some(self.insts.len() as u32);
+    }
+
+    /// Creates a label bound to the next emitted instruction.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Index of the next instruction to be emitted.
+    #[must_use]
+    pub fn position(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// Emits `dest = src1 op src2` with a register operand.
+    pub fn alu_rr(&mut self, op: Opcode, dest: Reg, src1: Reg, src2: Reg) {
+        self.push(Inst::alu(op, dest, src1, Operand::Reg(src2)));
+    }
+
+    /// Emits `dest = src1 op imm` with an immediate operand.
+    pub fn alu_ri(&mut self, op: Opcode, dest: Reg, src1: Reg, imm: i16) {
+        self.push(Inst::alu(op, dest, src1, Operand::Imm(imm)));
+    }
+
+    /// Emits `dest = src + imm`.
+    pub fn addi(&mut self, dest: Reg, src: Reg, imm: i16) {
+        self.alu_ri(Opcode::Add, dest, src, imm);
+    }
+
+    /// Emits `dest = src - imm`.
+    pub fn subi(&mut self, dest: Reg, src: Reg, imm: i16) {
+        self.alu_ri(Opcode::Sub, dest, src, imm);
+    }
+
+    /// Emits a register-to-register move (`dest = src`).
+    pub fn mov(&mut self, dest: Reg, src: Reg) {
+        self.alu_rr(Opcode::Or, dest, src, Reg::ZERO);
+    }
+
+    /// Emits an 8-byte load `dest = mem[base + disp]`.
+    pub fn ldq(&mut self, dest: Reg, base: Reg, disp: i32) {
+        self.push(Inst::load(Opcode::Ldq, dest, base, disp));
+    }
+
+    /// Emits a 4-byte load `dest = zext(mem32[base + disp])`.
+    pub fn ldl(&mut self, dest: Reg, base: Reg, disp: i32) {
+        self.push(Inst::load(Opcode::Ldl, dest, base, disp));
+    }
+
+    /// Emits an 8-byte store `mem[base + disp] = data`.
+    pub fn stq(&mut self, data: Reg, base: Reg, disp: i32) {
+        self.push(Inst::store(Opcode::Stq, data, base, disp));
+    }
+
+    /// Emits a 4-byte store `mem32[base + disp] = low32(data)`.
+    pub fn stl(&mut self, data: Reg, base: Reg, disp: i32) {
+        self.push(Inst::store(Opcode::Stl, data, base, disp));
+    }
+
+    fn branch_to(&mut self, op: Opcode, cond: Reg, label: Label) {
+        self.patches.push((self.insts.len(), label));
+        self.push(Inst::branch(op, cond, 0));
+    }
+
+    /// Emits `if cond == 0 goto label`.
+    pub fn beq(&mut self, cond: Reg, label: Label) {
+        self.branch_to(Opcode::Beq, cond, label);
+    }
+
+    /// Emits `if cond != 0 goto label`.
+    pub fn bne(&mut self, cond: Reg, label: Label) {
+        self.branch_to(Opcode::Bne, cond, label);
+    }
+
+    /// Emits `if cond < 0 goto label` (signed).
+    pub fn blt(&mut self, cond: Reg, label: Label) {
+        self.branch_to(Opcode::Blt, cond, label);
+    }
+
+    /// Emits `if cond >= 0 goto label` (signed).
+    pub fn bge(&mut self, cond: Reg, label: Label) {
+        self.branch_to(Opcode::Bge, cond, label);
+    }
+
+    /// Emits an unconditional branch to `label`.
+    pub fn br(&mut self, label: Label) {
+        self.patches.push((self.insts.len(), label));
+        self.push(Inst::jump(0));
+    }
+
+    /// Emits a no-operation.
+    pub fn nop(&mut self) {
+        self.push(Inst::nop());
+    }
+
+    /// Emits the halt instruction.
+    pub fn halt(&mut self) {
+        self.push(Inst::halt());
+    }
+
+    /// Materializes an arbitrary 64-bit constant into `dest` using a chain of
+    /// shift/add instructions (the ISA has only 16-bit immediates).
+    pub fn load_addr(&mut self, dest: Reg, value: u64) {
+        // Emit 15-bit chunks MSB-first so every immediate is non-negative.
+        let mut chunks = Vec::new();
+        let mut v = value;
+        while v != 0 {
+            chunks.push((v & 0x7FFF) as i16);
+            v >>= 15;
+        }
+        if chunks.is_empty() {
+            chunks.push(0);
+        }
+        chunks.reverse();
+        self.addi(dest, Reg::ZERO, chunks[0]);
+        for &chunk in &chunks[1..] {
+            self.alu_ri(Opcode::Sll, dest, dest, 15);
+            if chunk != 0 {
+                self.alu_ri(Opcode::Or, dest, dest, chunk);
+            }
+        }
+    }
+
+    /// Resolves labels and assembles the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnboundLabel`] if a referenced label was never
+    /// bound, or any validation error from [`Program::new`].
+    pub fn build(mut self) -> Result<Program, IsaError> {
+        for (at, label) in std::mem::take(&mut self.patches) {
+            let target = self.labels[label.0].ok_or(IsaError::UnboundLabel(label.0))?;
+            self.insts[at].target = target;
+        }
+        Program::new(self.name, self.insts, self.data, self.entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecState, Memory};
+
+    fn r(n: u8) -> Reg {
+        Reg::of(n)
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut b = ProgramBuilder::new("t");
+        let skip = b.label();
+        b.addi(r(1), Reg::ZERO, 1);
+        b.br(skip);
+        b.addi(r(1), Reg::ZERO, 99);
+        b.bind(skip);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(1).unwrap().target, 3);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.br(l);
+        assert!(matches!(b.build(), Err(IsaError::UnboundLabel(0))));
+    }
+
+    #[test]
+    fn load_addr_materializes_various_constants() {
+        for value in [0u64, 1, 0x7FFF, 0x8000, 0x1000_0000, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let mut b = ProgramBuilder::new("t");
+            b.load_addr(r(1), value);
+            b.halt();
+            let p = b.build().unwrap();
+            let mut mem = Memory::new();
+            let mut st = ExecState::new(&p, &mut mem);
+            while st.step(&p, &mut mem).unwrap() {}
+            assert_eq!(st.regs[1], value, "constant {value:#x}");
+        }
+    }
+
+    #[test]
+    fn mov_copies_register() {
+        let mut b = ProgramBuilder::new("t");
+        b.addi(r(1), Reg::ZERO, 42);
+        b.mov(r(2), r(1));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new();
+        let mut st = ExecState::new(&p, &mut mem);
+        while st.step(&p, &mut mem).unwrap() {}
+        assert_eq!(st.regs[2], 42);
+    }
+
+    #[test]
+    fn entry_here_sets_entry_point() {
+        let mut b = ProgramBuilder::new("t");
+        b.addi(r(1), Reg::ZERO, 99);
+        b.entry_here();
+        b.addi(r(2), Reg::ZERO, 7);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.entry(), 1);
+        let mut mem = Memory::new();
+        let mut st = ExecState::new(&p, &mut mem);
+        while st.step(&p, &mut mem).unwrap() {}
+        assert_eq!(st.regs[1], 0, "instruction before entry must not run");
+        assert_eq!(st.regs[2], 7);
+    }
+}

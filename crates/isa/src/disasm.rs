@@ -1,0 +1,81 @@
+use std::fmt;
+
+use crate::inst::{Inst, Operand};
+use crate::opcode::OpClass;
+use crate::program::Program;
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op.class() {
+            OpClass::IntShort | OpClass::IntLong => {
+                write!(f, "{} {}, {}, {}", self.op, self.dest, self.src1, self.src2)
+            }
+            OpClass::Load => write!(f, "{} {}, {}({})", self.op, self.dest, self.disp, self.src1),
+            OpClass::Store => write!(f, "{} {}, {}({})", self.op, self.src2, self.disp, self.src1),
+            OpClass::Branch => {
+                if self.op.is_unconditional() {
+                    write!(f, "{} @{}", self.op, self.target)
+                } else {
+                    write!(f, "{} {}, @{}", self.op, self.src1, self.target)
+                }
+            }
+            OpClass::Nop | OpClass::Halt => write!(f, "{}", self.op),
+        }
+    }
+}
+
+/// Renders a whole program as an assembly listing, one instruction per line,
+/// prefixed with its index. Useful for debugging generated stressmarks.
+#[must_use]
+pub fn listing(program: &Program) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "; program `{}`, {} insts", program.name(), program.len());
+    for (i, inst) in program.insts().iter().enumerate() {
+        let _ = writeln!(out, "{i:6}: {inst}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, ProgramBuilder, Reg};
+
+    #[test]
+    fn formats_each_class() {
+        let r1 = Reg::of(1);
+        let r2 = Reg::of(2);
+        assert_eq!(
+            Inst::alu(Opcode::Add, r1, r2, Operand::Imm(4)).to_string(),
+            "add r1, r2, #4"
+        );
+        assert_eq!(Inst::load(Opcode::Ldq, r1, r2, 8).to_string(), "ldq r1, 8(r2)");
+        assert_eq!(Inst::store(Opcode::Stl, r1, r2, -4).to_string(), "stl r1, -4(r2)");
+        assert_eq!(Inst::branch(Opcode::Beq, r1, 3).to_string(), "beq r1, @3");
+        assert_eq!(Inst::jump(9).to_string(), "br @9");
+        assert_eq!(Inst::nop().to_string(), "nop");
+        assert_eq!(Inst::halt().to_string(), "halt");
+    }
+
+    #[test]
+    fn listing_contains_every_instruction() {
+        let mut b = ProgramBuilder::new("demo");
+        b.addi(Reg::of(1), Reg::ZERO, 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = listing(&p);
+        assert!(text.contains("demo"));
+        assert!(text.contains("add r1, r31, #1"));
+        assert!(text.contains("halt"));
+    }
+}

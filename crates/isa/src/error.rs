@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or executing programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A register number outside `0..=31`.
+    InvalidRegister(u8),
+    /// A label was used in a branch but never bound to a position.
+    UnboundLabel(usize),
+    /// A branch targets an instruction index outside the program.
+    BranchOutOfRange {
+        /// Index of the offending branch instruction.
+        at: u32,
+        /// The out-of-range target.
+        target: u32,
+        /// Program length in instructions.
+        len: u32,
+    },
+    /// The program counter left the program text during execution.
+    PcOutOfRange(u32),
+    /// The program contains no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidRegister(n) => write!(f, "invalid register number {n}"),
+            IsaError::UnboundLabel(id) => write!(f, "label {id} was never bound"),
+            IsaError::BranchOutOfRange { at, target, len } => {
+                write!(f, "branch at {at} targets {target} outside program of length {len}")
+            }
+            IsaError::PcOutOfRange(pc) => write!(f, "program counter {pc} left program text"),
+            IsaError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let msgs = [
+            IsaError::InvalidRegister(40).to_string(),
+            IsaError::UnboundLabel(2).to_string(),
+            IsaError::BranchOutOfRange { at: 1, target: 9, len: 4 }.to_string(),
+            IsaError::PcOutOfRange(77).to_string(),
+            IsaError::EmptyProgram.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

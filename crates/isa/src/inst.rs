@@ -1,0 +1,239 @@
+use crate::opcode::{OpClass, Opcode};
+use crate::reg::Reg;
+
+/// Second source operand of an ALU instruction: a register or a literal.
+///
+/// The proportion of register operands is the paper's *register usage* knob
+/// (Section IV-B, knob 5): reg-reg instructions keep more architected
+/// register values ACE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate literal operand.
+    Imm(i16),
+}
+
+impl Operand {
+    /// The register, if this operand is a register.
+    #[must_use]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Whether this operand is an immediate.
+    #[inline]
+    #[must_use]
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i16> for Operand {
+    fn from(v: i16) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// A single machine instruction.
+///
+/// Field roles by class:
+///
+/// | class  | `dest`      | `src1`          | `src2`            | `disp`/`target` |
+/// |--------|-------------|-----------------|-------------------|-----------------|
+/// | ALU    | result      | left operand    | right operand     | —               |
+/// | Load   | result      | base address    | —                 | displacement    |
+/// | Store  | —           | base address    | data register     | displacement    |
+/// | Branch | —           | condition       | —                 | target index    |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation code.
+    pub op: Opcode,
+    /// Destination register for register-writing opcodes.
+    pub dest: Reg,
+    /// First source register (base register for memory ops, condition for
+    /// branches).
+    pub src1: Reg,
+    /// Second source operand (data register for stores).
+    pub src2: Operand,
+    /// Byte displacement for memory operations.
+    pub disp: i32,
+    /// Absolute instruction index of the branch target.
+    pub target: u32,
+}
+
+impl Inst {
+    /// Creates a three-operand ALU instruction (`dest = src1 op src2`).
+    #[must_use]
+    pub fn alu(op: Opcode, dest: Reg, src1: Reg, src2: Operand) -> Inst {
+        debug_assert!(matches!(op.class(), OpClass::IntShort | OpClass::IntLong));
+        Inst { op, dest, src1, src2, disp: 0, target: 0 }
+    }
+
+    /// Creates a load instruction (`dest = mem[src1 + disp]`).
+    #[must_use]
+    pub fn load(op: Opcode, dest: Reg, base: Reg, disp: i32) -> Inst {
+        debug_assert!(op.is_load());
+        Inst { op, dest, src1: base, src2: Operand::Reg(Reg::ZERO), disp, target: 0 }
+    }
+
+    /// Creates a store instruction (`mem[base + disp] = data`).
+    #[must_use]
+    pub fn store(op: Opcode, data: Reg, base: Reg, disp: i32) -> Inst {
+        debug_assert!(op.is_store());
+        Inst { op, dest: Reg::ZERO, src1: base, src2: Operand::Reg(data), disp, target: 0 }
+    }
+
+    /// Creates a conditional branch against zero (`if cond(src1) goto target`).
+    #[must_use]
+    pub fn branch(op: Opcode, cond: Reg, target: u32) -> Inst {
+        debug_assert!(op.is_branch() && !op.is_unconditional());
+        Inst { op, dest: Reg::ZERO, src1: cond, src2: Operand::Reg(Reg::ZERO), disp: 0, target }
+    }
+
+    /// Creates an unconditional branch.
+    #[must_use]
+    pub fn jump(target: u32) -> Inst {
+        Inst {
+            op: Opcode::Br,
+            dest: Reg::ZERO,
+            src1: Reg::ZERO,
+            src2: Operand::Reg(Reg::ZERO),
+            disp: 0,
+            target,
+        }
+    }
+
+    /// Creates a no-operation.
+    #[must_use]
+    pub fn nop() -> Inst {
+        Inst {
+            op: Opcode::Nop,
+            dest: Reg::ZERO,
+            src1: Reg::ZERO,
+            src2: Operand::Reg(Reg::ZERO),
+            disp: 0,
+            target: 0,
+        }
+    }
+
+    /// Creates the halt instruction.
+    #[must_use]
+    pub fn halt() -> Inst {
+        Inst {
+            op: Opcode::Halt,
+            dest: Reg::ZERO,
+            src1: Reg::ZERO,
+            src2: Operand::Reg(Reg::ZERO),
+            disp: 0,
+            target: 0,
+        }
+    }
+
+    /// Destination register, if the instruction writes one (writes to `r31`
+    /// are architectural no-ops and reported as `None`).
+    #[must_use]
+    pub fn dest_reg(&self) -> Option<Reg> {
+        if self.op.writes_register() && !self.dest.is_zero() {
+            Some(self.dest)
+        } else {
+            None
+        }
+    }
+
+    /// Source registers read by this instruction (zero register excluded,
+    /// since its value is constant and thus never vulnerable).
+    #[must_use]
+    pub fn src_regs(&self) -> [Option<Reg>; 2] {
+        let keep = |r: Reg| if r.is_zero() { None } else { Some(r) };
+        match self.op.class() {
+            OpClass::IntShort | OpClass::IntLong => {
+                [keep(self.src1), self.src2.reg().and_then(keep)]
+            }
+            OpClass::Load => [keep(self.src1), None],
+            OpClass::Store => [keep(self.src1), self.src2.reg().and_then(keep)],
+            OpClass::Branch => {
+                if self.op.is_unconditional() {
+                    [None, None]
+                } else {
+                    [keep(self.src1), None]
+                }
+            }
+            OpClass::Nop | OpClass::Halt => [None, None],
+        }
+    }
+
+    /// Data register of a store instruction.
+    #[must_use]
+    pub fn store_data_reg(&self) -> Option<Reg> {
+        if self.op.is_store() {
+            self.src2.reg()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::of(n)
+    }
+
+    #[test]
+    fn alu_sources_and_dest() {
+        let i = Inst::alu(Opcode::Add, r(1), r(2), Operand::Reg(r(3)));
+        assert_eq!(i.dest_reg(), Some(r(1)));
+        assert_eq!(i.src_regs(), [Some(r(2)), Some(r(3))]);
+
+        let imm = Inst::alu(Opcode::Add, r(1), r(2), Operand::Imm(5));
+        assert_eq!(imm.src_regs(), [Some(r(2)), None]);
+    }
+
+    #[test]
+    fn zero_register_writes_are_discarded() {
+        let i = Inst::alu(Opcode::Add, Reg::ZERO, r(2), Operand::Imm(1));
+        assert_eq!(i.dest_reg(), None);
+    }
+
+    #[test]
+    fn store_reads_base_and_data() {
+        let s = Inst::store(Opcode::Stq, r(4), r(5), 16);
+        assert_eq!(s.dest_reg(), None);
+        assert_eq!(s.src_regs(), [Some(r(5)), Some(r(4))]);
+        assert_eq!(s.store_data_reg(), Some(r(4)));
+    }
+
+    #[test]
+    fn load_reads_base_only() {
+        let l = Inst::load(Opcode::Ldl, r(6), r(7), -8);
+        assert_eq!(l.dest_reg(), Some(r(6)));
+        assert_eq!(l.src_regs(), [Some(r(7)), None]);
+        assert_eq!(l.store_data_reg(), None);
+    }
+
+    #[test]
+    fn branch_reads_condition() {
+        let b = Inst::branch(Opcode::Bne, r(8), 12);
+        assert_eq!(b.src_regs(), [Some(r(8)), None]);
+        let j = Inst::jump(3);
+        assert_eq!(j.src_regs(), [None, None]);
+    }
+
+    #[test]
+    fn zero_sources_are_hidden() {
+        let i = Inst::alu(Opcode::Add, r(1), Reg::ZERO, Operand::Reg(Reg::ZERO));
+        assert_eq!(i.src_regs(), [None, None]);
+    }
+}

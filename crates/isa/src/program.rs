@@ -1,0 +1,179 @@
+use crate::error::IsaError;
+use crate::inst::Inst;
+use crate::memory::Memory;
+use crate::DATA_BASE;
+
+/// Initialized data carried with a program.
+///
+/// The stressmark code generator pre-computes the pointer-chasing chain into
+/// the data segment; this is the reproduction's equivalent of the paper's
+/// "initialize memory space / dump memory to file" step (Figure 2).
+#[derive(Debug, Clone, Default)]
+pub struct DataSegment {
+    /// Byte address at which `bytes` is loaded.
+    pub base: u64,
+    /// Raw initialized bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl DataSegment {
+    /// Creates a data segment at the default [`DATA_BASE`].
+    #[must_use]
+    pub fn new(bytes: Vec<u8>) -> DataSegment {
+        DataSegment { base: DATA_BASE, bytes }
+    }
+
+    /// Creates a zero-filled segment of `len` bytes at the default base.
+    #[must_use]
+    pub fn zeroed(len: usize) -> DataSegment {
+        DataSegment::new(vec![0; len])
+    }
+
+    /// Writes a little-endian quadword at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + 8` exceeds the segment length.
+    pub fn put_u64(&mut self, off: usize, value: u64) {
+        self.bytes[off..off + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Loads the segment into a functional memory.
+    pub fn load_into(&self, mem: &mut Memory) {
+        mem.write_bytes(self.base, &self.bytes);
+    }
+
+    /// Segment length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the segment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// A complete, self-contained program: text, initialized data and entry point.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    data: DataSegment,
+    entry: u32,
+}
+
+impl Program {
+    /// Assembles a program from parts, validating branch targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::EmptyProgram`] for an empty instruction list and
+    /// [`IsaError::BranchOutOfRange`] if any branch targets an index outside
+    /// the text.
+    pub fn new(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        data: DataSegment,
+        entry: u32,
+    ) -> Result<Program, IsaError> {
+        if insts.is_empty() {
+            return Err(IsaError::EmptyProgram);
+        }
+        let len = insts.len() as u32;
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.op.is_branch() && inst.target >= len {
+                return Err(IsaError::BranchOutOfRange { at: i as u32, target: inst.target, len });
+            }
+        }
+        if entry >= len {
+            return Err(IsaError::PcOutOfRange(entry));
+        }
+        Ok(Program { name: name.into(), insts, data, entry })
+    }
+
+    /// Program name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `index`, or `None` past the end of text.
+    #[must_use]
+    pub fn fetch(&self, index: u32) -> Option<&Inst> {
+        self.insts.get(index as usize)
+    }
+
+    /// All instructions.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Initialized data segment.
+    #[must_use]
+    pub fn data(&self) -> &DataSegment {
+        &self.data
+    }
+
+    /// Entry-point instruction index.
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Number of instructions in the text.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Whether the text is empty (never true for a validated program).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, Reg};
+
+    #[test]
+    fn rejects_empty_program() {
+        assert!(matches!(
+            Program::new("p", vec![], DataSegment::default(), 0),
+            Err(IsaError::EmptyProgram)
+        ));
+    }
+
+    #[test]
+    fn rejects_wild_branch() {
+        let insts = vec![Inst::branch(Opcode::Beq, Reg::of(1), 7), Inst::halt()];
+        let err = Program::new("p", insts, DataSegment::default(), 0).unwrap_err();
+        assert!(matches!(err, IsaError::BranchOutOfRange { target: 7, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_entry() {
+        let insts = vec![Inst::halt()];
+        assert!(matches!(
+            Program::new("p", insts, DataSegment::default(), 5),
+            Err(IsaError::PcOutOfRange(5))
+        ));
+    }
+
+    #[test]
+    fn data_segment_round_trip() {
+        let mut seg = DataSegment::zeroed(64);
+        seg.put_u64(8, 0x1122_3344_5566_7788);
+        let mut mem = Memory::new();
+        seg.load_into(&mut mem);
+        assert_eq!(mem.read_u64(seg.base + 8), 0x1122_3344_5566_7788);
+        assert_eq!(seg.len(), 64);
+        assert!(!seg.is_empty());
+    }
+}

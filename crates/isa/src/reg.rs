@@ -1,0 +1,112 @@
+use std::fmt;
+
+use crate::error::IsaError;
+
+/// An architected integer register, `r0`..`r31`.
+///
+/// Register 31 is hardwired to zero, as on the Alpha: writes to it are
+/// discarded and reads always return zero. The code generator relies on this
+/// to express immediate moves without a dedicated opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architected integer registers.
+    pub const COUNT: usize = 32;
+
+    /// The hardwired zero register, `r31`.
+    pub const ZERO: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidRegister`] if `n >= 32`.
+    pub fn new(n: u8) -> Result<Reg, IsaError> {
+        if usize::from(n) < Self::COUNT {
+            Ok(Reg(n))
+        } else {
+            Err(IsaError::InvalidRegister(n))
+        }
+    }
+
+    /// Creates a register from its number, panicking on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`. Prefer [`Reg::new`] in fallible contexts; this
+    /// constructor exists for generator code that works with known-valid
+    /// indices.
+    #[must_use]
+    pub fn of(n: u8) -> Reg {
+        Reg::new(n).expect("register number out of range")
+    }
+
+    /// The register number, `0..=31`.
+    #[inline]
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as a `usize` index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+
+    /// Iterates over every architected register, `r0` through `r31`.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Self::COUNT as u8).map(Reg)
+    }
+
+    /// Iterates over every general-purpose register (excludes `r31`).
+    pub fn general() -> impl Iterator<Item = Reg> {
+        (0..31u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_r31() {
+        assert_eq!(Reg::ZERO.number(), 31);
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::of(0).is_zero());
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(31).is_ok());
+        assert!(matches!(Reg::new(32), Err(IsaError::InvalidRegister(32))));
+    }
+
+    #[test]
+    fn all_yields_32_general_yields_31() {
+        assert_eq!(Reg::all().count(), 32);
+        assert_eq!(Reg::general().count(), 31);
+        assert!(Reg::general().all(|r| !r.is_zero()));
+    }
+
+    #[test]
+    fn display_formats_with_prefix() {
+        assert_eq!(Reg::of(7).to_string(), "r7");
+        assert_eq!(Reg::ZERO.to_string(), "r31");
+    }
+}

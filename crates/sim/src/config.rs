@@ -1,0 +1,271 @@
+use avf_ace::StructureSizes;
+
+/// Geometry and latency of one cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct mapped).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of lines.
+    #[must_use]
+    pub fn lines(&self) -> u32 {
+        (self.size_bytes / u64::from(self.line_bytes)) as u32
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        self.lines() / self.ways
+    }
+}
+
+/// Hybrid (tournament) branch predictor geometry, per the paper's Table I:
+/// 4K-entry global, 2-level 1K local, 4K choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpredConfig {
+    /// Global predictor entries (2-bit counters indexed by global history).
+    pub global_entries: u32,
+    /// Local history table entries.
+    pub local_hist_entries: u32,
+    /// Bits of local history per entry.
+    pub local_hist_bits: u32,
+    /// Local predictor entries (3-bit counters indexed by local history).
+    pub local_counter_entries: u32,
+    /// Choice predictor entries (2-bit counters indexed by global history).
+    pub choice_entries: u32,
+}
+
+impl BpredConfig {
+    /// Table I predictor: hybrid, 4K global, 2-level 1K local, 4K choice.
+    #[must_use]
+    pub fn ev6() -> BpredConfig {
+        BpredConfig {
+            global_entries: 4096,
+            local_hist_entries: 1024,
+            local_hist_bits: 10,
+            local_counter_entries: 1024,
+            choice_entries: 4096,
+        }
+    }
+}
+
+/// Full machine configuration.
+///
+/// [`MachineConfig::baseline`] reproduces the paper's Table I (an Alpha
+/// 21264 / EV6 integer pipeline); [`MachineConfig::config_a`] reproduces
+/// Table II. Latencies the paper does not state (main memory, DTLB miss)
+/// have documented defaults (DESIGN.md §7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Configuration name, used in reports.
+    pub name: String,
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions renamed/dispatched per cycle.
+    pub dispatch_width: u32,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Memory operations issued per cycle (the Alpha 21264 allows two;
+    /// paper Section III).
+    pub mem_issue_width: u32,
+    /// Fetch queue capacity.
+    pub fetch_queue: usize,
+    /// Integer issue queue entries.
+    pub iq_entries: usize,
+    /// Re-order buffer entries.
+    pub rob_entries: usize,
+    /// Load queue entries.
+    pub lq_entries: usize,
+    /// Store queue entries.
+    pub sq_entries: usize,
+    /// Physical (rename) integer registers.
+    pub phys_regs: usize,
+    /// Single-cycle integer ALUs.
+    pub n_alus: u32,
+    /// Integer multipliers.
+    pub n_muls: u32,
+    /// ALU latency in cycles.
+    pub alu_latency: u32,
+    /// Multiplier latency in cycles.
+    pub mul_latency: u32,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Branch predictor geometry.
+    pub bpred: BpredConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub dl1: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// DTLB entries (fully associative).
+    pub dtlb_entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// DTLB miss penalty in cycles.
+    pub dtlb_miss_penalty: u32,
+    /// Main memory latency in cycles.
+    pub mem_latency: u32,
+}
+
+impl MachineConfig {
+    /// The paper's Table I baseline configuration.
+    #[must_use]
+    pub fn baseline() -> MachineConfig {
+        MachineConfig {
+            name: "Baseline".to_owned(),
+            fetch_width: 4,
+            dispatch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            mem_issue_width: 2,
+            fetch_queue: 16,
+            iq_entries: 20,
+            rob_entries: 80,
+            lq_entries: 32,
+            sq_entries: 32,
+            phys_regs: 80,
+            n_alus: 4,
+            n_muls: 1,
+            alu_latency: 1,
+            mul_latency: 7,
+            mispredict_penalty: 7,
+            bpred: BpredConfig::ev6(),
+            l1i: CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, latency: 1 },
+            dl1: CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, latency: 3 },
+            l2: CacheConfig { size_bytes: 1024 * 1024, ways: 1, line_bytes: 64, latency: 7 },
+            dtlb_entries: 256,
+            page_bytes: 8192,
+            dtlb_miss_penalty: 30,
+            mem_latency: 160,
+        }
+    }
+
+    /// The paper's Table II "Configuration A": larger IQ (32), ROB (96),
+    /// rename file (96), 4 multipliers, 4-way DL1, 512-entry DTLB, 2 MB
+    /// 8-way L2 with 12-cycle latency.
+    #[must_use]
+    pub fn config_a() -> MachineConfig {
+        let mut c = MachineConfig::baseline();
+        c.name = "Config A".to_owned();
+        c.iq_entries = 32;
+        c.rob_entries = 96;
+        c.phys_regs = 96;
+        c.n_muls = 4;
+        c.dl1 = CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 64, latency: 3 };
+        c.dtlb_entries = 512;
+        c.l2 = CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 8, line_bytes: 64, latency: 12 };
+        c
+    }
+
+    /// Derives the ACE-analysis structure sizes from this configuration.
+    ///
+    /// Per-entry bit widths follow Table I (ROB 76, IQ 32, LQ/SQ 128 split
+    /// 64 tag + 64 data, registers 64); the paper states Config A keeps the
+    /// same entry widths.
+    #[must_use]
+    pub fn structure_sizes(&self) -> StructureSizes {
+        StructureSizes {
+            rob_entries: self.rob_entries as u32,
+            rob_entry_bits: 76,
+            iq_entries: self.iq_entries as u32,
+            iq_entry_bits: 32,
+            lq_entries: self.lq_entries as u32,
+            sq_entries: self.sq_entries as u32,
+            lsq_tag_bits: 64,
+            lsq_data_bits: 64,
+            n_alus: self.n_alus,
+            n_muls: self.n_muls,
+            mul_latency: self.mul_latency,
+            fu_stage_bits: 192,
+            rf_regs: self.phys_regs as u32,
+            rf_reg_bits: 64,
+            dl1_lines: self.dl1.lines(),
+            line_bytes: self.dl1.line_bytes,
+            dl1_tag_bits: 32,
+            l2_lines: self.l2.lines(),
+            l2_tag_bits: 32,
+            dtlb_entries: self.dtlb_entries as u32,
+            dtlb_entry_bits: 64,
+        }
+    }
+
+    /// Memory footprint needed to cover every DTLB page (the stressmark's
+    /// "page size × DTLB entries" allocation, Figure 2).
+    #[must_use]
+    pub fn dtlb_reach_bytes(&self) -> u64 {
+        self.page_bytes * self.dtlb_entries as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_i() {
+        let c = MachineConfig::baseline();
+        assert_eq!(c.iq_entries, 20);
+        assert_eq!(c.rob_entries, 80);
+        assert_eq!(c.phys_regs, 80);
+        assert_eq!(c.lq_entries, 32);
+        assert_eq!(c.sq_entries, 32);
+        assert_eq!(c.n_alus, 4);
+        assert_eq!(c.n_muls, 1);
+        assert_eq!(c.mul_latency, 7);
+        assert_eq!(c.mispredict_penalty, 7);
+        assert_eq!(c.dl1.latency, 3);
+        assert_eq!(c.l2.ways, 1);
+        assert_eq!(c.l2.latency, 7);
+        assert_eq!(c.dtlb_entries, 256);
+        assert_eq!(c.page_bytes, 8192);
+    }
+
+    #[test]
+    fn config_a_matches_table_ii() {
+        let c = MachineConfig::config_a();
+        assert_eq!(c.iq_entries, 32);
+        assert_eq!(c.rob_entries, 96);
+        assert_eq!(c.phys_regs, 96);
+        assert_eq!(c.n_muls, 4);
+        assert_eq!(c.dl1.ways, 4);
+        assert_eq!(c.dtlb_entries, 512);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.ways, 8);
+        assert_eq!(c.l2.latency, 12);
+    }
+
+    #[test]
+    fn cache_geometry_helpers() {
+        let c = MachineConfig::baseline();
+        assert_eq!(c.dl1.lines(), 1024);
+        assert_eq!(c.dl1.sets(), 512);
+        assert_eq!(c.l2.lines(), 16_384);
+        assert_eq!(c.l2.sets(), 16_384);
+    }
+
+    #[test]
+    fn structure_sizes_track_config() {
+        let sizes = MachineConfig::config_a().structure_sizes();
+        assert_eq!(sizes.rob_entries, 96);
+        assert_eq!(sizes.iq_entries, 32);
+        assert_eq!(sizes.dtlb_entries, 512);
+        assert_eq!(sizes.l2_lines, 32_768);
+    }
+
+    #[test]
+    fn dtlb_reach_covers_all_pages() {
+        assert_eq!(MachineConfig::baseline().dtlb_reach_bytes(), 8192 * 256);
+        assert_eq!(MachineConfig::config_a().dtlb_reach_bytes(), 8192 * 512);
+    }
+}

@@ -1,0 +1,79 @@
+use avf_isa::{Inst, Outcome};
+
+/// Pipeline stage of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Dispatched, waiting in the issue queue.
+    InIq,
+    /// Issued, executing in a function unit or the memory system.
+    Executing,
+    /// Finished execution, waiting to commit.
+    Complete,
+}
+
+/// One in-flight dynamic instruction.
+#[derive(Debug, Clone)]
+pub struct DynInst {
+    /// Fetch sequence number (program-order identity).
+    pub seq: u64,
+    /// Instruction index (PC).
+    pub pc: u32,
+    /// Static instruction.
+    pub inst: Inst,
+    /// Fetched down a mispredicted path; will be squashed.
+    pub wrong_path: bool,
+    /// Right-path branch whose prediction was wrong (triggers recovery when
+    /// it executes).
+    pub mispredicted: bool,
+    /// Direction predicted at fetch (branches only).
+    pub predicted_taken: bool,
+    /// Functional outcome from the oracle (right-path only).
+    pub outcome: Option<Outcome>,
+    /// Current stage.
+    pub stage: Stage,
+    /// Cycle of dispatch into ROB/IQ.
+    pub dispatch_cycle: u64,
+    /// Cycle of issue out of the IQ.
+    pub issue_cycle: u64,
+    /// Cycle execution finishes (data back for loads).
+    pub complete_cycle: u64,
+    /// For loads: cycle the data returned and the LQ data field became ACE.
+    pub data_return_cycle: u64,
+    /// Renamed destination physical register.
+    pub dest_preg: Option<u32>,
+    /// Previous speculative mapping of the destination (freed at commit).
+    pub prev_preg: Option<u32>,
+    /// Renamed source physical registers, aligned with
+    /// [`Inst::src_regs`]'s slots.
+    pub src_pregs: [Option<u32>; 2],
+}
+
+impl DynInst {
+    /// Creates a freshly-fetched instruction.
+    #[must_use]
+    pub fn new(seq: u64, pc: u32, inst: Inst) -> DynInst {
+        DynInst {
+            seq,
+            pc,
+            inst,
+            wrong_path: false,
+            mispredicted: false,
+            predicted_taken: false,
+            outcome: None,
+            stage: Stage::InIq,
+            dispatch_cycle: 0,
+            issue_cycle: 0,
+            complete_cycle: 0,
+            data_return_cycle: 0,
+            dest_preg: None,
+            prev_preg: None,
+            src_pregs: [None; 2],
+        }
+    }
+
+    /// Whether this instruction has finished executing by `cycle`.
+    #[must_use]
+    pub fn is_complete(&self, cycle: u64) -> bool {
+        self.stage == Stage::Complete && self.complete_cycle <= cycle
+    }
+}

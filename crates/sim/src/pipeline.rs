@@ -1,0 +1,654 @@
+//! The cycle loop: fetch → rename/dispatch → issue → execute → commit, with
+//! oracle-driven wrong-path modeling and ACE event emission.
+//!
+//! Instructions are functionally executed by an architectural oracle at
+//! fetch (SimpleScalar-style), so branch outcomes and effective addresses
+//! are known up front; the pipeline models timing. Because the oracle walks
+//! the committed path, every fetched instruction is known to be right- or
+//! wrong-path immediately, wrong-path work occupies resources until the
+//! mispredicted branch resolves, and only committed instructions reach the
+//! ACE analyzer.
+
+use std::collections::VecDeque;
+
+use avf_ace::{AceConfig, AceKind, AvfAnalyzer, InstrRecord, MemRef, Slice, Structure};
+use avf_isa::{text_addr, ExecState, Memory, OpClass, Opcode, Program};
+
+use crate::bpred::BranchPredictor;
+use crate::caches::Cache;
+use crate::config::MachineConfig;
+use crate::dtlb::Dtlb;
+use crate::dyninst::{DynInst, Stage};
+use crate::regfile::PhysRegFile;
+use crate::stats::SimStats;
+
+/// Outcome of a simulation: the AVF report and timing statistics.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-structure AVF (convert to SER with
+    /// [`avf_ace::AvfReport::ser`]).
+    pub report: avf_ace::AvfReport,
+    /// Timing statistics.
+    pub stats: SimStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Recovery {
+    resume_cycle: u64,
+    pc: u32,
+}
+
+pub(crate) struct Pipeline<'a> {
+    cfg: &'a MachineConfig,
+    program: &'a Program,
+    oracle: ExecState,
+    oracle_mem: Memory,
+    analyzer: AvfAnalyzer,
+    bpred: BranchPredictor,
+    l1i: Cache,
+    dl1: Cache,
+    l2: Cache,
+    dtlb: Dtlb,
+    rf: PhysRegFile,
+    fetch_queue: VecDeque<DynInst>,
+    rob: VecDeque<DynInst>,
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+    cycle: u64,
+    seq: u64,
+    fetch_pc: u32,
+    fetch_stalled_until: u64,
+    last_fetch_line: Option<u64>,
+    wrong_path_mode: bool,
+    recovery: Option<Recovery>,
+    fetch_done: bool,
+    halted: bool,
+    stats: SimStats,
+}
+
+impl<'a> Pipeline<'a> {
+    pub(crate) fn new(
+        cfg: &'a MachineConfig,
+        program: &'a Program,
+        ace_config: AceConfig,
+    ) -> Pipeline<'a> {
+        let mut oracle_mem = Memory::new();
+        let oracle = ExecState::new(program, &mut oracle_mem);
+        let analyzer =
+            AvfAnalyzer::with_config(program.name(), cfg.structure_sizes(), ace_config);
+        Pipeline {
+            cfg,
+            program,
+            fetch_pc: oracle.pc,
+            oracle,
+            oracle_mem,
+            analyzer,
+            bpred: BranchPredictor::new(cfg.bpred.clone()),
+            l1i: Cache::new(&cfg.l1i),
+            dl1: Cache::new(&cfg.dl1),
+            l2: Cache::new(&cfg.l2),
+            dtlb: Dtlb::new(cfg.dtlb_entries, cfg.page_bytes),
+            rf: PhysRegFile::new(cfg.phys_regs, 64),
+            fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            iq_count: 0,
+            lq_count: 0,
+            sq_count: 0,
+            cycle: 0,
+            seq: 0,
+            fetch_stalled_until: 0,
+            last_fetch_line: None,
+            wrong_path_mode: false,
+            recovery: None,
+            fetch_done: false,
+            halted: false,
+            stats: SimStats::default(),
+        }
+    }
+
+    pub(crate) fn run(mut self, max_instructions: u64) -> SimResult {
+        // Generous safety net against modeling deadlocks: every committed
+        // instruction needs far fewer cycles than a full memory round trip.
+        let max_cycles = max_instructions
+            .saturating_mul(4 * u64::from(self.cfg.mem_latency))
+            .saturating_add(100_000);
+        let mut last_commit_cycle = 0u64;
+        while !self.halted && self.stats.committed < max_instructions {
+            if self.cycle >= max_cycles {
+                break;
+            }
+            let committed_before = self.stats.committed;
+            self.commit_stage(max_instructions);
+            self.writeback_stage();
+            self.issue_stage();
+            self.dispatch_stage();
+            self.fetch_stage();
+            if self.stats.committed > committed_before {
+                last_commit_cycle = self.cycle;
+            }
+            assert!(
+                self.cycle - last_commit_cycle
+                    < 64 * u64::from(self.cfg.mem_latency) + 100_000,
+                "pipeline deadlock at cycle {} (pc {}, rob {}, iq {})",
+                self.cycle,
+                self.fetch_pc,
+                self.rob.len(),
+                self.iq_count
+            );
+            self.stats.rob_occ_sum += self.rob.len() as u64;
+            self.stats.iq_occ_sum += self.iq_count as u64;
+            self.stats.lq_occ_sum += self.lq_count as u64;
+            self.stats.sq_occ_sum += self.sq_count as u64;
+            self.cycle += 1;
+        }
+        self.stats.cycles = self.cycle.max(1);
+        for rec in self.rf.drain_lifetimes() {
+            self.analyzer.preg_freed(rec);
+        }
+        let report = self.analyzer.finish(self.stats.cycles);
+        SimResult { report, stats: self.stats }
+    }
+
+    // ---- commit ---------------------------------------------------------
+
+    fn commit_stage(&mut self, max_instructions: u64) {
+        let mut committed = 0;
+        while committed < self.cfg.commit_width
+            && self.stats.committed < max_instructions
+            && self.rob.front().is_some_and(|e| e.is_complete(self.cycle))
+        {
+            let entry = self.rob.pop_front().expect("checked non-empty");
+            debug_assert!(!entry.wrong_path, "wrong-path instruction reached commit");
+            self.commit_one(entry);
+            committed += 1;
+            if self.halted {
+                break;
+            }
+        }
+    }
+
+    fn commit_one(&mut self, e: DynInst) {
+        let cycle = self.cycle;
+        let op = e.inst.op;
+        let kind = match op.class() {
+            OpClass::Branch => AceKind::Branch,
+            OpClass::Store => AceKind::Store,
+            OpClass::Nop => AceKind::Nop,
+            OpClass::Halt => AceKind::Halt,
+            OpClass::IntShort | OpClass::IntLong | OpClass::Load => AceKind::Value,
+        };
+
+        let mut rec = InstrRecord::of_kind(kind);
+        for (slot, src) in e.inst.src_regs().into_iter().enumerate() {
+            rec.srcs[slot] = src.map(|r| r.number());
+        }
+        rec.dest = e.inst.dest_reg().map(|r| r.number());
+        let mem = e.outcome.and_then(|o| {
+            o.ea.map(|ea| MemRef { addr: ea, bytes: o.size.map_or(8, |s| s.bytes() as u8) })
+        });
+        rec.mem = mem;
+
+        // Residency intervals (paper Section IV-A occupancy rules).
+        let sizes = self.analyzer.sizes();
+        let rob_bits = sizes.rob_entry_bits;
+        let iq_bits = sizes.iq_entry_bits;
+        let tag_bits = sizes.lsq_tag_bits;
+        let data_bits = sizes.lsq_data_bits;
+        let fu_bits = sizes.fu_stage_bits;
+        rec.residency.push(Slice {
+            structure: Structure::Rob,
+            start: e.dispatch_cycle,
+            end: cycle,
+            bits: rob_bits,
+        });
+        rec.residency.push(Slice {
+            structure: Structure::Iq,
+            start: e.dispatch_cycle,
+            end: e.issue_cycle,
+            bits: iq_bits,
+        });
+        let op_data_bits = match op.access_size() {
+            Some(s) => (s.bits() as u32).min(data_bits),
+            None => data_bits,
+        };
+        match op.class() {
+            OpClass::Load => {
+                rec.residency.push(Slice {
+                    structure: Structure::LqTag,
+                    start: e.dispatch_cycle,
+                    end: cycle,
+                    bits: tag_bits,
+                });
+                // LQ data holds ACE bits only once the fill returns
+                // (Section IV-A.1); a 4-byte load leaves half un-ACE.
+                rec.residency.push(Slice {
+                    structure: Structure::LqData,
+                    start: e.data_return_cycle,
+                    end: cycle,
+                    bits: op_data_bits,
+                });
+            }
+            OpClass::Store => {
+                rec.residency.push(Slice {
+                    structure: Structure::SqTag,
+                    start: e.dispatch_cycle,
+                    end: cycle,
+                    bits: tag_bits,
+                });
+                rec.residency.push(Slice {
+                    structure: Structure::SqData,
+                    start: e.issue_cycle,
+                    end: cycle,
+                    bits: op_data_bits,
+                });
+            }
+            OpClass::IntShort | OpClass::IntLong => {
+                rec.residency.push(Slice {
+                    structure: Structure::Fu,
+                    start: e.issue_cycle,
+                    end: e.complete_cycle,
+                    bits: fu_bits,
+                });
+            }
+            _ => {}
+        }
+
+        let id = self.analyzer.commit(rec);
+
+        // Register-file read recording and lifetime release.
+        for preg in e.src_pregs.into_iter().flatten() {
+            self.rf.record_read(preg, id, e.issue_cycle);
+        }
+        if let (Some(dest), Some(dest_preg), Some(prev)) =
+            (rec_dest(&e), e.dest_preg, e.prev_preg)
+        {
+            let freed = self.rf.commit_def(dest, dest_preg, prev);
+            self.analyzer.preg_freed(freed);
+        }
+
+        // Commit-time (program-ordered) cache and TLB lifetime events.
+        if let Some(m) = mem {
+            let vpn = self.dtlb.vpn(m.addr);
+            self.analyzer.dtlb_read(vpn, cycle);
+            match op.class() {
+                OpClass::Load => {
+                    self.analyzer.dl1_read(m.addr, u64::from(m.bytes), cycle);
+                }
+                OpClass::Store => {
+                    self.analyzer.dl1_write(m.addr, u64::from(m.bytes), cycle);
+                }
+                _ => {}
+            }
+            self.stats.committed_mem_ops += 1;
+        }
+
+        match op.class() {
+            OpClass::Branch => {
+                let taken = e.outcome.map(|o| o.taken).unwrap_or(false);
+                self.bpred.update(e.pc, taken);
+                self.stats.branches += 1;
+                if e.mispredicted {
+                    self.stats.mispredicts += 1;
+                }
+            }
+            OpClass::Load => self.lq_count -= 1,
+            OpClass::Store => self.sq_count -= 1,
+            OpClass::Halt => self.halted = true,
+            _ => {}
+        }
+        self.stats.committed += 1;
+    }
+
+    // ---- writeback ------------------------------------------------------
+
+    fn writeback_stage(&mut self) {
+        let cycle = self.cycle;
+        let mut recover: Option<(u64, u32)> = None;
+        for e in self.rob.iter_mut() {
+            if e.stage == Stage::Executing && e.complete_cycle <= cycle {
+                e.stage = Stage::Complete;
+                if let Some(preg) = e.dest_preg {
+                    self.rf.set_ready(preg, e.complete_cycle);
+                }
+                if e.mispredicted && !e.wrong_path {
+                    let target = e.outcome.expect("right-path branch has outcome").next_pc;
+                    recover = Some((e.seq, target));
+                }
+            }
+        }
+        if let Some((branch_seq, target)) = recover {
+            self.recover_from(branch_seq, target);
+        }
+    }
+
+    fn recover_from(&mut self, branch_seq: u64, target: u32) {
+        // Squash everything younger than the branch, youngest first.
+        while self.rob.back().is_some_and(|e| e.seq > branch_seq) {
+            let e = self.rob.pop_back().expect("checked non-empty");
+            if e.stage == Stage::InIq {
+                self.iq_count -= 1;
+            }
+            match e.inst.op.class() {
+                OpClass::Load => self.lq_count -= 1,
+                OpClass::Store => self.sq_count -= 1,
+                _ => {}
+            }
+            if let Some(preg) = e.dest_preg {
+                self.rf.squash_dest(preg);
+            }
+        }
+        self.fetch_queue.clear();
+        let survivors: Vec<(u8, u32)> = self
+            .rob
+            .iter()
+            .filter_map(|e| {
+                match (e.inst.dest_reg(), e.dest_preg) {
+                    (Some(r), Some(p)) => Some((r.number(), p)),
+                    _ => None,
+                }
+            })
+            .collect();
+        self.rf.rebuild_map(survivors.into_iter());
+        self.wrong_path_mode = false;
+        self.recovery = Some(Recovery {
+            resume_cycle: self.cycle + u64::from(self.cfg.mispredict_penalty),
+            pc: target,
+        });
+    }
+
+    // ---- issue / execute -------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        let mut issued = 0u32;
+        let mut mem_issued = 0u32;
+        let mut alus_free = self.cfg.n_alus;
+        let mut muls_free = self.cfg.n_muls;
+        let cycle = self.cycle;
+
+        // Borrow dance: collect decisions first, then apply.
+        let mut to_issue: Vec<usize> = Vec::new();
+        for (idx, e) in self.rob.iter().enumerate() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            if e.stage != Stage::InIq {
+                continue;
+            }
+            let ready = e.src_pregs.iter().flatten().all(|&p| self.rf.is_ready(p));
+            if !ready {
+                continue;
+            }
+            let ok = match e.inst.op.class() {
+                OpClass::IntShort | OpClass::Branch | OpClass::Nop | OpClass::Halt => {
+                    if alus_free > 0 {
+                        alus_free -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                OpClass::IntLong => {
+                    if muls_free > 0 {
+                        muls_free -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                OpClass::Load | OpClass::Store => {
+                    if mem_issued < self.cfg.mem_issue_width {
+                        mem_issued += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if ok {
+                to_issue.push(idx);
+                issued += 1;
+            }
+        }
+
+        for idx in to_issue {
+            let (op, wrong_path, ea) = {
+                let e = &self.rob[idx];
+                (e.inst.op, e.wrong_path, e.outcome.and_then(|o| o.ea))
+            };
+            let (latency, data_return) = self.execute_latency(op, wrong_path, ea, cycle);
+            let e = &mut self.rob[idx];
+            e.stage = Stage::Executing;
+            e.issue_cycle = cycle;
+            e.complete_cycle = cycle + u64::from(latency);
+            e.data_return_cycle = data_return;
+            self.iq_count -= 1;
+        }
+    }
+
+    /// Computes execution latency; for right-path memory ops this walks the
+    /// cache hierarchy and emits fill/evict lifetime events.
+    fn execute_latency(
+        &mut self,
+        op: Opcode,
+        wrong_path: bool,
+        ea: Option<u64>,
+        cycle: u64,
+    ) -> (u32, u64) {
+        match op.class() {
+            OpClass::IntShort | OpClass::Branch | OpClass::Nop | OpClass::Halt => {
+                (self.cfg.alu_latency, 0)
+            }
+            OpClass::IntLong => (self.cfg.mul_latency, 0),
+            OpClass::Load => {
+                let lat = match (wrong_path, ea) {
+                    (false, Some(ea)) => self.dmem_access(ea, false, cycle),
+                    _ => self.cfg.dl1.latency,
+                };
+                (lat, cycle + u64::from(lat))
+            }
+            OpClass::Store => {
+                if let (false, Some(ea)) = (wrong_path, ea) {
+                    // Write-allocate fill happens off the critical path; the
+                    // store itself completes out of the store buffer.
+                    let _ = self.dmem_access(ea, true, cycle);
+                }
+                (1, 0)
+            }
+        }
+    }
+
+    /// Walks DTLB → DL1 → L2 → memory for the access at `ea`, updating the
+    /// timing state, emitting fill/evict (and L2 read/write) lifetime
+    /// events, and returning the total latency.
+    fn dmem_access(&mut self, ea: u64, is_write: bool, cycle: u64) -> u32 {
+        let mut lat = 0u32;
+        let line_bytes = u64::from(self.cfg.dl1.line_bytes);
+
+        let t = self.dtlb.translate(ea);
+        if !t.hit {
+            self.stats.dtlb_misses += 1;
+            lat += self.cfg.dtlb_miss_penalty;
+            if let Some(vpn) = t.evicted {
+                self.analyzer.dtlb_evict(vpn, cycle + u64::from(lat));
+            }
+            let vpn = self.dtlb.vpn(ea);
+            self.analyzer.dtlb_fill(vpn, cycle + u64::from(lat));
+        }
+
+        lat += self.cfg.dl1.latency;
+        self.stats.dl1_accesses += 1;
+        let r = self.dl1.access(ea, is_write);
+        if r.hit {
+            return lat;
+        }
+        self.stats.dl1_misses += 1;
+        let stamp = cycle + u64::from(lat);
+        if let Some((victim, dirty)) = r.victim {
+            self.analyzer.dl1_evict(victim, stamp);
+            if dirty {
+                // Writeback-allocate into the L2.
+                let wb = self.l2.access(victim, true);
+                if !wb.hit {
+                    if let Some((v2, _)) = wb.victim {
+                        self.analyzer.l2_evict(v2, stamp);
+                    }
+                    self.analyzer.l2_fill(victim, stamp);
+                }
+                self.analyzer.l2_write(victim, line_bytes, stamp);
+            }
+        }
+
+        self.stats.l2_accesses += 1;
+        lat += self.cfg.l2.latency;
+        let line = self.dl1.line_base(ea);
+        let l2r = self.l2.access(line, false);
+        if !l2r.hit {
+            self.stats.l2_misses += 1;
+            lat += self.cfg.mem_latency;
+            let stamp = cycle + u64::from(lat);
+            if let Some((v2, _)) = l2r.victim {
+                self.analyzer.l2_evict(v2, stamp);
+            }
+            self.analyzer.l2_fill(line, stamp);
+        }
+        let stamp = cycle + u64::from(lat);
+        // The DL1 fill reads the whole line out of the L2.
+        self.analyzer.l2_read(line, line_bytes, stamp);
+        self.analyzer.dl1_fill(line, stamp);
+        lat
+    }
+
+    // ---- dispatch (rename) ------------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(front) = self.fetch_queue.front() else { break };
+            if self.rob.len() >= self.cfg.rob_entries || self.iq_count >= self.cfg.iq_entries {
+                break;
+            }
+            let class = front.inst.op.class();
+            match class {
+                OpClass::Load if self.lq_count >= self.cfg.lq_entries => break,
+                OpClass::Store if self.sq_count >= self.cfg.sq_entries => break,
+                _ => {}
+            }
+            let needs_preg = front.inst.dest_reg().is_some();
+            if needs_preg && self.rf.free_count() == 0 {
+                break;
+            }
+
+            let mut e = self.fetch_queue.pop_front().expect("checked non-empty");
+            for (slot, src) in e.inst.src_regs().into_iter().enumerate() {
+                e.src_pregs[slot] = src.map(|r| self.rf.rename_src(r.number()));
+            }
+            if let Some(dest) = e.inst.dest_reg() {
+                let (preg, prev) =
+                    self.rf.allocate(dest.number()).expect("free count checked");
+                e.dest_preg = Some(preg);
+                e.prev_preg = Some(prev);
+            }
+            e.dispatch_cycle = self.cycle;
+            e.stage = Stage::InIq;
+            self.iq_count += 1;
+            match class {
+                OpClass::Load => self.lq_count += 1,
+                OpClass::Store => self.sq_count += 1,
+                _ => {}
+            }
+            self.rob.push_back(e);
+        }
+    }
+
+    // ---- fetch -------------------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        if self.fetch_done && !self.wrong_path_mode && self.recovery.is_none() {
+            return;
+        }
+        if let Some(r) = self.recovery {
+            if self.cycle >= r.resume_cycle {
+                self.fetch_pc = r.pc;
+                self.recovery = None;
+                self.fetch_done = false;
+            } else {
+                return;
+            }
+        }
+        if self.cycle < self.fetch_stalled_until {
+            return;
+        }
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width && self.fetch_queue.len() < self.cfg.fetch_queue {
+            let pc = self.fetch_pc;
+            let Some(&inst) = self.program.fetch(pc) else {
+                // Wrong-path fetch ran off the text: wait for recovery.
+                break;
+            };
+            // I-cache check, once per line.
+            let line = text_addr(pc) / u64::from(self.cfg.l1i.line_bytes);
+            if self.last_fetch_line != Some(line) {
+                let r = self.l1i.access(text_addr(pc), false);
+                self.last_fetch_line = Some(line);
+                if !r.hit {
+                    self.stats.l1i_misses += 1;
+                    let l2r = self.l2.access(text_addr(pc), false);
+                    let penalty = self.cfg.l2.latency
+                        + if l2r.hit { 0 } else { self.cfg.mem_latency };
+                    self.fetch_stalled_until = self.cycle + u64::from(penalty);
+                    break;
+                }
+            }
+
+            let mut e = DynInst::new(self.seq, pc, inst);
+            self.seq += 1;
+            let right_path = !self.wrong_path_mode;
+            e.wrong_path = !right_path;
+
+            if right_path {
+                debug_assert_eq!(pc, self.oracle.pc, "oracle and fetch desynchronized");
+                let outcome = self
+                    .oracle
+                    .exec(self.program, &mut self.oracle_mem)
+                    .expect("oracle execution failed");
+                e.outcome = Some(outcome);
+                if outcome.halted {
+                    self.fetch_done = true;
+                }
+            } else {
+                self.stats.wrong_path_fetched += 1;
+            }
+
+            let mut next_pc = pc + 1;
+            if inst.op.is_branch() {
+                let predicted = inst.op.is_unconditional() || self.bpred.predict(pc);
+                e.predicted_taken = predicted;
+                next_pc = if predicted { inst.target } else { pc + 1 };
+                if right_path {
+                    let actual = e.outcome.expect("right path").taken;
+                    if predicted != actual {
+                        e.mispredicted = true;
+                        self.wrong_path_mode = true;
+                    }
+                }
+            }
+            let is_halt = inst.op == Opcode::Halt;
+            let ends_group = e.predicted_taken;
+            self.fetch_queue.push_back(e);
+            fetched += 1;
+            if is_halt {
+                // Halt has no successor; wrong-path halts simply stall fetch
+                // until the mispredicted branch recovers.
+                break;
+            }
+            self.fetch_pc = next_pc;
+            if ends_group {
+                break;
+            }
+        }
+    }
+}
+
+fn rec_dest(e: &DynInst) -> Option<u8> {
+    e.inst.dest_reg().map(|r| r.number())
+}

@@ -1,0 +1,270 @@
+//! Behavioral tests of the pipeline timing model: these check the
+//! structural properties the AVF stressmark exploits (paper Section III).
+
+use avf_ace::{FaultRates, Structure};
+use avf_isa::{DataSegment, Opcode, ProgramBuilder, Program, Reg, DATA_BASE};
+use avf_sim::{simulate, MachineConfig};
+
+fn r(n: u8) -> Reg {
+    Reg::of(n)
+}
+
+/// An infinite loop of independent single-cycle ALU ops.
+fn independent_alu_loop() -> Program {
+    let mut b = ProgramBuilder::new("alu-loop");
+    b.addi(r(1), Reg::ZERO, 1);
+    let top = b.here();
+    for i in 2..10u8 {
+        b.addi(r(i), r(1), i16::from(i));
+    }
+    b.bne(r(1), top);
+    b.build().unwrap()
+}
+
+/// A serial dependence chain (each op needs the previous result).
+fn dependent_chain_loop() -> Program {
+    let mut b = ProgramBuilder::new("chain-loop");
+    b.addi(r(1), Reg::ZERO, 1);
+    let top = b.here();
+    for _ in 0..8 {
+        b.alu_ri(Opcode::Add, r(2), r(2), 1);
+    }
+    b.bne(r(1), top);
+    b.build().unwrap()
+}
+
+/// A pointer-chasing loop over a footprint far larger than the L2.
+fn pointer_chase_loop(footprint: u64, stride: u64) -> Program {
+    let n = (footprint / stride) as usize;
+    let mut data = DataSegment::zeroed(footprint as usize);
+    for i in 0..n {
+        let next = ((i + 1) % n) as u64 * stride;
+        data.put_u64(i * stride as usize, DATA_BASE + next);
+    }
+    let mut b = ProgramBuilder::new("chase").with_data(data);
+    b.load_addr(r(1), DATA_BASE);
+    b.addi(r(2), Reg::ZERO, 1);
+    let top = b.here();
+    b.ldq(r(1), r(1), 0);
+    b.bne(r(2), top);
+    b.build().unwrap()
+}
+
+#[test]
+fn independent_alu_reaches_high_ipc() {
+    let res = simulate(&MachineConfig::baseline(), &independent_alu_loop(), 50_000);
+    assert!(
+        res.stats.ipc() > 2.0,
+        "independent ALU loop should sustain multi-issue, got IPC {:.2}",
+        res.stats.ipc()
+    );
+    // Perfectly biased loop branch: only predictor warmup may miss.
+    assert!(
+        res.stats.mispredicts < 20,
+        "loop branch should only mispredict during warmup, got {}",
+        res.stats.mispredicts
+    );
+}
+
+#[test]
+fn dependent_chain_limits_ipc_to_about_one() {
+    let res = simulate(&MachineConfig::baseline(), &dependent_chain_loop(), 20_000);
+    let ipc = res.stats.ipc();
+    assert!(ipc < 1.4, "serial chain cannot exceed ~1 IPC, got {ipc:.2}");
+    assert!(ipc > 0.7, "back-to-back ALU ops should flow at ~1 IPC, got {ipc:.2}");
+}
+
+#[test]
+fn chain_has_higher_iq_occupancy_than_independent() {
+    let dep = simulate(&MachineConfig::baseline(), &dependent_chain_loop(), 20_000);
+    let ind = simulate(&MachineConfig::baseline(), &independent_alu_loop(), 20_000);
+    assert!(
+        dep.stats.avg_iq_occupancy() > ind.stats.avg_iq_occupancy(),
+        "low ILP must raise IQ occupancy (paper IV-A.2): dep {:.2} vs ind {:.2}",
+        dep.stats.avg_iq_occupancy(),
+        ind.stats.avg_iq_occupancy()
+    );
+}
+
+#[test]
+fn pointer_chase_misses_in_l2_and_fills_rob() {
+    // 2 MB footprint, 64 B stride: every access is a new line; the 1 MB
+    // direct-mapped L2 cannot hold the working set.
+    let program = pointer_chase_loop(2 * 1024 * 1024, 64);
+    let res = simulate(&MachineConfig::baseline(), &program, 20_000);
+    assert!(res.stats.l2_misses > 100, "expected L2 misses, got {}", res.stats.l2_misses);
+    assert!(
+        res.stats.ipc() < 0.5,
+        "serialized L2 misses must crush IPC, got {:.2}",
+        res.stats.ipc()
+    );
+    // In the shadow of the miss the ROB backs up.
+    let rob_occ = res.stats.avg_rob_occupancy();
+    assert!(rob_occ > 10.0, "ROB should back up behind misses, got {rob_occ:.1}");
+}
+
+#[test]
+fn cache_hits_when_footprint_fits() {
+    // 16 kB footprint fits in the 64 kB DL1.
+    let program = pointer_chase_loop(16 * 1024, 64);
+    let res = simulate(&MachineConfig::baseline(), &program, 30_000);
+    assert!(
+        res.stats.dl1_miss_rate() < 0.05,
+        "resident working set should hit, miss rate {:.3}",
+        res.stats.dl1_miss_rate()
+    );
+}
+
+#[test]
+fn mispredicted_branches_squash_and_recover() {
+    // Alternating taken/not-taken on a data-dependent condition the
+    // predictor cannot learn perfectly... a pseudo-random pattern via LCG.
+    let mut b = ProgramBuilder::new("branchy");
+    b.addi(r(1), Reg::ZERO, 1); // lcg state
+    b.load_addr(r(4), 1103515245);
+    b.addi(r(5), Reg::ZERO, 12345);
+    let top = b.here();
+    b.alu_rr(Opcode::Mul, r(1), r(1), r(4));
+    b.alu_rr(Opcode::Add, r(1), r(1), r(5));
+    b.alu_ri(Opcode::Srl, r(2), r(1), 16);
+    b.alu_ri(Opcode::And, r(2), r(2), 1);
+    let skip = b.label();
+    b.beq(r(2), skip);
+    b.addi(r(3), r(3), 1);
+    b.bind(skip);
+    b.addi(r(6), r(6), 1);
+    b.br(top);
+    let program = b.build().unwrap();
+    let res = simulate(&MachineConfig::baseline(), &program, 30_000);
+    assert!(res.stats.mispredicts > 100, "LCG branch must mispredict sometimes");
+    assert!(res.stats.wrong_path_fetched > 0, "wrong-path work must be modeled");
+    assert!(res.stats.committed >= 30_000, "pipeline must recover and make progress");
+}
+
+#[test]
+fn nops_are_unace_but_occupy() {
+    let mut b = ProgramBuilder::new("nops");
+    b.addi(r(1), Reg::ZERO, 1);
+    let top = b.here();
+    for _ in 0..16 {
+        b.nop();
+    }
+    b.bne(r(1), top);
+    let program = b.build().unwrap();
+    let res = simulate(&MachineConfig::baseline(), &program, 20_000);
+    // Nearly every committed instruction is a NOP -> dead fraction high.
+    assert!(res.report.deadness().dead_fraction() > 0.9);
+    // ROB AVF must be tiny even though the ROB was occupied.
+    assert!(res.report.avf(Structure::Rob) < 0.1);
+}
+
+#[test]
+fn stored_results_make_producers_ace() {
+    // Loop: compute, store, load back (stores are read -> everything live).
+    let mut data = DataSegment::zeroed(4096);
+    data.put_u64(0, 7);
+    let mut b = ProgramBuilder::new("ace-loop").with_data(data);
+    b.load_addr(r(10), DATA_BASE);
+    b.addi(r(1), Reg::ZERO, 1);
+    let top = b.here();
+    b.ldq(r(2), r(10), 0);
+    b.alu_ri(Opcode::Add, r(2), r(2), 3);
+    b.stq(r(2), r(10), 0);
+    b.bne(r(1), top);
+    let program = b.build().unwrap();
+    let res = simulate(&MachineConfig::baseline(), &program, 20_000);
+    assert!(
+        res.report.deadness().dead_fraction() < 0.05,
+        "store-fed chain must be ACE, dead fraction {:.3}",
+        res.report.deadness().dead_fraction()
+    );
+    assert!(res.report.avf(Structure::Rob) > 0.0);
+    assert!(res.report.avf(Structure::SqData) > 0.0);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let program = pointer_chase_loop(256 * 1024, 64);
+    let a = simulate(&MachineConfig::baseline(), &program, 10_000);
+    let b = simulate(&MachineConfig::baseline(), &program, 10_000);
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.committed, b.stats.committed);
+    for s in Structure::ALL {
+        assert_eq!(a.report.avf(s).to_bits(), b.report.avf(s).to_bits(), "{s}");
+    }
+}
+
+#[test]
+fn avfs_are_valid_probabilities_and_ser_consistent() {
+    let program = pointer_chase_loop(2 * 1024 * 1024, 64);
+    let res = simulate(&MachineConfig::baseline(), &program, 20_000);
+    for s in Structure::ALL {
+        let v = res.report.avf(s);
+        assert!((0.0..=1.0).contains(&v), "{s} AVF {v}");
+    }
+    let ser = res.report.ser(&FaultRates::baseline());
+    assert!(ser.qs() <= 1.0 && ser.qs() >= 0.0);
+    assert!(ser.overall() <= 1.0);
+}
+
+#[test]
+fn config_a_differs_from_baseline() {
+    // 1.5 MB chain: bigger than the baseline's 1 MB L2, smaller than
+    // Config A's 2 MB. Traverse it ~2.5 times so reuse is possible.
+    let program = pointer_chase_loop(1536 * 1024, 64);
+    let base = simulate(&MachineConfig::baseline(), &program, 120_000);
+    let cfg_a = simulate(&MachineConfig::config_a(), &program, 120_000);
+    // The 2 MB L2 of Config A holds the whole footprint after warmup.
+    assert!(
+        cfg_a.stats.l2_misses < base.stats.l2_misses,
+        "Config A's larger L2 must miss less: {} vs {}",
+        cfg_a.stats.l2_misses,
+        base.stats.l2_misses
+    );
+}
+
+#[test]
+fn halt_ends_simulation_early() {
+    let mut b = ProgramBuilder::new("short");
+    b.addi(r(1), Reg::ZERO, 5);
+    b.stq(r(1), r(2), 0);
+    b.halt();
+    let program = b.build().unwrap();
+    let res = simulate(&MachineConfig::baseline(), &program, 1_000_000);
+    assert_eq!(res.stats.committed, 3);
+}
+
+#[test]
+fn hvf_upper_bounds_avf_for_queueing_structures() {
+    // Sridharan's HVF counts raw occupancy; AVF additionally requires the
+    // occupant to be ACE. The inequality must hold on any program,
+    // including one with plenty of dead code and mispredicts.
+    let cfg = MachineConfig::baseline();
+    for program in [
+        pointer_chase_loop(2 * 1024 * 1024, 64),
+        dependent_chain_loop(),
+        independent_alu_loop(),
+    ] {
+        let res = simulate(&cfg, &program, 30_000);
+        let eps = 1e-9;
+        assert!(
+            res.stats.rob_hvf(cfg.rob_entries) + eps >= res.report.avf(Structure::Rob),
+            "{}: ROB HVF {:.3} < AVF {:.3}",
+            program.name(),
+            res.stats.rob_hvf(cfg.rob_entries),
+            res.report.avf(Structure::Rob)
+        );
+        assert!(res.stats.iq_hvf(cfg.iq_entries) + eps >= res.report.avf(Structure::Iq));
+        assert!(res.stats.lq_hvf(cfg.lq_entries) + eps >= res.report.avf(Structure::LqTag));
+        assert!(res.stats.sq_hvf(cfg.sq_entries) + eps >= res.report.avf(Structure::SqTag));
+    }
+}
+
+#[test]
+fn dtlb_misses_on_wide_footprint() {
+    // 512 pages touched with 8 kB stride on a 256-entry DTLB: every access
+    // in steady state misses.
+    let program = pointer_chase_loop(4 * 1024 * 1024, 8192);
+    let res = simulate(&MachineConfig::baseline(), &program, 5_000);
+    assert!(res.stats.dtlb_misses > 100, "got {} DTLB misses", res.stats.dtlb_misses);
+}

@@ -1,0 +1,284 @@
+//! Generic proxy-kernel builder: turns a [`WorkloadProfile`] into a
+//! runnable program exhibiting the requested microarchitecture-dependent
+//! behaviour.
+
+use avf_isa::{DataSegment, Opcode, Program, ProgramBuilder, Reg, DATA_BASE};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::{AccessPattern, WorkloadProfile};
+
+// Register roles.
+const R_PTR: u8 = 1; // current data pointer
+const R_BASE: u8 = 2; // working-set base
+const R_IDX: u8 = 3; // strided walk index
+const R_LCG: u8 = 4; // branch-entropy LCG state
+const R_LCG_A: u8 = 5; // LCG multiplier
+const R_TMP: u8 = 6; // scratch for branch conditions
+const R_DEAD: u8 = 7; // sink for deliberately dead ops
+const R_SCR: u8 = 8; // scratch store base
+const POOL: std::ops::Range<u8> = 10..28; // value pool
+
+/// Builds the proxy program for `profile`.
+///
+/// # Panics
+///
+/// Panics if the profile's footprint is not a power of two or smaller than
+/// one cache line.
+#[must_use]
+pub fn build(profile: &WorkloadProfile) -> Program {
+    assert!(
+        profile.footprint.is_power_of_two() && profile.footprint >= 64,
+        "footprint must be a power of two of at least 64 bytes"
+    );
+    let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let data = build_data(profile, &mut rng);
+    let mut b = ProgramBuilder::new(profile.name).with_data(data);
+
+    // Prologue.
+    let base = DATA_BASE;
+    b.load_addr(Reg::of(R_BASE), base);
+    b.mov(Reg::of(R_PTR), Reg::of(R_BASE));
+    b.addi(Reg::of(R_IDX), Reg::ZERO, 0);
+    b.load_addr(Reg::of(R_LCG), 0x2545_F491_4F6C_DD1D);
+    b.load_addr(Reg::of(R_LCG_A), 6_364_136_223_846_793_005);
+    // Scratch ring lives just past the working set so stores can never
+    // corrupt the pointer-chase chain.
+    b.load_addr(Reg::of(R_SCR), base + profile.footprint);
+    for r in POOL {
+        b.addi(Reg::of(r), Reg::ZERO, i16::from(r) * 7 + 1);
+    }
+
+    let top = b.here();
+    emit_walk(&mut b, profile);
+    emit_body(&mut b, profile, &mut rng);
+    b.br(top);
+    b.build().expect("proxy kernel is structurally valid")
+}
+
+fn build_data(profile: &WorkloadProfile, rng: &mut SmallRng) -> DataSegment {
+    let mut data = DataSegment::zeroed(profile.footprint as usize);
+    if profile.pattern == AccessPattern::PointerChase {
+        // Shuffled Hamiltonian cycle over the lines (Sattolo's algorithm
+        // keeps it a single cycle, so the chase covers the footprint).
+        let n = (profile.footprint / 64) as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        for w in 0..n {
+            let from = order[w];
+            let to = order[(w + 1) % n];
+            data.put_u64(from * 64, DATA_BASE + (to * 64) as u64);
+        }
+    }
+    data
+}
+
+fn emit_walk(b: &mut ProgramBuilder, profile: &WorkloadProfile) {
+    match profile.pattern {
+        AccessPattern::PointerChase => {
+            b.ldq(Reg::of(R_PTR), Reg::of(R_PTR), 0);
+        }
+        AccessPattern::Strided | AccessPattern::Resident => {
+            let mask = (profile.footprint - 64) as i16;
+            if profile.footprint <= 32 * 1024 {
+                // Small sets: mask fits an immediate.
+                b.addi(Reg::of(R_IDX), Reg::of(R_IDX), profile.stride as i16);
+                b.alu_ri(Opcode::And, Reg::of(R_IDX), Reg::of(R_IDX), mask);
+            } else {
+                // Large sets: wrap by shifting out the high bits.
+                let bits = 64 - (profile.footprint as u64).trailing_zeros() as i16;
+                b.addi(Reg::of(R_IDX), Reg::of(R_IDX), profile.stride as i16);
+                b.alu_ri(Opcode::Sll, Reg::of(R_IDX), Reg::of(R_IDX), bits);
+                b.alu_ri(Opcode::Srl, Reg::of(R_IDX), Reg::of(R_IDX), bits);
+            }
+            b.alu_rr(Opcode::Add, Reg::of(R_PTR), Reg::of(R_BASE), Reg::of(R_IDX));
+        }
+    }
+}
+
+fn emit_body(b: &mut ProgramBuilder, profile: &WorkloadProfile, rng: &mut SmallRng) {
+    let pool: Vec<u8> = POOL.collect();
+    let mut pool_idx = 0usize;
+    let next_pool = |idx: &mut usize| -> u8 {
+        let r = pool[*idx % pool.len()];
+        *idx += 1;
+        r
+    };
+
+    // Loads from the walked region.
+    let mut loaded: Vec<u8> = Vec::new();
+    for i in 0..profile.loads {
+        let dest = next_pool(&mut pool_idx);
+        let wide = rng.gen_bool(0.75);
+        let off = (i as i32 % 8) * 8;
+        if wide {
+            b.ldq(Reg::of(dest), Reg::of(R_PTR), off);
+        } else {
+            b.ldl(Reg::of(dest), Reg::of(R_PTR), off);
+        }
+        loaded.push(dest);
+    }
+
+    // Arithmetic: `dep_chain` ops run serially on one accumulator before
+    // rotating to the next, mixing loaded values in.
+    let mut chain_pos = 0u32;
+    let mut acc = next_pool(&mut pool_idx);
+    for _ in 0..profile.alu {
+        let op = if rng.gen_bool(profile.mul_frac) {
+            Opcode::Mul
+        } else {
+            [Opcode::Add, Opcode::Sub, Opcode::Xor, Opcode::Sll][rng.gen_range(0..4)]
+        };
+        let operand = if !loaded.is_empty() && rng.gen_bool(0.4) {
+            loaded[rng.gen_range(0..loaded.len())]
+        } else {
+            pool[rng.gen_range(0..pool.len())]
+        };
+        if op == Opcode::Sll {
+            b.alu_ri(op, Reg::of(acc), Reg::of(acc), rng.gen_range(1..5));
+        } else {
+            b.alu_rr(op, Reg::of(acc), Reg::of(acc), Reg::of(operand));
+        }
+        chain_pos += 1;
+        if chain_pos >= profile.dep_chain {
+            chain_pos = 0;
+            acc = next_pool(&mut pool_idx);
+        }
+    }
+
+    // Dead instructions and NOPs (compiler junk).
+    let extra = profile.base_ops() as f64;
+    for _ in 0..((extra * profile.dead_frac).round() as u32) {
+        b.addi(Reg::of(R_DEAD), Reg::ZERO, rng.gen_range(1..100));
+    }
+    for _ in 0..((extra * profile.nop_frac).round() as u32) {
+        b.nop();
+    }
+
+    // Stores: half to the walked region, half to a scratch ring.
+    for j in 0..profile.stores {
+        let src = pool[rng.gen_range(0..pool.len())];
+        let (base_reg, off) = if j % 2 == 0 {
+            (R_PTR, 8 + (j as i32 % 7) * 8)
+        } else {
+            (R_SCR, (j as i32 % 16) * 8)
+        };
+        if rng.gen_bool(0.75) {
+            b.stq(Reg::of(src), Reg::of(base_reg), off);
+        } else {
+            b.stl(Reg::of(src), Reg::of(base_reg), off);
+        }
+    }
+
+    // Data-dependent branches driven by an LCG: entropy controls how often
+    // the direction flips (and thus the misprediction rate).
+    for _ in 0..profile.branches {
+        b.alu_rr(Opcode::Mul, Reg::of(R_LCG), Reg::of(R_LCG), Reg::of(R_LCG_A));
+        b.alu_ri(Opcode::Add, Reg::of(R_LCG), Reg::of(R_LCG), 12345);
+        b.alu_ri(Opcode::Srl, Reg::of(R_TMP), Reg::of(R_LCG), 33);
+        let threshold = (profile.branch_entropy * 255.0) as i16;
+        b.alu_ri(Opcode::And, Reg::of(R_TMP), Reg::of(R_TMP), 0xFF);
+        b.alu_ri(Opcode::Cmplt, Reg::of(R_TMP), Reg::of(R_TMP), threshold);
+        let skip = b.label();
+        b.beq(Reg::of(R_TMP), skip);
+        let v = pool[rng.gen_range(0..pool.len())];
+        b.alu_ri(Opcode::Add, Reg::of(v), Reg::of(v), 1);
+        b.bind(skip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Suite;
+
+    fn profile(pattern: AccessPattern) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "test",
+            suite: Suite::MiBench,
+            footprint: 64 * 1024,
+            pattern,
+            stride: 64,
+            loads: 3,
+            stores: 2,
+            alu: 8,
+            mul_frac: 0.2,
+            dep_chain: 2,
+            branches: 1,
+            branch_entropy: 0.3,
+            dead_frac: 0.05,
+            nop_frac: 0.02,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn builds_all_patterns() {
+        for pattern in
+            [AccessPattern::PointerChase, AccessPattern::Strided, AccessPattern::Resident]
+        {
+            let p = build(&profile(pattern));
+            assert!(p.len() > 10);
+        }
+    }
+
+    #[test]
+    fn chase_data_is_single_cycle() {
+        let prof = profile(AccessPattern::PointerChase);
+        let p = build(&prof);
+        let n = (prof.footprint / 64) as usize;
+        let data = p.data();
+        let mut at = DATA_BASE;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            assert!(seen.insert(at), "revisited {at:#x} before covering the cycle");
+            let off = (at - data.base) as usize;
+            at = u64::from_le_bytes(data.bytes[off..off + 8].try_into().unwrap());
+        }
+        assert_eq!(at, DATA_BASE, "chain must be a single cycle");
+    }
+
+    #[test]
+    fn kernel_runs_functionally_without_leaving_text() {
+        use avf_isa::{ExecState, Memory};
+        for pattern in
+            [AccessPattern::PointerChase, AccessPattern::Strided, AccessPattern::Resident]
+        {
+            let p = build(&profile(pattern));
+            let mut mem = Memory::new();
+            let mut st = ExecState::new(&p, &mut mem);
+            for _ in 0..50_000 {
+                st.exec(&p, &mut mem).expect("kernel must loop forever");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = build(&profile(AccessPattern::Strided));
+        let b = build(&profile(AccessPattern::Strided));
+        assert_eq!(a.insts(), b.insts());
+    }
+
+    #[test]
+    fn dead_and_nop_fractions_emit_padding() {
+        let mut prof = profile(AccessPattern::Resident);
+        prof.dead_frac = 0.5;
+        prof.nop_frac = 0.3;
+        let with = build(&prof);
+        prof.dead_frac = 0.0;
+        prof.nop_frac = 0.0;
+        let without = build(&prof);
+        assert!(with.len() > without.len());
+        assert!(with.insts().iter().any(|i| i.op == Opcode::Nop));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_footprint_rejected() {
+        let mut prof = profile(AccessPattern::Strided);
+        prof.footprint = 100_000;
+        let _ = build(&prof);
+    }
+}

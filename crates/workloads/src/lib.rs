@@ -1,0 +1,37 @@
+//! # avf-workloads
+//!
+//! Synthetic proxy kernels standing in for the benchmark suites the AVF
+//! stressmark paper evaluates against (Nair, John & Eeckhout, MICRO 2010,
+//! Section V): 11 SPEC CPU2006 integer, 10 SPEC CPU2006 floating-point and
+//! 12 MiBench programs.
+//!
+//! The proxies are *behaviour-class* substitutes, not ports (DESIGN.md §2):
+//! each encodes its namesake's working-set size and access pattern,
+//! instruction mix, dependence structure, branch predictability, and
+//! realistic dead-instruction/NOP fractions. Their role in the evaluation
+//! is to span an SER coverage range against which the stressmark's headroom
+//! is measured (Figures 3, 4, 6, 7 and Table III).
+//!
+//! ## Example
+//!
+//! ```
+//! use avf_workloads::{all, by_name};
+//!
+//! assert_eq!(all().len(), 33);
+//! let mcf = by_name("429.mcf").expect("mcf proxy exists");
+//! let program = mcf.build();
+//! assert!(program.len() > 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod profile;
+mod profiles;
+mod suite;
+
+pub use kernel::build;
+pub use profile::{AccessPattern, Suite, WorkloadProfile};
+pub use profiles::{mibench as mibench_profiles, spec_fp as spec_fp_profiles, spec_int as spec_int_profiles};
+pub use suite::{all, by_name, mibench, spec_all, spec_fp, spec_int, Workload};

@@ -1,0 +1,99 @@
+/// Which benchmark suite a proxy stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2006 integer.
+    SpecInt,
+    /// SPEC CPU2006 floating point.
+    SpecFp,
+    /// MiBench embedded suite.
+    MiBench,
+}
+
+impl Suite {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::SpecInt => "SPEC CPU2006 int",
+            Suite::SpecFp => "SPEC CPU2006 fp",
+            Suite::MiBench => "MiBench",
+        }
+    }
+}
+
+/// How the kernel walks its data working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Dependent pointer chasing over a shuffled cycle (irregular,
+    /// serialized misses — 429.mcf-like).
+    PointerChase,
+    /// Strided sweep with wraparound (streaming — libquantum/bwaves-like).
+    Strided,
+    /// Small hot set revisited continuously (cache-resident — MiBench-like).
+    Resident,
+}
+
+/// Behaviour-class parameters of one proxy kernel.
+///
+/// These are *microarchitecture-dependent program characteristics* in the
+/// sense of the paper's Section IV-A: instruction mix, dependence
+/// structure, branch behaviour, working-set size/coverage, and the amount
+/// of dynamically dead and NOP "compiler junk" (3–16% of instructions are
+/// dead in real programs per Butts & Sohi, and the paper notes compilers
+/// introduce un-ACE instructions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Proxy name (the benchmark it stands in for).
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Data working set in bytes (power of two).
+    pub footprint: u64,
+    /// Walk pattern over the working set.
+    pub pattern: AccessPattern,
+    /// Walk stride in bytes (strided/resident patterns).
+    pub stride: u64,
+    /// Loads per loop iteration.
+    pub loads: u32,
+    /// Stores per loop iteration.
+    pub stores: u32,
+    /// Arithmetic instructions per iteration.
+    pub alu: u32,
+    /// Fraction of arithmetic that is long-latency multiply (the FP-like
+    /// compute knob; the integer pipeline models FP latency via the
+    /// multiplier, DESIGN.md §7).
+    pub mul_frac: f64,
+    /// Serial dependence-chain length (1 = fully parallel).
+    pub dep_chain: u32,
+    /// Data-dependent conditional branches per iteration.
+    pub branches: u32,
+    /// Probability each such branch flips direction (0 = fully biased,
+    /// 0.5 = unpredictable coin).
+    pub branch_entropy: f64,
+    /// Fraction of extra deliberately-dead instructions.
+    pub dead_frac: f64,
+    /// Fraction of extra alignment NOPs.
+    pub nop_frac: f64,
+    /// Seed for the kernel's internal randomization.
+    pub seed: u64,
+}
+
+impl WorkloadProfile {
+    /// Total explicit instructions per iteration (before dead/NOP padding).
+    #[must_use]
+    pub fn base_ops(&self) -> u32 {
+        self.loads + self.stores + self.alu + self.branches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names() {
+        assert!(Suite::SpecInt.name().contains("int"));
+        assert!(Suite::SpecFp.name().contains("fp"));
+        assert!(Suite::MiBench.name().contains("MiBench"));
+    }
+}

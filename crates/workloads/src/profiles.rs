@@ -1,0 +1,171 @@
+//! The 33 proxy profiles: 11 SPEC CPU2006 integer, 10 SPEC CPU2006
+//! floating-point and 12 MiBench programs — the evaluation suite of the
+//! paper's Section V.
+//!
+//! Each profile encodes the behaviour class of its namesake at the level
+//! the AVF methodology is sensitive to (Section IV-A): working-set size
+//! and access pattern, instruction mix, dependence structure, branch
+//! predictability, and compiler-junk fractions. Absolute benchmark fidelity
+//! is neither possible nor needed (DESIGN.md §2): the suite's role is to
+//! span a realistic SER coverage range below the stressmark.
+
+use crate::profile::{AccessPattern, Suite, WorkloadProfile};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+#[allow(clippy::too_many_arguments)]
+fn profile(
+    name: &'static str,
+    suite: Suite,
+    footprint: u64,
+    pattern: AccessPattern,
+    loads: u32,
+    stores: u32,
+    alu: u32,
+    mul_frac: f64,
+    dep_chain: u32,
+    branches: u32,
+    branch_entropy: f64,
+    seed: u64,
+) -> WorkloadProfile {
+    WorkloadProfile {
+        name,
+        suite,
+        footprint,
+        pattern,
+        stride: 64,
+        loads,
+        stores,
+        alu,
+        mul_frac,
+        dep_chain,
+        branches,
+        branch_entropy,
+        dead_frac: 0.08,
+        nop_frac: 0.03,
+        seed,
+    }
+}
+
+/// The 11 SPEC CPU2006 integer proxies (paper Figure 6a).
+#[must_use]
+pub fn spec_int() -> Vec<WorkloadProfile> {
+    use AccessPattern::*;
+    use Suite::SpecInt as S;
+    vec![
+        // gcc: large irregular working set, moderate branchiness — the
+        // highest overall (core+cache) AVF in the paper's suite.
+        profile("403.gcc", S, 8 * MB, PointerChase, 5, 3, 10, 0.1, 2, 2, 0.15, 1),
+        profile("400.perlbench", S, 512 * KB, Strided, 4, 2, 10, 0.05, 2, 3, 0.25, 2),
+        profile("401.bzip2", S, 4 * MB, Strided, 4, 3, 12, 0.05, 2, 2, 0.2, 3),
+        profile("429.mcf", S, 8 * MB, PointerChase, 3, 1, 5, 0.05, 3, 1, 0.2, 4),
+        profile("445.gobmk", S, 1 * MB, Resident, 4, 2, 8, 0.05, 2, 4, 0.35, 5),
+        profile("456.hmmer", S, 256 * KB, Strided, 5, 2, 16, 0.15, 1, 1, 0.05, 6),
+        profile("458.sjeng", S, 1 * MB, Resident, 3, 1, 9, 0.05, 2, 3, 0.3, 7),
+        profile("462.libquantum", S, 4 * MB, Strided, 3, 1, 8, 0.1, 1, 1, 0.05, 8),
+        profile("464.h264ref", S, 512 * KB, Strided, 5, 2, 14, 0.25, 2, 1, 0.1, 9),
+        profile("471.omnetpp", S, 2 * MB, PointerChase, 4, 2, 8, 0.05, 2, 2, 0.2, 10),
+        profile("473.astar", S, 1 * MB, PointerChase, 4, 1, 7, 0.05, 2, 2, 0.25, 11),
+    ]
+}
+
+/// The 10 SPEC CPU2006 floating-point proxies (paper Figure 6b).
+///
+/// FP codes issue wide, multiply-heavy, predictably-branching loops, which
+/// is why the paper finds their queue SER relatively high; the proxies are
+/// integer kernels with the same timing profile (the multiplier stands in
+/// for FP latency, DESIGN.md §7).
+#[must_use]
+pub fn spec_fp() -> Vec<WorkloadProfile> {
+    use AccessPattern::*;
+    use Suite::SpecFp as S;
+    vec![
+        profile("410.bwaves", S, 8 * MB, Strided, 5, 2, 18, 0.5, 3, 1, 0.02, 21),
+        profile("433.milc", S, 4 * MB, Strided, 4, 2, 14, 0.45, 2, 1, 0.02, 22),
+        profile("434.zeusmp", S, 4 * MB, Strided, 6, 3, 16, 0.5, 3, 1, 0.02, 23),
+        profile("435.gromacs", S, 512 * KB, Resident, 4, 2, 18, 0.4, 2, 1, 0.05, 24),
+        profile("436.cactusADM", S, 4 * MB, Strided, 5, 2, 20, 0.55, 5, 1, 0.02, 25),
+        profile("437.leslie3d", S, 4 * MB, Strided, 5, 2, 16, 0.45, 3, 1, 0.02, 26),
+        profile("444.namd", S, 1 * MB, Resident, 4, 2, 20, 0.4, 2, 1, 0.02, 27),
+        // dealII: the highest core SER among the paper's baseline workloads.
+        profile("447.dealII", S, 8 * MB, Strided, 6, 3, 14, 0.35, 3, 1, 0.1, 28),
+        profile("450.soplex", S, 2 * MB, Strided, 5, 2, 12, 0.3, 2, 2, 0.15, 29),
+        // GemsFDTD: the highest core SER under the RHC fault rates.
+        profile("459.GemsFDTD", S, 8 * MB, Strided, 6, 3, 16, 0.5, 4, 1, 0.02, 30),
+    ]
+}
+
+/// The 12 MiBench proxies (paper Figure 6c): small embedded kernels with
+/// cache-resident working sets and low overall SER.
+#[must_use]
+pub fn mibench() -> Vec<WorkloadProfile> {
+    use AccessPattern::*;
+    use Suite::MiBench as S;
+    vec![
+        profile("basicmath", S, 16 * KB, Resident, 2, 1, 12, 0.3, 2, 1, 0.1, 41),
+        profile("bitcount", S, 8 * KB, Resident, 1, 1, 12, 0.05, 2, 2, 0.1, 42),
+        profile("qsort", S, 256 * KB, Resident, 4, 2, 6, 0.05, 2, 3, 0.35, 43),
+        // susan: the highest core SER under the EDR fault rates (high-IPC
+        // image kernel).
+        profile("susan", S, 64 * KB, Resident, 4, 2, 18, 0.3, 1, 1, 0.05, 44),
+        profile("dijkstra", S, 128 * KB, PointerChase, 3, 1, 6, 0.05, 2, 2, 0.2, 45),
+        profile("patricia", S, 256 * KB, PointerChase, 3, 1, 6, 0.05, 2, 2, 0.25, 46),
+        profile("stringsearch", S, 32 * KB, Resident, 3, 1, 7, 0.0, 2, 3, 0.3, 47),
+        profile("blowfish", S, 8 * KB, Resident, 2, 1, 14, 0.1, 2, 1, 0.05, 48),
+        profile("rijndael", S, 16 * KB, Resident, 3, 2, 16, 0.1, 2, 1, 0.05, 49),
+        profile("sha", S, 8 * KB, Resident, 2, 1, 14, 0.05, 3, 1, 0.05, 50),
+        profile("crc32", S, 8 * KB, Resident, 2, 1, 6, 0.0, 2, 1, 0.05, 51),
+        profile("fft", S, 256 * KB, Resident, 4, 2, 14, 0.5, 2, 1, 0.05, 52),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(spec_int().len(), 11);
+        assert_eq!(spec_fp().len(), 10);
+        assert_eq!(mibench().len(), 12);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = spec_int()
+            .iter()
+            .chain(spec_fp().iter())
+            .chain(mibench().iter())
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(names.len(), 33);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 33);
+    }
+
+    #[test]
+    fn footprints_are_pow2_and_strides_line_aligned() {
+        for p in spec_int().iter().chain(spec_fp().iter()).chain(mibench().iter()) {
+            assert!(p.footprint.is_power_of_two(), "{}", p.name);
+            assert_eq!(p.stride % 64, 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn suite_tags_are_correct() {
+        assert!(spec_int().iter().all(|p| p.suite == Suite::SpecInt));
+        assert!(spec_fp().iter().all(|p| p.suite == Suite::SpecFp));
+        assert!(mibench().iter().all(|p| p.suite == Suite::MiBench));
+    }
+
+    #[test]
+    fn fp_suite_is_multiplier_heavy() {
+        let fp_avg: f64 =
+            spec_fp().iter().map(|p| p.mul_frac).sum::<f64>() / spec_fp().len() as f64;
+        let int_avg: f64 =
+            spec_int().iter().map(|p| p.mul_frac).sum::<f64>() / spec_int().len() as f64;
+        assert!(fp_avg > 2.0 * int_avg);
+    }
+}

@@ -1,0 +1,113 @@
+//! Workload registry: named proxies with lazy program construction.
+
+use avf_isa::Program;
+
+use crate::kernel;
+use crate::profile::{Suite, WorkloadProfile};
+use crate::profiles;
+
+/// A named workload: a profile plus on-demand program construction
+/// (programs with multi-megabyte data segments are only materialized when
+/// simulated).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    profile: WorkloadProfile,
+}
+
+impl Workload {
+    /// Wraps a profile.
+    #[must_use]
+    pub fn new(profile: WorkloadProfile) -> Workload {
+        Workload { profile }
+    }
+
+    /// Benchmark name (e.g. `"403.gcc"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.profile.name
+    }
+
+    /// Suite membership.
+    #[must_use]
+    pub fn suite(&self) -> Suite {
+        self.profile.suite
+    }
+
+    /// The underlying profile.
+    #[must_use]
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Builds the runnable proxy program.
+    #[must_use]
+    pub fn build(&self) -> Program {
+        kernel::build(&self.profile)
+    }
+}
+
+/// The 11 SPEC CPU2006 integer proxies.
+#[must_use]
+pub fn spec_int() -> Vec<Workload> {
+    profiles::spec_int().into_iter().map(Workload::new).collect()
+}
+
+/// The 10 SPEC CPU2006 floating-point proxies.
+#[must_use]
+pub fn spec_fp() -> Vec<Workload> {
+    profiles::spec_fp().into_iter().map(Workload::new).collect()
+}
+
+/// The 12 MiBench proxies.
+#[must_use]
+pub fn mibench() -> Vec<Workload> {
+    profiles::mibench().into_iter().map(Workload::new).collect()
+}
+
+/// All 21 SPEC CPU2006 proxies (int + fp).
+#[must_use]
+pub fn spec_all() -> Vec<Workload> {
+    let mut v = spec_int();
+    v.extend(spec_fp());
+    v
+}
+
+/// The full 33-program evaluation suite.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    let mut v = spec_all();
+    v.extend(mibench());
+    v
+}
+
+/// Looks a workload up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_has_33_programs() {
+        assert_eq!(all().len(), 33);
+        assert_eq!(spec_all().len(), 21);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("429.mcf").is_some());
+        assert!(by_name("susan").is_some());
+        assert!(by_name("no-such-benchmark").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds() {
+        for w in all() {
+            let p = w.build();
+            assert!(p.len() > 5, "{} produced a trivial program", w.name());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # avf-suite
+//!
+//! Workspace-level façade for the AVF stressmark reproduction (Nair, John &
+//! Eeckhout, *AVF Stressmark*, MICRO 2010). This crate re-exports the
+//! member crates under one roof for the examples and integration tests; see
+//! the individual crates for the real APIs:
+//!
+//! * [`isa`] — the Alpha-like ISA and functional semantics;
+//! * [`ace`] — ACE analysis (AVF/SER measurement);
+//! * [`sim`] — the cycle-level out-of-order simulator;
+//! * [`codegen`] — the knob-driven stressmark code generator;
+//! * [`ga`] — the genetic algorithm framework;
+//! * [`workloads`] — SPEC CPU2006 / MiBench proxy kernels;
+//! * [`stressmark`] — the end-to-end methodology and experiment drivers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use avf_ace as ace;
+pub use avf_codegen as codegen;
+pub use avf_ga as ga;
+pub use avf_isa as isa;
+pub use avf_sim as sim;
+pub use avf_stressmark as stressmark;
+pub use avf_workloads as workloads;

@@ -1,0 +1,173 @@
+//! End-to-end methodology tests: the claims of the paper's Sections VI/VII
+//! at reduced (but meaningful) scale.
+
+use avf_ace::FaultRates;
+use avf_ga::GaParams;
+use avf_sim::{simulate, MachineConfig};
+use avf_stressmark::{
+    instantaneous_qs_bound_general, raw_sum_core, run_suite, stressmark_for, ExperimentConfig,
+    Fitness, SearchConfig,
+};
+
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        workload_instructions: 150_000,
+        eval_instructions: 40_000,
+        final_instructions: 400_000,
+        ga: GaParams { population: 8, generations: 6, ..GaParams::quick() },
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+#[test]
+fn stressmark_exceeds_every_workload_in_the_core() {
+    let cfg = test_config();
+    let machine = MachineConfig::baseline();
+    let rates = FaultRates::baseline();
+    let sm = stressmark_for(&cfg, machine.clone(), rates.clone());
+    let sm_core = sm.result.report.ser(&rates).qs_rf();
+
+    let runs = run_suite(&machine, &avf_workloads::all(), cfg.workload_instructions, cfg.threads);
+    for (w, r) in &runs {
+        let core = r.report.ser(&rates).qs_rf();
+        assert!(
+            sm_core > core,
+            "stressmark core SER {:.3} must exceed {} ({:.3})",
+            sm_core,
+            w.name(),
+            core
+        );
+    }
+}
+
+#[test]
+fn stressmark_stays_below_theoretical_bounds() {
+    let cfg = test_config();
+    let machine = MachineConfig::baseline();
+    let sizes = machine.structure_sizes();
+    for rates in [FaultRates::baseline(), FaultRates::rhc(), FaultRates::edr()] {
+        let sm = stressmark_for(&cfg, machine.clone(), rates.clone());
+        let qs = sm.result.report.ser(&rates).qs();
+        let bound = instantaneous_qs_bound_general(&sizes, &rates);
+        assert!(
+            qs <= bound + 1e-9,
+            "{}: sustained QS SER {qs:.3} cannot exceed the instantaneous bound {bound:.3}",
+            rates.name()
+        );
+        let core = sm.result.report.ser(&rates).qs_rf();
+        let naive = raw_sum_core(&sizes, &rates);
+        assert!(core < naive, "{}: raw sum must over-estimate", rates.name());
+    }
+}
+
+#[test]
+fn search_adapts_to_fault_rates() {
+    // Under EDR the ROB/LQ/SQ contribute nothing, so the EDR-optimized
+    // stressmark must score higher *under EDR rates* than the
+    // baseline-optimized one scores under EDR rates — adaptation pays.
+    let cfg = test_config();
+    let machine = MachineConfig::baseline();
+    let edr = FaultRates::edr();
+    let sm_base = stressmark_for(&cfg, machine.clone(), FaultRates::baseline());
+    let sm_edr = stressmark_for(&cfg, machine, edr.clone());
+    let fitness = Fitness::overall(edr);
+    let base_under_edr = fitness.score(&sm_base.result.report);
+    let edr_under_edr = fitness.score(&sm_edr.result.report);
+    assert!(
+        edr_under_edr >= base_under_edr * 0.95,
+        "EDR-targeted stressmark ({edr_under_edr:.4}) must be at least competitive with the \
+         baseline-targeted one under EDR rates ({base_under_edr:.4})"
+    );
+}
+
+#[test]
+fn config_a_search_targets_the_larger_machine() {
+    let cfg = test_config();
+    let outcome = stressmark_for(&cfg, MachineConfig::config_a(), FaultRates::baseline());
+    // Loop cap follows the larger ROB (1.2 x 96).
+    assert!(outcome.stressmark.knobs.loop_size <= 115);
+    assert!(outcome.score > 0.0);
+    // The generated program must actually run on Config A.
+    assert!(outcome.result.stats.committed >= cfg.final_instructions);
+}
+
+#[test]
+fn workload_suite_spans_an_ser_range() {
+    // "Coverage": the suite must not be degenerate — its core SERs span a
+    // meaningful range (Figure 1's premise).
+    let cfg = test_config();
+    let machine = MachineConfig::baseline();
+    let rates = FaultRates::baseline();
+    let runs = run_suite(&machine, &avf_workloads::all(), cfg.workload_instructions, cfg.threads);
+    let cores: Vec<f64> = runs.iter().map(|(_, r)| r.report.ser(&rates).qs_rf()).collect();
+    let min = cores.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = cores.iter().copied().fold(0.0, f64::max);
+    assert!(max > 1.5 * min, "suite core SER range too narrow: [{min:.3}, {max:.3}]");
+}
+
+#[test]
+fn deterministic_search_end_to_end() {
+    let machine = MachineConfig::baseline();
+    let mut config = SearchConfig::quick(machine, Fitness::overall(FaultRates::baseline()));
+    config.ga = GaParams { population: 5, generations: 3, ..GaParams::quick() };
+    config.eval_instructions = 8_000;
+    config.final_instructions = 15_000;
+    let a = avf_stressmark::generate_stressmark(&config);
+    let b = avf_stressmark::generate_stressmark(&config);
+    assert_eq!(a.ga.best_genome, b.ga.best_genome);
+    assert_eq!(a.score.to_bits(), b.score.to_bits());
+}
+
+#[test]
+fn fp_proxies_issue_wider_than_int_proxies() {
+    // Paper Section VI: "As FP programs are able to issue more
+    // instructions ... the SER of queuing structures in SPEC CPU2006 FP
+    // workloads is relatively high".
+    let machine = MachineConfig::baseline();
+    let avg_ipc = |ws: Vec<avf_workloads::Workload>| -> f64 {
+        let runs = run_suite(&machine, &ws, 100_000, 8);
+        runs.iter().map(|(_, r)| r.stats.ipc()).sum::<f64>() / runs.len() as f64
+    };
+    let fp = avg_ipc(avf_workloads::spec_fp());
+    let int = avg_ipc(avf_workloads::spec_int());
+    assert!(fp > int, "fp proxies should sustain higher IPC: {fp:.2} vs {int:.2}");
+}
+
+#[test]
+fn mibench_proxies_have_small_cache_footprints() {
+    let machine = MachineConfig::baseline();
+    let runs = run_suite(&machine, &avf_workloads::mibench(), 100_000, 8);
+    for (w, r) in &runs {
+        let ser = r.report.ser(&FaultRates::baseline());
+        assert!(
+            ser.l2() < 0.4,
+            "{} is an embedded kernel; its L2 SER {:.3} should be small",
+            w.name(),
+            ser.l2()
+        );
+    }
+}
+
+#[test]
+fn branch_entropy_drives_mispredict_rates() {
+    let machine = MachineConfig::baseline();
+    let gobmk = avf_workloads::by_name("445.gobmk").unwrap().build();
+    let hmmer = avf_workloads::by_name("456.hmmer").unwrap().build();
+    let r_gobmk = simulate(&machine, &gobmk, 150_000);
+    let r_hmmer = simulate(&machine, &hmmer, 150_000);
+    assert!(
+        r_gobmk.stats.mispredict_rate() > r_hmmer.stats.mispredict_rate(),
+        "gobmk ({:.3}) must mispredict more than hmmer ({:.3})",
+        r_gobmk.stats.mispredict_rate(),
+        r_hmmer.stats.mispredict_rate()
+    );
+}
+
+#[test]
+fn mcf_proxy_is_memory_bound() {
+    let machine = MachineConfig::baseline();
+    let mcf = avf_workloads::by_name("429.mcf").unwrap().build();
+    let r = simulate(&machine, &mcf, 150_000);
+    assert!(r.stats.l2_misses > 500, "mcf must thrash the L2, got {}", r.stats.l2_misses);
+    assert!(r.stats.ipc() < 0.8, "mcf must be stall-bound, IPC {:.2}", r.stats.ipc());
+}
