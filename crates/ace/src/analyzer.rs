@@ -38,7 +38,9 @@ pub struct AvfAnalyzer {
 
 impl std::fmt::Debug for DeadnessEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DeadnessEngine").field("stats", &self.stats()).finish_non_exhaustive()
+        f.debug_struct("DeadnessEngine")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
     }
 }
 
@@ -163,7 +165,13 @@ impl AvfAnalyzer {
         if let Some(mut cam) = self.cam.take() {
             ace[Structure::Dtlb.index()] += cam.finish(cycles);
         }
-        AvfReport::new(self.name, cycles.max(1), self.sizes, ace, self.engine.stats())
+        AvfReport::new(
+            self.name,
+            cycles.max(1),
+            self.sizes,
+            ace,
+            self.engine.stats(),
+        )
     }
 }
 
@@ -181,7 +189,12 @@ mod tests {
         // branch -> live -> counted.
         let mut rec = InstrRecord::of_kind(AceKind::Value);
         rec.dest = Some(1);
-        rec.residency.push(Slice { structure: Structure::Rob, start: 0, end: 50, bits: 76 });
+        rec.residency.push(Slice {
+            structure: Structure::Rob,
+            start: 0,
+            end: 50,
+            bits: 76,
+        });
         a.commit(rec);
         let mut br = InstrRecord::of_kind(AceKind::Branch);
         br.srcs[0] = Some(1);
@@ -220,13 +233,24 @@ mod tests {
         let sizes = StructureSizes::baseline();
         let mut a = AvfAnalyzer::new("t", sizes);
         let mut s1 = InstrRecord::of_kind(AceKind::Store);
-        s1.mem = Some(MemRef { addr: 0x100, bytes: 8 });
+        s1.mem = Some(MemRef {
+            addr: 0x100,
+            bytes: 8,
+        });
         let mut res = Residency::new();
-        res.push(Slice { structure: Structure::SqData, start: 0, end: 10, bits: 64 });
+        res.push(Slice {
+            structure: Structure::SqData,
+            start: 0,
+            end: 10,
+            bits: 64,
+        });
         s1.residency = res;
         a.commit(s1);
         let mut s2 = InstrRecord::of_kind(AceKind::Store);
-        s2.mem = Some(MemRef { addr: 0x100, bytes: 8 });
+        s2.mem = Some(MemRef {
+            addr: 0x100,
+            bytes: 8,
+        });
         a.commit(s2);
         let report = a.finish(100);
         assert_eq!(report.avf(Structure::SqData), 0.0);

@@ -25,7 +25,12 @@ impl CamAnalysis {
     /// Creates an empty analysis.
     #[must_use]
     pub fn new() -> CamAnalysis {
-        CamAnalysis { tags: HashMap::new(), exposed_bits: 0, last_change: 0, ace: 0 }
+        CamAnalysis {
+            tags: HashMap::new(),
+            exposed_bits: 0,
+            last_change: 0,
+            ace: 0,
+        }
     }
 
     /// Number of tag bits currently exposed (each member of a

@@ -251,7 +251,12 @@ impl DeadnessEngine {
         let key = self.next_preg;
         let mut deferred = Vec::new();
         for (DynId(reader), cycle) in rec.reads {
-            match self.states.get(reader as usize).copied().unwrap_or(Liveness::Dead) {
+            match self
+                .states
+                .get(reader as usize)
+                .copied()
+                .unwrap_or(Liveness::Dead)
+            {
                 Liveness::Live => {
                     pending.latest_live_read =
                         Some(pending.latest_live_read.map_or(cycle, |c| c.max(cycle)));
@@ -293,7 +298,10 @@ impl DeadnessEngine {
             .iter()
             .copied()
             .filter(|id| {
-                self.nodes.get(id).map(|n| n.kind == AceKind::Store).unwrap_or(false)
+                self.nodes
+                    .get(id)
+                    .map(|n| n.kind == AceKind::Store)
+                    .unwrap_or(false)
             })
             .collect();
         stores.sort_unstable();
@@ -319,7 +327,10 @@ impl DeadnessEngine {
     /// Liveness of a committed instruction.
     #[must_use]
     pub fn liveness(&self, id: DynId) -> Liveness {
-        self.states.get(id.0 as usize).copied().unwrap_or(Liveness::Unknown)
+        self.states
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(Liveness::Unknown)
     }
 
     /// Aggregate resolution counts.
@@ -377,7 +388,9 @@ impl DeadnessEngine {
             if self.states[n as usize] != Liveness::Unknown {
                 continue;
             }
-            let Some(node) = self.nodes.remove(&n) else { continue };
+            let Some(node) = self.nodes.remove(&n) else {
+                continue;
+            };
             self.states[n as usize] = Liveness::Live;
             self.stats.live += 1;
             for slice in node.residency.iter() {
@@ -398,7 +411,9 @@ impl DeadnessEngine {
             if self.states[n as usize] != Liveness::Unknown {
                 continue;
             }
-            let Some(node) = self.nodes.remove(&n) else { continue };
+            let Some(node) = self.nodes.remove(&n) else {
+                continue;
+            };
             self.states[n as usize] = Liveness::Dead;
             self.stats.dead += 1;
             for p in node.producers.into_iter().flatten() {
@@ -547,14 +562,20 @@ mod tests {
     fn residency_credited_only_for_live() {
         let mut e = DeadnessEngine::new();
         let mut live_rec = value(Some(1), &[]);
-        live_rec
-            .residency
-            .push(Slice { structure: Structure::Rob, start: 0, end: 10, bits: 76 });
+        live_rec.residency.push(Slice {
+            structure: Structure::Rob,
+            start: 0,
+            end: 10,
+            bits: 76,
+        });
         e.commit(live_rec);
         let mut dead_rec = value(Some(1), &[]); // overwrites r1 -> first dies
-        dead_rec
-            .residency
-            .push(Slice { structure: Structure::Rob, start: 10, end: 20, bits: 76 });
+        dead_rec.residency.push(Slice {
+            structure: Structure::Rob,
+            start: 10,
+            end: 20,
+            bits: 76,
+        });
         e.commit(dead_rec);
         // First value dead (overwritten unread); second unresolved until finish.
         e.finish();
@@ -565,11 +586,21 @@ mod tests {
     fn residency_credited_when_consumed_by_branch() {
         let mut e = DeadnessEngine::new();
         let mut rec = value(Some(1), &[]);
-        rec.residency.push(Slice { structure: Structure::Iq, start: 5, end: 9, bits: 32 });
+        rec.residency.push(Slice {
+            structure: Structure::Iq,
+            start: 5,
+            end: 9,
+            bits: 32,
+        });
         e.commit(rec);
         let mut br = InstrRecord::of_kind(AceKind::Branch);
         br.srcs[0] = Some(1);
-        br.residency.push(Slice { structure: Structure::Rob, start: 0, end: 2, bits: 76 });
+        br.residency.push(Slice {
+            structure: Structure::Rob,
+            start: 0,
+            end: 2,
+            bits: 76,
+        });
         e.commit(br);
         assert_eq!(e.accumulator().get(Structure::Iq), 4 * 32);
         assert_eq!(e.accumulator().get(Structure::Rob), 2 * 76);
@@ -602,7 +633,11 @@ mod tests {
         e.commit(value(Some(1), &[]));
         let r = e.commit(value(Some(2), &[1]));
         e.commit(value(Some(2), &[])); // kill the reader
-        e.preg_freed(PregRecord { write_cycle: 0, reads: vec![(r, 50)], bits: 64 });
+        e.preg_freed(PregRecord {
+            write_cycle: 0,
+            reads: vec![(r, 50)],
+            bits: 64,
+        });
         e.finish();
         assert_eq!(e.accumulator().get(Structure::RegFile), 0);
     }

@@ -22,7 +22,10 @@ impl FaultRates {
     /// Uniform rates of 1 unit/bit (the paper's baseline assumption).
     #[must_use]
     pub fn baseline() -> FaultRates {
-        FaultRates { name: "Baseline", rates: [1.0; Structure::ALL.len()] }
+        FaultRates {
+            name: "Baseline",
+            rates: [1.0; Structure::ALL.len()],
+        }
     }
 
     /// Radiation-Hardened Circuitry rates of Figure 8(a).
@@ -54,7 +57,10 @@ impl FaultRates {
     /// Builds a custom table starting from uniform 1 unit/bit.
     #[must_use]
     pub fn custom(name: &'static str) -> FaultRates {
-        FaultRates { name, rates: [1.0; Structure::ALL.len()] }
+        FaultRates {
+            name,
+            rates: [1.0; Structure::ALL.len()],
+        }
     }
 
     /// Table name, used in reports ("Baseline", "RHC", "EDR").

@@ -66,7 +66,10 @@ impl CacheLifetime {
     /// Panics if `line_bytes` is not a positive multiple of 4.
     #[must_use]
     pub fn new(line_bytes: u64, tag_bits: u32) -> CacheLifetime {
-        assert!(line_bytes >= 4 && line_bytes % 4 == 0, "line size must be a multiple of 4");
+        assert!(
+            line_bytes >= 4 && line_bytes.is_multiple_of(4),
+            "line size must be a multiple of 4"
+        );
         CacheLifetime {
             line_bytes,
             words_per_line: (line_bytes / 4) as usize,
@@ -153,7 +156,9 @@ impl CacheLifetime {
     /// words are written back and thus ACE since their last write.
     pub fn evict(&mut self, addr: u64, cycle: u64) {
         let base = self.line_base(addr);
-        let Some(line) = self.lines.remove(&base) else { return };
+        let Some(line) = self.lines.remove(&base) else {
+            return;
+        };
         let mut ace = 0u128;
         let mut any_dirty = false;
         for w in line.words.iter() {
@@ -163,7 +168,11 @@ impl CacheLifetime {
             }
         }
         self.data_ace += ace;
-        let tag_end = if any_dirty { Some(cycle) } else { line.last_ace_end };
+        let tag_end = if any_dirty {
+            Some(cycle)
+        } else {
+            line.last_ace_end
+        };
         if let Some(end) = tag_end {
             self.tag_ace +=
                 u128::from(end.saturating_sub(line.fill_cycle)) * u128::from(self.tag_bits);
@@ -204,7 +213,11 @@ impl TlbLifetime {
     /// Creates an analyzer with `entry_bits` vulnerable bits per entry.
     #[must_use]
     pub fn new(entry_bits: u32) -> TlbLifetime {
-        TlbLifetime { entries: HashMap::new(), ace: 0, entry_bits }
+        TlbLifetime {
+            entries: HashMap::new(),
+            ace: 0,
+            entry_bits,
+        }
     }
 
     /// Records a TLB fill for `vpn`.

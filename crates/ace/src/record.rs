@@ -62,7 +62,9 @@ impl Residency {
 
     /// Iterates over the stored slices.
     pub fn iter(&self) -> impl Iterator<Item = &Slice> {
-        self.slices[..usize::from(self.len)].iter().filter_map(Option::as_ref)
+        self.slices[..usize::from(self.len)]
+            .iter()
+            .filter_map(Option::as_ref)
     }
 
     /// Number of stored slices.
@@ -135,7 +137,13 @@ impl InstrRecord {
     /// Creates a record with no register or memory effects.
     #[must_use]
     pub fn of_kind(kind: AceKind) -> InstrRecord {
-        InstrRecord { kind, srcs: [None; 3], dest: None, mem: None, residency: Residency::new() }
+        InstrRecord {
+            kind,
+            srcs: [None; 3],
+            dest: None,
+            mem: None,
+            residency: Residency::new(),
+        }
     }
 }
 
@@ -161,9 +169,19 @@ mod tests {
 
     #[test]
     fn slice_bit_cycles() {
-        let s = Slice { structure: Structure::Rob, start: 10, end: 15, bits: 76 };
+        let s = Slice {
+            structure: Structure::Rob,
+            start: 10,
+            end: 15,
+            bits: 76,
+        };
         assert_eq!(s.bit_cycles(), 5 * 76);
-        let empty = Slice { structure: Structure::Rob, start: 10, end: 10, bits: 76 };
+        let empty = Slice {
+            structure: Structure::Rob,
+            start: 10,
+            end: 10,
+            bits: 76,
+        };
         assert_eq!(empty.bit_cycles(), 0);
     }
 
@@ -172,7 +190,12 @@ mod tests {
         let mut r = Residency::new();
         assert!(r.is_empty());
         for i in 0..8 {
-            r.push(Slice { structure: Structure::Iq, start: i, end: i + 1, bits: 32 });
+            r.push(Slice {
+                structure: Structure::Iq,
+                start: i,
+                end: i + 1,
+                bits: 32,
+            });
         }
         assert_eq!(r.len(), 8);
         assert_eq!(r.iter().count(), 8);
@@ -183,7 +206,12 @@ mod tests {
     fn residency_overflow_panics() {
         let mut r = Residency::new();
         for i in 0..9 {
-            r.push(Slice { structure: Structure::Iq, start: i, end: i + 1, bits: 32 });
+            r.push(Slice {
+                structure: Structure::Iq,
+                start: i,
+                end: i + 1,
+                bits: 32,
+            });
         }
     }
 

@@ -29,7 +29,13 @@ impl AvfReport {
         deadness: DeadnessStats,
     ) -> AvfReport {
         assert!(cycles > 0, "AVF is undefined for a zero-cycle run");
-        AvfReport { name: name.into(), cycles, sizes, ace_bit_cycles, deadness }
+        AvfReport {
+            name: name.into(),
+            cycles,
+            sizes,
+            ace_bit_cycles,
+            deadness,
+        }
     }
 
     /// Name of the measured program.
@@ -156,8 +162,8 @@ impl SerReport {
     /// "core" SER of Table III).
     #[must_use]
     pub fn qs_rf(&self) -> f64 {
-        let bits = self.sizes.class_bits(StructureClass::Qs)
-            + self.sizes.class_bits(StructureClass::Rf);
+        let bits =
+            self.sizes.class_bits(StructureClass::Qs) + self.sizes.class_bits(StructureClass::Rf);
         let sum: f64 = Structure::ALL
             .iter()
             .filter(|s| matches!(s.class(), StructureClass::Qs | StructureClass::Rf))
@@ -189,7 +195,11 @@ impl SerReport {
 
 impl fmt::Display for SerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "SER of `{}` under {} rates (units/bit):", self.name, self.rates_name)?;
+        writeln!(
+            f,
+            "SER of `{}` under {} rates (units/bit):",
+            self.name, self.rates_name
+        )?;
         writeln!(f, "  QS       = {:.3}", self.qs())?;
         writeln!(f, "  QS+RF    = {:.3}", self.qs_rf())?;
         writeln!(f, "  DL1+DTLB = {:.3}", self.dl1_dtlb())?;
@@ -205,8 +215,7 @@ mod tests {
         let sizes = StructureSizes::baseline();
         let cycles = 1000u64;
         let mut ace = [0u128; Structure::ALL.len()];
-        ace[s.index()] =
-            (frac * sizes.bits(s) as f64 * cycles as f64) as u128;
+        ace[s.index()] = (frac * sizes.bits(s) as f64 * cycles as f64) as u128;
         AvfReport::new("t", cycles, sizes, ace, DeadnessStats::default())
     }
 
@@ -232,8 +241,8 @@ mod tests {
         let ser = r.ser(&FaultRates::baseline());
         let sizes = StructureSizes::baseline();
         // Only the ROB contributes; QS units/bit = rob_bits / qs_bits.
-        let expect = sizes.bits(Structure::Rob) as f64
-            / sizes.class_bits(StructureClass::Qs) as f64;
+        let expect =
+            sizes.bits(Structure::Rob) as f64 / sizes.class_bits(StructureClass::Qs) as f64;
         assert!((ser.qs() - expect).abs() < 1e-9);
     }
 

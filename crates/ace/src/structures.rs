@@ -239,9 +239,10 @@ impl StructureSizes {
             Structure::LqData => (self.lq_entries, self.lsq_data_bits),
             Structure::SqTag => (self.sq_entries, self.lsq_tag_bits),
             Structure::SqData => (self.sq_entries, self.lsq_data_bits),
-            Structure::Fu => {
-                (self.n_alus + self.n_muls * self.mul_latency, self.fu_stage_bits)
-            }
+            Structure::Fu => (
+                self.n_alus + self.n_muls * self.mul_latency,
+                self.fu_stage_bits,
+            ),
             Structure::RegFile => (self.rf_regs, self.rf_reg_bits),
             Structure::Dl1Data => (self.dl1_lines, self.line_bytes * 8),
             Structure::Dl1Tag => (self.dl1_lines, self.dl1_tag_bits),
@@ -285,7 +286,10 @@ mod tests {
         let s = StructureSizes::baseline();
         assert_eq!(s.bits(Structure::Rob), 80 * 76);
         assert_eq!(s.bits(Structure::Iq), 20 * 32);
-        assert_eq!(s.bits(Structure::LqTag) + s.bits(Structure::LqData), 32 * 128);
+        assert_eq!(
+            s.bits(Structure::LqTag) + s.bits(Structure::LqData),
+            32 * 128
+        );
         assert_eq!(s.bits(Structure::RegFile), 80 * 64);
         assert_eq!(s.bits(Structure::Dl1Data), 64 * 1024 * 8);
         assert_eq!(s.bits(Structure::L2Data), 1024 * 1024 * 8);

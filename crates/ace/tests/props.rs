@@ -1,8 +1,8 @@
 //! Property tests for ACE-analysis invariants.
 
 use avf_ace::{
-    AceKind, AvfAnalyzer, CacheLifetime, DeadnessEngine, FaultRates, InstrRecord, Liveness,
-    MemRef, Slice, Structure, StructureClass, StructureSizes,
+    AceKind, AvfAnalyzer, CacheLifetime, DeadnessEngine, FaultRates, InstrRecord, Liveness, MemRef,
+    Slice, Structure, StructureClass, StructureSizes,
 };
 use proptest::prelude::*;
 
@@ -41,13 +41,19 @@ fn to_record(op: &Op) -> InstrRecord {
         Op::Load { dest, word } => {
             let mut r = InstrRecord::of_kind(AceKind::Value);
             r.dest = Some(*dest);
-            r.mem = Some(MemRef { addr: u64::from(*word) * 8, bytes: 8 });
+            r.mem = Some(MemRef {
+                addr: u64::from(*word) * 8,
+                bytes: 8,
+            });
             r
         }
         Op::Store { src, word } => {
             let mut r = InstrRecord::of_kind(AceKind::Store);
             r.srcs[0] = Some(*src);
-            r.mem = Some(MemRef { addr: u64::from(*word) * 8, bytes: 8 });
+            r.mem = Some(MemRef {
+                addr: u64::from(*word) * 8,
+                bytes: 8,
+            });
             r
         }
         Op::Branch { src } => {

@@ -15,7 +15,10 @@ fn main() {
         let machine = MachineConfig::baseline();
         let budget = cfg.final_instructions / 4;
         println!("core SER (QS+RF units/bit) by template and fault rates:");
-        println!("{:<10} {:>10} {:>10} {:>10}", "rates", "miss", "hit", "winner");
+        println!(
+            "{:<10} {:>10} {:>10} {:>10}",
+            "rates", "miss", "hit", "winner"
+        );
         for rates in [FaultRates::baseline(), FaultRates::rhc(), FaultRates::edr()] {
             let fitness = Fitness::core(rates.clone());
             let mut scores = Vec::new();
@@ -30,7 +33,11 @@ fn main() {
                 rates.name(),
                 scores[0],
                 scores[1],
-                if scores[0] >= scores[1] { "miss" } else { "hit" }
+                if scores[0] >= scores[1] {
+                    "miss"
+                } else {
+                    "hit"
+                }
             );
         }
     });

@@ -1,0 +1,79 @@
+//! Scaling benchmark for the fault-injection campaign driver: the same
+//! deterministic campaign at 1, 2, and 4 worker threads (plus all
+//! available cores), reporting wall-clock speedup and verifying that
+//! the per-structure outcome tallies are identical at every thread
+//! count — sharding must never change the measurement.
+//!
+//! On a multi-core host the 4-thread run demonstrates the >2× speedup
+//! of the embarrassingly parallel sweep; on a single hardware thread
+//! the runs serialize and the speedup column reads ~1×.
+
+use std::time::Instant;
+
+use avf_codegen::{generate, Knobs, TargetParams};
+use avf_inject::{Campaign, CampaignConfig};
+use avf_sim::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::baseline();
+    let stressmark = generate(&Knobs::paper_baseline(), &TargetParams::baseline());
+
+    let (injections, instr_budget) = match std::env::var("AVF_EXPERIMENT_SCALE").as_deref() {
+        Ok("smoke") => (160, 6_000),
+        Ok("full") => (4_000, 30_000),
+        _ => (800, 12_000),
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1, 2, 4];
+    if !thread_counts.contains(&cores) {
+        thread_counts.push(cores);
+    }
+
+    println!(
+        "campaign_throughput: {injections} injections on `{}`, {instr_budget} instr budget, \
+         {cores} core(s) available",
+        stressmark.program.name()
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>9}",
+        "threads", "wall (s)", "inj/s", "speedup"
+    );
+
+    let mut baseline_wall = None;
+    let mut baseline_counts = None;
+    for threads in thread_counts {
+        let config = CampaignConfig {
+            injections,
+            seed: 42,
+            threads,
+            instr_budget,
+            ..CampaignConfig::default()
+        };
+        let start = Instant::now();
+        let report = Campaign::new(&machine, &stressmark.program, config).run();
+        let wall = start.elapsed().as_secs_f64();
+
+        let counts: Vec<_> = report
+            .targets
+            .iter()
+            .map(|t| (t.target, t.counts))
+            .collect();
+        match &baseline_counts {
+            None => baseline_counts = Some(counts),
+            Some(reference) => assert_eq!(
+                reference, &counts,
+                "campaign outcome must be independent of thread count"
+            ),
+        }
+
+        let speedup = baseline_wall.get_or_insert(wall).max(1e-9) / wall.max(1e-9);
+        println!(
+            "{threads:>8} {wall:>10.2} {:>10.0} {speedup:>8.2}x",
+            injections as f64 / wall.max(1e-9)
+        );
+    }
+    println!("outcome tallies identical across all thread counts ✓");
+}

@@ -5,7 +5,11 @@ fn main() {
     avf_bench::run("fig5_ga_convergence", |cfg| {
         let fig5 = avf_stressmark::fig5(cfg);
         println!("{fig5}");
-        let ser = fig5.outcome.result.report.ser(&avf_ace::FaultRates::baseline());
+        let ser = fig5
+            .outcome
+            .result
+            .report
+            .ser(&avf_ace::FaultRates::baseline());
         println!("final stressmark SER:");
         print!("{ser}");
         println!("evaluations: {}", fig5.outcome.ga.evaluations);

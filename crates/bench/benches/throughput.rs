@@ -25,7 +25,9 @@ fn sim_throughput(c: &mut Criterion) {
     group.bench_function("compute_bound_stressmark", |b| {
         b.iter(|| simulate(&machine, &compute_bound.program, instructions));
     });
-    let workload = avf_workloads::by_name("403.gcc").expect("gcc proxy").build();
+    let workload = avf_workloads::by_name("403.gcc")
+        .expect("gcc proxy")
+        .build();
     group.bench_function("workload_gcc_proxy", |b| {
         b.iter(|| simulate(&machine, &workload, instructions));
     });

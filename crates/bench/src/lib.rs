@@ -22,7 +22,11 @@ pub fn config() -> ExperimentConfig {
             workload_instructions: 8_000_000,
             eval_instructions: 300_000,
             final_instructions: 8_000_000,
-            ga: GaParams { population: 24, generations: 32, ..GaParams::quick() },
+            ga: GaParams {
+                population: 24,
+                generations: 32,
+                ..GaParams::quick()
+            },
             ..ExperimentConfig::standard()
         },
         _ => ExperimentConfig::standard(),

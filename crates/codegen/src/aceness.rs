@@ -41,9 +41,10 @@ pub fn dead_fraction(program: &Program, steps: u64) -> f64 {
             rec.srcs[slot] = src.map(|r| r.number());
         }
         rec.dest = inst.dest_reg().map(|r| r.number());
-        rec.mem = outcome
-            .ea
-            .map(|ea| MemRef { addr: ea, bytes: outcome.size.map_or(8, |s| s.bytes() as u8) });
+        rec.mem = outcome.ea.map(|ea| MemRef {
+            addr: ea,
+            bytes: outcome.size.map_or(8, |s| s.bytes() as u8),
+        });
         engine.commit(rec);
         if outcome.halted {
             break;

@@ -100,9 +100,13 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
     // page each `n_pages` iterations keeps all DTLB entries continuously
     // read ("cover every line in the DTLB without evictions", Figure 2).
     let lines_per_page = (params.page_bytes / line).max(1);
-    let n_pages = ((footprint + params.page_bytes - 1) / params.page_bytes).max(1);
+    let n_pages = footprint.div_ceil(params.page_bytes).max(1);
     let touch_addr = |p: u64| -> u64 {
-        let l = if lines_per_page > 1 { 1 + (3 * p) % (lines_per_page - 1) } else { 0 };
+        let l = if lines_per_page > 1 {
+            1 + (3 * p) % (lines_per_page - 1)
+        } else {
+            0
+        };
         let node = chase_base + p * params.page_bytes + l * line + TOUCH_SLOT;
         node.min(chase_base + footprint - 8)
     };
@@ -114,9 +118,11 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
 
     // Register allocation.
     let n_chains = knobs.chain_count();
-    let n_x = (knobs.n_stores.min(8)).max(1);
+    let n_x = knobs.n_stores.clamp(1, 8);
     let x_regs: Vec<u8> = (0..n_x as u8).map(|i| POOL_BASE + i).collect();
-    let c_regs: Vec<u8> = (0..n_chains as u8).map(|i| POOL_BASE + n_x as u8 + i).collect();
+    let c_regs: Vec<u8> = (0..n_chains as u8)
+        .map(|i| POOL_BASE + n_x as u8 + i)
+        .collect();
     let t_regs: [u8; 2] = [
         POOL_BASE + (n_x + n_chains) as u8,
         POOL_BASE + (n_x + n_chains) as u8 + 1,
@@ -144,7 +150,12 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
     };
     let store_items: Vec<usize> = (0..s)
         .map(|j| {
-            sched.add(Item::store(Opcode::Stq, x_regs[j % x_regs.len()], R_PREV, offset_of(j)))
+            sched.add(Item::store(
+                Opcode::Stq,
+                x_regs[j % x_regs.len()],
+                R_PREV,
+                offset_of(j),
+            ))
         })
         .collect();
 
@@ -169,13 +180,19 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
     // Folds: extra loads xor into an always-stored accumulator; the next
     // load reusing the temp register must wait for the fold.
     let mut merge_ops = 0u32;
-    let mut x_rr = 0usize;
-    for (k, &load_it) in load_items.iter().enumerate().skip(n_chains.saturating_sub(1) as usize)
+    for (x_rr, (k, &load_it)) in load_items
+        .iter()
+        .enumerate()
+        .skip(n_chains.saturating_sub(1) as usize)
+        .enumerate()
     {
         let x = x_regs[x_rr % x_regs.len()];
-        x_rr += 1;
-        let fold =
-            sched.add(Item::alu(Opcode::Xor, x, x, Operand::Reg(Reg::of(t_regs[k % 2]))));
+        let fold = sched.add(Item::alu(
+            Opcode::Xor,
+            x,
+            x,
+            Operand::Reg(Reg::of(t_regs[k % 2])),
+        ));
         sched.add_dep(load_it, fold);
         sched.set_chain(fold, 100 + (k % 2)); // spacing key on the temp reg
         if let Some(&next_load) = load_items.get(k + 2) {
@@ -198,7 +215,9 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
     let x_for_operand = x_regs.clone();
     let rand_operand = move |rng: &mut SmallRng| -> Operand {
         if rng.gen_bool(frac_rr) {
-            Operand::Reg(Reg::of(x_for_operand[rng.gen_range(0..x_for_operand.len())]))
+            Operand::Reg(Reg::of(
+                x_for_operand[rng.gen_range(0..x_for_operand.len())],
+            ))
         } else {
             Operand::Imm(rng.gen_range(1..64))
         }
@@ -211,7 +230,12 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
     let mut prev_item: Option<usize> = None;
     for di in 0..d {
         let src = if di == 0 { R_P } else { c_regs[0] };
-        let it = sched.add(Item::alu(rand_op(&mut rng), c_regs[0], src, rand_operand(&mut rng)));
+        let it = sched.add(Item::alu(
+            rand_op(&mut rng),
+            c_regs[0],
+            src,
+            rand_operand(&mut rng),
+        ));
         sched.set_chain(it, 0);
         if let Some(p) = prev_item {
             sched.add_dep(p, it);
@@ -222,14 +246,26 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
     chain_tail[0] = prev_item;
 
     // Remaining chain ops round-robin over chains 1.. (or chain 0 if alone).
-    let targets: Vec<u32> =
-        if n_chains > 1 { (1..n_chains).collect() } else { vec![0] };
+    let targets: Vec<u32> = if n_chains > 1 {
+        (1..n_chains).collect()
+    } else {
+        vec![0]
+    };
     for i in 0..chain_ops_total {
         let c = targets[i as usize % targets.len()] as usize;
         let reg = c_regs[c];
-        let it = sched.add(Item::alu(rand_op(&mut rng), reg, reg, rand_operand(&mut rng)));
+        let it = sched.add(Item::alu(
+            rand_op(&mut rng),
+            reg,
+            reg,
+            rand_operand(&mut rng),
+        ));
         sched.set_chain(it, c);
-        let prev = chain_tail[c].or(if c == 0 { None } else { load_items.get(c - 1).copied() });
+        let prev = chain_tail[c].or(if c == 0 {
+            None
+        } else {
+            load_items.get(c - 1).copied()
+        });
         if let Some(p) = prev {
             sched.add_dep(p, it);
         }
@@ -243,9 +279,17 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
         let x = x_regs[c % x_regs.len()];
         // Chain 0 may be empty (no miss-shadow or round-robin ops); its
         // merge then folds the chase pointer itself.
-        let src = if c == 0 && chain_lens[0] == 0 { R_P } else { c_regs[c] };
+        let src = if c == 0 && chain_lens[0] == 0 {
+            R_P
+        } else {
+            c_regs[c]
+        };
         let it = sched.add(Item::alu(Opcode::Xor, x, x, Operand::Reg(Reg::of(src))));
-        let prev = chain_tail[c].or(if c == 0 { None } else { load_items.get(c - 1).copied() });
+        let prev = chain_tail[c].or(if c == 0 {
+            None
+        } else {
+            load_items.get(c - 1).copied()
+        });
         if let Some(p) = prev {
             sched.add_dep(p, it);
         }
@@ -282,7 +326,12 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
     for inst in &order {
         b.push(*inst);
     }
-    b.alu_rr(Opcode::Xor, Reg::of(x_regs[0]), Reg::of(x_regs[0]), Reg::of(R_Q));
+    b.alu_rr(
+        Opcode::Xor,
+        Reg::of(x_regs[0]),
+        Reg::of(x_regs[0]),
+        Reg::of(R_Q),
+    );
     b.mov(Reg::of(R_PREV), Reg::of(R_P));
     b.bne(Reg::of(R_ONE), top);
     let program = b.build().expect("generated program is structurally valid");
@@ -297,7 +346,11 @@ pub fn generate(knobs: &Knobs, params: &TargetParams) -> Stressmark {
         avg_chain_len,
         footprint,
     };
-    Stressmark { program, knobs, derived }
+    Stressmark {
+        program,
+        knobs,
+        derived,
+    }
 }
 
 fn stressmark_name(k: &Knobs) -> String {
@@ -346,7 +399,11 @@ mod tests {
     #[test]
     fn no_nops_or_halts_emitted() {
         let sm = generate(&Knobs::paper_baseline(), &params());
-        assert!(sm.program.insts().iter().all(|i| i.op != Opcode::Nop && i.op != Opcode::Halt));
+        assert!(sm
+            .program
+            .insts()
+            .iter()
+            .all(|i| i.op != Opcode::Nop && i.op != Opcode::Halt));
     }
 
     #[test]
@@ -389,7 +446,11 @@ mod tests {
         k2.seed = 999;
         let a = generate(&k1, &params());
         let b = generate(&k2, &params());
-        assert_ne!(a.program.insts(), b.program.insts(), "seed must reshuffle the schedule");
+        assert_ne!(
+            a.program.insts(),
+            b.program.insts(),
+            "seed must reshuffle the schedule"
+        );
     }
 
     #[test]
@@ -399,7 +460,11 @@ mod tests {
         let mut hi = lo.clone();
         hi.frac_long_latency = 1.0;
         let n_mul = |sm: &Stressmark| {
-            sm.program.insts().iter().filter(|i| i.op == Opcode::Mul).count()
+            sm.program
+                .insts()
+                .iter()
+                .filter(|i| i.op == Opcode::Mul)
+                .count()
         };
         let a = generate(&lo, &params());
         let b = generate(&hi, &params());
@@ -419,6 +484,10 @@ mod tests {
                 used.insert(s.number());
             }
         }
-        assert!(used.len() >= 12, "expected a wide register footprint, got {}", used.len());
+        assert!(
+            used.len() >= 12,
+            "expected a wide register footprint, got {}",
+            used.len()
+        );
     }
 }

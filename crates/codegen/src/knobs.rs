@@ -153,7 +153,11 @@ impl Knobs {
             frac_long_latency: g(7),
             frac_reg_reg: g(8),
             seed: (g(9) * u32::MAX as f64) as u64,
-            l2_mode: if g(10) < 0.5 { L2Mode::Miss } else { L2Mode::Hit },
+            l2_mode: if g(10) < 0.5 {
+                L2Mode::Miss
+            } else {
+                L2Mode::Hit
+            },
         };
         k.repair(params);
         k
@@ -266,7 +270,11 @@ mod tests {
                 .map(|i| f64::from((pattern >> (i % 6)) & 1) * 0.9 + 0.05)
                 .collect();
             let k = Knobs::from_genome(&genes, &params);
-            assert!(k.loop_size >= 10 && k.loop_size <= 96, "loop {}", k.loop_size);
+            assert!(
+                k.loop_size >= 10 && k.loop_size <= 96,
+                "loop {}",
+                k.loop_size
+            );
             assert!(k.n_loads >= 1);
             assert!(k.n_stores >= 1);
             assert!(k.mem_cost() + k.n_dep_on_miss + k.n_indep_arith + 4 <= k.loop_size);
@@ -295,7 +303,11 @@ mod tests {
     fn footprints() {
         let p = TargetParams::baseline();
         assert_eq!(p.miss_footprint(), 2 * 1024 * 1024);
-        assert_eq!(p.hit_footprint(), 16 * 1024, "hit template stays L1-resident");
+        assert_eq!(
+            p.hit_footprint(),
+            16 * 1024,
+            "hit template stays L1-resident"
+        );
     }
 
     #[test]
@@ -307,7 +319,7 @@ mod tests {
         k.n_stores = 10;
         k.repair(&params);
         assert!(k.n_loads >= 2);
-        assert!(k.n_stores <= k.n_loads - 1);
+        assert!(k.n_stores < k.n_loads);
     }
 
     #[test]

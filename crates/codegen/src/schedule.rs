@@ -21,15 +21,21 @@ pub(crate) struct Item {
 
 impl Item {
     pub(crate) fn store(op: Opcode, data: u8, base: u8, disp: i32) -> Item {
-        Item { inst: Inst::store(op, Reg::of(data), Reg::of(base), disp) }
+        Item {
+            inst: Inst::store(op, Reg::of(data), Reg::of(base), disp),
+        }
     }
 
     pub(crate) fn load(op: Opcode, dest: u8, base: u8, disp: i32) -> Item {
-        Item { inst: Inst::load(op, Reg::of(dest), Reg::of(base), disp) }
+        Item {
+            inst: Inst::load(op, Reg::of(dest), Reg::of(base), disp),
+        }
     }
 
     pub(crate) fn alu(op: Opcode, dest: u8, src1: u8, src2: Operand) -> Item {
-        Item { inst: Inst::alu(op, Reg::of(dest), Reg::of(src1), src2) }
+        Item {
+            inst: Inst::alu(op, Reg::of(dest), Reg::of(src1), src2),
+        }
     }
 }
 
@@ -49,12 +55,21 @@ pub(crate) struct Scheduler {
 
 impl Scheduler {
     pub(crate) fn new(seed: u64, dep_distance: u32) -> Scheduler {
-        Scheduler { nodes: Vec::new(), rng: SmallRng::seed_from_u64(seed), dep_distance }
+        Scheduler {
+            nodes: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            dep_distance,
+        }
     }
 
     /// Adds an item, returning its id.
     pub(crate) fn add(&mut self, item: Item) -> usize {
-        self.nodes.push(Node { inst: item.inst, succs: Vec::new(), preds_left: 0, chain: None });
+        self.nodes.push(Node {
+            inst: item.inst,
+            succs: Vec::new(),
+            preds_left: 0,
+            chain: None,
+        });
         self.nodes.len() - 1
     }
 
@@ -76,8 +91,7 @@ impl Scheduler {
     /// Panics if the precedence graph contains a cycle (a generator bug).
     pub(crate) fn schedule(mut self) -> Vec<Inst> {
         let n = self.nodes.len();
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| self.nodes[i].preds_left == 0).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| self.nodes[i].preds_left == 0).collect();
         let mut out = Vec::with_capacity(n);
         let mut last_slot: HashMap<usize, usize> = HashMap::new();
         let dist = self.dep_distance as usize;
@@ -90,9 +104,7 @@ impl Scheduler {
                 .iter()
                 .copied()
                 .filter(|&i| match self.nodes[i].chain {
-                    Some(key) => {
-                        last_slot.get(&key).is_none_or(|&ls| ls + dist <= slot)
-                    }
+                    Some(key) => last_slot.get(&key).is_none_or(|&ls| ls + dist <= slot),
                     None => true,
                 })
                 .collect();
@@ -101,8 +113,11 @@ impl Scheduler {
             // conserved to pad the gaps. If everyone is blocked on spacing,
             // relax and take the most overdue item, as the paper's
             // generator meets the distance requirement best-effort.
-            let chain_eligible: Vec<usize> =
-                eligible.iter().copied().filter(|&i| self.nodes[i].chain.is_some()).collect();
+            let chain_eligible: Vec<usize> = eligible
+                .iter()
+                .copied()
+                .filter(|&i| self.nodes[i].chain.is_some())
+                .collect();
             let pick_id = if !chain_eligible.is_empty() {
                 chain_eligible[self.rng.gen_range(0..chain_eligible.len())]
             } else if !eligible.is_empty() {
@@ -112,7 +127,11 @@ impl Scheduler {
                     .iter()
                     .copied()
                     .min_by_key(|&i| {
-                        self.nodes[i].chain.and_then(|k| last_slot.get(&k)).copied().unwrap_or(0)
+                        self.nodes[i]
+                            .chain
+                            .and_then(|k| last_slot.get(&k))
+                            .copied()
+                            .unwrap_or(0)
                     })
                     .expect("ready non-empty")
             };
@@ -167,7 +186,12 @@ mod tests {
             prev = Some(it);
         }
         for i in 0..16 {
-            s.add(Item::alu(Opcode::Xor, 5 + (i % 20), 5 + (i % 20), Operand::Imm(1)));
+            s.add(Item::alu(
+                Opcode::Xor,
+                5 + (i % 20),
+                5 + (i % 20),
+                Operand::Imm(1),
+            ));
         }
         let order = s.schedule();
         let positions: Vec<usize> = order

@@ -6,6 +6,8 @@
 //! avf-stressmark suite    [--rates ...] [--machine ...] [--instructions N] [--tsv]
 //! avf-stressmark fig      <3|4|5|6|7|8|9|table3> [--smoke]
 //! avf-stressmark bounds   [--machine ...]
+//! avf-stressmark validate [--machine ...] [--injections N] [--seed N]
+//!                         [--instructions N] [--threads N]
 //! ```
 
 use std::process::ExitCode;
@@ -14,9 +16,9 @@ use avf_ace::FaultRates;
 use avf_ga::GaParams;
 use avf_sim::MachineConfig;
 use avf_stressmark::{
-    fig3, fig4, fig5, fig6, fig7, fig8, fig9, generate_stressmark, instantaneous_qs_bound,
-    instantaneous_qs_bound_general, raw_sum_core, run_suite, table3, ExperimentConfig, Fitness,
-    KnobSettings, SearchConfig,
+    fig3, fig4, fig5, fig6, fig7, fig8, fig9, generate_stressmark, injection_vs_ace,
+    instantaneous_qs_bound, instantaneous_qs_bound_general, raw_sum_core, run_suite, table3,
+    ExperimentConfig, Fitness, KnobSettings, SearchConfig,
 };
 
 struct Args {
@@ -60,7 +62,9 @@ impl Args {
     fn parse_u64(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
         }
     }
 }
@@ -70,7 +74,9 @@ fn rates_of(args: &Args) -> Result<FaultRates, String> {
         "baseline" => Ok(FaultRates::baseline()),
         "rhc" => Ok(FaultRates::rhc()),
         "edr" => Ok(FaultRates::edr()),
-        other => Err(format!("unknown fault-rate table `{other}` (baseline|rhc|edr)")),
+        other => Err(format!(
+            "unknown fault-rate table `{other}` (baseline|rhc|edr)"
+        )),
     }
 }
 
@@ -106,7 +112,10 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     print!("{}", KnobSettings::of(&outcome));
     let ser = outcome.result.report.ser(&rates);
     print!("{ser}");
-    println!("dead fraction: {:.4}", outcome.result.report.deadness().dead_fraction());
+    println!(
+        "dead fraction: {:.4}",
+        outcome.result.report.deadness().dead_fraction()
+    );
     for g in &outcome.ga.history {
         println!(
             "gen\t{}\t{:.5}\t{:.5}{}",
@@ -123,7 +132,9 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
     let rates = rates_of(args)?;
     let machine = machine_of(args)?;
     let instructions = args.parse_u64("instructions", 2_000_000)?;
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let runs = run_suite(&machine, &avf_workloads::all(), instructions, threads);
     if args.has("tsv") {
         println!("name\tqs\tqs_rf\tdl1_dtlb\tl2\tipc");
@@ -140,7 +151,10 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
             );
         }
     } else {
-        println!("{:<18} {:>8} {:>8} {:>10} {:>8} {:>6}", "program", "QS", "QS+RF", "DL1+DTLB", "L2", "IPC");
+        println!(
+            "{:<18} {:>8} {:>8} {:>10} {:>8} {:>6}",
+            "program", "QS", "QS+RF", "DL1+DTLB", "L2", "IPC"
+        );
         for (w, r) in &runs {
             let ser = r.report.ser(&rates);
             println!(
@@ -192,7 +206,10 @@ fn cmd_fig(args: &Args) -> Result<(), String> {
 fn cmd_bounds(args: &Args) -> Result<(), String> {
     let machine = machine_of(args)?;
     let sizes = machine.structure_sizes();
-    println!("closed-form core bounds for `{}` (units/bit):", machine.name);
+    println!(
+        "closed-form core bounds for `{}` (units/bit):",
+        machine.name
+    );
     println!(
         "{:<10} {:>10} {:>10} {:>10}",
         "rates", "raw sum", "inst (QS)", "inst gen."
@@ -209,6 +226,25 @@ fn cmd_bounds(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    let machine = machine_of(args)?;
+    let injections = args.parse_u64("injections", 1000)?;
+    let seed = args.parse_u64("seed", 42)?;
+    let instructions = args.parse_u64("instructions", 30_000)?;
+    let threads = args.parse_u64("threads", 0)? as usize;
+    eprintln!(
+        "cross-validating ACE AVF by statistical fault injection \
+         ({injections} injections/program, seed {seed})..."
+    );
+    let validation = injection_vs_ace(&machine, injections, seed, instructions, threads);
+    print!("{validation}");
+    if validation.all_consistent() {
+        Ok(())
+    } else {
+        Err("injection measured more vulnerability than the ACE analysis claims".to_owned())
+    }
+}
+
 const USAGE: &str = "\
 usage: avf-stressmark <command> [options]
 
@@ -219,6 +255,9 @@ commands:
             --instructions, --tsv)
   fig       regenerate a paper figure: fig <3|4|5|6|7|8|9|table3> [--smoke]
   bounds    print the closed-form worst-case bounds
+  validate  cross-validate ACE AVF with parallel statistical fault
+            injection on the stressmark + 3 workload profiles (options:
+            --machine, --injections, --seed, --instructions, --threads)
 ";
 
 fn main() -> ExitCode {
@@ -229,6 +268,7 @@ fn main() -> ExitCode {
         Some("suite") => cmd_suite(&args),
         Some("fig") => cmd_fig(&args),
         Some("bounds") => cmd_bounds(&args),
+        Some("validate") => cmd_validate(&args),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::FAILURE;

@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn raw_sum_baseline_is_one() {
         let v = raw_sum_core(&StructureSizes::baseline(), &FaultRates::baseline());
-        assert!((v - 1.0).abs() < 1e-12, "uniform rates give exactly 1 unit/bit");
+        assert!(
+            (v - 1.0).abs() < 1e-12,
+            "uniform rates give exactly 1 unit/bit"
+        );
     }
 
     #[test]

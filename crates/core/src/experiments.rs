@@ -7,6 +7,7 @@ use std::fmt;
 
 use avf_ace::{FaultRates, Structure, StructureClass};
 use avf_ga::{GaParams, GenerationStats};
+use avf_inject::{Campaign, CampaignConfig, CampaignReport};
 use avf_sim::{simulate, MachineConfig, SimResult};
 use avf_workloads::Workload;
 
@@ -42,7 +43,9 @@ impl ExperimentConfig {
             eval_instructions: 120_000,
             final_instructions: 2_000_000,
             ga: GaParams::quick(),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 
@@ -53,8 +56,14 @@ impl ExperimentConfig {
             workload_instructions: 60_000,
             eval_instructions: 10_000,
             final_instructions: 60_000,
-            ga: GaParams { population: 6, generations: 4, ..GaParams::quick() },
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            ga: GaParams {
+                population: 6,
+                generations: 4,
+                ..GaParams::quick()
+            },
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 
@@ -106,7 +115,10 @@ pub fn run_suite(
             h.join().expect("workload worker panicked");
         }
     });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Bit-weighted AVF over a group of structures (merges tag/data arrays for
@@ -152,7 +164,12 @@ pub fn fig3(cfg: &ExperimentConfig) -> Table {
     let machine = MachineConfig::baseline();
     let rates = FaultRates::baseline();
     let sm = stressmark_for(cfg, machine.clone(), rates.clone());
-    let runs = run_suite(&machine, &avf_workloads::spec_all(), cfg.workload_instructions, cfg.threads);
+    let runs = run_suite(
+        &machine,
+        &avf_workloads::spec_all(),
+        cfg.workload_instructions,
+        cfg.threads,
+    );
     let mut t = Table::new(
         "Figure 3: SER (units/bit), stressmark vs SPEC CPU2006, baseline",
         &SER_COLUMNS,
@@ -171,7 +188,12 @@ pub fn fig4(cfg: &ExperimentConfig) -> Table {
     let machine = MachineConfig::baseline();
     let rates = FaultRates::baseline();
     let sm = stressmark_for(cfg, machine.clone(), rates.clone());
-    let runs = run_suite(&machine, &avf_workloads::mibench(), cfg.workload_instructions, cfg.threads);
+    let runs = run_suite(
+        &machine,
+        &avf_workloads::mibench(),
+        cfg.workload_instructions,
+        cfg.threads,
+    );
     let mut t = Table::new(
         "Figure 4: SER (units/bit), stressmark vs MiBench, baseline",
         &SER_COLUMNS,
@@ -195,9 +217,15 @@ pub struct Fig5 {
 
 impl fmt::Display for Fig5 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 5(a): knob settings of the final GA solution ==")?;
+        writeln!(
+            f,
+            "== Figure 5(a): knob settings of the final GA solution =="
+        )?;
         write!(f, "{}", KnobSettings::of(&self.outcome))?;
-        writeln!(f, "== Figure 5(b): GA convergence (mean fitness per generation) ==")?;
+        writeln!(
+            f,
+            "== Figure 5(b): GA convergence (mean fitness per generation) =="
+        )?;
         for g in &self.convergence {
             writeln!(
                 f,
@@ -217,7 +245,10 @@ impl fmt::Display for Fig5 {
 pub fn fig5(cfg: &ExperimentConfig) -> Fig5 {
     let outcome = stressmark_for(cfg, MachineConfig::baseline(), FaultRates::baseline());
     let convergence = outcome.ga.history.clone();
-    Fig5 { outcome, convergence }
+    Fig5 {
+        outcome,
+        convergence,
+    }
 }
 
 /// Knob-settings rendering shared by Figures 5a, 8c, 8d and 9b.
@@ -236,7 +267,10 @@ impl KnobSettings {
             ("Loop Size".to_owned(), k.loop_size.to_string()),
             ("No. of loads".to_owned(), k.n_loads.to_string()),
             ("No. of stores".to_owned(), k.n_stores.to_string()),
-            ("No. of Independent Arithmetic Instructions".to_owned(), d.indep_ops.to_string()),
+            (
+                "No. of Independent Arithmetic Instructions".to_owned(),
+                d.indep_ops.to_string(),
+            ),
             (
                 match k.l2_mode {
                     avf_codegen::L2Mode::Miss => "No. of instructions dependent on L2 miss",
@@ -245,10 +279,19 @@ impl KnobSettings {
                 .to_owned(),
                 k.n_dep_on_miss.to_string(),
             ),
-            ("Avg. Dependence Chain Length".to_owned(), format!("{:.2}", d.avg_chain_len)),
+            (
+                "Avg. Dependence Chain Length".to_owned(),
+                format!("{:.2}", d.avg_chain_len),
+            ),
             ("Dependency Distance".to_owned(), k.dep_distance.to_string()),
-            ("Fraction of Long Latency Arithmetic".to_owned(), format!("{:.2}", k.frac_long_latency)),
-            ("Fraction of Reg-Reg arithmetic instructions".to_owned(), format!("{:.2}", k.frac_reg_reg)),
+            (
+                "Fraction of Long Latency Arithmetic".to_owned(),
+                format!("{:.2}", k.frac_long_latency),
+            ),
+            (
+                "Fraction of Reg-Reg arithmetic instructions".to_owned(),
+                format!("{:.2}", k.frac_reg_reg),
+            ),
             ("Template".to_owned(), format!("{:?}", k.l2_mode)),
         ];
         KnobSettings { lines }
@@ -294,8 +337,14 @@ pub fn fig6(cfg: &ExperimentConfig) -> [Table; 3] {
     let sm = stressmark_for(cfg, machine.clone(), FaultRates::baseline());
     let mut tables = Vec::new();
     for (title, workloads) in [
-        ("Figure 6(a): AVF, SPEC CPU2006 integer", avf_workloads::spec_int()),
-        ("Figure 6(b): AVF, SPEC CPU2006 fp", avf_workloads::spec_fp()),
+        (
+            "Figure 6(a): AVF, SPEC CPU2006 integer",
+            avf_workloads::spec_int(),
+        ),
+        (
+            "Figure 6(b): AVF, SPEC CPU2006 fp",
+            avf_workloads::spec_fp(),
+        ),
         ("Figure 6(c): AVF, MiBench", avf_workloads::mibench()),
     ] {
         let runs = run_suite(&machine, &workloads, cfg.workload_instructions, cfg.threads);
@@ -314,7 +363,12 @@ pub fn fig6(cfg: &ExperimentConfig) -> [Table; 3] {
 #[must_use]
 pub fn fig7(cfg: &ExperimentConfig) -> [Table; 2] {
     let machine = MachineConfig::baseline();
-    let runs = run_suite(&machine, &avf_workloads::all(), cfg.workload_instructions, cfg.threads);
+    let runs = run_suite(
+        &machine,
+        &avf_workloads::all(),
+        cfg.workload_instructions,
+        cfg.threads,
+    );
     let mut out = Vec::new();
     for rates in [FaultRates::rhc(), FaultRates::edr()] {
         let sm = stressmark_for(cfg, machine.clone(), rates.clone());
@@ -324,7 +378,10 @@ pub fn fig7(cfg: &ExperimentConfig) -> [Table; 2] {
         );
         let mut t = Table::new(title, &["QS", "QS+RF"]);
         let ser = sm.result.report.ser(&rates);
-        t.push(format!("Stressmark:{}", rates.name()), vec![ser.qs(), ser.qs_rf()]);
+        t.push(
+            format!("Stressmark:{}", rates.name()),
+            vec![ser.qs(), ser.qs_rf()],
+        );
         for (w, r) in &runs {
             let ser = r.report.ser(&rates);
             t.push(w.name(), vec![ser.qs(), ser.qs_rf()]);
@@ -395,10 +452,16 @@ impl fmt::Display for Fig9 {
 pub fn fig9(cfg: &ExperimentConfig) -> Fig9 {
     let base = stressmark_for(cfg, MachineConfig::baseline(), FaultRates::baseline());
     let a = stressmark_for(cfg, MachineConfig::config_a(), FaultRates::baseline());
-    let mut avf = Table::new("Figure 9(a): stressmark AVF, Baseline vs Config A", &AVF_COLUMNS);
+    let mut avf = Table::new(
+        "Figure 9(a): stressmark AVF, Baseline vs Config A",
+        &AVF_COLUMNS,
+    );
     avf.push("Stressmark:Baseline", avf_row(&base.result));
     avf.push("Stressmark:ConfigA", avf_row(&a.result));
-    Fig9 { avf, knobs: KnobSettings::of(&a) }
+    Fig9 {
+        avf,
+        knobs: KnobSettings::of(&a),
+    }
 }
 
 /// Table III: comparison of worst-case core-SER estimation methodologies.
@@ -430,7 +493,12 @@ impl fmt::Display for Table3 {
 pub fn table3(cfg: &ExperimentConfig) -> Table3 {
     let machine = MachineConfig::baseline();
     let sizes = machine.structure_sizes();
-    let runs = run_suite(&machine, &avf_workloads::all(), cfg.workload_instructions, cfg.threads);
+    let runs = run_suite(
+        &machine,
+        &avf_workloads::all(),
+        cfg.workload_instructions,
+        cfg.threads,
+    );
     let core: Vec<Structure> = Structure::ALL
         .iter()
         .copied()
@@ -440,7 +508,13 @@ pub fn table3(cfg: &ExperimentConfig) -> Table3 {
 
     let mut table = Table::new(
         "Table III: worst-case core SER estimation methodologies (units/bit)",
-        &["Stressmark", "BestProgram", "SumHighest", "RawSum", "InstQSBound"],
+        &[
+            "Stressmark",
+            "BestProgram",
+            "SumHighest",
+            "RawSum",
+            "InstQSBound",
+        ],
     );
     let mut best_programs = Vec::new();
     for rates in [FaultRates::baseline(), FaultRates::rhc(), FaultRates::edr()] {
@@ -478,7 +552,102 @@ pub fn table3(cfg: &ExperimentConfig) -> Table3 {
         );
         best_programs.push((rates.name().to_owned(), best_name));
     }
-    Table3 { table, best_programs }
+    Table3 {
+        table,
+        best_programs,
+    }
+}
+
+/// The profiles the injection-vs-ACE validation sweeps alongside the
+/// stressmark: a memory-bound SPEC proxy, a compute-bound SPEC proxy,
+/// and an embedded MiBench kernel.
+pub const VALIDATION_PROFILES: [&str; 3] = ["429.mcf", "456.hmmer", "susan"];
+
+/// Cross-validation of ACE-based AVF by statistical fault injection:
+/// one campaign per program, stressmark included.
+#[derive(Debug, Clone)]
+pub struct InjectionValidation {
+    /// One campaign report per program.
+    pub reports: Vec<CampaignReport>,
+}
+
+impl InjectionValidation {
+    /// Programs whose ACE estimate lies within the measurement's 95%
+    /// CI for every structure that ACE does not bound from above
+    /// (i.e. no violations).
+    #[must_use]
+    pub fn consistent_programs(&self) -> usize {
+        self.reports.iter().filter(|r| r.consistent()).count()
+    }
+
+    /// Whether every campaign is consistent with ACE analysis being a
+    /// sound per-structure upper bound.
+    #[must_use]
+    pub fn all_consistent(&self) -> bool {
+        self.consistent_programs() == self.reports.len()
+    }
+}
+
+impl fmt::Display for InjectionValidation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.reports {
+            writeln!(f, "{r}")?;
+        }
+        writeln!(
+            f,
+            "summary: ACE bound holds on {}/{} programs ({} structures within CI overall)",
+            self.consistent_programs(),
+            self.reports.len(),
+            self.reports
+                .iter()
+                .map(CampaignReport::agreements)
+                .sum::<usize>()
+        )
+    }
+}
+
+/// Runs fault-injection campaigns on the paper-baseline stressmark and
+/// the [`VALIDATION_PROFILES`] workloads, comparing injection-measured
+/// AVF (±95% CI) against the ACE estimate per structure.
+///
+/// The stressmark used is the paper's hand-tuned baseline knob setting
+/// (no GA search): validation targets the *measurement* machinery, so
+/// it wants a representative near-worst-case program, not a fresh
+/// search per run.
+#[must_use]
+pub fn injection_vs_ace(
+    machine: &MachineConfig,
+    injections: u64,
+    seed: u64,
+    instr_budget: u64,
+    threads: usize,
+) -> InjectionValidation {
+    let stressmark = avf_codegen::generate(
+        &avf_codegen::Knobs::paper_baseline(),
+        &crate::target_params(machine),
+    );
+    let mut programs = vec![stressmark.program];
+    for name in VALIDATION_PROFILES {
+        programs.push(
+            avf_workloads::by_name(name)
+                .expect("validation profile exists")
+                .build(),
+        );
+    }
+    let reports = programs
+        .iter()
+        .map(|program| {
+            let config = CampaignConfig {
+                injections,
+                seed,
+                threads,
+                instr_budget,
+                ..CampaignConfig::default()
+            };
+            Campaign::new(machine, program, config).run()
+        })
+        .collect();
+    InjectionValidation { reports }
 }
 
 #[cfg(test)]
@@ -525,7 +694,10 @@ mod tests {
         assert_eq!(t3.best_programs.len(), 3);
         // Raw sum must dominate every measured number (it ignores masking).
         for (name, vals) in t3.table.rows() {
-            assert!(vals[3] >= vals[0] * 0.99, "{name}: raw sum must be pessimistic");
+            assert!(
+                vals[3] >= vals[0] * 0.99,
+                "{name}: raw sum must be pessimistic"
+            );
         }
     }
 }

@@ -42,13 +42,19 @@ impl Fitness {
     /// Overall SER under `rates` — the paper's fitness.
     #[must_use]
     pub fn overall(rates: FaultRates) -> Fitness {
-        Fitness { rates, scope: FitnessScope::Overall }
+        Fitness {
+            rates,
+            scope: FitnessScope::Overall,
+        }
     }
 
     /// Core-only SER under `rates`.
     #[must_use]
     pub fn core(rates: FaultRates) -> Fitness {
-        Fitness { rates, scope: FitnessScope::Core }
+        Fitness {
+            rates,
+            scope: FitnessScope::Core,
+        }
     }
 
     /// Custom scope.

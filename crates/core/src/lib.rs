@@ -14,7 +14,12 @@
 //! * closed-form **bounds** ([`instantaneous_qs_bound`], [`raw_sum_core`])
 //!   for the Section VI/VII estimation-methodology comparisons;
 //! * **experiment drivers** ([`experiments`]) regenerating every figure and
-//!   table of the paper's evaluation.
+//!   table of the paper's evaluation;
+//! * **injection cross-validation** ([`injection_vs_ace`]): parallel
+//!   statistical fault-injection campaigns (`avf-inject`) measuring
+//!   per-structure AVF independently of the ACE analysis, with 95%
+//!   confidence intervals, on the stressmark and representative
+//!   workloads.
 //!
 //! ## Quickstart
 //!
@@ -41,12 +46,11 @@ mod fitness;
 mod search;
 mod table;
 
-pub use bounds::{
-    instantaneous_qs_bound, instantaneous_qs_bound_general, raw_sum, raw_sum_core,
-};
+pub use bounds::{instantaneous_qs_bound, instantaneous_qs_bound_general, raw_sum, raw_sum_core};
 pub use experiments::{
-    fig3, fig4, fig5, fig6, fig7, fig8, fig9, merged_avf, run_suite, stressmark_for, table3,
-    ExperimentConfig, Fig5, Fig8, Fig9, KnobSettings, Table3,
+    fig3, fig4, fig5, fig6, fig7, fig8, fig9, injection_vs_ace, merged_avf, run_suite,
+    stressmark_for, table3, ExperimentConfig, Fig5, Fig8, Fig9, InjectionValidation, KnobSettings,
+    Table3, VALIDATION_PROFILES,
 };
 pub use fitness::{Fitness, FitnessScope};
 pub use search::{evaluate_knobs, generate_stressmark, target_params, SearchConfig, SearchOutcome};

@@ -41,7 +41,10 @@ impl SearchConfig {
     /// simulator-scaled per DESIGN.md §7.
     #[must_use]
     pub fn paper(machine: MachineConfig, fitness: Fitness) -> SearchConfig {
-        SearchConfig { ga: GaParams::paper(), ..SearchConfig::quick(machine, fitness) }
+        SearchConfig {
+            ga: GaParams::paper(),
+            ..SearchConfig::quick(machine, fitness)
+        }
     }
 }
 
@@ -92,9 +95,18 @@ pub fn generate_stressmark(config: &SearchConfig) -> SearchOutcome {
     let params = target_params(&config.machine);
     let knobs = Knobs::from_genome(&ga.best_genome, &params);
     let stressmark = generate(&knobs, &params);
-    let result = simulate(&config.machine, &stressmark.program, config.final_instructions);
+    let result = simulate(
+        &config.machine,
+        &stressmark.program,
+        config.final_instructions,
+    );
     let score = config.fitness.score(&result.report);
-    SearchOutcome { stressmark, result, score, ga }
+    SearchOutcome {
+        stressmark,
+        result,
+        score,
+        ga,
+    }
 }
 
 /// Evaluates fixed knob values (no search) at the given budget — useful for
@@ -132,7 +144,11 @@ mod tests {
             MachineConfig::baseline(),
             Fitness::overall(FaultRates::baseline()),
         );
-        config.ga = GaParams { population: 6, generations: 5, ..GaParams::quick() };
+        config.ga = GaParams {
+            population: 6,
+            generations: 5,
+            ..GaParams::quick()
+        };
         config.eval_instructions = 8_000;
         config.final_instructions = 20_000;
         let outcome = generate_stressmark(&config);

@@ -37,8 +37,9 @@ where
     params.validate();
     assert!(genome_len > 0, "genome must have at least one gene");
     let mut rng = SmallRng::seed_from_u64(params.seed);
-    let mut population: Vec<Vec<f64>> =
-        (0..params.population).map(|_| random_genome(genome_len, &mut rng)).collect();
+    let mut population: Vec<Vec<f64>> = (0..params.population)
+        .map(|_| random_genome(genome_len, &mut rng))
+        .collect();
 
     let mut best_genome = population[0].clone();
     let mut best_fitness = f64::NEG_INFINITY;
@@ -68,9 +69,19 @@ where
         // Cataclysm (SNAP behaviour): on convergence or stagnation, move
         // the best known solution into a fresh random population.
         let converged = std_dev < params.convergence_epsilon && generation > 0;
-        let cataclysm =
-            (converged || stagnant >= params.cataclysm_patience) && generation + 1 < params.generations;
-        history.push(GenerationStats { generation, best: gen_best, mean, std_dev, cataclysm });
+        let cataclysm = (converged || stagnant >= params.cataclysm_patience)
+            && generation + 1 < params.generations;
+        // A fully-converged population can leave `mean` a few ulps above
+        // `gen_best` through summation rounding; clamp to keep the
+        // mathematical invariant `best >= mean` exact.
+        let mean = mean.min(gen_best);
+        history.push(GenerationStats {
+            generation,
+            best: gen_best,
+            mean,
+            std_dev,
+            cataclysm,
+        });
 
         if generation + 1 == params.generations {
             break;
@@ -100,24 +111,32 @@ where
                 population[p1].clone()
             };
             let mut child = child;
-            mutate(&mut child, params.mutation_rate, params.mutation_sigma, &mut rng);
+            mutate(
+                &mut child,
+                params.mutation_rate,
+                params.mutation_sigma,
+                &mut rng,
+            );
             next.push(child);
         }
 
         // Migration: periodically replace the tail with fresh immigrants.
-        if params.migration_interval > 0
-            && (generation + 1) % params.migration_interval == 0
-        {
+        if params.migration_interval > 0 && (generation + 1) % params.migration_interval == 0 {
             let n = params.migration_count.min(next.len() - params.elite);
             let len = next.len();
-            for slot in (len - n)..len {
-                next[slot] = random_genome(genome_len, &mut rng);
+            for slot in next.iter_mut().take(len).skip(len - n) {
+                *slot = random_genome(genome_len, &mut rng);
             }
         }
         population = next;
     }
 
-    GaResult { best_genome, best_fitness, history, evaluations }
+    GaResult {
+        best_genome,
+        best_fitness,
+        history,
+        evaluations,
+    }
 }
 
 fn evaluate_all<F>(population: &[Vec<f64>], fitness: &F, threads: usize) -> Vec<f64>
@@ -164,7 +183,11 @@ mod tests {
 
     #[test]
     fn converges_on_sphere() {
-        let params = GaParams { population: 24, generations: 40, ..GaParams::quick() };
+        let params = GaParams {
+            population: 24,
+            generations: 40,
+            ..GaParams::quick()
+        };
         let result = optimize(6, &params, sphere);
         assert!(
             result.best_fitness > -0.02,
@@ -188,7 +211,11 @@ mod tests {
 
     #[test]
     fn history_has_one_entry_per_generation() {
-        let params = GaParams { population: 8, generations: 12, ..GaParams::quick() };
+        let params = GaParams {
+            population: 8,
+            generations: 12,
+            ..GaParams::quick()
+        };
         let result = optimize(4, &params, sphere);
         assert_eq!(result.history.len(), 12);
         assert_eq!(result.evaluations, 8 * 12);
@@ -200,7 +227,11 @@ mod tests {
 
     #[test]
     fn best_fitness_is_monotone_over_history() {
-        let params = GaParams { population: 12, generations: 20, ..GaParams::quick() };
+        let params = GaParams {
+            population: 12,
+            generations: 20,
+            ..GaParams::quick()
+        };
         let result = optimize(4, &params, sphere);
         let mut run_best = f64::NEG_INFINITY;
         for h in &result.history {
@@ -212,7 +243,11 @@ mod tests {
     #[test]
     fn cataclysm_triggers_on_constant_fitness() {
         // Constant fitness: zero std-dev => convergence cataclysms.
-        let params = GaParams { population: 8, generations: 10, ..GaParams::quick() };
+        let params = GaParams {
+            population: 8,
+            generations: 10,
+            ..GaParams::quick()
+        };
         let result = optimize(4, &params, |_| 1.0);
         assert!(
             result.history.iter().any(|h| h.cataclysm),
@@ -222,16 +257,29 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
-        let seq = GaParams { threads: 1, ..GaParams::quick().with_seed(5) };
-        let par = GaParams { threads: 4, ..GaParams::quick().with_seed(5) };
+        let seq = GaParams {
+            threads: 1,
+            ..GaParams::quick().with_seed(5)
+        };
+        let par = GaParams {
+            threads: 4,
+            ..GaParams::quick().with_seed(5)
+        };
         let a = optimize(6, &seq, sphere);
         let b = optimize(6, &par, sphere);
-        assert_eq!(a.best_genome, b.best_genome, "thread count must not change the search");
+        assert_eq!(
+            a.best_genome, b.best_genome,
+            "thread count must not change the search"
+        );
     }
 
     #[test]
     fn single_gene_optimization() {
-        let params = GaParams { population: 16, generations: 25, ..GaParams::quick() };
+        let params = GaParams {
+            population: 16,
+            generations: 25,
+            ..GaParams::quick()
+        };
         let result = optimize(1, &params, |g| -(g[0] - 0.25).abs());
         assert!((result.best_genome[0] - 0.25).abs() < 0.05);
     }

@@ -30,7 +30,10 @@ pub fn tournament(fitness: &[f64], k: usize, rng: &mut SmallRng) -> usize {
 #[must_use]
 pub fn crossover(a: &[f64], b: &[f64], rng: &mut SmallRng) -> Vec<f64> {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&ga, &gb)| if rng.gen_bool(0.5) { ga } else { gb }).collect()
+    a.iter()
+        .zip(b)
+        .map(|(&ga, &gb)| if rng.gen_bool(0.5) { ga } else { gb })
+        .collect()
 }
 
 /// Per-gene Gaussian mutation with probability `rate` and step `sigma`;
@@ -73,7 +76,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins > 100, "fittest should win most tournaments, won {wins}");
+        assert!(
+            wins > 100,
+            "fittest should win most tournaments, won {wins}"
+        );
     }
 
     #[test]
@@ -82,7 +88,10 @@ mod tests {
         let b = vec![1.0; 32];
         let child = crossover(&a, &b, &mut rng());
         let ones = child.iter().filter(|&&g| g == 1.0).count();
-        assert!(ones > 4 && ones < 28, "child should mix parents, got {ones} from b");
+        assert!(
+            ones > 4 && ones < 28,
+            "child should mix parents, got {ones} from b"
+        );
     }
 
     #[test]
@@ -91,7 +100,10 @@ mod tests {
         let mut genome = vec![0.5; 1000];
         mutate(&mut genome, 0.05, 0.2, &mut r);
         let changed = genome.iter().filter(|&&g| g != 0.5).count();
-        assert!(changed > 10 && changed < 150, "~5% of genes should change, got {changed}");
+        assert!(
+            changed > 10 && changed < 150,
+            "~5% of genes should change, got {changed}"
+        );
         assert!(genome.iter().all(|x| (0.0..=1.0).contains(x)));
     }
 

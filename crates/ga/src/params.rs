@@ -65,7 +65,11 @@ impl GaParams {
     /// (DESIGN.md §7): 16 individuals × 24 generations.
     #[must_use]
     pub fn quick() -> GaParams {
-        GaParams { population: 16, generations: 24, ..GaParams::paper() }
+        GaParams {
+            population: 16,
+            generations: 24,
+            ..GaParams::paper()
+        }
     }
 
     /// Sets the seed (builder-style).
@@ -84,9 +88,18 @@ impl GaParams {
     pub fn validate(&self) {
         assert!(self.population > 0, "population must be positive");
         assert!(self.generations > 0, "generations must be positive");
-        assert!(self.elite < self.population, "elite must leave room for offspring");
-        assert!((0.0..=1.0).contains(&self.crossover_rate), "crossover rate in [0,1]");
-        assert!((0.0..=1.0).contains(&self.mutation_rate), "mutation rate in [0,1]");
+        assert!(
+            self.elite < self.population,
+            "elite must leave room for offspring"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.crossover_rate),
+            "crossover rate in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.mutation_rate),
+            "mutation rate in [0,1]"
+        );
         assert!(self.tournament >= 1, "tournament size must be at least 1");
     }
 }
@@ -98,7 +111,9 @@ impl Default for GaParams {
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -1,0 +1,221 @@
+//! The parallel campaign driver.
+
+use std::time::Instant;
+
+use avf_isa::Program;
+use avf_sim::{
+    golden_run, simulate, FlipEffect, InjectionSim, InjectionTarget, MachineConfig, RunEnd,
+};
+
+use crate::plan::{SamplingPlan, Trial};
+use crate::report::{ace_avf_of, CampaignReport, TargetReport};
+use crate::stats::OutcomeCounts;
+use crate::Outcome;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Total injections, split round-robin across `targets`.
+    pub injections: u64,
+    /// Seed deriving the whole sampling plan.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Committed-instruction budget for the golden run and every trial.
+    pub instr_budget: u64,
+    /// Structures to inject into.
+    pub targets: Vec<InjectionTarget>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            injections: 800,
+            seed: 42,
+            threads: 0,
+            instr_budget: 30_000,
+            targets: InjectionTarget::ALL.to_vec(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A configured fault-injection campaign over one program.
+pub struct Campaign<'a> {
+    machine: &'a MachineConfig,
+    program: &'a Program,
+    config: CampaignConfig,
+}
+
+impl<'a> Campaign<'a> {
+    /// Binds a campaign to a machine and program.
+    #[must_use]
+    pub fn new(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        config: CampaignConfig,
+    ) -> Campaign<'a> {
+        Campaign {
+            machine,
+            program,
+            config,
+        }
+    }
+
+    /// Runs the campaign: golden run, ACE reference measurement, then
+    /// the sharded injection sweep.
+    ///
+    /// Results are deterministic in `(seed, injections, instr_budget)`
+    /// — the thread count only changes wall-clock time.
+    #[must_use]
+    pub fn run(&self) -> CampaignReport {
+        let start = Instant::now();
+        let golden = golden_run(self.machine, self.program, self.config.instr_budget);
+        let plan = SamplingPlan::new(
+            self.machine,
+            &self.config.targets,
+            self.config.injections,
+            golden.cycles,
+            self.config.seed,
+        );
+        // Hang watchdog: a faulty run materially slower than the golden
+        // run counts as a detected (timeout) error.
+        let cycle_budget = golden.cycles.saturating_mul(4).saturating_add(50_000);
+
+        let workers = self.config.worker_count().max(1);
+        let mut tallies: Vec<Vec<(InjectionTarget, OutcomeCounts)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let shard = plan.shard(w, workers);
+                    let machine = self.machine;
+                    let program = self.program;
+                    let instr_budget = self.config.instr_budget;
+                    scope.spawn(move || {
+                        run_shard(
+                            machine,
+                            program,
+                            instr_budget,
+                            cycle_budget,
+                            golden.digest,
+                            &shard,
+                        )
+                    })
+                })
+                .collect();
+            for h in handles {
+                tallies.push(h.join().expect("campaign worker panicked"));
+            }
+        });
+
+        let mut counts = vec![OutcomeCounts::default(); self.config.targets.len()];
+        for tally in tallies {
+            for (target, c) in tally {
+                let slot = self
+                    .config
+                    .targets
+                    .iter()
+                    .position(|&t| t == target)
+                    .expect("worker reported an unplanned target");
+                counts[slot].merge(c);
+            }
+        }
+
+        // ACE reference: one analyzer-enabled simulation of the same
+        // program and budget.
+        let ace = simulate(self.machine, self.program, self.config.instr_budget);
+        let targets = self
+            .config
+            .targets
+            .iter()
+            .zip(counts)
+            .map(|(&target, counts)| TargetReport {
+                target,
+                counts,
+                ace_avf: ace_avf_of(&ace.report, target),
+            })
+            .collect();
+
+        CampaignReport {
+            program: self.program.name().to_owned(),
+            injections: self.config.injections,
+            seed: self.config.seed,
+            workers,
+            golden,
+            targets,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// Executes one worker's cycle-sorted shard on a single forward pass:
+/// advance to each injection cycle, snapshot, flip, run the faulty
+/// future out, classify, rewind.
+fn run_shard(
+    machine: &MachineConfig,
+    program: &Program,
+    instr_budget: u64,
+    cycle_budget: u64,
+    golden_digest: u64,
+    shard: &[Trial],
+) -> Vec<(InjectionTarget, OutcomeCounts)> {
+    let mut tally: Vec<(InjectionTarget, OutcomeCounts)> = Vec::new();
+    let record = |target: InjectionTarget,
+                  outcome: Outcome,
+                  tally: &mut Vec<(InjectionTarget, OutcomeCounts)>| {
+        match tally.iter_mut().find(|(t, _)| *t == target) {
+            Some((_, c)) => c.record(outcome),
+            None => {
+                let mut c = OutcomeCounts::default();
+                c.record(outcome);
+                tally.push((target, c));
+            }
+        }
+    };
+
+    let mut sim = InjectionSim::new(machine, program, instr_budget);
+    sim.set_cycle_budget(cycle_budget);
+    for trial in shard {
+        let reached = sim.run_to_cycle(trial.cycle);
+        debug_assert!(
+            reached,
+            "fault-free prefix ended before a planned injection cycle"
+        );
+        // Dry-probe first: provably masked flips touch no machine
+        // state, so they need neither the snapshot nor the rewind —
+        // on masked-heavy programs that halves the deep-clone cost.
+        let outcome = match sim.probe_bit(trial.target, trial.entry, trial.bit) {
+            FlipEffect::Masked(_) => Outcome::Masked,
+            FlipEffect::Armed => {
+                let snap = sim.snapshot();
+                let armed = sim.flip_bit(trial.target, trial.entry, trial.bit);
+                debug_assert_eq!(armed, FlipEffect::Armed, "probe and flip must agree");
+                let outcome = match sim.run_to_end() {
+                    RunEnd::Trapped | RunEnd::Timeout => Outcome::Due,
+                    RunEnd::Completed => {
+                        if sim.memory_digest() == golden_digest {
+                            Outcome::Masked
+                        } else {
+                            Outcome::Sdc
+                        }
+                    }
+                };
+                sim.restore(&snap);
+                outcome
+            }
+        };
+        record(trial.target, outcome, &mut tally);
+    }
+    tally
+}

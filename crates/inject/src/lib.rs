@@ -1,0 +1,75 @@
+//! # avf-inject
+//!
+//! Parallel statistical fault-injection campaigns that cross-validate
+//! the ACE-based AVF estimates of `avf-sim`/`avf-ace`.
+//!
+//! The paper's central claim — that the GA stressmark *bounds*
+//! worst-case vulnerability — rests entirely on the ACE analysis behind
+//! its SER fitness. The standard way to validate an ACE-derived AVF is
+//! statistical fault injection (SFI): sample a (cycle, entry, bit)
+//! point uniformly from a structure's bit×cycle space, flip it, run to
+//! completion, and classify the outcome against a fault-free golden run
+//! as **masked**, **SDC** (silent data corruption: program output
+//! differs) or **DUE** (detected unrecoverable error: trap, wrong
+//! translation, hang). The measured AVF is the unmasked fraction; with
+//! a Wilson score interval it becomes a second, independent estimate of
+//! the same quantity ACE analysis computes analytically — and because
+//! ACE analysis is deliberately conservative, a sound simulator shows
+//! `measured ≤ ACE` per structure, with equality approached on
+//! fully-ACE code like the stressmark.
+//!
+//! ## Architecture
+//!
+//! * [`SamplingPlan`] — a deterministic, seed-derived list of trials
+//!   (every trial's sample is a pure function of `(seed, trial index)`,
+//!   so campaign results are identical for any thread count);
+//! * [`Campaign`] — the embarrassingly parallel driver: trials are
+//!   strided across worker threads, each worker walks one
+//!   [`avf_sim::InjectionSim`] forward in cycle order and uses
+//!   [`avf_sim::InjectionSim::snapshot`]/`restore` to fork at each
+//!   injection point instead of re-simulating the prefix;
+//! * [`CampaignReport`] — per-structure outcome counts, measured AVF
+//!   with 95% Wilson confidence intervals, and the ACE AVF measured on
+//!   the same run for side-by-side comparison.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use avf_inject::{Campaign, CampaignConfig};
+//! use avf_sim::MachineConfig;
+//! # let program = avf_workloads::by_name("429.mcf").unwrap().build();
+//!
+//! let machine = MachineConfig::baseline();
+//! let config = CampaignConfig { injections: 1000, seed: 42, ..CampaignConfig::default() };
+//! let report = Campaign::new(&machine, &program, config).run();
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod plan;
+mod report;
+mod stats;
+
+pub use campaign::{Campaign, CampaignConfig};
+pub use plan::{SamplingPlan, Trial};
+pub use report::{CampaignReport, TargetReport, Verdict};
+pub use stats::{wilson_interval, OutcomeCounts};
+
+pub use avf_sim::{FlipEffect, InjectionTarget, MaskReason, RunEnd};
+
+/// Classified outcome of one injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// No architecturally visible effect: the program produced the same
+    /// output as the golden run (or the flip hit provably dead state).
+    Masked,
+    /// Silent data corruption: the run completed but program output
+    /// differs from the golden run.
+    Sdc,
+    /// Detected unrecoverable error: trap, wrong translation consumed,
+    /// control-state corruption, or a hang past the cycle budget.
+    Due,
+}

@@ -1,0 +1,216 @@
+//! Campaign results: per-structure measured-vs-ACE AVF comparison.
+
+use std::fmt;
+use std::time::Duration;
+
+use avf_ace::AvfReport;
+use avf_sim::{GoldenRun, InjectionTarget};
+
+use crate::stats::OutcomeCounts;
+
+/// Numerical slack when comparing a point estimate to a CI edge.
+const EPS: f64 = 1e-9;
+
+/// How the ACE estimate relates to the injection measurement for one
+/// structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The ACE AVF lies inside the 95% CI of the measurement.
+    Agree,
+    /// The ACE AVF lies above the CI: the analysis is conservative
+    /// here, which is its design intent (lifetime over-approximation,
+    /// whole-entry ACE credit).
+    Bounded,
+    /// The ACE AVF lies *below* the CI: injection observed more
+    /// vulnerability than the analysis claims — a soundness red flag
+    /// that must not happen.
+    Violation,
+}
+
+impl Verdict {
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Agree => "agree",
+            Verdict::Bounded => "bounded",
+            Verdict::Violation => "VIOLATION",
+        }
+    }
+}
+
+/// One structure's campaign result.
+#[derive(Debug, Clone)]
+pub struct TargetReport {
+    /// Injected structure.
+    pub target: InjectionTarget,
+    /// Classified trial tally.
+    pub counts: OutcomeCounts,
+    /// ACE-estimated AVF of the same structure on the same run
+    /// (bit-weighted across tag/data arrays where the target spans
+    /// both).
+    pub ace_avf: f64,
+}
+
+impl TargetReport {
+    /// Injection-measured AVF.
+    #[must_use]
+    pub fn measured_avf(&self) -> f64 {
+        self.counts.avf()
+    }
+
+    /// 95% Wilson interval of the measurement.
+    #[must_use]
+    pub fn ci95(&self) -> (f64, f64) {
+        self.counts.ci95()
+    }
+
+    /// Relation of the ACE estimate to the measurement.
+    ///
+    /// The violation test is one-sided at 99.5% (z = 2.576) rather
+    /// than reusing the displayed 95% interval, and requires at least
+    /// 30 trials: a `validate` run makes 32 simultaneous comparisons
+    /// (8 structures × 4 programs), so a 2.5% one-sided test would
+    /// flag ~0.8 borderline false alarms per clean run, and at tiny
+    /// sample sizes one unlucky SDC swings the bound. A genuine
+    /// soundness bug overshoots by far more than the gap between the
+    /// two quantiles (and shows up at any sane campaign size).
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        let (_, hi) = self.ci95();
+        let (strict_lo, _) =
+            crate::stats::wilson_interval(self.counts.unmasked(), self.counts.total(), 2.576);
+        if self.counts.total() >= 30 && self.ace_avf + EPS < strict_lo {
+            Verdict::Violation
+        } else if self.ace_avf <= hi + EPS {
+            Verdict::Agree
+        } else {
+            Verdict::Bounded
+        }
+    }
+}
+
+/// Full result of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Program name.
+    pub program: String,
+    /// Planned injections.
+    pub injections: u64,
+    /// Plan seed.
+    pub seed: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// The fault-free reference run.
+    pub golden: GoldenRun,
+    /// Per-structure results, in configured target order.
+    pub targets: Vec<TargetReport>,
+    /// Campaign wall-clock time.
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// Structures whose measurement the ACE estimate fails to cover.
+    #[must_use]
+    pub fn violations(&self) -> usize {
+        self.targets
+            .iter()
+            .filter(|t| t.verdict() == Verdict::Violation)
+            .count()
+    }
+
+    /// Structures where the ACE AVF falls inside the measurement CI.
+    #[must_use]
+    pub fn agreements(&self) -> usize {
+        self.targets
+            .iter()
+            .filter(|t| t.verdict() == Verdict::Agree)
+            .count()
+    }
+
+    /// Whether the campaign is consistent with ACE analysis being a
+    /// sound upper bound (no violations).
+    #[must_use]
+    pub fn consistent(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// Injection trials per second of wall-clock time.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.injections as f64 / secs
+        }
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault-injection campaign: `{}` — {} injections, seed {}, {} worker(s), \
+             golden {} cycles / {} instrs",
+            self.program,
+            self.injections,
+            self.seed,
+            self.workers,
+            self.golden.cycles,
+            self.golden.committed
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:>7} {:>7} {:>6} {:>6} {:>9} {:>17} {:>9}  verdict",
+            "struct", "trials", "masked", "sdc", "due", "inj-AVF", "95% CI", "ACE-AVF"
+        )?;
+        for t in &self.targets {
+            let (lo, hi) = t.ci95();
+            writeln!(
+                f,
+                "{:<6} {:>7} {:>7} {:>6} {:>6} {:>9.4} [{:>6.4}, {:>6.4}] {:>9.4}  {}",
+                t.target.name(),
+                t.counts.total(),
+                t.counts.masked,
+                t.counts.sdc,
+                t.counts.due,
+                t.measured_avf(),
+                lo,
+                hi,
+                t.ace_avf,
+                t.verdict().name()
+            )?;
+        }
+        writeln!(
+            f,
+            "agreement: {} within CI, {} bounded above, {} violations — {} ({:.0} inj/s)",
+            self.agreements(),
+            self.targets.len() - self.agreements() - self.violations(),
+            self.violations(),
+            if self.consistent() {
+                "ACE bound holds"
+            } else {
+                "ACE BOUND VIOLATED"
+            },
+            self.throughput()
+        )
+    }
+}
+
+/// Bit-weighted ACE AVF of the arrays an injection target spans.
+#[must_use]
+pub fn ace_avf_of(report: &AvfReport, target: InjectionTarget) -> f64 {
+    let sizes = report.sizes();
+    let mut weighted = 0.0;
+    let mut bits = 0u64;
+    for &s in target.ace_structures() {
+        weighted += report.avf(s) * sizes.bits(s) as f64;
+        bits += sizes.bits(s);
+    }
+    if bits == 0 {
+        0.0
+    } else {
+        weighted / bits as f64
+    }
+}

@@ -1,0 +1,150 @@
+//! Outcome bookkeeping and binomial confidence intervals.
+
+use crate::Outcome;
+
+/// Per-structure tally of classified trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Trials with no architecturally visible effect.
+    pub masked: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Detected unrecoverable errors.
+    pub due: u64,
+}
+
+impl OutcomeCounts {
+    /// Records one classified trial.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Due => self.due += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: OutcomeCounts) {
+        self.masked += other.masked;
+        self.sdc += other.sdc;
+        self.due += other.due;
+    }
+
+    /// Total trials recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.due
+    }
+
+    /// Unmasked trials (the AVF numerator: SDC + DUE).
+    #[must_use]
+    pub fn unmasked(&self) -> u64 {
+        self.sdc + self.due
+    }
+
+    /// Injection-measured AVF: the unmasked fraction.
+    #[must_use]
+    pub fn avf(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.unmasked() as f64 / self.total() as f64
+        }
+    }
+
+    /// 95% Wilson score interval around [`OutcomeCounts::avf`].
+    #[must_use]
+    pub fn ci95(&self) -> (f64, f64) {
+        wilson_interval(self.unmasked(), self.total(), 1.96)
+    }
+}
+
+/// Wilson score interval for `successes` out of `n` Bernoulli trials at
+/// normal quantile `z` (1.96 for 95%).
+///
+/// Preferred over the normal approximation because injection campaigns
+/// routinely measure proportions at or near 0 (fully masked structures),
+/// where the Wald interval collapses to a meaningless `[0, 0]`.
+#[must_use]
+pub fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = p + z2 / (2.0 * n_f);
+    let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    let lo = ((center - margin) / denom).max(0.0);
+    let hi = ((center + margin) / denom).min(1.0);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_avf() {
+        let mut c = OutcomeCounts::default();
+        for _ in 0..70 {
+            c.record(Outcome::Masked);
+        }
+        for _ in 0..20 {
+            c.record(Outcome::Sdc);
+        }
+        for _ in 0..10 {
+            c.record(Outcome::Due);
+        }
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.unmasked(), 30);
+        assert!((c.avf() - 0.3).abs() < 1e-12);
+        let (lo, hi) = c.ci95();
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(hi - lo < 0.2, "CI at n=100 should be tighter than ±10%");
+    }
+
+    #[test]
+    fn wilson_handles_extremes() {
+        let (lo, hi) = wilson_interval(0, 500, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(
+            hi > 0.0 && hi < 0.02,
+            "zero successes still bound away from 0: {hi}"
+        );
+        let (lo, hi) = wilson_interval(500, 500, 1.96);
+        assert!(hi > 0.9999, "all-successes upper bound ~1: {hi}");
+        assert!(lo > 0.98);
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn interval_tightens_with_n() {
+        let (lo_s, hi_s) = wilson_interval(5, 10, 1.96);
+        let (lo_l, hi_l) = wilson_interval(500, 1000, 1.96);
+        assert!(hi_l - lo_l < hi_s - lo_s);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = OutcomeCounts {
+            masked: 1,
+            sdc: 2,
+            due: 3,
+        };
+        a.merge(OutcomeCounts {
+            masked: 10,
+            sdc: 20,
+            due: 30,
+        });
+        assert_eq!(
+            a,
+            OutcomeCounts {
+                masked: 11,
+                sdc: 22,
+                due: 33
+            }
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Campaign-level properties: determinism, the un-ACE/ACE extremes,
+//! and measured-vs-ACE consistency.
+
+use avf_inject::{Campaign, CampaignConfig, InjectionTarget, Verdict};
+use avf_isa::{Opcode, Program, ProgramBuilder, Reg, DATA_BASE};
+use avf_sim::MachineConfig;
+
+/// A deliberately un-ACE kernel: every iteration computes values into
+/// registers that the next iteration unconditionally overwrites, and
+/// nothing is ever stored. The only live state is the loop counter and
+/// the (constant) operand registers, so almost every flip must be
+/// masked.
+fn idle_loop() -> Program {
+    let counter = Reg::of(1);
+    let mut b = ProgramBuilder::new("idle-loop");
+    b.addi(counter, Reg::ZERO, 400);
+    let top = b.here();
+    for dead in 8..16u8 {
+        b.addi(Reg::of(dead), Reg::ZERO, i16::from(dead));
+    }
+    b.subi(counter, counter, 1);
+    b.bne(counter, top);
+    b.halt();
+    b.build().expect("valid program")
+}
+
+/// A register-chain kernel at the opposite extreme: sixteen registers
+/// stay architecturally live across the whole loop — every iteration
+/// folds each of them into a stored accumulator and then updates them
+/// in place — so a flip in any of those registers reaches program
+/// output on the next traversal. This is the paper's long
+/// dependency-distance pattern, the shape that maximizes register-file
+/// AVF.
+fn register_chain() -> Program {
+    let acc = Reg::of(1);
+    let counter = Reg::of(2);
+    let base = Reg::of(3);
+    let mut b = ProgramBuilder::new("register-chain");
+    b.addi(counter, Reg::ZERO, 200);
+    b.load_addr(base, DATA_BASE);
+    b.addi(acc, Reg::ZERO, 1);
+    for k in 8..24u8 {
+        b.addi(Reg::of(k), Reg::ZERO, i16::from(k));
+    }
+    let top = b.here();
+    for k in 8..24u8 {
+        b.alu_rr(Opcode::Xor, acc, acc, Reg::of(k));
+    }
+    for k in 8..24u8 {
+        b.alu_ri(Opcode::Add, Reg::of(k), Reg::of(k), i16::from(k));
+    }
+    b.stq(acc, base, 0);
+    b.subi(counter, counter, 1);
+    b.bne(counter, top);
+    b.halt();
+    b.build().expect("valid program")
+}
+
+fn campaign(
+    program: &Program,
+    injections: u64,
+    threads: usize,
+    seed: u64,
+) -> avf_inject::CampaignReport {
+    let machine = MachineConfig::baseline();
+    let config = CampaignConfig {
+        injections,
+        seed,
+        threads,
+        instr_budget: 6_000,
+        ..CampaignConfig::default()
+    };
+    Campaign::new(&machine, program, config).run()
+}
+
+#[test]
+fn same_seed_same_outcome_counts_across_thread_counts() {
+    let program = register_chain();
+    let a = campaign(&program, 96, 1, 7);
+    let b = campaign(&program, 96, 3, 7);
+    let c = campaign(&program, 96, 1, 7);
+    for ((ta, tb), tc) in a.targets.iter().zip(&b.targets).zip(&c.targets) {
+        assert_eq!(ta.target, tb.target);
+        assert_eq!(ta.counts, tb.counts, "{}: 1 vs 3 threads differ", ta.target);
+        assert_eq!(ta.counts, tc.counts, "{}: repeat run differs", ta.target);
+        assert_eq!(ta.ace_avf.to_bits(), tc.ace_avf.to_bits());
+    }
+}
+
+#[test]
+fn different_seeds_sample_differently() {
+    let program = register_chain();
+    let a = campaign(&program, 96, 1, 1);
+    let b = campaign(&program, 96, 1, 2);
+    let a_counts: Vec<_> = a.targets.iter().map(|t| t.counts).collect();
+    let b_counts: Vec<_> = b.targets.iter().map(|t| t.counts).collect();
+    assert_ne!(
+        a_counts, b_counts,
+        "independent seeds should not tally identically"
+    );
+}
+
+#[test]
+fn un_ace_idle_loop_measures_near_zero_avf() {
+    let program = idle_loop();
+    let report = campaign(&program, 400, 0, 42);
+    let total: u64 = report.targets.iter().map(|t| t.counts.total()).sum();
+    let unmasked: u64 = report.targets.iter().map(|t| t.counts.unmasked()).sum();
+    let overall = unmasked as f64 / total as f64;
+    assert!(
+        overall < 0.05,
+        "idle loop measured overall AVF {overall:.4}; expected ~0 (unmasked {unmasked}/{total})"
+    );
+    // The register file specifically: only the loop counter is live.
+    let rf = report
+        .targets
+        .iter()
+        .find(|t| t.target == InjectionTarget::RegFile)
+        .expect("RF targeted");
+    assert!(
+        rf.measured_avf() < 0.1,
+        "idle-loop RF AVF {:.4} should be close to zero",
+        rf.measured_avf()
+    );
+    assert!(report.consistent(), "ACE must still bound the idle loop");
+}
+
+#[test]
+fn register_chain_rf_avf_consistent_with_ace() {
+    let program = register_chain();
+    let report = campaign(&program, 600, 0, 42);
+    let rf = report
+        .targets
+        .iter()
+        .find(|t| t.target == InjectionTarget::RegFile)
+        .expect("RF targeted");
+    // The chain keeps live values in flight continuously: injection
+    // must see real vulnerability...
+    assert!(
+        rf.measured_avf() > 0.05,
+        "register-chain RF AVF {:.4} should be clearly nonzero",
+        rf.measured_avf()
+    );
+    // ...and the ACE estimate must be consistent with the measurement:
+    // inside the 95% CI, or above it (ACE's documented conservatism),
+    // never below.
+    assert_ne!(
+        rf.verdict(),
+        Verdict::Violation,
+        "ACE RF AVF {:.4} lies below the measured CI {:?}",
+        rf.ace_avf,
+        rf.ci95()
+    );
+    let (lo, _hi) = rf.ci95();
+    assert!(
+        rf.ace_avf >= lo,
+        "ACE estimate {:.4} must not undercut the measurement CI floor {lo:.4}",
+        rf.ace_avf
+    );
+    // Whole-report soundness: no structure may violate the bound.
+    assert!(report.consistent(), "{report}");
+}
+
+#[test]
+fn sdc_and_due_both_observed_on_live_code() {
+    let program = register_chain();
+    let report = campaign(&program, 600, 0, 42);
+    let sdc: u64 = report.targets.iter().map(|t| t.counts.sdc).sum();
+    let due: u64 = report.targets.iter().map(|t| t.counts.due).sum();
+    assert!(sdc > 0, "a live register chain with stores must show SDCs");
+    assert!(due > 0, "control-state and DTLB faults must show DUEs");
+}

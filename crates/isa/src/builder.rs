@@ -249,7 +249,15 @@ mod tests {
 
     #[test]
     fn load_addr_materializes_various_constants() {
-        for value in [0u64, 1, 0x7FFF, 0x8000, 0x1000_0000, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+        for value in [
+            0u64,
+            1,
+            0x7FFF,
+            0x8000,
+            0x1000_0000,
+            u64::MAX,
+            0xDEAD_BEEF_CAFE_F00D,
+        ] {
             let mut b = ProgramBuilder::new("t");
             b.load_addr(r(1), value);
             b.halt();

@@ -39,7 +39,12 @@ impl fmt::Display for Inst {
 pub fn listing(program: &Program) -> String {
     use fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "; program `{}`, {} insts", program.name(), program.len());
+    let _ = writeln!(
+        out,
+        "; program `{}`, {} insts",
+        program.name(),
+        program.len()
+    );
     for (i, inst) in program.insts().iter().enumerate() {
         let _ = writeln!(out, "{i:6}: {inst}");
     }
@@ -59,8 +64,14 @@ mod tests {
             Inst::alu(Opcode::Add, r1, r2, Operand::Imm(4)).to_string(),
             "add r1, r2, #4"
         );
-        assert_eq!(Inst::load(Opcode::Ldq, r1, r2, 8).to_string(), "ldq r1, 8(r2)");
-        assert_eq!(Inst::store(Opcode::Stl, r1, r2, -4).to_string(), "stl r1, -4(r2)");
+        assert_eq!(
+            Inst::load(Opcode::Ldq, r1, r2, 8).to_string(),
+            "ldq r1, 8(r2)"
+        );
+        assert_eq!(
+            Inst::store(Opcode::Stl, r1, r2, -4).to_string(),
+            "stl r1, -4(r2)"
+        );
         assert_eq!(Inst::branch(Opcode::Beq, r1, 3).to_string(), "beq r1, @3");
         assert_eq!(Inst::jump(9).to_string(), "br @9");
         assert_eq!(Inst::nop().to_string(), "nop");

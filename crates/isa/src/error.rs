@@ -29,7 +29,10 @@ impl fmt::Display for IsaError {
             IsaError::InvalidRegister(n) => write!(f, "invalid register number {n}"),
             IsaError::UnboundLabel(id) => write!(f, "label {id} was never bound"),
             IsaError::BranchOutOfRange { at, target, len } => {
-                write!(f, "branch at {at} targets {target} outside program of length {len}")
+                write!(
+                    f,
+                    "branch at {at} targets {target} outside program of length {len}"
+                )
             }
             IsaError::PcOutOfRange(pc) => write!(f, "program counter {pc} left program text"),
             IsaError::EmptyProgram => write!(f, "program contains no instructions"),
@@ -48,7 +51,12 @@ mod tests {
         let msgs = [
             IsaError::InvalidRegister(40).to_string(),
             IsaError::UnboundLabel(2).to_string(),
-            IsaError::BranchOutOfRange { at: 1, target: 9, len: 4 }.to_string(),
+            IsaError::BranchOutOfRange {
+                at: 1,
+                target: 9,
+                len: 4,
+            }
+            .to_string(),
             IsaError::PcOutOfRange(77).to_string(),
             IsaError::EmptyProgram.to_string(),
         ];

@@ -44,7 +44,12 @@ impl ExecState {
     /// into `mem`.
     pub fn new(program: &Program, mem: &mut Memory) -> ExecState {
         program.data().load_into(mem);
-        ExecState { regs: [0; 32], pc: program.entry(), retired: 0, halted: false }
+        ExecState {
+            regs: [0; 32],
+            pc: program.entry(),
+            retired: 0,
+            halted: false,
+        }
     }
 
     /// Whether the machine has executed a [`Opcode::Halt`].

@@ -76,28 +76,56 @@ impl Inst {
     #[must_use]
     pub fn alu(op: Opcode, dest: Reg, src1: Reg, src2: Operand) -> Inst {
         debug_assert!(matches!(op.class(), OpClass::IntShort | OpClass::IntLong));
-        Inst { op, dest, src1, src2, disp: 0, target: 0 }
+        Inst {
+            op,
+            dest,
+            src1,
+            src2,
+            disp: 0,
+            target: 0,
+        }
     }
 
     /// Creates a load instruction (`dest = mem[src1 + disp]`).
     #[must_use]
     pub fn load(op: Opcode, dest: Reg, base: Reg, disp: i32) -> Inst {
         debug_assert!(op.is_load());
-        Inst { op, dest, src1: base, src2: Operand::Reg(Reg::ZERO), disp, target: 0 }
+        Inst {
+            op,
+            dest,
+            src1: base,
+            src2: Operand::Reg(Reg::ZERO),
+            disp,
+            target: 0,
+        }
     }
 
     /// Creates a store instruction (`mem[base + disp] = data`).
     #[must_use]
     pub fn store(op: Opcode, data: Reg, base: Reg, disp: i32) -> Inst {
         debug_assert!(op.is_store());
-        Inst { op, dest: Reg::ZERO, src1: base, src2: Operand::Reg(data), disp, target: 0 }
+        Inst {
+            op,
+            dest: Reg::ZERO,
+            src1: base,
+            src2: Operand::Reg(data),
+            disp,
+            target: 0,
+        }
     }
 
     /// Creates a conditional branch against zero (`if cond(src1) goto target`).
     #[must_use]
     pub fn branch(op: Opcode, cond: Reg, target: u32) -> Inst {
         debug_assert!(op.is_branch() && !op.is_unconditional());
-        Inst { op, dest: Reg::ZERO, src1: cond, src2: Operand::Reg(Reg::ZERO), disp: 0, target }
+        Inst {
+            op,
+            dest: Reg::ZERO,
+            src1: cond,
+            src2: Operand::Reg(Reg::ZERO),
+            disp: 0,
+            target,
+        }
     }
 
     /// Creates an unconditional branch.

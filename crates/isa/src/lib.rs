@@ -54,7 +54,7 @@ pub use error::IsaError;
 pub use exec::{ExecState, Outcome};
 pub use inst::{Inst, Operand};
 pub use memory::Memory;
-pub use opcode::{AccessSize, Opcode, OpClass};
+pub use opcode::{AccessSize, OpClass, Opcode};
 pub use program::{DataSegment, Program};
 pub use reg::Reg;
 

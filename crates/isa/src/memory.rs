@@ -86,6 +86,36 @@ impl Memory {
         }
     }
 
+    /// Order-independent digest of the memory's *semantic* contents.
+    ///
+    /// Two memories digest equal iff every byte address reads the same
+    /// value in both: zero-filled words are skipped, so a page that was
+    /// materialized by writing zeroes digests identically to an
+    /// untouched page. Used by the fault-injection engine to classify
+    /// silent data corruption against a golden run.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut page_ids: Vec<u64> = self.pages.keys().copied().collect();
+        page_ids.sort_unstable();
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mix = |h: &mut u64, v: u64| {
+            for b in v.to_le_bytes() {
+                *h = (*h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for id in page_ids {
+            let page = &self.pages[&id];
+            for (word_idx, chunk) in page.chunks_exact(8).enumerate() {
+                let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                if word != 0 {
+                    mix(&mut h, (id << PAGE_SHIFT) + 8 * word_idx as u64);
+                    mix(&mut h, word);
+                }
+            }
+        }
+        h
+    }
+
     /// Writes `buf` starting at `addr`.
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
         let off = (addr & OFFSET_MASK) as usize;
@@ -132,6 +162,24 @@ mod tests {
         mem.write_u64(addr, u64::MAX);
         assert_eq!(mem.read_u64(addr), u64::MAX);
         assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn digest_tracks_semantic_contents() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.digest(), b.digest(), "empty memories digest equal");
+        a.write_u64(0x1000, 7);
+        assert_ne!(a.digest(), b.digest());
+        b.write_u64(0x1000, 7);
+        assert_eq!(a.digest(), b.digest());
+        // Materializing a page with zeroes is semantically a no-op.
+        b.write_u64(0x9_0000, 0);
+        assert_eq!(a.digest(), b.digest());
+        // Same value at a different address must differ.
+        let mut c = Memory::new();
+        c.write_u64(0x1008, 7);
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

@@ -166,7 +166,10 @@ impl Opcode {
     /// Whether the opcode produces a register result.
     #[must_use]
     pub fn writes_register(self) -> bool {
-        matches!(self.class(), OpClass::IntShort | OpClass::IntLong | OpClass::Load)
+        matches!(
+            self.class(),
+            OpClass::IntShort | OpClass::IntLong | OpClass::Load
+        )
     }
 
     /// Mnemonic string used by the disassembler.

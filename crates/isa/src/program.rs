@@ -20,7 +20,10 @@ impl DataSegment {
     /// Creates a data segment at the default [`DATA_BASE`].
     #[must_use]
     pub fn new(bytes: Vec<u8>) -> DataSegment {
-        DataSegment { base: DATA_BASE, bytes }
+        DataSegment {
+            base: DATA_BASE,
+            bytes,
+        }
     }
 
     /// Creates a zero-filled segment of `len` bytes at the default base.
@@ -85,13 +88,22 @@ impl Program {
         let len = insts.len() as u32;
         for (i, inst) in insts.iter().enumerate() {
             if inst.op.is_branch() && inst.target >= len {
-                return Err(IsaError::BranchOutOfRange { at: i as u32, target: inst.target, len });
+                return Err(IsaError::BranchOutOfRange {
+                    at: i as u32,
+                    target: inst.target,
+                    len,
+                });
             }
         }
         if entry >= len {
             return Err(IsaError::PcOutOfRange(entry));
         }
-        Ok(Program { name: name.into(), insts, data, entry })
+        Ok(Program {
+            name: name.into(),
+            insts,
+            data,
+            entry,
+        })
     }
 
     /// Program name (used in reports).

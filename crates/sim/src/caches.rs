@@ -78,6 +78,20 @@ impl Cache {
         ((tag << self.sets.trailing_zeros()) | set as u64) << self.line_shift
     }
 
+    /// Base address of the line held in the `idx`-th physical line slot
+    /// (set-major order), or `None` if the slot is invalid or out of
+    /// range. Used by the fault-injection engine to sample resident
+    /// lines.
+    #[must_use]
+    pub fn valid_line(&self, idx: usize) -> Option<u64> {
+        let line = self.lines.get(idx)?;
+        if !line.valid {
+            return None;
+        }
+        let set = idx / self.ways;
+        Some(self.rebuild_addr(line.tag, set))
+    }
+
     /// Looks up `addr` without changing state (no LRU update, no fill).
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
@@ -100,7 +114,10 @@ impl Cache {
             if line.valid && line.tag == tag {
                 line.lru = self.tick;
                 line.dirty |= is_write;
-                return AccessResult { hit: true, victim: None };
+                return AccessResult {
+                    hit: true,
+                    victim: None,
+                };
             }
         }
         self.misses += 1;
@@ -122,8 +139,12 @@ impl Cache {
         let victim = victim_line
             .valid
             .then(|| (self.rebuild_addr(victim_line.tag, set), victim_line.dirty));
-        self.lines[base + victim_way] =
-            Line { tag, valid: true, dirty: is_write, lru: self.tick };
+        self.lines[base + victim_way] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.tick,
+        };
         AccessResult { hit: false, victim }
     }
 
@@ -159,7 +180,12 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512 B.
-        Cache::new(&CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 1 })
+        Cache::new(&CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -177,8 +203,8 @@ mod tests {
         let mut c = small();
         // Three lines mapping to the same set (set stride = 4 lines * 64 B).
         let a = 0x0000;
-        let b = 0x0000 + 4 * 64;
-        let d = 0x0000 + 8 * 64;
+        let b = 4 * 64;
+        let d = 8 * 64;
         c.access(a, false);
         c.access(b, false);
         c.access(a, false); // a is now MRU

@@ -141,9 +141,24 @@ impl MachineConfig {
             mul_latency: 7,
             mispredict_penalty: 7,
             bpred: BpredConfig::ev6(),
-            l1i: CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, latency: 1 },
-            dl1: CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, latency: 3 },
-            l2: CacheConfig { size_bytes: 1024 * 1024, ways: 1, line_bytes: 64, latency: 7 },
+            l1i: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
+            dl1: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 1,
+                line_bytes: 64,
+                latency: 7,
+            },
             dtlb_entries: 256,
             page_bytes: 8192,
             dtlb_miss_penalty: 30,
@@ -162,9 +177,19 @@ impl MachineConfig {
         c.rob_entries = 96;
         c.phys_regs = 96;
         c.n_muls = 4;
-        c.dl1 = CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 64, latency: 3 };
+        c.dl1 = CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency: 3,
+        };
         c.dtlb_entries = 512;
-        c.l2 = CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 8, line_bytes: 64, latency: 12 };
+        c.l2 = CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 12,
+        };
         c
     }
 

@@ -20,6 +20,10 @@ pub struct Dtlb {
     pub accesses: u64,
     /// Total misses.
     pub misses: u64,
+    /// VPN whose entry carries an injected fault (tag corruption).
+    poisoned: Option<u64>,
+    /// Whether a translation consumed the poisoned entry.
+    tripped: bool,
 }
 
 impl Dtlb {
@@ -31,7 +35,10 @@ impl Dtlb {
     #[must_use]
     pub fn new(capacity: usize, page_bytes: u64) -> Dtlb {
         assert!(capacity > 0, "TLB needs at least one entry");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Dtlb {
             entries: Vec::with_capacity(capacity),
             capacity,
@@ -39,6 +46,8 @@ impl Dtlb {
             tick: 0,
             accesses: 0,
             misses: 0,
+            poisoned: None,
+            tripped: false,
         }
     }
 
@@ -56,7 +65,16 @@ impl Dtlb {
         let vpn = self.vpn(addr);
         if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
             e.1 = self.tick;
-            return TlbResult { hit: true, evicted: None };
+            if self.poisoned == Some(vpn) {
+                // Consuming a tag-corrupted entry yields a wrong
+                // translation: the injection engine classifies this as a
+                // detected unrecoverable error.
+                self.tripped = true;
+            }
+            return TlbResult {
+                hit: true,
+                evicted: None,
+            };
         }
         self.misses += 1;
         let mut evicted = None;
@@ -67,10 +85,36 @@ impl Dtlb {
                 .enumerate()
                 .min_by_key(|(_, (_, lru))| *lru)
                 .expect("non-empty");
-            evicted = Some(self.entries.swap_remove(idx).0);
+            let victim = self.entries.swap_remove(idx).0;
+            if self.poisoned == Some(victim) {
+                // The fault left the machine with the entry: refills are
+                // clean.
+                self.poisoned = None;
+            }
+            evicted = Some(victim);
         }
         self.entries.push((vpn, self.tick));
-        TlbResult { hit: false, evicted }
+        TlbResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Injects a tag fault into the `idx`-th resident entry, returning
+    /// its VPN, or `None` if that entry slot is vacant. A later
+    /// [`Dtlb::translate`] hit on the entry sets the tripped flag; an
+    /// eviction clears the fault.
+    pub fn poison_entry(&mut self, idx: usize) -> Option<u64> {
+        let vpn = self.entries.get(idx)?.0;
+        self.poisoned = Some(vpn);
+        self.tripped = false;
+        Some(vpn)
+    }
+
+    /// Whether a translation consumed a poisoned entry since injection.
+    #[must_use]
+    pub fn poison_tripped(&self) -> bool {
+        self.tripped
     }
 
     /// Number of resident translations.

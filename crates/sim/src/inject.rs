@@ -1,0 +1,693 @@
+//! Fault-injection seams: fork the pipeline at an arbitrary cycle, flip
+//! one bit of one hardware structure, and run the faulty future to
+//! completion.
+//!
+//! This is the measurement side of statistical fault injection (SFI),
+//! the standard technique for validating ACE-based AVF estimates (Wang
+//! et al., Rhod et al.): where ACE analysis *reasons* about which bits
+//! could have mattered, injection *observes* what one flipped bit does.
+//! The two disagree in a known direction — ACE analysis is conservative
+//! and over-approximates — so per-structure injection results both
+//! sanity-check the simulator's AVF numbers and quantify the
+//! methodology's built-in pessimism.
+//!
+//! ## Fault model
+//!
+//! The timing pipeline carries no data values (the architectural oracle
+//! executes at fetch), so a flip is applied *semantically*: the engine
+//! locates the architectural value the flipped bit backs and corrupts
+//! that, or — for control state with no clean architectural image
+//! (branch/store queue control, ROB bookkeeping) — records a detected
+//! unrecoverable error. Flips that land on provably dead state
+//! (vacant entries, wrong-path instructions, un-ACE operand halves,
+//! superseded register definitions) are classified masked without
+//! running. Three deliberate approximations are documented inline:
+//! value flips reach only not-yet-fetched readers, store-tag flips
+//! corrupt the flipped address without un-writing the original one,
+//! and clean-cache-line flips hit the backing store directly.
+
+use avf_ace::{Structure, StructureSizes};
+use avf_isa::{AccessSize, OpClass, Program};
+
+use crate::config::MachineConfig;
+use crate::dyninst::Stage;
+use crate::pipeline::Pipeline;
+
+pub use crate::pipeline::PipelineSnapshot;
+
+/// A hardware structure fault-injection campaigns can target.
+///
+/// Mirrors the structures of the ACE analysis but merges tag/data
+/// arrays the way a physical entry does (an LQ entry is one 128-bit
+/// word: 64 tag bits then 64 data bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InjectionTarget {
+    /// Re-order buffer entries.
+    Rob,
+    /// Issue queue entries.
+    Iq,
+    /// Load queue entries (tag then data halves).
+    Lq,
+    /// Store queue entries (tag then data halves).
+    Sq,
+    /// Merged physical register file.
+    RegFile,
+    /// L1 data cache data array.
+    Dl1,
+    /// Unified L2 cache data array.
+    L2,
+    /// Data TLB entries.
+    Dtlb,
+}
+
+impl InjectionTarget {
+    /// Every target, in display order.
+    pub const ALL: [InjectionTarget; 8] = [
+        InjectionTarget::Rob,
+        InjectionTarget::Iq,
+        InjectionTarget::Lq,
+        InjectionTarget::Sq,
+        InjectionTarget::RegFile,
+        InjectionTarget::Dl1,
+        InjectionTarget::L2,
+        InjectionTarget::Dtlb,
+    ];
+
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectionTarget::Rob => "ROB",
+            InjectionTarget::Iq => "IQ",
+            InjectionTarget::Lq => "LQ",
+            InjectionTarget::Sq => "SQ",
+            InjectionTarget::RegFile => "RF",
+            InjectionTarget::Dl1 => "DL1",
+            InjectionTarget::L2 => "L2",
+            InjectionTarget::Dtlb => "DTLB",
+        }
+    }
+
+    /// Number of physical entries on `cfg`.
+    #[must_use]
+    pub fn entries(self, cfg: &MachineConfig) -> u64 {
+        match self {
+            InjectionTarget::Rob => cfg.rob_entries as u64,
+            InjectionTarget::Iq => cfg.iq_entries as u64,
+            InjectionTarget::Lq => cfg.lq_entries as u64,
+            InjectionTarget::Sq => cfg.sq_entries as u64,
+            InjectionTarget::RegFile => cfg.phys_regs as u64,
+            InjectionTarget::Dl1 => u64::from(cfg.dl1.lines()),
+            InjectionTarget::L2 => u64::from(cfg.l2.lines()),
+            InjectionTarget::Dtlb => cfg.dtlb_entries as u64,
+        }
+    }
+
+    /// Bits per entry (the per-trial bit-sampling space).
+    #[must_use]
+    pub fn entry_bits(self, sizes: &StructureSizes) -> u32 {
+        match self {
+            InjectionTarget::Rob => sizes.rob_entry_bits,
+            InjectionTarget::Iq => sizes.iq_entry_bits,
+            InjectionTarget::Lq | InjectionTarget::Sq => sizes.lsq_tag_bits + sizes.lsq_data_bits,
+            InjectionTarget::RegFile => sizes.rf_reg_bits,
+            InjectionTarget::Dl1 | InjectionTarget::L2 => sizes.line_bytes * 8,
+            InjectionTarget::Dtlb => sizes.dtlb_entry_bits,
+        }
+    }
+
+    /// The ACE structures to compare injection-measured AVF against
+    /// (bit-weighted merge where a target spans two arrays).
+    #[must_use]
+    pub fn ace_structures(self) -> &'static [Structure] {
+        match self {
+            InjectionTarget::Rob => &[Structure::Rob],
+            InjectionTarget::Iq => &[Structure::Iq],
+            InjectionTarget::Lq => &[Structure::LqTag, Structure::LqData],
+            InjectionTarget::Sq => &[Structure::SqTag, Structure::SqData],
+            InjectionTarget::RegFile => &[Structure::RegFile],
+            InjectionTarget::Dl1 => &[Structure::Dl1Data],
+            InjectionTarget::L2 => &[Structure::L2Data],
+            InjectionTarget::Dtlb => &[Structure::Dtlb],
+        }
+    }
+}
+
+impl std::fmt::Display for InjectionTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a flip provably cannot affect program output (classified masked
+/// without running the faulty future).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskReason {
+    /// The sampled entry holds no in-flight state.
+    Vacant,
+    /// The occupant is wrong-path work awaiting a squash.
+    WrongPath,
+    /// The occupant produces no architectural result (NOP, resolved
+    /// control).
+    Idle,
+    /// A younger definition already supersedes the value for every
+    /// future reader.
+    Overwritten,
+    /// The bit lies in an operand half a narrow access never makes ACE.
+    UnAceBits,
+    /// The field does not hold valid data yet (load data before the
+    /// fill returns, store data before issue).
+    NotYetValid,
+}
+
+impl MaskReason {
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MaskReason::Vacant => "vacant",
+            MaskReason::WrongPath => "wrong-path",
+            MaskReason::Idle => "idle",
+            MaskReason::Overwritten => "overwritten",
+            MaskReason::UnAceBits => "un-ACE bits",
+            MaskReason::NotYetValid => "not-yet-valid",
+        }
+    }
+}
+
+/// Immediate result of applying one flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipEffect {
+    /// The fault is live in machine state; the outcome is decided by
+    /// running to completion and comparing against the golden run.
+    Armed,
+    /// The flip provably cannot reach program output.
+    Masked(MaskReason),
+}
+
+/// How a (possibly faulty) bounded run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEnd {
+    /// Clean end: halted or reached the commit budget.
+    Completed,
+    /// Exceeded the cycle budget without completing (hang).
+    Timeout,
+    /// A detected unrecoverable error: corrupted control state, wrong
+    /// DTLB translation consumed, pipeline deadlock, or PC out of text.
+    Trapped,
+}
+
+/// Reference (fault-free) execution a campaign classifies against.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenRun {
+    /// Cycles the fault-free run took (the injection-cycle sampling
+    /// space).
+    pub cycles: u64,
+    /// Instructions the fault-free run committed.
+    pub committed: u64,
+    /// Semantic digest of final memory ([`avf_isa::Memory::digest`]).
+    pub digest: u64,
+}
+
+/// A simulator instance with fault-injection seams: bounded stepping,
+/// state snapshot/rewind, and single-bit flips.
+pub struct InjectionSim<'a> {
+    pipe: Pipeline<'a>,
+    instr_budget: u64,
+    cycle_budget: u64,
+}
+
+impl<'a> InjectionSim<'a> {
+    /// Builds an injectable simulation of `program` on `config`,
+    /// bounded by `instr_budget` committed instructions.
+    ///
+    /// The fetch stage stops the architectural oracle exactly at the
+    /// budget, so the final memory digest is a pure function of
+    /// architectural execution (independent of pipeline timing), which
+    /// makes golden-vs-faulty digest comparison sound.
+    #[must_use]
+    pub fn new(config: &'a MachineConfig, program: &'a Program, instr_budget: u64) -> Self {
+        let pipe = Pipeline::new_faulty(config, program, instr_budget);
+        let cycle_budget = pipe.default_cycle_limit(instr_budget);
+        InjectionSim {
+            pipe,
+            instr_budget,
+            cycle_budget,
+        }
+    }
+
+    /// Overrides the cycle budget (campaigns tighten it around the
+    /// golden run's length so hangs are detected quickly).
+    pub fn set_cycle_budget(&mut self, cycles: u64) {
+        self.cycle_budget = cycles;
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.pipe.cycle
+    }
+
+    /// Committed instructions so far.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.pipe.stats.committed
+    }
+
+    /// Semantic digest of current architectural memory.
+    #[must_use]
+    pub fn memory_digest(&self) -> u64 {
+        self.pipe.oracle_mem.digest()
+    }
+
+    /// Advances until `cycle`; returns `false` if the run ended first.
+    pub fn run_to_cycle(&mut self, cycle: u64) -> bool {
+        while self.pipe.cycle < cycle {
+            if self.pipe.done(self.instr_budget) || self.pipe.cycle >= self.cycle_budget {
+                return false;
+            }
+            self.pipe.tick(self.instr_budget);
+        }
+        true
+    }
+
+    /// Runs to completion within the budgets and classifies the ending.
+    pub fn run_to_end(&mut self) -> RunEnd {
+        while !self.pipe.done(self.instr_budget) {
+            if self.pipe.cycle >= self.cycle_budget {
+                return RunEnd::Timeout;
+            }
+            self.pipe.tick(self.instr_budget);
+        }
+        if self.pipe.trapped {
+            RunEnd::Trapped
+        } else {
+            RunEnd::Completed
+        }
+    }
+
+    /// Captures the complete machine state (cheap relative to a replay:
+    /// one deep clone of caches, queues, register state, and the sparse
+    /// memory image).
+    #[must_use]
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        self.pipe.snapshot()
+    }
+
+    /// Rewinds to a snapshot taken earlier on this instance.
+    pub fn restore(&mut self, snap: &PipelineSnapshot) {
+        self.pipe.restore(snap);
+    }
+
+    /// Flips bit `bit` of physical entry `entry` in `target` at the
+    /// current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` or `bit` exceed the target's geometry.
+    pub fn flip_bit(&mut self, target: InjectionTarget, entry: u64, bit: u32) -> FlipEffect {
+        self.flip_inner(target, entry, bit, true)
+    }
+
+    /// Dry-run of [`InjectionSim::flip_bit`]: classifies the flip
+    /// without mutating any machine state. Campaign drivers use this to
+    /// skip the snapshot/rewind cost for provably masked trials —
+    /// followed by a real `flip_bit` at the same state, the two always
+    /// agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` or `bit` exceed the target's geometry.
+    pub fn probe_bit(&mut self, target: InjectionTarget, entry: u64, bit: u32) -> FlipEffect {
+        self.flip_inner(target, entry, bit, false)
+    }
+
+    fn flip_inner(
+        &mut self,
+        target: InjectionTarget,
+        entry: u64,
+        bit: u32,
+        apply: bool,
+    ) -> FlipEffect {
+        assert!(
+            entry < target.entries(self.pipe.cfg),
+            "entry index out of range"
+        );
+        assert!(
+            bit < target.entry_bits(&self.pipe.sizes),
+            "bit index out of range"
+        );
+        match target {
+            InjectionTarget::RegFile => self.flip_regfile(entry as u32, bit, apply),
+            InjectionTarget::Rob => self.flip_rob(entry as usize, bit, apply),
+            InjectionTarget::Iq => self.flip_iq(entry as usize, bit, apply),
+            InjectionTarget::Lq => self.flip_lsq(entry as usize, bit, OpClass::Load, apply),
+            InjectionTarget::Sq => self.flip_lsq(entry as usize, bit, OpClass::Store, apply),
+            InjectionTarget::Dl1 => self.flip_cache_line(true, entry as usize, bit, apply),
+            InjectionTarget::L2 => self.flip_cache_line(false, entry as usize, bit, apply),
+            InjectionTarget::Dtlb => {
+                if entry as usize >= self.pipe.dtlb.resident() {
+                    return FlipEffect::Masked(MaskReason::Vacant);
+                }
+                if apply {
+                    self.pipe
+                        .dtlb
+                        .poison_entry(entry as usize)
+                        .expect("residency checked");
+                }
+                FlipEffect::Armed
+            }
+        }
+    }
+
+    /// Physical register flip: corrupt the architectural register whose
+    /// newest definition the register holds.
+    ///
+    /// Approximation: the flip is visible to all *not-yet-fetched*
+    /// readers (the oracle executes at fetch, so already-fetched
+    /// in-flight consumers keep their clean value). A register whose
+    /// value has been superseded for every future reader is masked by
+    /// overwrite — exactly the un-ACE idle/rename-turnaround state the
+    /// paper exploits.
+    fn flip_regfile(&mut self, preg: u32, bit: u32, apply: bool) -> FlipEffect {
+        if self.pipe.rf.is_free(preg) {
+            return FlipEffect::Masked(MaskReason::Vacant);
+        }
+        match self.pipe.rf.arch_of_newest(preg) {
+            Some(arch) => {
+                if apply {
+                    self.pipe.oracle.regs[usize::from(arch)] ^= 1u64 << (bit & 63);
+                }
+                FlipEffect::Armed
+            }
+            None => FlipEffect::Masked(MaskReason::Overwritten),
+        }
+    }
+
+    /// Corrupts the in-flight instruction's destination value if (and
+    /// only if) that value is still the newest definition of its
+    /// architectural register.
+    fn flip_result_value(&mut self, idx: usize, bit: u32, apply: bool) -> FlipEffect {
+        let e = &self.pipe.rob[idx];
+        let (Some(dest), Some(dest_preg)) = (e.inst.dest_reg(), e.dest_preg) else {
+            return FlipEffect::Masked(MaskReason::Idle);
+        };
+        if self.pipe.rf.rename_src(dest.number()) != dest_preg {
+            return FlipEffect::Masked(MaskReason::Overwritten);
+        }
+        if apply {
+            self.pipe.oracle.regs[dest.index()] ^= 1u64 << (bit & 63);
+        }
+        FlipEffect::Armed
+    }
+
+    /// Marks the fault detected (control-state corruption → DUE).
+    fn trap(&mut self, apply: bool) -> FlipEffect {
+        if apply {
+            self.pipe.trapped = true;
+        }
+        FlipEffect::Armed
+    }
+
+    fn flip_rob(&mut self, idx: usize, bit: u32, apply: bool) -> FlipEffect {
+        let Some(e) = self.pipe.rob.get(idx) else {
+            return FlipEffect::Masked(MaskReason::Vacant);
+        };
+        if e.wrong_path {
+            return FlipEffect::Masked(MaskReason::WrongPath);
+        }
+        let class = e.inst.op.class();
+        // Table I's 76-bit ROB entry: a 64-bit result field plus control
+        // (dest tag, status). Control corruption breaks commit
+        // bookkeeping — a detected error; result-field corruption
+        // propagates through the destination register.
+        if bit >= 64 {
+            return match class {
+                OpClass::Nop => FlipEffect::Masked(MaskReason::Idle),
+                _ => self.trap(apply),
+            };
+        }
+        match class {
+            OpClass::Nop => FlipEffect::Masked(MaskReason::Idle),
+            OpClass::Branch | OpClass::Store | OpClass::Halt => {
+                // No result field in use.
+                FlipEffect::Masked(MaskReason::Idle)
+            }
+            _ => self.flip_result_value(idx, bit, apply),
+        }
+    }
+
+    fn flip_iq(&mut self, idx: usize, bit: u32, apply: bool) -> FlipEffect {
+        let Some(rob_idx) = self
+            .pipe
+            .rob
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.stage == Stage::InIq)
+            .map(|(i, _)| i)
+            .nth(idx)
+        else {
+            return FlipEffect::Masked(MaskReason::Vacant);
+        };
+        let e = &self.pipe.rob[rob_idx];
+        if e.wrong_path {
+            return FlipEffect::Masked(MaskReason::WrongPath);
+        }
+        // A 32-bit IQ entry is all control: opcode and operand tags.
+        // Corrupting a waiting computation's routing yields a wrong
+        // result; corrupting waiting control flow (branch/store/halt
+        // scheduling) is a detected error.
+        match e.inst.op.class() {
+            OpClass::Nop => FlipEffect::Masked(MaskReason::Idle),
+            OpClass::Branch | OpClass::Store | OpClass::Halt => self.trap(apply),
+            _ => self.flip_result_value(rob_idx, bit, apply),
+        }
+    }
+
+    fn flip_lsq(&mut self, idx: usize, bit: u32, class: OpClass, apply: bool) -> FlipEffect {
+        let Some(rob_idx) = self
+            .pipe
+            .rob
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.inst.op.class() == class)
+            .map(|(i, _)| i)
+            .nth(idx)
+        else {
+            return FlipEffect::Masked(MaskReason::Vacant);
+        };
+        let e = &self.pipe.rob[rob_idx];
+        if e.wrong_path {
+            return FlipEffect::Masked(MaskReason::WrongPath);
+        }
+        let outcome = e.outcome.expect("right-path memory op has an outcome");
+        let ea = outcome.ea.expect("memory op has an effective address");
+        let size = outcome.size.expect("memory op has an access size");
+        let is_load = class == OpClass::Load;
+        if bit < 64 {
+            // Tag half: the access goes to a wrong address.
+            let flipped_ea = ea ^ (1u64 << bit);
+            if is_load {
+                // The load returns whatever lives at the corrupted
+                // address.
+                let wrong = match size {
+                    AccessSize::Word => u64::from(self.pipe.oracle_mem.read_u32(flipped_ea)),
+                    AccessSize::Quad => self.pipe.oracle_mem.read_u64(flipped_ea),
+                };
+                return self.set_result_value(rob_idx, wrong, apply);
+            }
+            // Approximation: the misdirected store corrupts the flipped
+            // address; the clean value it already wrote at the original
+            // address is not un-written (the oracle ran at fetch).
+            if apply {
+                match size {
+                    AccessSize::Word => {
+                        self.pipe
+                            .oracle_mem
+                            .write_u32(flipped_ea, outcome.value as u32);
+                    }
+                    AccessSize::Quad => self.pipe.oracle_mem.write_u64(flipped_ea, outcome.value),
+                }
+            }
+            return FlipEffect::Armed;
+        }
+        // Data half: only valid inside the window the ACE analysis
+        // credits (after the fill returns for loads, after issue for
+        // stores), and only the bytes the access actually uses.
+        let data_bit = bit - 64;
+        if u64::from(data_bit) >= size.bits() {
+            return FlipEffect::Masked(MaskReason::UnAceBits);
+        }
+        if is_load {
+            if e.data_return_cycle == 0 || self.pipe.cycle < e.data_return_cycle {
+                return FlipEffect::Masked(MaskReason::NotYetValid);
+            }
+            return self.flip_result_value(rob_idx, data_bit, apply);
+        }
+        if e.stage == Stage::InIq {
+            return FlipEffect::Masked(MaskReason::NotYetValid);
+        }
+        // Store data corrupts the in-memory copy the commit writes.
+        if apply {
+            let addr = ea + u64::from(data_bit / 8);
+            let byte = self.pipe.oracle_mem.read_u8(addr);
+            self.pipe
+                .oracle_mem
+                .write_u8(addr, byte ^ (1 << (data_bit % 8)));
+        }
+        FlipEffect::Armed
+    }
+
+    /// Overwrites (rather than XORs) the in-flight destination value —
+    /// used when a wrong-address load replaces the whole result.
+    fn set_result_value(&mut self, idx: usize, value: u64, apply: bool) -> FlipEffect {
+        let e = &self.pipe.rob[idx];
+        let (Some(dest), Some(dest_preg)) = (e.inst.dest_reg(), e.dest_preg) else {
+            return FlipEffect::Masked(MaskReason::Idle);
+        };
+        if self.pipe.rf.rename_src(dest.number()) != dest_preg {
+            return FlipEffect::Masked(MaskReason::Overwritten);
+        }
+        if apply {
+            // If the wrong address happens to hold the right value the
+            // write is a no-op: a benign fault the run classifies as
+            // masked by comparing equal.
+            self.pipe.oracle.regs[dest.index()] = value;
+        }
+        FlipEffect::Armed
+    }
+
+    /// Cache data-array flip. The fault is registered *in the line*,
+    /// not in memory: loads that hit the line at their timing-accurate
+    /// issue point consume the corrupted bytes (propagating through
+    /// their destination register), stores over the bytes repair it, a
+    /// dirty eviction writes it down the hierarchy (ultimately making
+    /// it architectural), and a clean eviction discards it — the next
+    /// fill restores clean data, exactly as in hardware.
+    fn flip_cache_line(&mut self, dl1: bool, idx: usize, bit: u32, apply: bool) -> FlipEffect {
+        let cache = if dl1 { &self.pipe.dl1 } else { &self.pipe.l2 };
+        let Some(base) = cache.valid_line(idx) else {
+            return FlipEffect::Masked(MaskReason::Vacant);
+        };
+        if apply {
+            let addr = base + u64::from(bit / 8);
+            let mask = 1u8 << (bit % 8);
+            self.pipe.cache_faults.push(crate::pipeline::CacheFault {
+                dl1,
+                line_base: base,
+                addr,
+                mask,
+            });
+        }
+        FlipEffect::Armed
+    }
+}
+
+/// Runs the fault-free reference execution for `program` bounded by
+/// `instr_budget` commits.
+#[must_use]
+pub fn golden_run(config: &MachineConfig, program: &Program, instr_budget: u64) -> GoldenRun {
+    let mut sim = InjectionSim::new(config, program, instr_budget);
+    let end = sim.run_to_end();
+    assert!(
+        end == RunEnd::Completed,
+        "fault-free golden run must complete cleanly, got {end:?}"
+    );
+    GoldenRun {
+        cycles: sim.cycle().max(1),
+        committed: sim.committed(),
+        digest: sim.memory_digest(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avf_isa::{Opcode, ProgramBuilder, Reg};
+
+    fn counted_loop() -> Program {
+        let r1 = Reg::of(1);
+        let r2 = Reg::of(2);
+        let rb = Reg::of(3);
+        let mut b = ProgramBuilder::new("inject-test");
+        b.addi(r1, Reg::ZERO, 64);
+        b.load_addr(rb, avf_isa::DATA_BASE);
+        let top = b.here();
+        b.alu_ri(Opcode::Add, r2, r2, 3);
+        b.stq(r2, rb, 0);
+        b.subi(r1, r1, 1);
+        b.bne(r1, top);
+        b.halt();
+        b.build().expect("valid program")
+    }
+
+    #[test]
+    fn golden_run_is_deterministic() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let a = golden_run(&cfg, &p, 10_000);
+        let b = golden_run(&cfg, &p, 10_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let golden = golden_run(&cfg, &p, 10_000);
+        let mut sim = InjectionSim::new(&cfg, &p, 10_000);
+        assert!(sim.run_to_cycle(golden.cycles / 2));
+        let snap = sim.snapshot();
+        let end_a = sim.run_to_end();
+        let digest_a = sim.memory_digest();
+        sim.restore(&snap);
+        let end_b = sim.run_to_end();
+        let digest_b = sim.memory_digest();
+        assert_eq!(end_a, end_b);
+        assert_eq!(digest_a, digest_b);
+        assert_eq!(digest_a, golden.digest, "fault-free replay matches golden");
+    }
+
+    #[test]
+    fn flip_in_live_register_changes_output() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let golden = golden_run(&cfg, &p, 10_000);
+        let mut sim = InjectionSim::new(&cfg, &p, 10_000);
+        assert!(sim.run_to_cycle(golden.cycles / 2));
+        // r2 is the accumulator; its newest definition sits in the preg
+        // the speculative map points at.
+        let mut flipped = false;
+        for preg in 0..cfg.phys_regs as u64 {
+            let snap = sim.snapshot();
+            if sim.flip_bit(InjectionTarget::RegFile, preg, 0) == FlipEffect::Armed {
+                flipped = true;
+                let end = sim.run_to_end();
+                if end == RunEnd::Completed && sim.memory_digest() != golden.digest {
+                    return; // observed an SDC — the seam works
+                }
+            }
+            sim.restore(&snap);
+        }
+        assert!(flipped, "no register flip armed at mid-run");
+        panic!("no register flip produced an SDC in a live accumulator loop");
+    }
+
+    #[test]
+    fn vacant_entries_mask() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let mut sim = InjectionSim::new(&cfg, &p, 10_000);
+        // Cycle 0: nothing is in flight yet.
+        assert_eq!(
+            sim.flip_bit(InjectionTarget::Rob, 50, 3),
+            FlipEffect::Masked(MaskReason::Vacant)
+        );
+        assert_eq!(
+            sim.flip_bit(InjectionTarget::Dtlb, 200, 3),
+            FlipEffect::Masked(MaskReason::Vacant)
+        );
+    }
+}

@@ -48,6 +48,7 @@ mod caches;
 mod config;
 mod dtlb;
 mod dyninst;
+pub mod inject;
 mod pipeline;
 mod regfile;
 mod stats;
@@ -56,6 +57,10 @@ pub use bpred::BranchPredictor;
 pub use caches::{AccessResult, Cache};
 pub use config::{BpredConfig, CacheConfig, MachineConfig};
 pub use dtlb::{Dtlb, TlbResult};
+pub use inject::{
+    golden_run, FlipEffect, GoldenRun, InjectionSim, InjectionTarget, MaskReason, PipelineSnapshot,
+    RunEnd,
+};
 pub use pipeline::SimResult;
 pub use stats::SimStats;
 

@@ -11,7 +11,9 @@
 
 use std::collections::VecDeque;
 
-use avf_ace::{AceConfig, AceKind, AvfAnalyzer, InstrRecord, MemRef, Slice, Structure};
+use avf_ace::{
+    AceConfig, AceKind, AvfAnalyzer, InstrRecord, MemRef, Slice, Structure, StructureSizes,
+};
 use avf_isa::{text_addr, ExecState, Memory, OpClass, Opcode, Program};
 
 use crate::bpred::BranchPredictor;
@@ -33,38 +35,70 @@ pub struct SimResult {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Recovery {
+pub(crate) struct Recovery {
     resume_cycle: u64,
     pc: u32,
 }
 
+/// An injected cache-array fault whose fate follows the line: a dirty
+/// eviction writes the corruption back (it persists), a clean eviction
+/// discards it (the next fill restores clean data), so the flip must be
+/// reverted from the merged oracle memory image.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CacheFault {
+    /// `true` for DL1, `false` for L2.
+    pub(crate) dl1: bool,
+    /// Base address of the corrupted line.
+    pub(crate) line_base: u64,
+    /// Byte address of the flipped bit.
+    pub(crate) addr: u64,
+    /// Bit mask within the byte.
+    pub(crate) mask: u8,
+}
+
 pub(crate) struct Pipeline<'a> {
-    cfg: &'a MachineConfig,
-    program: &'a Program,
-    oracle: ExecState,
-    oracle_mem: Memory,
-    analyzer: AvfAnalyzer,
-    bpred: BranchPredictor,
-    l1i: Cache,
-    dl1: Cache,
-    l2: Cache,
-    dtlb: Dtlb,
-    rf: PhysRegFile,
-    fetch_queue: VecDeque<DynInst>,
-    rob: VecDeque<DynInst>,
-    iq_count: usize,
-    lq_count: usize,
-    sq_count: usize,
-    cycle: u64,
-    seq: u64,
-    fetch_pc: u32,
-    fetch_stalled_until: u64,
-    last_fetch_line: Option<u64>,
-    wrong_path_mode: bool,
-    recovery: Option<Recovery>,
-    fetch_done: bool,
-    halted: bool,
-    stats: SimStats,
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) program: &'a Program,
+    pub(crate) sizes: StructureSizes,
+    pub(crate) oracle: ExecState,
+    pub(crate) oracle_mem: Memory,
+    /// `None` in fault-injection runs: injection needs cheap snapshots
+    /// and thousands of re-executions, not ACE bookkeeping.
+    pub(crate) analyzer: Option<AvfAnalyzer>,
+    /// Fault-injection mode: modeling anomalies (deadlock, oracle
+    /// faults, poisoned TLB hits) become a recorded trap instead of a
+    /// panic, and fetch stops at the instruction budget so the
+    /// architectural memory state is timing-independent.
+    pub(crate) fault_mode: bool,
+    /// An injected fault was detected (DUE): wrong translation consumed,
+    /// corrupted control state, pipeline hang.
+    pub(crate) trapped: bool,
+    /// Oracle executions after which fetch stops (fault mode only).
+    pub(crate) fetch_budget: u64,
+    pub(crate) bpred: BranchPredictor,
+    pub(crate) l1i: Cache,
+    pub(crate) dl1: Cache,
+    pub(crate) l2: Cache,
+    pub(crate) dtlb: Dtlb,
+    pub(crate) rf: PhysRegFile,
+    pub(crate) fetch_queue: VecDeque<DynInst>,
+    pub(crate) rob: VecDeque<DynInst>,
+    pub(crate) iq_count: usize,
+    pub(crate) lq_count: usize,
+    pub(crate) sq_count: usize,
+    pub(crate) cycle: u64,
+    pub(crate) seq: u64,
+    pub(crate) fetch_pc: u32,
+    pub(crate) fetch_stalled_until: u64,
+    pub(crate) last_fetch_line: Option<u64>,
+    pub(crate) wrong_path_mode: bool,
+    pub(crate) recovery: Option<Recovery>,
+    pub(crate) fetch_done: bool,
+    pub(crate) halted: bool,
+    pub(crate) last_commit_cycle: u64,
+    /// Injected cache faults still resident in their line (fault mode).
+    pub(crate) cache_faults: Vec<CacheFault>,
+    pub(crate) stats: SimStats,
 }
 
 impl<'a> Pipeline<'a> {
@@ -73,17 +107,44 @@ impl<'a> Pipeline<'a> {
         program: &'a Program,
         ace_config: AceConfig,
     ) -> Pipeline<'a> {
+        Pipeline::new_inner(cfg, program, Some(ace_config))
+    }
+
+    /// Builds a pipeline for fault-injection runs: no ACE analyzer, a
+    /// fetch budget of `fetch_budget` oracle executions, and graceful
+    /// trap handling instead of panics.
+    pub(crate) fn new_faulty(
+        cfg: &'a MachineConfig,
+        program: &'a Program,
+        fetch_budget: u64,
+    ) -> Pipeline<'a> {
+        let mut p = Pipeline::new_inner(cfg, program, None);
+        p.fault_mode = true;
+        p.fetch_budget = fetch_budget;
+        p
+    }
+
+    fn new_inner(
+        cfg: &'a MachineConfig,
+        program: &'a Program,
+        ace_config: Option<AceConfig>,
+    ) -> Pipeline<'a> {
         let mut oracle_mem = Memory::new();
         let oracle = ExecState::new(program, &mut oracle_mem);
+        let sizes = cfg.structure_sizes();
         let analyzer =
-            AvfAnalyzer::with_config(program.name(), cfg.structure_sizes(), ace_config);
+            ace_config.map(|ace| AvfAnalyzer::with_config(program.name(), sizes.clone(), ace));
         Pipeline {
             cfg,
             program,
+            sizes,
             fetch_pc: oracle.pc,
             oracle,
             oracle_mem,
             analyzer,
+            fault_mode: false,
+            trapped: false,
+            fetch_budget: u64::MAX,
             bpred: BranchPredictor::new(cfg.bpred.clone()),
             l1i: Cache::new(&cfg.l1i),
             dl1: Cache::new(&cfg.dl1),
@@ -103,51 +164,174 @@ impl<'a> Pipeline<'a> {
             recovery: None,
             fetch_done: false,
             halted: false,
+            last_commit_cycle: 0,
+            cache_faults: Vec::new(),
             stats: SimStats::default(),
         }
     }
 
-    pub(crate) fn run(mut self, max_instructions: u64) -> SimResult {
-        // Generous safety net against modeling deadlocks: every committed
-        // instruction needs far fewer cycles than a full memory round trip.
-        let max_cycles = max_instructions
+    /// Settles any injected fault in an evicted line. A clean eviction
+    /// discards the corrupted line — the fault dies with it. A dirty
+    /// DL1 eviction writes the line (fault included) back into the L2;
+    /// a dirty L2 eviction writes it back to main memory, at which
+    /// point the corruption becomes architectural.
+    fn settle_cache_fault(&mut self, dl1: bool, victim_base: u64, dirty: bool) {
+        if self.cache_faults.is_empty() {
+            return;
+        }
+        let mut demoted: Vec<CacheFault> = Vec::new();
+        let mut escaped: Vec<(u64, u8)> = Vec::new();
+        self.cache_faults.retain(|f| {
+            if f.line_base != victim_base {
+                return true;
+            }
+            if f.dl1 != dl1 {
+                // A dirty DL1 writeback replaces the whole L2 line, so
+                // whatever fault state the L2 held for it (e.g. the
+                // original of a fault propagated into the DL1 on fill)
+                // is superseded by the DL1 copy being demoted below —
+                // keeping it would double-apply the flip or resurrect a
+                // store-repaired one.
+                return !(dl1 && dirty && !f.dl1);
+            }
+            if dirty {
+                if dl1 {
+                    demoted.push(CacheFault { dl1: false, ..*f });
+                } else {
+                    escaped.push((f.addr, f.mask));
+                }
+            }
+            false
+        });
+        self.cache_faults.extend(demoted);
+        for (addr, mask) in escaped {
+            let byte = self.oracle_mem.read_u8(addr);
+            self.oracle_mem.write_u8(addr, byte ^ mask);
+        }
+    }
+
+    /// A DL1 fill reads the line out of the L2: any injected L2 fault
+    /// on it is copied into the new DL1-resident line.
+    fn propagate_l2_faults_into_dl1(&mut self, line_base: u64) {
+        let copies: Vec<CacheFault> = self
+            .cache_faults
+            .iter()
+            .filter(|f| !f.dl1 && f.line_base == line_base)
+            .map(|f| CacheFault { dl1: true, ..*f })
+            .collect();
+        self.cache_faults.extend(copies);
+    }
+
+    /// XOR mask (in loaded-value bit order) of the injected DL1 faults
+    /// a load of `bytes` bytes at `ea` consumes.
+    fn consumed_load_fault_mask(&self, ea: u64, bytes: u64) -> u64 {
+        let line = self.dl1.line_base(ea);
+        let mut xor = 0u64;
+        for f in &self.cache_faults {
+            if f.dl1 && f.line_base == line && f.addr >= ea && f.addr < ea + bytes {
+                xor |= u64::from(f.mask) << ((f.addr - ea) * 8);
+            }
+        }
+        xor
+    }
+
+    /// A committed store overwrites the faulted bytes it covers: those
+    /// faults are repaired in place.
+    fn clear_overwritten_faults(&mut self, ea: u64, bytes: u64) {
+        self.cache_faults
+            .retain(|f| !(f.dl1 && f.addr >= ea && f.addr < ea + bytes));
+    }
+
+    /// Corrupts the in-flight instruction's destination value through
+    /// the rename map, provided that value is still the newest
+    /// definition of its architectural register (otherwise the fault is
+    /// masked by overwrite).
+    pub(crate) fn corrupt_dest_value(&mut self, idx: usize, xor: u64) -> bool {
+        let e = &self.rob[idx];
+        let (Some(dest), Some(preg)) = (e.inst.dest_reg(), e.dest_preg) else {
+            return false;
+        };
+        if self.rf.rename_src(dest.number()) != preg {
+            return false;
+        }
+        self.oracle.regs[dest.index()] ^= xor;
+        true
+    }
+
+    /// Whether the run is over: clean halt, commit budget reached, or a
+    /// trap in fault mode.
+    pub(crate) fn done(&self, max_instructions: u64) -> bool {
+        self.halted || self.trapped || self.stats.committed >= max_instructions
+    }
+
+    /// Advances the machine by exactly one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a modeling deadlock outside fault mode (in fault mode a
+    /// deadlock is an injected-fault symptom and sets the trap flag).
+    pub(crate) fn tick(&mut self, max_instructions: u64) {
+        let committed_before = self.stats.committed;
+        self.commit_stage(max_instructions);
+        self.writeback_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+        if self.stats.committed > committed_before {
+            self.last_commit_cycle = self.cycle;
+        }
+        let stall_limit = 64 * u64::from(self.cfg.mem_latency) + 100_000;
+        if self.cycle - self.last_commit_cycle >= stall_limit {
+            if self.fault_mode {
+                self.trapped = true;
+            } else {
+                panic!(
+                    "pipeline deadlock at cycle {} (pc {}, rob {}, iq {})",
+                    self.cycle,
+                    self.fetch_pc,
+                    self.rob.len(),
+                    self.iq_count
+                );
+            }
+        }
+        self.stats.rob_occ_sum += self.rob.len() as u64;
+        self.stats.iq_occ_sum += self.iq_count as u64;
+        self.stats.lq_occ_sum += self.lq_count as u64;
+        self.stats.sq_occ_sum += self.sq_count as u64;
+        self.cycle += 1;
+    }
+
+    /// Generous cycle safety net for a `max_instructions` run: every
+    /// committed instruction needs far fewer cycles than a full memory
+    /// round trip.
+    pub(crate) fn default_cycle_limit(&self, max_instructions: u64) -> u64 {
+        max_instructions
             .saturating_mul(4 * u64::from(self.cfg.mem_latency))
-            .saturating_add(100_000);
-        let mut last_commit_cycle = 0u64;
-        while !self.halted && self.stats.committed < max_instructions {
-            if self.cycle >= max_cycles {
-                break;
-            }
-            let committed_before = self.stats.committed;
-            self.commit_stage(max_instructions);
-            self.writeback_stage();
-            self.issue_stage();
-            self.dispatch_stage();
-            self.fetch_stage();
-            if self.stats.committed > committed_before {
-                last_commit_cycle = self.cycle;
-            }
-            assert!(
-                self.cycle - last_commit_cycle
-                    < 64 * u64::from(self.cfg.mem_latency) + 100_000,
-                "pipeline deadlock at cycle {} (pc {}, rob {}, iq {})",
-                self.cycle,
-                self.fetch_pc,
-                self.rob.len(),
-                self.iq_count
-            );
-            self.stats.rob_occ_sum += self.rob.len() as u64;
-            self.stats.iq_occ_sum += self.iq_count as u64;
-            self.stats.lq_occ_sum += self.lq_count as u64;
-            self.stats.sq_occ_sum += self.sq_count as u64;
-            self.cycle += 1;
+            .saturating_add(100_000)
+    }
+
+    pub(crate) fn run(mut self, max_instructions: u64) -> SimResult {
+        let max_cycles = self.default_cycle_limit(max_instructions);
+        while !self.done(max_instructions) && self.cycle < max_cycles {
+            self.tick(max_instructions);
         }
         self.stats.cycles = self.cycle.max(1);
-        for rec in self.rf.drain_lifetimes() {
-            self.analyzer.preg_freed(rec);
+        let recs = self.rf.drain_lifetimes();
+        // Fault-mode pipelines (analyzer = None) end through the
+        // injection engine's classification path, never through run():
+        // a fabricated empty analyzer here would silently report ~0 AVF.
+        let mut analyzer = self
+            .analyzer
+            .take()
+            .expect("run() requires the ACE analyzer; fault-mode runs use InjectionSim");
+        for rec in recs {
+            analyzer.preg_freed(rec);
         }
-        let report = self.analyzer.finish(self.stats.cycles);
-        SimResult { report, stats: self.stats }
+        let report = analyzer.finish(self.stats.cycles);
+        SimResult {
+            report,
+            stats: self.stats,
+        }
     }
 
     // ---- commit ---------------------------------------------------------
@@ -185,12 +369,15 @@ impl<'a> Pipeline<'a> {
         }
         rec.dest = e.inst.dest_reg().map(|r| r.number());
         let mem = e.outcome.and_then(|o| {
-            o.ea.map(|ea| MemRef { addr: ea, bytes: o.size.map_or(8, |s| s.bytes() as u8) })
+            o.ea.map(|ea| MemRef {
+                addr: ea,
+                bytes: o.size.map_or(8, |s| s.bytes() as u8),
+            })
         });
         rec.mem = mem;
 
         // Residency intervals (paper Section IV-A occupancy rules).
-        let sizes = self.analyzer.sizes();
+        let sizes = &self.sizes;
         let rob_bits = sizes.rob_entry_bits;
         let iq_bits = sizes.iq_entry_bits;
         let tag_bits = sizes.lsq_tag_bits;
@@ -254,31 +441,36 @@ impl<'a> Pipeline<'a> {
             _ => {}
         }
 
-        let id = self.analyzer.commit(rec);
-
-        // Register-file read recording and lifetime release.
-        for preg in e.src_pregs.into_iter().flatten() {
-            self.rf.record_read(preg, id, e.issue_cycle);
+        if let Some(az) = self.analyzer.as_mut() {
+            let id = az.commit(rec);
+            // Register-file read recording feeds the freed-lifetime
+            // reports, so it is only needed when the analysis is on.
+            for preg in e.src_pregs.into_iter().flatten() {
+                self.rf.record_read(preg, id, e.issue_cycle);
+            }
         }
-        if let (Some(dest), Some(dest_preg), Some(prev)) =
-            (rec_dest(&e), e.dest_preg, e.prev_preg)
+        if let (Some(dest), Some(dest_preg), Some(prev)) = (rec_dest(&e), e.dest_preg, e.prev_preg)
         {
             let freed = self.rf.commit_def(dest, dest_preg, prev);
-            self.analyzer.preg_freed(freed);
+            if let Some(az) = self.analyzer.as_mut() {
+                az.preg_freed(freed);
+            }
         }
 
         // Commit-time (program-ordered) cache and TLB lifetime events.
         if let Some(m) = mem {
-            let vpn = self.dtlb.vpn(m.addr);
-            self.analyzer.dtlb_read(vpn, cycle);
-            match op.class() {
-                OpClass::Load => {
-                    self.analyzer.dl1_read(m.addr, u64::from(m.bytes), cycle);
+            if let Some(az) = self.analyzer.as_mut() {
+                let vpn = self.dtlb.vpn(m.addr);
+                az.dtlb_read(vpn, cycle);
+                match op.class() {
+                    OpClass::Load => {
+                        az.dl1_read(m.addr, u64::from(m.bytes), cycle);
+                    }
+                    OpClass::Store => {
+                        az.dl1_write(m.addr, u64::from(m.bytes), cycle);
+                    }
+                    _ => {}
                 }
-                OpClass::Store => {
-                    self.analyzer.dl1_write(m.addr, u64::from(m.bytes), cycle);
-                }
-                _ => {}
             }
             self.stats.committed_mem_ops += 1;
         }
@@ -342,11 +534,9 @@ impl<'a> Pipeline<'a> {
         let survivors: Vec<(u8, u32)> = self
             .rob
             .iter()
-            .filter_map(|e| {
-                match (e.inst.dest_reg(), e.dest_preg) {
-                    (Some(r), Some(p)) => Some((r.number(), p)),
-                    _ => None,
-                }
+            .filter_map(|e| match (e.inst.dest_reg(), e.dest_preg) {
+                (Some(r), Some(p)) => Some((r.number(), p)),
+                _ => None,
             })
             .collect();
         self.rf.rebuild_map(survivors.into_iter());
@@ -417,6 +607,21 @@ impl<'a> Pipeline<'a> {
                 (e.inst.op, e.wrong_path, e.outcome.and_then(|o| o.ea))
             };
             let (latency, data_return) = self.execute_latency(op, wrong_path, ea, cycle);
+            if self.fault_mode && !self.cache_faults.is_empty() && !wrong_path {
+                // Injected cache faults interact with the access at its
+                // timing-accurate issue point: a load consumes the
+                // corrupted bytes it covers, a store repairs them.
+                if let (Some(ea), Some(size)) = (ea, op.access_size()) {
+                    if op.is_load() {
+                        let xor = self.consumed_load_fault_mask(ea, size.bytes());
+                        if xor != 0 {
+                            self.corrupt_dest_value(idx, xor);
+                        }
+                    } else {
+                        self.clear_overwritten_faults(ea, size.bytes());
+                    }
+                }
+            }
             let e = &mut self.rob[idx];
             e.stage = Stage::Executing;
             e.issue_cycle = cycle;
@@ -466,14 +671,20 @@ impl<'a> Pipeline<'a> {
         let line_bytes = u64::from(self.cfg.dl1.line_bytes);
 
         let t = self.dtlb.translate(ea);
+        if self.dtlb.poison_tripped() {
+            // An injected DTLB tag fault was consumed: wrong translation.
+            self.trapped = true;
+        }
         if !t.hit {
             self.stats.dtlb_misses += 1;
             lat += self.cfg.dtlb_miss_penalty;
-            if let Some(vpn) = t.evicted {
-                self.analyzer.dtlb_evict(vpn, cycle + u64::from(lat));
+            if let Some(az) = self.analyzer.as_mut() {
+                if let Some(vpn) = t.evicted {
+                    az.dtlb_evict(vpn, cycle + u64::from(lat));
+                }
+                let vpn = self.dtlb.vpn(ea);
+                az.dtlb_fill(vpn, cycle + u64::from(lat));
             }
-            let vpn = self.dtlb.vpn(ea);
-            self.analyzer.dtlb_fill(vpn, cycle + u64::from(lat));
         }
 
         lat += self.cfg.dl1.latency;
@@ -485,17 +696,25 @@ impl<'a> Pipeline<'a> {
         self.stats.dl1_misses += 1;
         let stamp = cycle + u64::from(lat);
         if let Some((victim, dirty)) = r.victim {
-            self.analyzer.dl1_evict(victim, stamp);
+            self.settle_cache_fault(true, victim, dirty);
+            if let Some(az) = self.analyzer.as_mut() {
+                az.dl1_evict(victim, stamp);
+            }
             if dirty {
                 // Writeback-allocate into the L2.
                 let wb = self.l2.access(victim, true);
-                if !wb.hit {
-                    if let Some((v2, _)) = wb.victim {
-                        self.analyzer.l2_evict(v2, stamp);
-                    }
-                    self.analyzer.l2_fill(victim, stamp);
+                if let Some((v2, d2)) = wb.victim {
+                    self.settle_cache_fault(false, v2, d2);
                 }
-                self.analyzer.l2_write(victim, line_bytes, stamp);
+                if let Some(az) = self.analyzer.as_mut() {
+                    if !wb.hit {
+                        if let Some((v2, _)) = wb.victim {
+                            az.l2_evict(v2, stamp);
+                        }
+                        az.l2_fill(victim, stamp);
+                    }
+                    az.l2_write(victim, line_bytes, stamp);
+                }
             }
         }
 
@@ -507,15 +726,25 @@ impl<'a> Pipeline<'a> {
             self.stats.l2_misses += 1;
             lat += self.cfg.mem_latency;
             let stamp = cycle + u64::from(lat);
-            if let Some((v2, _)) = l2r.victim {
-                self.analyzer.l2_evict(v2, stamp);
+            if let Some((v2, d2)) = l2r.victim {
+                self.settle_cache_fault(false, v2, d2);
             }
-            self.analyzer.l2_fill(line, stamp);
+            if let Some(az) = self.analyzer.as_mut() {
+                if let Some((v2, _)) = l2r.victim {
+                    az.l2_evict(v2, stamp);
+                }
+                az.l2_fill(line, stamp);
+            }
         }
         let stamp = cycle + u64::from(lat);
-        // The DL1 fill reads the whole line out of the L2.
-        self.analyzer.l2_read(line, line_bytes, stamp);
-        self.analyzer.dl1_fill(line, stamp);
+        if let Some(az) = self.analyzer.as_mut() {
+            // The DL1 fill reads the whole line out of the L2.
+            az.l2_read(line, line_bytes, stamp);
+            az.dl1_fill(line, stamp);
+        }
+        if self.fault_mode && !self.cache_faults.is_empty() {
+            self.propagate_l2_faults_into_dl1(line);
+        }
         lat
     }
 
@@ -523,7 +752,9 @@ impl<'a> Pipeline<'a> {
 
     fn dispatch_stage(&mut self) {
         for _ in 0..self.cfg.dispatch_width {
-            let Some(front) = self.fetch_queue.front() else { break };
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
             if self.rob.len() >= self.cfg.rob_entries || self.iq_count >= self.cfg.iq_entries {
                 break;
             }
@@ -543,8 +774,7 @@ impl<'a> Pipeline<'a> {
                 e.src_pregs[slot] = src.map(|r| self.rf.rename_src(r.number()));
             }
             if let Some(dest) = e.inst.dest_reg() {
-                let (preg, prev) =
-                    self.rf.allocate(dest.number()).expect("free count checked");
+                let (preg, prev) = self.rf.allocate(dest.number()).expect("free count checked");
                 e.dest_preg = Some(preg);
                 e.prev_preg = Some(prev);
             }
@@ -593,8 +823,12 @@ impl<'a> Pipeline<'a> {
                 if !r.hit {
                     self.stats.l1i_misses += 1;
                     let l2r = self.l2.access(text_addr(pc), false);
-                    let penalty = self.cfg.l2.latency
-                        + if l2r.hit { 0 } else { self.cfg.mem_latency };
+                    if let Some((v2, d2)) = l2r.victim {
+                        // An I-side refill can evict a faulted data line.
+                        self.settle_cache_fault(false, v2, d2);
+                    }
+                    let penalty =
+                        self.cfg.l2.latency + if l2r.hit { 0 } else { self.cfg.mem_latency };
                     self.fetch_stalled_until = self.cycle + u64::from(penalty);
                     break;
                 }
@@ -606,11 +840,27 @@ impl<'a> Pipeline<'a> {
             e.wrong_path = !right_path;
 
             if right_path {
+                if self.oracle.retired >= self.fetch_budget {
+                    // Fault mode: stop the oracle exactly at the budget so
+                    // the final architectural memory state does not depend
+                    // on how far fetch happened to run ahead of commit.
+                    self.fetch_done = true;
+                    break;
+                }
                 debug_assert_eq!(pc, self.oracle.pc, "oracle and fetch desynchronized");
-                let outcome = self
-                    .oracle
-                    .exec(self.program, &mut self.oracle_mem)
-                    .expect("oracle execution failed");
+                let outcome = match self.oracle.exec(self.program, &mut self.oracle_mem) {
+                    Ok(o) => o,
+                    Err(err) => {
+                        if self.fault_mode {
+                            // An injected fault drove the PC out of the
+                            // text segment: a detected error.
+                            self.trapped = true;
+                            self.fetch_done = true;
+                            break;
+                        }
+                        panic!("oracle execution failed: {err}");
+                    }
+                };
                 e.outcome = Some(outcome);
                 if outcome.halted {
                     self.fetch_done = true;
@@ -651,4 +901,114 @@ impl<'a> Pipeline<'a> {
 
 fn rec_dest(e: &DynInst) -> Option<u8> {
     e.inst.dest_reg().map(|r| r.number())
+}
+
+/// A resumable checkpoint of every piece of owned pipeline state.
+///
+/// Taken by [`Pipeline::snapshot`] and reinstated by
+/// [`Pipeline::restore`]; the fault-injection engine uses it to fork a
+/// run at the sampled injection cycle, flip one bit, run the faulty
+/// future to completion, and rewind. Snapshots only exist for
+/// fault-mode pipelines (no ACE analyzer state is captured).
+pub struct PipelineSnapshot {
+    oracle: ExecState,
+    oracle_mem: Memory,
+    trapped: bool,
+    bpred: BranchPredictor,
+    l1i: Cache,
+    dl1: Cache,
+    l2: Cache,
+    dtlb: Dtlb,
+    rf: PhysRegFile,
+    fetch_queue: VecDeque<DynInst>,
+    rob: VecDeque<DynInst>,
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+    cycle: u64,
+    seq: u64,
+    fetch_pc: u32,
+    fetch_stalled_until: u64,
+    last_fetch_line: Option<u64>,
+    wrong_path_mode: bool,
+    recovery: Option<Recovery>,
+    fetch_done: bool,
+    halted: bool,
+    last_commit_cycle: u64,
+    cache_faults: Vec<CacheFault>,
+    stats: SimStats,
+}
+
+impl Pipeline<'_> {
+    /// Captures the complete owned machine state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline carries an ACE analyzer (snapshots are a
+    /// fault-injection facility; analyzer event streams are
+    /// append-only and cannot be rewound).
+    pub(crate) fn snapshot(&self) -> PipelineSnapshot {
+        assert!(
+            self.analyzer.is_none(),
+            "snapshot requires a fault-mode pipeline (no ACE analyzer)"
+        );
+        PipelineSnapshot {
+            oracle: self.oracle.clone(),
+            oracle_mem: self.oracle_mem.clone(),
+            trapped: self.trapped,
+            bpred: self.bpred.clone(),
+            l1i: self.l1i.clone(),
+            dl1: self.dl1.clone(),
+            l2: self.l2.clone(),
+            dtlb: self.dtlb.clone(),
+            rf: self.rf.clone(),
+            fetch_queue: self.fetch_queue.clone(),
+            rob: self.rob.clone(),
+            iq_count: self.iq_count,
+            lq_count: self.lq_count,
+            sq_count: self.sq_count,
+            cycle: self.cycle,
+            seq: self.seq,
+            fetch_pc: self.fetch_pc,
+            fetch_stalled_until: self.fetch_stalled_until,
+            last_fetch_line: self.last_fetch_line,
+            wrong_path_mode: self.wrong_path_mode,
+            recovery: self.recovery,
+            fetch_done: self.fetch_done,
+            halted: self.halted,
+            last_commit_cycle: self.last_commit_cycle,
+            cache_faults: self.cache_faults.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rewinds the machine to a previously captured snapshot.
+    pub(crate) fn restore(&mut self, snap: &PipelineSnapshot) {
+        self.oracle = snap.oracle.clone();
+        self.oracle_mem = snap.oracle_mem.clone();
+        self.trapped = snap.trapped;
+        self.bpred = snap.bpred.clone();
+        self.l1i = snap.l1i.clone();
+        self.dl1 = snap.dl1.clone();
+        self.l2 = snap.l2.clone();
+        self.dtlb = snap.dtlb.clone();
+        self.rf = snap.rf.clone();
+        self.fetch_queue = snap.fetch_queue.clone();
+        self.rob = snap.rob.clone();
+        self.iq_count = snap.iq_count;
+        self.lq_count = snap.lq_count;
+        self.sq_count = snap.sq_count;
+        self.cycle = snap.cycle;
+        self.seq = snap.seq;
+        self.fetch_pc = snap.fetch_pc;
+        self.fetch_stalled_until = snap.fetch_stalled_until;
+        self.last_fetch_line = snap.last_fetch_line;
+        self.wrong_path_mode = snap.wrong_path_mode;
+        self.recovery = snap.recovery;
+        self.fetch_done = snap.fetch_done;
+        self.halted = snap.halted;
+        self.last_commit_cycle = snap.last_commit_cycle;
+        self.cache_faults = snap.cache_faults.clone();
+        self.stats = snap.stats.clone();
+    }
 }

@@ -37,7 +37,11 @@ impl PhysRegFile {
     /// Panics if `n_phys < 32` (there must be at least one rename register).
     #[must_use]
     pub fn new(n_phys: usize, reg_bits: u32) -> PhysRegFile {
-        assert!(n_phys >= ARCH_REGS + 1, "need at least {} physical registers", ARCH_REGS + 1);
+        assert!(
+            n_phys > ARCH_REGS,
+            "need at least {} physical registers",
+            ARCH_REGS + 1
+        );
         let mut pregs = vec![Preg::default(); n_phys];
         let mut map = [0u32; ARCH_REGS];
         for (i, m) in map.iter_mut().enumerate() {
@@ -45,13 +49,34 @@ impl PhysRegFile {
             pregs[i].ready = true;
         }
         let free: Vec<u32> = (ARCH_REGS as u32..n_phys as u32).rev().collect();
-        PhysRegFile { pregs, free, map, committed_map: map, reg_bits }
+        PhysRegFile {
+            pregs,
+            free,
+            map,
+            committed_map: map,
+            reg_bits,
+        }
     }
 
     /// Number of currently free physical registers.
     #[must_use]
     pub fn free_count(&self) -> usize {
         self.free.len()
+    }
+
+    /// Whether `preg` is on the free list (holds no live value).
+    #[must_use]
+    pub fn is_free(&self, preg: u32) -> bool {
+        self.free.contains(&preg)
+    }
+
+    /// The architected register whose *newest* (speculative) definition
+    /// lives in `preg`, or `None` — a `None` for a non-free register
+    /// means the value has already been superseded by a younger
+    /// definition, so a fault in it can no longer reach future readers.
+    #[must_use]
+    pub fn arch_of_newest(&self, preg: u32) -> Option<u8> {
+        self.map.iter().position(|&p| p == preg).map(|i| i as u8)
     }
 
     /// Current speculative mapping of an architected register.
@@ -120,7 +145,10 @@ impl PhysRegFile {
     /// visible and no committed consumer read it).
     pub fn squash_dest(&mut self, preg: u32) {
         let p = &mut self.pregs[preg as usize];
-        debug_assert!(p.reads.is_empty(), "squashed register had committed readers");
+        debug_assert!(
+            p.reads.is_empty(),
+            "squashed register had committed readers"
+        );
         p.ready = false;
         p.reads.clear();
         self.free.push(preg);

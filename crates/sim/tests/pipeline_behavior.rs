@@ -2,7 +2,7 @@
 //! structural properties the AVF stressmark exploits (paper Section III).
 
 use avf_ace::{FaultRates, Structure};
-use avf_isa::{DataSegment, Opcode, ProgramBuilder, Program, Reg, DATA_BASE};
+use avf_isa::{DataSegment, Opcode, Program, ProgramBuilder, Reg, DATA_BASE};
 use avf_sim::{simulate, MachineConfig};
 
 fn r(n: u8) -> Reg {
@@ -71,7 +71,10 @@ fn dependent_chain_limits_ipc_to_about_one() {
     let res = simulate(&MachineConfig::baseline(), &dependent_chain_loop(), 20_000);
     let ipc = res.stats.ipc();
     assert!(ipc < 1.4, "serial chain cannot exceed ~1 IPC, got {ipc:.2}");
-    assert!(ipc > 0.7, "back-to-back ALU ops should flow at ~1 IPC, got {ipc:.2}");
+    assert!(
+        ipc > 0.7,
+        "back-to-back ALU ops should flow at ~1 IPC, got {ipc:.2}"
+    );
 }
 
 #[test]
@@ -92,7 +95,11 @@ fn pointer_chase_misses_in_l2_and_fills_rob() {
     // direct-mapped L2 cannot hold the working set.
     let program = pointer_chase_loop(2 * 1024 * 1024, 64);
     let res = simulate(&MachineConfig::baseline(), &program, 20_000);
-    assert!(res.stats.l2_misses > 100, "expected L2 misses, got {}", res.stats.l2_misses);
+    assert!(
+        res.stats.l2_misses > 100,
+        "expected L2 misses, got {}",
+        res.stats.l2_misses
+    );
     assert!(
         res.stats.ipc() < 0.5,
         "serialized L2 misses must crush IPC, got {:.2}",
@@ -100,7 +107,10 @@ fn pointer_chase_misses_in_l2_and_fills_rob() {
     );
     // In the shadow of the miss the ROB backs up.
     let rob_occ = res.stats.avg_rob_occupancy();
-    assert!(rob_occ > 10.0, "ROB should back up behind misses, got {rob_occ:.1}");
+    assert!(
+        rob_occ > 10.0,
+        "ROB should back up behind misses, got {rob_occ:.1}"
+    );
 }
 
 #[test]
@@ -136,9 +146,18 @@ fn mispredicted_branches_squash_and_recover() {
     b.br(top);
     let program = b.build().unwrap();
     let res = simulate(&MachineConfig::baseline(), &program, 30_000);
-    assert!(res.stats.mispredicts > 100, "LCG branch must mispredict sometimes");
-    assert!(res.stats.wrong_path_fetched > 0, "wrong-path work must be modeled");
-    assert!(res.stats.committed >= 30_000, "pipeline must recover and make progress");
+    assert!(
+        res.stats.mispredicts > 100,
+        "LCG branch must mispredict sometimes"
+    );
+    assert!(
+        res.stats.wrong_path_fetched > 0,
+        "wrong-path work must be modeled"
+    );
+    assert!(
+        res.stats.committed >= 30_000,
+        "pipeline must recover and make progress"
+    );
 }
 
 #[test]
@@ -266,5 +285,9 @@ fn dtlb_misses_on_wide_footprint() {
     // in steady state misses.
     let program = pointer_chase_loop(4 * 1024 * 1024, 8192);
     let res = simulate(&MachineConfig::baseline(), &program, 5_000);
-    assert!(res.stats.dtlb_misses > 100, "got {} DTLB misses", res.stats.dtlb_misses);
+    assert!(
+        res.stats.dtlb_misses > 100,
+        "got {} DTLB misses",
+        res.stats.dtlb_misses
+    );
 }

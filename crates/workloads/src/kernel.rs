@@ -87,7 +87,7 @@ fn emit_walk(b: &mut ProgramBuilder, profile: &WorkloadProfile) {
                 b.alu_ri(Opcode::And, Reg::of(R_IDX), Reg::of(R_IDX), mask);
             } else {
                 // Large sets: wrap by shifting out the high bits.
-                let bits = 64 - (profile.footprint as u64).trailing_zeros() as i16;
+                let bits = 64 - profile.footprint.trailing_zeros() as i16;
                 b.addi(Reg::of(R_IDX), Reg::of(R_IDX), profile.stride as i16);
                 b.alu_ri(Opcode::Sll, Reg::of(R_IDX), Reg::of(R_IDX), bits);
                 b.alu_ri(Opcode::Srl, Reg::of(R_IDX), Reg::of(R_IDX), bits);
@@ -174,7 +174,12 @@ fn emit_body(b: &mut ProgramBuilder, profile: &WorkloadProfile, rng: &mut SmallR
     // Data-dependent branches driven by an LCG: entropy controls how often
     // the direction flips (and thus the misprediction rate).
     for _ in 0..profile.branches {
-        b.alu_rr(Opcode::Mul, Reg::of(R_LCG), Reg::of(R_LCG), Reg::of(R_LCG_A));
+        b.alu_rr(
+            Opcode::Mul,
+            Reg::of(R_LCG),
+            Reg::of(R_LCG),
+            Reg::of(R_LCG_A),
+        );
         b.alu_ri(Opcode::Add, Reg::of(R_LCG), Reg::of(R_LCG), 12345);
         b.alu_ri(Opcode::Srl, Reg::of(R_TMP), Reg::of(R_LCG), 33);
         let threshold = (profile.branch_entropy * 255.0) as i16;
@@ -215,9 +220,11 @@ mod tests {
 
     #[test]
     fn builds_all_patterns() {
-        for pattern in
-            [AccessPattern::PointerChase, AccessPattern::Strided, AccessPattern::Resident]
-        {
+        for pattern in [
+            AccessPattern::PointerChase,
+            AccessPattern::Strided,
+            AccessPattern::Resident,
+        ] {
             let p = build(&profile(pattern));
             assert!(p.len() > 10);
         }
@@ -232,7 +239,10 @@ mod tests {
         let mut at = DATA_BASE;
         let mut seen = std::collections::HashSet::new();
         for _ in 0..n {
-            assert!(seen.insert(at), "revisited {at:#x} before covering the cycle");
+            assert!(
+                seen.insert(at),
+                "revisited {at:#x} before covering the cycle"
+            );
             let off = (at - data.base) as usize;
             at = u64::from_le_bytes(data.bytes[off..off + 8].try_into().unwrap());
         }
@@ -242,9 +252,11 @@ mod tests {
     #[test]
     fn kernel_runs_functionally_without_leaving_text() {
         use avf_isa::{ExecState, Memory};
-        for pattern in
-            [AccessPattern::PointerChase, AccessPattern::Strided, AccessPattern::Resident]
-        {
+        for pattern in [
+            AccessPattern::PointerChase,
+            AccessPattern::Strided,
+            AccessPattern::Resident,
+        ] {
             let p = build(&profile(pattern));
             let mut mem = Memory::new();
             let mut st = ExecState::new(&p, &mut mem);

@@ -33,5 +33,7 @@ mod suite;
 
 pub use kernel::build;
 pub use profile::{AccessPattern, Suite, WorkloadProfile};
-pub use profiles::{mibench as mibench_profiles, spec_fp as spec_fp_profiles, spec_int as spec_int_profiles};
+pub use profiles::{
+    mibench as mibench_profiles, spec_fp as spec_fp_profiles, spec_int as spec_int_profiles,
+};
 pub use suite::{all, by_name, mibench, spec_all, spec_fp, spec_int, Workload};

@@ -56,17 +56,134 @@ pub fn spec_int() -> Vec<WorkloadProfile> {
     vec![
         // gcc: large irregular working set, moderate branchiness — the
         // highest overall (core+cache) AVF in the paper's suite.
-        profile("403.gcc", S, 8 * MB, PointerChase, 5, 3, 10, 0.1, 2, 2, 0.15, 1),
-        profile("400.perlbench", S, 512 * KB, Strided, 4, 2, 10, 0.05, 2, 3, 0.25, 2),
-        profile("401.bzip2", S, 4 * MB, Strided, 4, 3, 12, 0.05, 2, 2, 0.2, 3),
-        profile("429.mcf", S, 8 * MB, PointerChase, 3, 1, 5, 0.05, 3, 1, 0.2, 4),
-        profile("445.gobmk", S, 1 * MB, Resident, 4, 2, 8, 0.05, 2, 4, 0.35, 5),
-        profile("456.hmmer", S, 256 * KB, Strided, 5, 2, 16, 0.15, 1, 1, 0.05, 6),
-        profile("458.sjeng", S, 1 * MB, Resident, 3, 1, 9, 0.05, 2, 3, 0.3, 7),
-        profile("462.libquantum", S, 4 * MB, Strided, 3, 1, 8, 0.1, 1, 1, 0.05, 8),
-        profile("464.h264ref", S, 512 * KB, Strided, 5, 2, 14, 0.25, 2, 1, 0.1, 9),
-        profile("471.omnetpp", S, 2 * MB, PointerChase, 4, 2, 8, 0.05, 2, 2, 0.2, 10),
-        profile("473.astar", S, 1 * MB, PointerChase, 4, 1, 7, 0.05, 2, 2, 0.25, 11),
+        profile(
+            "403.gcc",
+            S,
+            8 * MB,
+            PointerChase,
+            5,
+            3,
+            10,
+            0.1,
+            2,
+            2,
+            0.15,
+            1,
+        ),
+        profile(
+            "400.perlbench",
+            S,
+            512 * KB,
+            Strided,
+            4,
+            2,
+            10,
+            0.05,
+            2,
+            3,
+            0.25,
+            2,
+        ),
+        profile(
+            "401.bzip2",
+            S,
+            4 * MB,
+            Strided,
+            4,
+            3,
+            12,
+            0.05,
+            2,
+            2,
+            0.2,
+            3,
+        ),
+        profile(
+            "429.mcf",
+            S,
+            8 * MB,
+            PointerChase,
+            3,
+            1,
+            5,
+            0.05,
+            3,
+            1,
+            0.2,
+            4,
+        ),
+        profile("445.gobmk", S, MB, Resident, 4, 2, 8, 0.05, 2, 4, 0.35, 5),
+        profile(
+            "456.hmmer",
+            S,
+            256 * KB,
+            Strided,
+            5,
+            2,
+            16,
+            0.15,
+            1,
+            1,
+            0.05,
+            6,
+        ),
+        profile("458.sjeng", S, MB, Resident, 3, 1, 9, 0.05, 2, 3, 0.3, 7),
+        profile(
+            "462.libquantum",
+            S,
+            4 * MB,
+            Strided,
+            3,
+            1,
+            8,
+            0.1,
+            1,
+            1,
+            0.05,
+            8,
+        ),
+        profile(
+            "464.h264ref",
+            S,
+            512 * KB,
+            Strided,
+            5,
+            2,
+            14,
+            0.25,
+            2,
+            1,
+            0.1,
+            9,
+        ),
+        profile(
+            "471.omnetpp",
+            S,
+            2 * MB,
+            PointerChase,
+            4,
+            2,
+            8,
+            0.05,
+            2,
+            2,
+            0.2,
+            10,
+        ),
+        profile(
+            "473.astar",
+            S,
+            MB,
+            PointerChase,
+            4,
+            1,
+            7,
+            0.05,
+            2,
+            2,
+            0.25,
+            11,
+        ),
     ]
 }
 
@@ -81,18 +198,135 @@ pub fn spec_fp() -> Vec<WorkloadProfile> {
     use AccessPattern::*;
     use Suite::SpecFp as S;
     vec![
-        profile("410.bwaves", S, 8 * MB, Strided, 5, 2, 18, 0.5, 3, 1, 0.02, 21),
-        profile("433.milc", S, 4 * MB, Strided, 4, 2, 14, 0.45, 2, 1, 0.02, 22),
-        profile("434.zeusmp", S, 4 * MB, Strided, 6, 3, 16, 0.5, 3, 1, 0.02, 23),
-        profile("435.gromacs", S, 512 * KB, Resident, 4, 2, 18, 0.4, 2, 1, 0.05, 24),
-        profile("436.cactusADM", S, 4 * MB, Strided, 5, 2, 20, 0.55, 5, 1, 0.02, 25),
-        profile("437.leslie3d", S, 4 * MB, Strided, 5, 2, 16, 0.45, 3, 1, 0.02, 26),
-        profile("444.namd", S, 1 * MB, Resident, 4, 2, 20, 0.4, 2, 1, 0.02, 27),
+        profile(
+            "410.bwaves",
+            S,
+            8 * MB,
+            Strided,
+            5,
+            2,
+            18,
+            0.5,
+            3,
+            1,
+            0.02,
+            21,
+        ),
+        profile(
+            "433.milc",
+            S,
+            4 * MB,
+            Strided,
+            4,
+            2,
+            14,
+            0.45,
+            2,
+            1,
+            0.02,
+            22,
+        ),
+        profile(
+            "434.zeusmp",
+            S,
+            4 * MB,
+            Strided,
+            6,
+            3,
+            16,
+            0.5,
+            3,
+            1,
+            0.02,
+            23,
+        ),
+        profile(
+            "435.gromacs",
+            S,
+            512 * KB,
+            Resident,
+            4,
+            2,
+            18,
+            0.4,
+            2,
+            1,
+            0.05,
+            24,
+        ),
+        profile(
+            "436.cactusADM",
+            S,
+            4 * MB,
+            Strided,
+            5,
+            2,
+            20,
+            0.55,
+            5,
+            1,
+            0.02,
+            25,
+        ),
+        profile(
+            "437.leslie3d",
+            S,
+            4 * MB,
+            Strided,
+            5,
+            2,
+            16,
+            0.45,
+            3,
+            1,
+            0.02,
+            26,
+        ),
+        profile("444.namd", S, MB, Resident, 4, 2, 20, 0.4, 2, 1, 0.02, 27),
         // dealII: the highest core SER among the paper's baseline workloads.
-        profile("447.dealII", S, 8 * MB, Strided, 6, 3, 14, 0.35, 3, 1, 0.1, 28),
-        profile("450.soplex", S, 2 * MB, Strided, 5, 2, 12, 0.3, 2, 2, 0.15, 29),
+        profile(
+            "447.dealII",
+            S,
+            8 * MB,
+            Strided,
+            6,
+            3,
+            14,
+            0.35,
+            3,
+            1,
+            0.1,
+            28,
+        ),
+        profile(
+            "450.soplex",
+            S,
+            2 * MB,
+            Strided,
+            5,
+            2,
+            12,
+            0.3,
+            2,
+            2,
+            0.15,
+            29,
+        ),
         // GemsFDTD: the highest core SER under the RHC fault rates.
-        profile("459.GemsFDTD", S, 8 * MB, Strided, 6, 3, 16, 0.5, 4, 1, 0.02, 30),
+        profile(
+            "459.GemsFDTD",
+            S,
+            8 * MB,
+            Strided,
+            6,
+            3,
+            16,
+            0.5,
+            4,
+            1,
+            0.02,
+            30,
+        ),
     ]
 }
 
@@ -103,17 +337,121 @@ pub fn mibench() -> Vec<WorkloadProfile> {
     use AccessPattern::*;
     use Suite::MiBench as S;
     vec![
-        profile("basicmath", S, 16 * KB, Resident, 2, 1, 12, 0.3, 2, 1, 0.1, 41),
-        profile("bitcount", S, 8 * KB, Resident, 1, 1, 12, 0.05, 2, 2, 0.1, 42),
-        profile("qsort", S, 256 * KB, Resident, 4, 2, 6, 0.05, 2, 3, 0.35, 43),
+        profile(
+            "basicmath",
+            S,
+            16 * KB,
+            Resident,
+            2,
+            1,
+            12,
+            0.3,
+            2,
+            1,
+            0.1,
+            41,
+        ),
+        profile(
+            "bitcount",
+            S,
+            8 * KB,
+            Resident,
+            1,
+            1,
+            12,
+            0.05,
+            2,
+            2,
+            0.1,
+            42,
+        ),
+        profile(
+            "qsort",
+            S,
+            256 * KB,
+            Resident,
+            4,
+            2,
+            6,
+            0.05,
+            2,
+            3,
+            0.35,
+            43,
+        ),
         // susan: the highest core SER under the EDR fault rates (high-IPC
         // image kernel).
         profile("susan", S, 64 * KB, Resident, 4, 2, 18, 0.3, 1, 1, 0.05, 44),
-        profile("dijkstra", S, 128 * KB, PointerChase, 3, 1, 6, 0.05, 2, 2, 0.2, 45),
-        profile("patricia", S, 256 * KB, PointerChase, 3, 1, 6, 0.05, 2, 2, 0.25, 46),
-        profile("stringsearch", S, 32 * KB, Resident, 3, 1, 7, 0.0, 2, 3, 0.3, 47),
-        profile("blowfish", S, 8 * KB, Resident, 2, 1, 14, 0.1, 2, 1, 0.05, 48),
-        profile("rijndael", S, 16 * KB, Resident, 3, 2, 16, 0.1, 2, 1, 0.05, 49),
+        profile(
+            "dijkstra",
+            S,
+            128 * KB,
+            PointerChase,
+            3,
+            1,
+            6,
+            0.05,
+            2,
+            2,
+            0.2,
+            45,
+        ),
+        profile(
+            "patricia",
+            S,
+            256 * KB,
+            PointerChase,
+            3,
+            1,
+            6,
+            0.05,
+            2,
+            2,
+            0.25,
+            46,
+        ),
+        profile(
+            "stringsearch",
+            S,
+            32 * KB,
+            Resident,
+            3,
+            1,
+            7,
+            0.0,
+            2,
+            3,
+            0.3,
+            47,
+        ),
+        profile(
+            "blowfish",
+            S,
+            8 * KB,
+            Resident,
+            2,
+            1,
+            14,
+            0.1,
+            2,
+            1,
+            0.05,
+            48,
+        ),
+        profile(
+            "rijndael",
+            S,
+            16 * KB,
+            Resident,
+            3,
+            2,
+            16,
+            0.1,
+            2,
+            1,
+            0.05,
+            49,
+        ),
         profile("sha", S, 8 * KB, Resident, 2, 1, 14, 0.05, 3, 1, 0.05, 50),
         profile("crc32", S, 8 * KB, Resident, 2, 1, 6, 0.0, 2, 1, 0.05, 51),
         profile("fft", S, 256 * KB, Resident, 4, 2, 14, 0.5, 2, 1, 0.05, 52),
@@ -147,7 +485,11 @@ mod tests {
 
     #[test]
     fn footprints_are_pow2_and_strides_line_aligned() {
-        for p in spec_int().iter().chain(spec_fp().iter()).chain(mibench().iter()) {
+        for p in spec_int()
+            .iter()
+            .chain(spec_fp().iter())
+            .chain(mibench().iter())
+        {
             assert!(p.footprint.is_power_of_two(), "{}", p.name);
             assert_eq!(p.stride % 64, 0, "{}", p.name);
         }

@@ -49,7 +49,10 @@ impl Workload {
 /// The 11 SPEC CPU2006 integer proxies.
 #[must_use]
 pub fn spec_int() -> Vec<Workload> {
-    profiles::spec_int().into_iter().map(Workload::new).collect()
+    profiles::spec_int()
+        .into_iter()
+        .map(Workload::new)
+        .collect()
 }
 
 /// The 10 SPEC CPU2006 floating-point proxies.

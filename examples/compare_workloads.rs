@@ -18,7 +18,11 @@ fn main() {
     cfg.workload_instructions = 500_000;
     cfg.final_instructions = 1_500_000;
     cfg.eval_instructions = 80_000;
-    cfg.ga = GaParams { population: 12, generations: 10, ..GaParams::quick() };
+    cfg.ga = GaParams {
+        population: 12,
+        generations: 10,
+        ..GaParams::quick()
+    };
 
     let machine = MachineConfig::baseline();
     let rates = FaultRates::baseline();
@@ -28,9 +32,17 @@ fn main() {
     let sm_ser = sm.result.report.ser(&rates);
 
     println!("running the 33-program suite...");
-    let runs = run_suite(&machine, &avf_workloads::all(), cfg.workload_instructions, cfg.threads);
+    let runs = run_suite(
+        &machine,
+        &avf_workloads::all(),
+        cfg.workload_instructions,
+        cfg.threads,
+    );
 
-    println!("\n{:<22} {:>8} {:>10} {:>8}", "program", "QS+RF", "DL1+DTLB", "L2");
+    println!(
+        "\n{:<22} {:>8} {:>10} {:>8}",
+        "program", "QS+RF", "DL1+DTLB", "L2"
+    );
     let row = |name: &str, qsrf: f64, d: f64, l2: f64| {
         println!("{name:<22} {qsrf:>8.3} {d:>10.3} {l2:>8.3}");
     };
@@ -50,7 +62,6 @@ fn main() {
         sm_ser.qs_rf() / best.1
     );
     println!(
-        "=> a safety margin chosen from workload measurements alone would {}",
-        "under-estimate the observable worst case (paper Section VII)"
+        "=> a safety margin chosen from workload measurements alone would under-estimate the observable worst case (paper Section VII)"
     );
 }

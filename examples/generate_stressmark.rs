@@ -18,7 +18,11 @@ fn main() {
     );
     // A small search keeps this example under a minute; raise toward
     // GaParams::paper() (50 x 50) for a full-strength stressmark.
-    config.ga = GaParams { population: 12, generations: 12, ..GaParams::quick() };
+    config.ga = GaParams {
+        population: 12,
+        generations: 12,
+        ..GaParams::quick()
+    };
     config.eval_instructions = 80_000;
     config.final_instructions = 2_000_000;
 

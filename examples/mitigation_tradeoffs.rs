@@ -18,12 +18,19 @@ fn main() {
     let mut cfg = ExperimentConfig::standard();
     cfg.eval_instructions = 80_000;
     cfg.final_instructions = 1_500_000;
-    cfg.ga = GaParams { population: 12, generations: 12, ..GaParams::quick() };
+    cfg.ga = GaParams {
+        population: 12,
+        generations: 12,
+        ..GaParams::quick()
+    };
 
     let machine = MachineConfig::baseline();
     let sizes = machine.structure_sizes();
 
-    println!("{:<10} {:>12} {:>12} {:>10}", "config", "worst (meas)", "raw sum", "saved");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "config", "worst (meas)", "raw sum", "saved"
+    );
     let mut results = Vec::new();
     for rates in [FaultRates::baseline(), FaultRates::rhc(), FaultRates::edr()] {
         let sm = stressmark_for(&cfg, machine.clone(), rates.clone());

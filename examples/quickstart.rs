@@ -32,8 +32,11 @@ fn main() {
     let result = simulate(&machine, &program, 200_000);
     let ser = result.report.ser(&rates);
     println!("--- {} ---", program.name());
-    println!("IPC {:.2}, {:.1}% dynamically dead", result.stats.ipc(),
-        100.0 * result.report.deadness().dead_fraction());
+    println!(
+        "IPC {:.2}, {:.1}% dynamically dead",
+        result.stats.ipc(),
+        100.0 * result.report.deadness().dead_fraction()
+    );
     print!("{ser}");
 
     // 2. A stressmark candidate built from the paper's Figure 5a knobs.
@@ -42,9 +45,12 @@ fn main() {
     let result = simulate(&machine, &sm.program, 1_000_000);
     let ser = result.report.ser(&rates);
     println!("\n--- {} (paper Fig. 5a knobs) ---", sm.program.name());
-    println!("IPC {:.2}, ROB occupancy {:.1}/80, {:.2}% dead", result.stats.ipc(),
+    println!(
+        "IPC {:.2}, ROB occupancy {:.1}/80, {:.2}% dead",
+        result.stats.ipc(),
         result.stats.avg_rob_occupancy(),
-        100.0 * result.report.deadness().dead_fraction());
+        100.0 * result.report.deadness().dead_fraction()
+    );
     print!("{ser}");
     println!("\nper-structure AVF:");
     for s in Structure::ALL {

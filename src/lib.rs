@@ -11,6 +11,8 @@
 //! * [`codegen`] — the knob-driven stressmark code generator;
 //! * [`ga`] — the genetic algorithm framework;
 //! * [`workloads`] — SPEC CPU2006 / MiBench proxy kernels;
+//! * [`inject`] — parallel statistical fault-injection campaigns that
+//!   cross-validate the ACE-based AVF numbers;
 //! * [`stressmark`] — the end-to-end methodology and experiment drivers.
 
 #![forbid(unsafe_code)]
@@ -19,6 +21,7 @@
 pub use avf_ace as ace;
 pub use avf_codegen as codegen;
 pub use avf_ga as ga;
+pub use avf_inject as inject;
 pub use avf_isa as isa;
 pub use avf_sim as sim;
 pub use avf_stressmark as stressmark;

@@ -14,8 +14,14 @@ fn test_config() -> ExperimentConfig {
         workload_instructions: 150_000,
         eval_instructions: 40_000,
         final_instructions: 400_000,
-        ga: GaParams { population: 8, generations: 6, ..GaParams::quick() },
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ga: GaParams {
+            population: 8,
+            generations: 6,
+            ..GaParams::quick()
+        },
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     }
 }
 
@@ -27,7 +33,12 @@ fn stressmark_exceeds_every_workload_in_the_core() {
     let sm = stressmark_for(&cfg, machine.clone(), rates.clone());
     let sm_core = sm.result.report.ser(&rates).qs_rf();
 
-    let runs = run_suite(&machine, &avf_workloads::all(), cfg.workload_instructions, cfg.threads);
+    let runs = run_suite(
+        &machine,
+        &avf_workloads::all(),
+        cfg.workload_instructions,
+        cfg.threads,
+    );
     for (w, r) in &runs {
         let core = r.report.ser(&rates).qs_rf();
         assert!(
@@ -98,18 +109,33 @@ fn workload_suite_spans_an_ser_range() {
     let cfg = test_config();
     let machine = MachineConfig::baseline();
     let rates = FaultRates::baseline();
-    let runs = run_suite(&machine, &avf_workloads::all(), cfg.workload_instructions, cfg.threads);
-    let cores: Vec<f64> = runs.iter().map(|(_, r)| r.report.ser(&rates).qs_rf()).collect();
+    let runs = run_suite(
+        &machine,
+        &avf_workloads::all(),
+        cfg.workload_instructions,
+        cfg.threads,
+    );
+    let cores: Vec<f64> = runs
+        .iter()
+        .map(|(_, r)| r.report.ser(&rates).qs_rf())
+        .collect();
     let min = cores.iter().copied().fold(f64::INFINITY, f64::min);
     let max = cores.iter().copied().fold(0.0, f64::max);
-    assert!(max > 1.5 * min, "suite core SER range too narrow: [{min:.3}, {max:.3}]");
+    assert!(
+        max > 1.5 * min,
+        "suite core SER range too narrow: [{min:.3}, {max:.3}]"
+    );
 }
 
 #[test]
 fn deterministic_search_end_to_end() {
     let machine = MachineConfig::baseline();
     let mut config = SearchConfig::quick(machine, Fitness::overall(FaultRates::baseline()));
-    config.ga = GaParams { population: 5, generations: 3, ..GaParams::quick() };
+    config.ga = GaParams {
+        population: 5,
+        generations: 3,
+        ..GaParams::quick()
+    };
     config.eval_instructions = 8_000;
     config.final_instructions = 15_000;
     let a = avf_stressmark::generate_stressmark(&config);
@@ -130,7 +156,10 @@ fn fp_proxies_issue_wider_than_int_proxies() {
     };
     let fp = avg_ipc(avf_workloads::spec_fp());
     let int = avg_ipc(avf_workloads::spec_int());
-    assert!(fp > int, "fp proxies should sustain higher IPC: {fp:.2} vs {int:.2}");
+    assert!(
+        fp > int,
+        "fp proxies should sustain higher IPC: {fp:.2} vs {int:.2}"
+    );
 }
 
 #[test]
@@ -168,6 +197,14 @@ fn mcf_proxy_is_memory_bound() {
     let machine = MachineConfig::baseline();
     let mcf = avf_workloads::by_name("429.mcf").unwrap().build();
     let r = simulate(&machine, &mcf, 150_000);
-    assert!(r.stats.l2_misses > 500, "mcf must thrash the L2, got {}", r.stats.l2_misses);
-    assert!(r.stats.ipc() < 0.8, "mcf must be stall-bound, IPC {:.2}", r.stats.ipc());
+    assert!(
+        r.stats.l2_misses > 500,
+        "mcf must thrash the L2, got {}",
+        r.stats.l2_misses
+    );
+    assert!(
+        r.stats.ipc() < 0.8,
+        "mcf must be stall-bound, IPC {:.2}",
+        r.stats.ipc()
+    );
 }

@@ -2,9 +2,9 @@
 //! timing-level ACE analysis: generated stressmarks must be (essentially)
 //! 100% ACE and must stress the machine the way Section IV predicts.
 
+use avf_ace::Structure;
 use avf_codegen::{dead_fraction, generate, Knobs, L2Mode, TargetParams, GENOME_LEN};
 use avf_sim::{simulate, MachineConfig};
-use avf_ace::Structure;
 
 fn baseline_target() -> TargetParams {
     TargetParams::baseline()
@@ -16,8 +16,9 @@ fn generated_stressmarks_are_fully_ace_functionally() {
     // feasible knob setting, not just the tuned one.
     let params = baseline_target();
     for variant in 0..12u64 {
-        let genes: Vec<f64> =
-            (0..GENOME_LEN).map(|i| ((variant * 7 + i as u64 * 3) % 10) as f64 / 9.0).collect();
+        let genes: Vec<f64> = (0..GENOME_LEN)
+            .map(|i| ((variant * 7 + i as u64 * 3) % 10) as f64 / 9.0)
+            .collect();
         let sm = generate(&Knobs::from_genome(&genes, &params), &params);
         let frac = dead_fraction(&sm.program, 30_000);
         assert!(
@@ -34,7 +35,10 @@ fn stressmark_is_ace_under_timing_simulation() {
     let sm = generate(&Knobs::paper_baseline(), &params);
     let res = simulate(&MachineConfig::baseline(), &sm.program, 40_000);
     let dead = res.report.deadness().dead_fraction();
-    assert!(dead < 0.01, "stressmark must be ~100% ACE, got dead fraction {dead:.4}");
+    assert!(
+        dead < 0.01,
+        "stressmark must be ~100% ACE, got dead fraction {dead:.4}"
+    );
 }
 
 #[test]
@@ -44,7 +48,11 @@ fn miss_mode_stressmark_stalls_on_l2_misses() {
     k.l2_mode = L2Mode::Miss;
     let sm = generate(&k, &params);
     let res = simulate(&MachineConfig::baseline(), &sm.program, 40_000);
-    assert!(res.stats.l2_misses > 100, "chase must miss the L2, got {}", res.stats.l2_misses);
+    assert!(
+        res.stats.l2_misses > 100,
+        "chase must miss the L2, got {}",
+        res.stats.l2_misses
+    );
     // In the miss shadow the ROB fills up (paper Section IV-A.1).
     assert!(
         res.stats.avg_rob_occupancy() > 40.0,
@@ -63,10 +71,21 @@ fn hit_mode_has_higher_ipc_lower_rob_occupancy() {
     let params = baseline_target();
     let mut k = Knobs::paper_baseline();
     k.l2_mode = L2Mode::Hit;
-    let hit = simulate(&MachineConfig::baseline(), &generate(&k, &params).program, 40_000);
+    let hit = simulate(
+        &MachineConfig::baseline(),
+        &generate(&k, &params).program,
+        40_000,
+    );
     k.l2_mode = L2Mode::Miss;
-    let miss = simulate(&MachineConfig::baseline(), &generate(&k, &params).program, 40_000);
-    assert!(hit.stats.ipc() > miss.stats.ipc(), "L2-hit template must run faster");
+    let miss = simulate(
+        &MachineConfig::baseline(),
+        &generate(&k, &params).program,
+        40_000,
+    );
+    assert!(
+        hit.stats.ipc() > miss.stats.ipc(),
+        "L2-hit template must run faster"
+    );
 }
 
 #[test]
@@ -85,9 +104,17 @@ fn dep_on_miss_raises_iq_avf() {
     let params = baseline_target();
     let mut k = Knobs::paper_baseline();
     k.n_dep_on_miss = 0;
-    let low = simulate(&MachineConfig::baseline(), &generate(&k, &params).program, 40_000);
+    let low = simulate(
+        &MachineConfig::baseline(),
+        &generate(&k, &params).program,
+        40_000,
+    );
     k.n_dep_on_miss = 20;
-    let high = simulate(&MachineConfig::baseline(), &generate(&k, &params).program, 40_000);
+    let high = simulate(
+        &MachineConfig::baseline(),
+        &generate(&k, &params).program,
+        40_000,
+    );
     assert!(
         high.report.avf(Structure::Iq) > low.report.avf(Structure::Iq),
         "more miss-shadow instructions must raise IQ AVF: {:.3} vs {:.3}",

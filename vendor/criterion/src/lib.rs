@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the bench-definition surface the workspace uses —
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! [`BenchmarkGroup::sample_size`] / [`BenchmarkGroup::throughput`] /
+//! [`BenchmarkGroup::bench_function`], and [`Bencher::iter`] — and
+//! reports mean/min wall-clock time (plus derived throughput) to stdout.
+//! There is no statistical analysis engine.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates the per-iteration work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            warm: true,
+        };
+        f(&mut b); // warmup pass (discarded)
+        b.warm = false;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let n = b.samples.len().max(1) as u32;
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        print!(
+            "{}/{id}: mean {mean:?}  min {min:?}  ({n} samples)",
+            self.name
+        );
+        if let Some(t) = self.throughput {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(e) => print!("  {:.0} elem/s", e as f64 / secs),
+                Throughput::Bytes(bytes) => print!("  {:.0} B/s", bytes as f64 / secs),
+            }
+        }
+        println!();
+        self
+    }
+
+    /// Ends the group (matches the upstream API; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warm: bool,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (one sample per call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        let dt = start.elapsed();
+        if !self.warm {
+            self.samples.push(dt);
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_function("counts_iterations", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

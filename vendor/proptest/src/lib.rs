@@ -1,0 +1,380 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset of proptest 1.x this workspace's property tests
+//! use: the [`proptest!`] macro (with both `arg in strategy` and
+//! `arg: Type` parameters), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, [`prop_oneof!`], [`Just`], range and tuple
+//! strategies, [`Strategy::prop_map`], and [`collection::vec`].
+//!
+//! Cases are generated from a deterministic per-test seed (derived from
+//! the test name) so failures reproduce; there is **no shrinking** — the
+//! failing case's inputs are reported via the panic message instead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SampleUniform, SeedableRng};
+
+/// Per-block configuration (the subset of `proptest::test_runner`'s
+/// `ProptestConfig` used: the case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u64) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Number of cases to run: the `PROPTEST_CASES` environment variable
+/// overrides `config`.
+#[must_use]
+pub fn resolve_cases(config: &ProptestConfig) -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+}
+
+/// Deterministic RNG for one test case.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for case number `case` of the test named `name`.
+    #[must_use]
+    pub fn new(name: &str, case: u64) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn range<T: SampleUniform>(&mut self, r: Range<T>) -> T {
+        self.0.gen_range(r)
+    }
+
+    fn bits(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values (sampling-only subset of
+/// `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// One boxed alternative of a [`Union`] (object-safe sampling).
+pub trait DynStrategy<T> {
+    /// Draws one value.
+    fn dyn_sample(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_sample(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// Uniform choice among alternatives (backs [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Box<dyn DynStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    /// Starts a union from its first alternative.
+    #[must_use]
+    pub fn of<S: DynStrategy<T> + 'static>(arm: S) -> Union<T> {
+        Union {
+            arms: vec![Box::new(arm)],
+        }
+    }
+
+    /// Adds another alternative.
+    #[must_use]
+    pub fn or<S: DynStrategy<T> + 'static>(mut self, arm: S) -> Union<T> {
+        self.arms.push(Box::new(arm));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.bits() % self.arms.len() as u64) as usize;
+        self.arms[idx].dyn_sample(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy (`arg: Type` parameters).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.bits() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact length or a half-open
+    /// range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec`s with a length drawn from `len` and elements
+    /// drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// `Vec` strategy (the subset of `proptest::collection::vec` used).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.range(self.len.0.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Binds one `proptest!` parameter list entry after another.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $arg:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $arg = $crate::Strategy::sample(&$strat, &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $arg:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $arg = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Defines property tests. Each body runs [`resolve_cases`] times with
+/// fresh random bindings; `#[test]` attributes written inside are
+/// re-emitted, and an optional leading `#![proptest_config(..)]` sets the
+/// case count for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_block! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_block! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Expands the test functions of one [`proptest!`] block.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_block {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            for __case in 0..$crate::resolve_cases(&$cfg) {
+                let mut __rng = $crate::TestRng::new(stringify!($name), __case);
+                $crate::__proptest_bind!(__rng, $($params)*);
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a name the property tests expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a name the property tests expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a name the property tests expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies yielding a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        let union = $crate::Union::of($first);
+        $(let union = union.or($rest);)*
+        union
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u8..9, y in -3i64..4) {
+            prop_assert!((5..9).contains(&x));
+            prop_assert!((-3..4).contains(&y));
+        }
+
+        #[test]
+        fn arbitrary_and_mixed_params(a: u64, b in 0usize..10, c: i16) {
+            let _ = (a, c);
+            prop_assert!(b < 10);
+        }
+
+        #[test]
+        fn vec_and_oneof_compose(
+            v in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8), 3u8..5], 0..20)
+        ) {
+            prop_assert!(v.len() < 20);
+            for x in v {
+                prop_assert!((1..5).contains(&x));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert_ne!(s, 19);
+        }
+    }
+}
