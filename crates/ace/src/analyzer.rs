@@ -255,4 +255,48 @@ mod tests {
         let report = a.finish(100);
         assert_eq!(report.avf(Structure::SqData), 0.0);
     }
+
+    #[test]
+    fn dead_store_tag_bits_stay_ace() {
+        // A dynamically dead store's data is un-ACE, but its address
+        // (tag) bits are not: a fault there misdirects the write.
+        // Regression for the injection-measured SQ violation.
+        let sizes = StructureSizes::baseline();
+        let mut a = AvfAnalyzer::new("t", sizes.clone());
+        let mut s1 = InstrRecord::of_kind(AceKind::Store);
+        s1.mem = Some(MemRef {
+            addr: 0x100,
+            bytes: 8,
+        });
+        let mut res = Residency::new();
+        res.push(Slice {
+            structure: Structure::SqTag,
+            start: 0,
+            end: 10,
+            bits: 64,
+        });
+        res.push(Slice {
+            structure: Structure::SqData,
+            start: 0,
+            end: 10,
+            bits: 64,
+        });
+        s1.residency = res;
+        a.commit(s1);
+        // Overwrite before any load: s1 resolves dead.
+        let mut s2 = InstrRecord::of_kind(AceKind::Store);
+        s2.mem = Some(MemRef {
+            addr: 0x100,
+            bytes: 8,
+        });
+        a.commit(s2);
+        let report = a.finish(100);
+        assert_eq!(report.avf(Structure::SqData), 0.0, "dead data un-ACE");
+        let expect = (10.0 * 64.0) / (sizes.bits(Structure::SqTag) as f64 * 100.0);
+        assert!(
+            (report.avf(Structure::SqTag) - expect).abs() < 1e-12,
+            "dead store tag stays ACE: {} vs {expect}",
+            report.avf(Structure::SqTag)
+        );
+    }
 }

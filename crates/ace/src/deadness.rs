@@ -416,6 +416,21 @@ impl DeadnessEngine {
             };
             self.states[n as usize] = Liveness::Dead;
             self.stats.dead += 1;
+            if node.kind == AceKind::Store {
+                // Mukherjee's dead-store refinement applies to the *data*
+                // field only: a dynamically dead store's value is un-ACE
+                // (overwritten before any read), but its address bits stay
+                // ACE — a fault there redirects the write and corrupts
+                // unrelated state, which injection observes as SDC. Credit
+                // the tag residency even as the rest is dropped.
+                for slice in node
+                    .residency
+                    .iter()
+                    .filter(|s| s.structure == Structure::SqTag)
+                {
+                    self.ace.add(slice.structure, slice.bit_cycles());
+                }
+            }
             for p in node.producers.into_iter().flatten() {
                 if self.states[p as usize] != Liveness::Unknown {
                     continue;

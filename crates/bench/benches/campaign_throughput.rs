@@ -1,28 +1,35 @@
-//! Scaling benchmark for the fault-injection campaign driver: the same
-//! deterministic campaign at 1, 2, and 4 worker threads (plus all
-//! available cores), reporting wall-clock speedup and verifying that
-//! the per-structure outcome tallies are identical at every thread
-//! count — sharding must never change the measurement.
+//! Scaling benchmark for the fault-injection campaign driver.
 //!
-//! On a multi-core host the 4-thread run demonstrates the >2× speedup
-//! of the embarrassingly parallel sweep; on a single hardware thread
-//! the runs serialize and the speedup column reads ~1×.
+//! Part 1 runs the same deterministic fixed-size campaign at 1, 2, and
+//! 4 worker threads (plus all available cores), reporting wall-clock
+//! speedup and verifying that the per-structure outcome tallies are
+//! identical at every thread count — sharding must never change the
+//! measurement. On a multi-core host the 4-thread run demonstrates the
+//! 2×+ speedup of the embarrassingly parallel sweep; on a single
+//! hardware thread the runs serialize and the speedup column reads ~1×.
+//!
+//! Part 2 measures the adaptive sequential-sampling engine: an adaptive
+//! campaign runs to a CI target, then a fixed round-robin campaign of
+//! the *same* total size shows how far from that precision an even
+//! split lands — the trials-to-verdict gap the CI-driven allocator
+//! closes.
 
 use std::time::Instant;
 
 use avf_codegen::{generate, Knobs, TargetParams};
-use avf_inject::{Campaign, CampaignConfig};
+use avf_inject::{Campaign, CampaignConfig, StopReason};
 use avf_sim::MachineConfig;
 
 fn main() {
     let machine = MachineConfig::baseline();
     let stressmark = generate(&Knobs::paper_baseline(), &TargetParams::baseline());
 
-    let (injections, instr_budget) = match std::env::var("AVF_EXPERIMENT_SCALE").as_deref() {
-        Ok("smoke") => (160, 6_000),
-        Ok("full") => (4_000, 30_000),
-        _ => (800, 12_000),
-    };
+    let (injections, instr_budget, ci_target) =
+        match std::env::var("AVF_EXPERIMENT_SCALE").as_deref() {
+            Ok("smoke") => (160, 6_000, 0.15),
+            Ok("full") => (4_000, 30_000, 0.05),
+            _ => (800, 12_000, 0.10),
+        };
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -76,4 +83,63 @@ fn main() {
         );
     }
     println!("outcome tallies identical across all thread counts ✓");
+
+    // ---- adaptive sequential sampling vs the fixed round-robin plan ----
+    let adaptive_config = CampaignConfig {
+        injections: injections * 8, // generous cap; sampling stops itself
+        seed: 42,
+        threads: 0,
+        instr_budget,
+        ci_target: Some(ci_target),
+        ..CampaignConfig::default()
+    };
+    let start = Instant::now();
+    let adaptive = Campaign::new(&machine, &stressmark.program, adaptive_config).run();
+    let adaptive_wall = start.elapsed().as_secs_f64();
+
+    println!(
+        "\nadaptive campaign to CI target ±{ci_target}: {} trials in {} batch(es), \
+         stop: {} ({:.2} s, {} checkpoint(s))",
+        adaptive.injections,
+        adaptive.batches.len(),
+        adaptive.stop.name(),
+        adaptive_wall,
+        adaptive.checkpoints
+    );
+    for b in &adaptive.batches {
+        println!(
+            "  batch {:>3}: {:>5} trials ({:>6} total), widest CI ±{:.4} ({})",
+            b.batch, b.trials, b.cumulative, b.max_half_width, b.widest
+        );
+    }
+
+    let fixed = Campaign::new(
+        &machine,
+        &stressmark.program,
+        CampaignConfig {
+            injections: adaptive.injections,
+            seed: 42,
+            threads: 0,
+            instr_budget,
+            ..CampaignConfig::default()
+        },
+    )
+    .run();
+    let fixed_max = fixed
+        .targets
+        .iter()
+        .map(|t| t.counts.half_width95())
+        .fold(0.0f64, f64::max);
+    println!(
+        "fixed round-robin at the same {} trials: widest CI ±{fixed_max:.4} \
+         (target ±{ci_target}) — {}",
+        fixed.injections,
+        if adaptive.stop != StopReason::CiTarget {
+            "adaptive hit its trial cap before converging; raise the cap to compare"
+        } else if fixed_max > ci_target {
+            "adaptive reaches the precision target with fewer trials ✓"
+        } else {
+            "fixed plan matched the target here"
+        }
+    );
 }

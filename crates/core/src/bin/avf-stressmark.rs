@@ -7,13 +7,15 @@
 //! avf-stressmark fig      <3|4|5|6|7|8|9|table3> [--smoke]
 //! avf-stressmark bounds   [--machine ...]
 //! avf-stressmark validate [--machine ...] [--injections N] [--seed N]
-//!                         [--instructions N] [--threads N]
+//!                         [--instructions N] [--threads N] [--ci-target F]
+//!                         [--batch N] [--checkpoint-interval N]
 //! ```
 
 use std::process::ExitCode;
 
 use avf_ace::FaultRates;
 use avf_ga::GaParams;
+use avf_inject::CampaignConfig;
 use avf_sim::MachineConfig;
 use avf_stressmark::{
     fig3, fig4, fig5, fig6, fig7, fig8, fig9, generate_stressmark, injection_vs_ace,
@@ -65,6 +67,23 @@ impl Args {
             Some(v) => v
                 .parse()
                 .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+
+    fn parse_f64_opt(&self, name: &str) -> Result<Option<f64>, String> {
+        // Wilson half-widths never exceed 0.5 (the no-data interval is
+        // [0, 1]), so a target of 0.5 or more is satisfied by zero
+        // trials — a vacuous "validation" this refuses to run.
+        match self.flag(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x > 0.0 && *x < 0.5)
+                .map(Some)
+                .ok_or(format!(
+                    "--{name} expects a fraction in (0, 0.5), got `{v}`"
+                )),
         }
     }
 }
@@ -228,15 +247,29 @@ fn cmd_bounds(args: &Args) -> Result<(), String> {
 
 fn cmd_validate(args: &Args) -> Result<(), String> {
     let machine = machine_of(args)?;
-    let injections = args.parse_u64("injections", 1000)?;
-    let seed = args.parse_u64("seed", 42)?;
-    let instructions = args.parse_u64("instructions", 30_000)?;
-    let threads = args.parse_u64("threads", 0)? as usize;
-    eprintln!(
-        "cross-validating ACE AVF by statistical fault injection \
-         ({injections} injections/program, seed {seed})..."
-    );
-    let validation = injection_vs_ace(&machine, injections, seed, instructions, threads);
+    let config = CampaignConfig {
+        injections: args.parse_u64("injections", 1000)?,
+        seed: args.parse_u64("seed", 42)?,
+        threads: args.parse_u64("threads", 0)? as usize,
+        instr_budget: args.parse_u64("instructions", 30_000)?,
+        ci_target: args.parse_f64_opt("ci-target")?,
+        batch_size: args.parse_u64("batch", 128)?.max(1),
+        checkpoint_interval: args.parse_u64("checkpoint-interval", 0)?,
+        ..CampaignConfig::default()
+    };
+    match config.ci_target {
+        Some(target) => eprintln!(
+            "cross-validating ACE AVF by adaptive statistical fault injection \
+             (CI target ±{target}, cap {} injections/program, seed {})...",
+            config.injections, config.seed
+        ),
+        None => eprintln!(
+            "cross-validating ACE AVF by statistical fault injection \
+             ({} injections/program, seed {})...",
+            config.injections, config.seed
+        ),
+    }
+    let validation = injection_vs_ace(&machine, &config);
     print!("{validation}");
     if validation.all_consistent() {
         Ok(())
@@ -257,7 +290,12 @@ commands:
   bounds    print the closed-form worst-case bounds
   validate  cross-validate ACE AVF with parallel statistical fault
             injection on the stressmark + 3 workload profiles (options:
-            --machine, --injections, --seed, --instructions, --threads)
+            --machine, --injections, --seed, --instructions, --threads;
+            adaptive sequential sampling: --ci-target <half-width in
+            (0, 0.5)> stops each campaign once every structure's 95% CI
+            is that tight, --injections then caps the trials, --batch
+            sets the per-batch size, --checkpoint-interval the
+            golden-run checkpoint spacing in cycles)
 ";
 
 fn main() -> ExitCode {

@@ -610,18 +610,19 @@ impl fmt::Display for InjectionValidation {
 /// the [`VALIDATION_PROFILES`] workloads, comparing injection-measured
 /// AVF (±95% CI) against the ACE estimate per structure.
 ///
+/// `base` carries the full campaign configuration — budget/cap, seed,
+/// threads, instruction budget, and the adaptive knobs (`ci_target`,
+/// `batch_size`, `checkpoint_interval`); each program's campaign is a
+/// clone of it. With `ci_target` set, every campaign runs the adaptive
+/// sequential-sampling engine and stops at the precision target instead
+/// of spending the whole cap.
+///
 /// The stressmark used is the paper's hand-tuned baseline knob setting
 /// (no GA search): validation targets the *measurement* machinery, so
 /// it wants a representative near-worst-case program, not a fresh
 /// search per run.
 #[must_use]
-pub fn injection_vs_ace(
-    machine: &MachineConfig,
-    injections: u64,
-    seed: u64,
-    instr_budget: u64,
-    threads: usize,
-) -> InjectionValidation {
+pub fn injection_vs_ace(machine: &MachineConfig, base: &CampaignConfig) -> InjectionValidation {
     let stressmark = avf_codegen::generate(
         &avf_codegen::Knobs::paper_baseline(),
         &crate::target_params(machine),
@@ -636,16 +637,7 @@ pub fn injection_vs_ace(
     }
     let reports = programs
         .iter()
-        .map(|program| {
-            let config = CampaignConfig {
-                injections,
-                seed,
-                threads,
-                instr_budget,
-                ..CampaignConfig::default()
-            };
-            Campaign::new(machine, program, config).run()
-        })
+        .map(|program| Campaign::new(machine, program, base.clone()).run())
         .collect();
     InjectionValidation { reports }
 }

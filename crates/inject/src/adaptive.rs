@@ -1,0 +1,160 @@
+//! Adaptive trial allocation: spend the next batch where the
+//! measurement is least precise.
+//!
+//! A fixed round-robin plan wastes most of its budget on structures
+//! whose intervals are already narrow (a fully-masked cache needs far
+//! fewer trials to pin near zero than a half-vulnerable issue queue
+//! needs to pin near 0.5 — binomial variance peaks at p = ½). The
+//! sequential-sampling practice in statistical injection frameworks
+//! (OpenSEA's semi-formal analysis, the FPGA cycle-accurate SEU
+//! framework) is to stop on a *precision* target instead of a trial
+//! count; this module is the allocation half of that: between batches,
+//! give new trials to the structures whose 95% Wilson half-widths are
+//! still above the target, proportionally to how far they have to go.
+//!
+//! Allocation is a pure function of the accumulated per-target counts
+//! (integers), so it is deterministic across thread counts and runs —
+//! the floating-point weights are computed in fixed target order and
+//! apportioned by largest remainder with index tie-breaks.
+
+use avf_sim::InjectionTarget;
+
+use crate::stats::OutcomeCounts;
+
+/// Plans the next batch: `(target, trials)` for every target whose 95%
+/// CI half-width still exceeds `ci_target`, splitting `batch` trials
+/// proportionally to the half-widths. Returns an empty allocation when
+/// every target has reached the precision target (the campaign's
+/// early-exit signal) or `batch` is zero.
+///
+/// Targets with no data yet sit at the maximum half-width (0.5), so the
+/// first batch spreads evenly.
+#[must_use]
+pub(crate) fn allocate_batch(
+    targets: &[InjectionTarget],
+    counts: &[OutcomeCounts],
+    ci_target: f64,
+    batch: u64,
+) -> Vec<(InjectionTarget, u64)> {
+    debug_assert_eq!(targets.len(), counts.len());
+    let unfinished: Vec<(usize, f64)> = counts
+        .iter()
+        .map(OutcomeCounts::half_width95)
+        .enumerate()
+        .filter(|&(_, hw)| hw > ci_target)
+        .collect();
+    if unfinished.is_empty() || batch == 0 {
+        return Vec::new();
+    }
+    let total_weight: f64 = unfinished.iter().map(|&(_, hw)| hw).sum();
+    // Largest-remainder apportionment: floor the proportional shares,
+    // then hand the leftover trials to the largest fractional parts
+    // (ties broken by target order).
+    let mut shares: Vec<(usize, u64, f64)> = unfinished
+        .iter()
+        .map(|&(i, hw)| {
+            let exact = batch as f64 * hw / total_weight;
+            (i, exact as u64, exact.fract())
+        })
+        .collect();
+    let mut leftover = batch - shares.iter().map(|&(_, n, _)| n).sum::<u64>();
+    let mut by_fraction: Vec<usize> = (0..shares.len()).collect();
+    by_fraction.sort_by(|&a, &b| {
+        shares[b]
+            .2
+            .total_cmp(&shares[a].2)
+            .then(shares[a].0.cmp(&shares[b].0))
+    });
+    let mut round = 0usize;
+    while leftover > 0 {
+        shares[by_fraction[round % by_fraction.len()]].1 += 1;
+        leftover -= 1;
+        round += 1;
+    }
+    shares
+        .into_iter()
+        .filter(|&(_, n, _)| n > 0)
+        .map(|(i, n, _)| (targets[i], n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts_of(observed: &[(u64, u64)]) -> Vec<OutcomeCounts> {
+        observed
+            .iter()
+            .map(|&(unmasked, total)| OutcomeCounts {
+                masked: total - unmasked,
+                sdc: unmasked,
+                due: 0,
+                unreached: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_batch_spreads_evenly() {
+        let targets = &InjectionTarget::ALL;
+        let counts = vec![OutcomeCounts::default(); targets.len()];
+        let alloc = allocate_batch(targets, &counts, 0.05, 80);
+        assert_eq!(alloc.len(), targets.len());
+        assert!(alloc.iter().all(|&(_, n)| n == 10), "{alloc:?}");
+    }
+
+    #[test]
+    fn converged_targets_get_nothing() {
+        let targets = [InjectionTarget::Rob, InjectionTarget::Iq];
+        // ROB: 0/10000 unmasked — razor-thin interval. IQ: 50/100 — wide.
+        let counts = counts_of(&[(0, 10_000), (50, 100)]);
+        let alloc = allocate_batch(&targets, &counts, 0.05, 64);
+        assert_eq!(alloc, vec![(InjectionTarget::Iq, 64)]);
+    }
+
+    #[test]
+    fn all_converged_means_empty_allocation() {
+        let targets = [InjectionTarget::Rob, InjectionTarget::Iq];
+        let counts = counts_of(&[(0, 10_000), (5_000, 10_000)]);
+        assert!(allocate_batch(&targets, &counts, 0.05, 64).is_empty());
+    }
+
+    #[test]
+    fn allocation_is_proportional_and_exact() {
+        let targets = [
+            InjectionTarget::Rob,
+            InjectionTarget::Iq,
+            InjectionTarget::Lq,
+        ];
+        // Half-widths roughly 0.5 (no data), ~0.097 (50/100), ~0.031 (50/1000).
+        let counts = counts_of(&[(0, 0), (50, 100), (50, 1_000)]);
+        let alloc = allocate_batch(&targets, &counts, 0.01, 100);
+        let total: u64 = alloc.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 100, "every batch trial is assigned");
+        let rob = alloc.iter().find(|&&(t, _)| t == InjectionTarget::Rob);
+        let lq = alloc.iter().find(|&&(t, _)| t == InjectionTarget::Lq);
+        assert!(
+            rob.unwrap().1 > lq.unwrap().1 * 5,
+            "widest interval dominates: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let targets = InjectionTarget::ALL;
+        let counts = counts_of(&[
+            (0, 0),
+            (3, 17),
+            (50, 100),
+            (1, 400),
+            (0, 9),
+            (12, 12),
+            (7, 30),
+            (2, 2),
+        ]);
+        let a = allocate_batch(&targets, &counts, 0.08, 97);
+        let b = allocate_batch(&targets, &counts, 0.08, 97);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().map(|&(_, n)| n).sum::<u64>(), 97);
+    }
+}

@@ -1,21 +1,46 @@
-//! The parallel campaign driver.
+//! The parallel campaign driver (engine v2).
+//!
+//! Two additions over the v1 fixed-plan engine:
+//!
+//! * **Checkpointed forks** — the golden pass serializes periodic
+//!   [`CheckpointStore`] snapshots; every trial worker restores the
+//!   nearest checkpoint at-or-before its first injection cycle instead
+//!   of re-simulating the fault-free prefix, so per-batch setup is
+//!   `O(checkpoint interval)` rather than `O(injection cycle)`.
+//! * **Adaptive sequential sampling** — with a `ci_target`, trials are
+//!   planned in batches; between batches new trials go to the
+//!   structures with the widest 95% Wilson intervals
+//!   ([`crate::adaptive`]), and the campaign stops as soon as every
+//!   target's half-width is at or below the target (or the trial cap is
+//!   hit). Every batch is derived purely from `(seed, batch index)`, so
+//!   results stay independent of thread count.
+//!
+//! The ACE reference simulation has no data dependence on the injection
+//! sweep, so it runs concurrently with the trial workers inside the
+//! same thread scope (on a single hardware thread the two simply
+//! serialize).
 
 use std::time::Instant;
 
 use avf_isa::Program;
 use avf_sim::{
-    golden_run, simulate, FlipEffect, InjectionSim, InjectionTarget, MachineConfig, RunEnd,
+    golden_run_checkpointed, simulate, DecodedCheckpoints, FlipEffect, InjectionSim,
+    InjectionTarget, MachineConfig, RunEnd,
 };
 
+use crate::adaptive::allocate_batch;
 use crate::plan::{SamplingPlan, Trial};
-use crate::report::{ace_avf_of, CampaignReport, TargetReport};
+use crate::report::{ace_avf_of, BatchProgress, CampaignReport, StopReason, TargetReport};
 use crate::stats::OutcomeCounts;
 use crate::Outcome;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
-    /// Total injections, split round-robin across `targets`.
+    /// Total injection budget. For a fixed campaign (`ci_target: None`)
+    /// every trial is executed, split round-robin across `targets`; for
+    /// an adaptive campaign this is the trial *cap* sequential sampling
+    /// may stop well short of.
     pub injections: u64,
     /// Seed deriving the whole sampling plan.
     pub seed: u64,
@@ -25,6 +50,15 @@ pub struct CampaignConfig {
     pub instr_budget: u64,
     /// Structures to inject into.
     pub targets: Vec<InjectionTarget>,
+    /// Adaptive mode: stop once every target's 95% CI half-width is at
+    /// or below this value. `None` runs the fixed plan.
+    pub ci_target: Option<f64>,
+    /// Trials planned per adaptive batch (clamped to at least one).
+    pub batch_size: u64,
+    /// Golden-run checkpoint spacing in cycles (0 = auto: an eighth of
+    /// the instruction budget, which lands near 4–16 checkpoints at
+    /// typical IPC).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for CampaignConfig {
@@ -35,6 +69,9 @@ impl Default for CampaignConfig {
             threads: 0,
             instr_budget: 30_000,
             targets: InjectionTarget::ALL.to_vec(),
+            ci_target: None,
+            batch_size: 128,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -47,6 +84,14 @@ impl CampaignConfig {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
+        }
+    }
+
+    fn effective_checkpoint_interval(&self) -> u64 {
+        if self.checkpoint_interval > 0 {
+            self.checkpoint_interval
+        } else {
+            (self.instr_budget / 8).max(64)
         }
     }
 }
@@ -73,68 +118,134 @@ impl<'a> Campaign<'a> {
         }
     }
 
-    /// Runs the campaign: golden run, ACE reference measurement, then
-    /// the sharded injection sweep.
+    /// Runs the campaign: checkpointed golden run, then batched
+    /// injection sweeps overlapped with the ACE reference measurement.
     ///
-    /// Results are deterministic in `(seed, injections, instr_budget)`
-    /// — the thread count only changes wall-clock time.
+    /// Results are deterministic in `(seed, injections, instr_budget,
+    /// ci_target, batch_size)` — the thread count only changes
+    /// wall-clock time.
     #[must_use]
     pub fn run(&self) -> CampaignReport {
         let start = Instant::now();
-        let golden = golden_run(self.machine, self.program, self.config.instr_budget);
-        let plan = SamplingPlan::new(
+        let (golden, store) = golden_run_checkpointed(
             self.machine,
-            &self.config.targets,
-            self.config.injections,
-            golden.cycles,
-            self.config.seed,
+            self.program,
+            self.config.instr_budget,
+            self.config.effective_checkpoint_interval(),
         );
         // Hang watchdog: a faulty run materially slower than the golden
         // run counts as a detected (timeout) error.
         let cycle_budget = golden.cycles.saturating_mul(4).saturating_add(50_000);
-
         let workers = self.config.worker_count().max(1);
-        let mut tallies: Vec<Vec<(InjectionTarget, OutcomeCounts)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let shard = plan.shard(w, workers);
-                    let machine = self.machine;
-                    let program = self.program;
-                    let instr_budget = self.config.instr_budget;
-                    scope.spawn(move || {
-                        run_shard(
-                            machine,
-                            program,
-                            instr_budget,
-                            cycle_budget,
-                            golden.digest,
-                            &shard,
-                        )
-                    })
-                })
-                .collect();
-            for h in handles {
-                tallies.push(h.join().expect("campaign worker panicked"));
-            }
-        });
+        // Decode each checkpoint once up front; workers restore by deep
+        // clone (the v1 fork cost) instead of re-parsing blobs per batch.
+        let decoded = store
+            .decode_all(self.machine, self.program)
+            .expect("a freshly captured checkpoint store decodes on its own machine/program");
+        let decoded = &decoded;
 
         let mut counts = vec![OutcomeCounts::default(); self.config.targets.len()];
-        for tally in tallies {
-            for (target, c) in tally {
-                let slot = self
-                    .config
-                    .targets
-                    .iter()
-                    .position(|&t| t == target)
-                    .expect("worker reported an unplanned target");
-                counts[slot].merge(c);
-            }
-        }
+        let mut batches: Vec<BatchProgress> = Vec::new();
+        let mut executed = 0u64;
+        let mut stop = StopReason::FixedPlan;
 
-        // ACE reference: one analyzer-enabled simulation of the same
-        // program and budget.
-        let ace = simulate(self.machine, self.program, self.config.instr_budget);
+        // The ACE reference has no dependence on the sweep: overlap it
+        // with the injection workers instead of running it afterwards.
+        let ace = std::thread::scope(|outer| {
+            let ace_handle =
+                outer.spawn(|| simulate(self.machine, self.program, self.config.instr_budget));
+
+            loop {
+                let plan = match self.config.ci_target {
+                    None => {
+                        if executed > 0 {
+                            stop = StopReason::FixedPlan;
+                            break;
+                        }
+                        SamplingPlan::new(
+                            self.machine,
+                            &self.config.targets,
+                            self.config.injections,
+                            golden.cycles,
+                            self.config.seed,
+                        )
+                    }
+                    Some(ci_target) => {
+                        // Convergence is tested before the budget (with a
+                        // 1-trial probe when the cap is spent), so a campaign
+                        // that converges on its last allowed batch reports
+                        // the CI target, not the trial cap.
+                        let budget_left = self.config.injections.saturating_sub(executed);
+                        let alloc = allocate_batch(
+                            &self.config.targets,
+                            &counts,
+                            ci_target,
+                            self.config.batch_size.max(1).min(budget_left.max(1)),
+                        );
+                        if alloc.is_empty() {
+                            stop = StopReason::CiTarget;
+                            break;
+                        }
+                        if budget_left == 0 {
+                            stop = StopReason::TrialCap;
+                            break;
+                        }
+                        SamplingPlan::for_batch(
+                            self.machine,
+                            &alloc,
+                            golden.cycles,
+                            self.config.seed,
+                            batches.len() as u64,
+                            executed,
+                        )
+                    }
+                };
+                if plan.is_empty() {
+                    stop = StopReason::FixedPlan;
+                    break;
+                }
+
+                let tallies = run_plan(
+                    self.machine,
+                    self.program,
+                    self.config.instr_budget,
+                    cycle_budget,
+                    golden.digest,
+                    decoded,
+                    &plan,
+                    workers,
+                );
+                for tally in tallies {
+                    for (target, c) in tally {
+                        let slot = self
+                            .config
+                            .targets
+                            .iter()
+                            .position(|&t| t == target)
+                            .expect("worker reported an unplanned target");
+                        counts[slot].merge(c);
+                    }
+                }
+                executed += plan.len() as u64;
+
+                let (widest_slot, max_half_width) = counts
+                    .iter()
+                    .map(OutcomeCounts::half_width95)
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("at least one target");
+                batches.push(BatchProgress {
+                    batch: batches.len() as u64,
+                    trials: plan.len() as u64,
+                    cumulative: executed,
+                    widest: self.config.targets[widest_slot],
+                    max_half_width,
+                });
+            }
+
+            ace_handle.join().expect("ACE reference thread panicked")
+        });
+
         let targets = self
             .config
             .targets
@@ -149,73 +260,131 @@ impl<'a> Campaign<'a> {
 
         CampaignReport {
             program: self.program.name().to_owned(),
-            injections: self.config.injections,
+            injections: executed,
             seed: self.config.seed,
             workers,
             golden,
             targets,
+            ci_target: self.config.ci_target,
+            stop,
+            batches,
+            checkpoints: store.len(),
             wall: start.elapsed(),
         }
     }
 }
 
-/// Executes one worker's cycle-sorted shard on a single forward pass:
-/// advance to each injection cycle, snapshot, flip, run the faulty
-/// future out, classify, rewind.
-fn run_shard(
+/// Runs one plan (a fixed campaign or one adaptive batch) sharded
+/// across `workers` threads, returning each worker's tally.
+#[allow(clippy::too_many_arguments)]
+fn run_plan(
     machine: &MachineConfig,
     program: &Program,
     instr_budget: u64,
     cycle_budget: u64,
     golden_digest: u64,
-    shard: &[Trial],
+    checkpoints: &DecodedCheckpoints,
+    plan: &SamplingPlan,
+    workers: usize,
+) -> Vec<Vec<(InjectionTarget, OutcomeCounts)>> {
+    let mut tallies = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    run_shard(
+                        machine,
+                        program,
+                        instr_budget,
+                        cycle_budget,
+                        golden_digest,
+                        checkpoints,
+                        plan.shard(w, workers),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            tallies.push(h.join().expect("campaign worker panicked"));
+        }
+    });
+    tallies
+}
+
+/// Executes one worker's cycle-sorted shard on a single forward pass:
+/// restore the nearest golden checkpoint, advance to each injection
+/// cycle, snapshot, flip, run the faulty future out, classify, rewind.
+fn run_shard<'t>(
+    machine: &MachineConfig,
+    program: &Program,
+    instr_budget: u64,
+    cycle_budget: u64,
+    golden_digest: u64,
+    checkpoints: &DecodedCheckpoints,
+    shard: impl Iterator<Item = &'t Trial>,
 ) -> Vec<(InjectionTarget, OutcomeCounts)> {
     let mut tally: Vec<(InjectionTarget, OutcomeCounts)> = Vec::new();
-    let record = |target: InjectionTarget,
-                  outcome: Outcome,
-                  tally: &mut Vec<(InjectionTarget, OutcomeCounts)>| {
-        match tally.iter_mut().find(|(t, _)| *t == target) {
+    let mut sim: Option<InjectionSim<'_>> = None;
+    for trial in shard {
+        // Lazy init: restore the nearest checkpoint below the shard's
+        // first (lowest) injection cycle instead of simulating the
+        // prefix from cycle 0.
+        let sim = sim.get_or_insert_with(|| {
+            let mut s = InjectionSim::new(machine, program, instr_budget);
+            s.set_cycle_budget(cycle_budget);
+            let (_, snap) = checkpoints
+                .nearest(trial.cycle)
+                .expect("store always holds the cycle-0 checkpoint");
+            s.restore(snap);
+            s
+        });
+        let outcome = classify_trial(sim, trial, golden_digest);
+        match tally.iter_mut().find(|(t, _)| *t == trial.target) {
             Some((_, c)) => c.record(outcome),
             None => {
                 let mut c = OutcomeCounts::default();
                 c.record(outcome);
-                tally.push((target, c));
+                tally.push((trial.target, c));
             }
         }
-    };
-
-    let mut sim = InjectionSim::new(machine, program, instr_budget);
-    sim.set_cycle_budget(cycle_budget);
-    for trial in shard {
-        let reached = sim.run_to_cycle(trial.cycle);
-        debug_assert!(
-            reached,
-            "fault-free prefix ended before a planned injection cycle"
-        );
-        // Dry-probe first: provably masked flips touch no machine
-        // state, so they need neither the snapshot nor the rewind —
-        // on masked-heavy programs that halves the deep-clone cost.
-        let outcome = match sim.probe_bit(trial.target, trial.entry, trial.bit) {
-            FlipEffect::Masked(_) => Outcome::Masked,
-            FlipEffect::Armed => {
-                let snap = sim.snapshot();
-                let armed = sim.flip_bit(trial.target, trial.entry, trial.bit);
-                debug_assert_eq!(armed, FlipEffect::Armed, "probe and flip must agree");
-                let outcome = match sim.run_to_end() {
-                    RunEnd::Trapped | RunEnd::Timeout => Outcome::Due,
-                    RunEnd::Completed => {
-                        if sim.memory_digest() == golden_digest {
-                            Outcome::Masked
-                        } else {
-                            Outcome::Sdc
-                        }
-                    }
-                };
-                sim.restore(&snap);
-                outcome
-            }
-        };
-        record(trial.target, outcome, &mut tally);
     }
     tally
+}
+
+/// Classifies a single trial on `sim`, which must be positioned at or
+/// before the trial's injection cycle (and on the fault-free path).
+/// Returns with `sim` rewound to the injection point, ready for the
+/// next (equal-or-later-cycle) trial.
+///
+/// A trial whose injection cycle the fault-free prefix never reaches is
+/// classified [`Outcome::Unreached`] — an explicit invalid-sample
+/// verdict rather than the old `debug_assert!`, which in release builds
+/// silently injected at whatever earlier cycle the run ended on.
+pub fn classify_trial(sim: &mut InjectionSim<'_>, trial: &Trial, golden_digest: u64) -> Outcome {
+    if !sim.run_to_cycle(trial.cycle) {
+        return Outcome::Unreached;
+    }
+    // Dry-probe first: provably masked flips touch no machine state, so
+    // they need neither the snapshot nor the rewind — on masked-heavy
+    // programs that halves the deep-clone cost.
+    match sim.probe_bit(trial.target, trial.entry, trial.bit) {
+        FlipEffect::Masked(_) => Outcome::Masked,
+        FlipEffect::Armed => {
+            let snap = sim.snapshot();
+            let armed = sim.flip_bit(trial.target, trial.entry, trial.bit);
+            debug_assert_eq!(armed, FlipEffect::Armed, "probe and flip must agree");
+            let outcome = match sim.run_to_end() {
+                RunEnd::Trapped | RunEnd::Timeout => Outcome::Due,
+                RunEnd::Completed => {
+                    if sim.memory_digest() == golden_digest {
+                        Outcome::Masked
+                    } else {
+                        Outcome::Sdc
+                    }
+                }
+            };
+            sim.restore(&snap);
+            outcome
+        }
+    }
 }

@@ -21,16 +21,24 @@
 //! ## Architecture
 //!
 //! * [`SamplingPlan`] — a deterministic, seed-derived list of trials
-//!   (every trial's sample is a pure function of `(seed, trial index)`,
-//!   so campaign results are identical for any thread count);
-//! * [`Campaign`] — the embarrassingly parallel driver: trials are
-//!   strided across worker threads, each worker walks one
-//!   [`avf_sim::InjectionSim`] forward in cycle order and uses
-//!   [`avf_sim::InjectionSim::snapshot`]/`restore` to fork at each
-//!   injection point instead of re-simulating the prefix;
+//!   (every trial's sample is a pure function of `(seed, batch, trial
+//!   index)` through a SplitMix64 finalizer, so campaign results are
+//!   identical for any thread count and nearby seeds are uncorrelated);
+//! * [`Campaign`] — the parallel driver: the golden pass serializes
+//!   periodic checkpoints ([`avf_sim::CheckpointStore`]); trials are
+//!   strided across worker threads in cycle-sorted borrowed views, each
+//!   worker restores the nearest checkpoint
+//!   ([`avf_sim::InjectionSim::restore_nearest`]) and then forks with
+//!   [`avf_sim::InjectionSim::snapshot`]/`restore` at each injection
+//!   point; the ACE reference simulation runs concurrently with the
+//!   sweep. With [`CampaignConfig::ci_target`] set, trials are planned
+//!   in batches allocated to the structures with the widest Wilson
+//!   intervals, stopping as soon as every target reaches the precision
+//!   target (sequential sampling);
 //! * [`CampaignReport`] — per-structure outcome counts, measured AVF
-//!   with 95% Wilson confidence intervals, and the ACE AVF measured on
-//!   the same run for side-by-side comparison.
+//!   with 95% Wilson confidence intervals, per-batch convergence
+//!   progress with the early-exit reason ([`StopReason`]), and the ACE
+//!   AVF measured on the same run for side-by-side comparison.
 //!
 //! ## Example
 //!
@@ -48,17 +56,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod campaign;
 mod plan;
 mod report;
 mod stats;
 
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{classify_trial, Campaign, CampaignConfig};
 pub use plan::{SamplingPlan, Trial};
-pub use report::{CampaignReport, TargetReport, Verdict};
+pub use report::{BatchProgress, CampaignReport, StopReason, TargetReport, Verdict};
 pub use stats::{wilson_interval, OutcomeCounts};
 
-pub use avf_sim::{FlipEffect, InjectionTarget, MaskReason, RunEnd};
+pub use avf_sim::{
+    golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FlipEffect, InjectionTarget,
+    MaskReason, RunEnd,
+};
 
 /// Classified outcome of one injection trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,4 +84,9 @@ pub enum Outcome {
     /// Detected unrecoverable error: trap, wrong translation consumed,
     /// control-state corruption, or a hang past the cycle budget.
     Due,
+    /// Invalid sample: the fault-free prefix ended before the planned
+    /// injection cycle, so nothing was injected. Counted separately in
+    /// the report and excluded from the AVF estimate (a healthy
+    /// plan/golden pair never produces these).
+    Unreached,
 }

@@ -6,6 +6,11 @@
 //! entries (vacant entries are legitimate masked samples — idle state
 //! is exactly what makes AVF less than occupancy), and the bit
 //! uniformly over the entry's bits.
+//!
+//! Every trial's sample is a pure function of `(seed, batch, index)`,
+//! so plans — and therefore campaign outcomes — are independent of
+//! thread count and execution order, and an adaptive campaign can grow
+//! batch by batch without re-randomizing what came before.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -15,7 +20,7 @@ use avf_sim::{InjectionTarget, MachineConfig};
 /// One planned injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Trial {
-    /// Global trial index (stable across thread counts).
+    /// Global trial index (stable across thread counts and batches).
     pub index: u64,
     /// Structure to inject into.
     pub target: InjectionTarget,
@@ -27,19 +32,52 @@ pub struct Trial {
     pub bit: u32,
 }
 
-/// A full campaign's worth of trials, derived purely from the seed.
+/// SplitMix64 finalizer: a full-avalanche bijection, so consecutive
+/// inputs map to statistically independent outputs.
+///
+/// The previous scheme seeded each trial's RNG with
+/// `seed ^ (index * K + index)` — a *linear* mix, under which nearby
+/// campaign seeds produce correlated per-trial streams (seed `s` and
+/// `s ^ 1` differ in one input bit, and `SmallRng`'s seeding does not
+/// repair that). Running the tuple through a proper finalizer makes
+/// every `(seed, batch, index)` point an independent draw.
+fn splitmix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Weyl-sequence increment of the SplitMix64 generator.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The RNG for one trial, derived purely from `(seed, batch, index)`.
+fn trial_rng(seed: u64, batch: u64, index: u64) -> SmallRng {
+    // Two chained SplitMix64 streams: the campaign seed and batch pick a
+    // stream, the trial index picks a point in it.
+    let stream = splitmix64(seed.wrapping_add(batch.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)));
+    SmallRng::seed_from_u64(splitmix64(
+        stream.wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)),
+    ))
+}
+
+/// One batch's worth of trials, derived purely from the seed.
 #[derive(Debug, Clone)]
 pub struct SamplingPlan {
+    /// Trials in plan (global index) order.
     trials: Vec<Trial>,
+    /// Indices into `trials` sorted by `(cycle, index)` — computed once
+    /// at construction so sharding hands out borrowed strided views
+    /// instead of cloning and re-sorting per worker.
+    by_cycle: Vec<u32>,
 }
 
 impl SamplingPlan {
     /// Plans `injections` trials split round-robin across `targets`,
-    /// with injection cycles in `[1, cycles)`.
-    ///
-    /// Every trial is derived from `(seed, index)` alone, so the plan —
-    /// and therefore the campaign outcome — is independent of thread
-    /// count and execution order.
+    /// with injection cycles in `[1, cycles)` — the fixed-size plan of a
+    /// non-adaptive campaign (batch 0 of the sampling stream).
     ///
     /// # Panics
     ///
@@ -56,19 +94,51 @@ impl SamplingPlan {
             !targets.is_empty(),
             "sampling plan needs at least one target"
         );
+        let picks = (0..injections).map(|index| targets[(index % targets.len() as u64) as usize]);
+        SamplingPlan::from_targets(machine, picks, cycles, seed, 0, 0)
+    }
+
+    /// Plans one adaptive batch: `allocation` gives each target's trial
+    /// count, `batch` and `first_index` place the batch in the
+    /// campaign's sampling stream (`first_index` = trials planned so
+    /// far, keeping global indices unique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles < 2`.
+    #[must_use]
+    pub fn for_batch(
+        machine: &MachineConfig,
+        allocation: &[(InjectionTarget, u64)],
+        cycles: u64,
+        seed: u64,
+        batch: u64,
+        first_index: u64,
+    ) -> SamplingPlan {
+        let picks = allocation
+            .iter()
+            .flat_map(|&(target, n)| std::iter::repeat_n(target, n as usize));
+        SamplingPlan::from_targets(machine, picks, cycles, seed, batch, first_index)
+    }
+
+    fn from_targets(
+        machine: &MachineConfig,
+        picks: impl Iterator<Item = InjectionTarget>,
+        cycles: u64,
+        seed: u64,
+        batch: u64,
+        first_index: u64,
+    ) -> SamplingPlan {
         assert!(
             cycles >= 2,
             "golden run too short to sample injection cycles"
         );
         let sizes = machine.structure_sizes();
-        let trials = (0..injections)
-            .map(|index| {
-                let target = targets[(index % targets.len() as u64) as usize];
-                let mut rng = SmallRng::seed_from_u64(
-                    seed ^ index
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(index),
-                );
+        let trials: Vec<Trial> = picks
+            .enumerate()
+            .map(|(offset, target)| {
+                let index = first_index + offset as u64;
+                let mut rng = trial_rng(seed, batch, index);
                 Trial {
                     index,
                     target,
@@ -78,7 +148,13 @@ impl SamplingPlan {
                 }
             })
             .collect();
-        SamplingPlan { trials }
+        assert!(
+            u32::try_from(trials.len()).is_ok(),
+            "a single plan is capped at u32::MAX trials"
+        );
+        let mut by_cycle: Vec<u32> = (0..trials.len() as u32).collect();
+        by_cycle.sort_by_key(|&i| (trials[i as usize].cycle, trials[i as usize].index));
+        SamplingPlan { trials, by_cycle }
     }
 
     /// All trials in plan order.
@@ -87,21 +163,33 @@ impl SamplingPlan {
         &self.trials
     }
 
-    /// The trials assigned to worker `worker` of `workers`, sorted by
-    /// injection cycle so one forward simulation pass (with
-    /// snapshot/fork at each point) covers them all.
-    ///
-    /// Striding over the cycle-sorted order balances the per-trial
-    /// tail-replay cost across workers.
+    /// Number of planned trials.
     #[must_use]
-    pub fn shard(&self, worker: usize, workers: usize) -> Vec<Trial> {
-        let mut sorted: Vec<Trial> = self.trials.clone();
-        sorted.sort_by_key(|t| (t.cycle, t.index));
-        sorted
-            .into_iter()
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether the plan holds no trials.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// The trials assigned to worker `worker` of `workers`, in
+    /// ascending injection-cycle order so one forward simulation pass
+    /// (with a checkpoint restore at the batch head and snapshot/fork at
+    /// each point) covers them all.
+    ///
+    /// A borrowed strided view over the plan's single cycle-sorted
+    /// order: handing out shards is `O(shard length)`, not the old
+    /// `O(N log N)` clone-and-sort per worker, and striding balances the
+    /// per-trial tail-replay cost across workers.
+    pub fn shard(&self, worker: usize, workers: usize) -> impl Iterator<Item = &Trial> + '_ {
+        self.by_cycle
+            .iter()
             .skip(worker)
             .step_by(workers.max(1))
-            .collect()
+            .map(|&i| &self.trials[i as usize])
     }
 }
 
@@ -134,7 +222,7 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, (0..101).collect::<Vec<_>>());
         for w in 0..4 {
-            let shard = plan.shard(w, 4);
+            let shard: Vec<&Trial> = plan.shard(w, 4).collect();
             assert!(
                 shard.windows(2).all(|p| p[0].cycle <= p[1].cycle),
                 "shards cycle-sorted"
@@ -148,5 +236,65 @@ mod tests {
         let a = SamplingPlan::new(&machine, &InjectionTarget::ALL, 100, 10_000, 1);
         let b = SamplingPlan::new(&machine, &InjectionTarget::ALL, 100, 10_000, 2);
         assert_ne!(a.trials(), b.trials());
+    }
+
+    #[test]
+    fn nearby_seeds_are_uncorrelated() {
+        // Regression for the linear `seed ^ mix(index)` derivation:
+        // adjacent seeds must not share any aligned samples. With
+        // independent draws the chance of one aligned (cycle, entry,
+        // bit) collision in 1000 trials is ~1000/9999 per the cycle
+        // dimension alone times entry/bit — effectively zero across all
+        // four seed pairs; the old scheme collides almost everywhere.
+        let machine = MachineConfig::baseline();
+        for base in [0u64, 41, 1 << 32, u64::MAX - 1] {
+            let a = SamplingPlan::new(&machine, &InjectionTarget::ALL, 1000, 10_000, base);
+            let b = SamplingPlan::new(&machine, &InjectionTarget::ALL, 1000, 10_000, base + 1);
+            let aligned = a
+                .trials()
+                .iter()
+                .zip(b.trials())
+                .filter(|(x, y)| (x.cycle, x.entry, x.bit) == (y.cycle, y.entry, y.bit))
+                .count();
+            assert!(
+                aligned <= 2,
+                "seeds {base} and {} share {aligned}/1000 aligned samples",
+                base + 1
+            );
+        }
+    }
+
+    #[test]
+    fn batches_extend_the_stream_without_re_randomizing() {
+        let machine = MachineConfig::baseline();
+        let alloc = [(InjectionTarget::Rob, 5u64), (InjectionTarget::Iq, 3)];
+        let b1 = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 1, 100);
+        let b1_again = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 1, 100);
+        assert_eq!(b1.trials(), b1_again.trials());
+        assert_eq!(b1.len(), 8);
+        assert_eq!(b1.trials()[0].index, 100);
+        assert_eq!(b1.trials()[7].index, 107);
+        assert_eq!(
+            b1.trials()
+                .iter()
+                .filter(|t| t.target == InjectionTarget::Rob)
+                .count(),
+            5
+        );
+        // A different batch index at the same global indices samples
+        // fresh points.
+        let b2 = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 2, 100);
+        assert_ne!(b1.trials(), b2.trials());
+    }
+
+    #[test]
+    fn splitmix_finalizer_avalanches() {
+        // Flipping one input bit must flip roughly half the output bits.
+        for x in [0u64, 1, 42, u64::MAX] {
+            for bit in [0, 17, 63] {
+                let d = (splitmix64(x) ^ splitmix64(x ^ (1 << bit))).count_ones();
+                assert!((8..56).contains(&d), "weak avalanche: {x} bit {bit}: {d}");
+            }
+        }
     }
 }

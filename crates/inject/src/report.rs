@@ -69,18 +69,25 @@ impl TargetReport {
     ///
     /// The violation test is one-sided at 99.5% (z = 2.576) rather
     /// than reusing the displayed 95% interval, and requires at least
-    /// 30 trials: a `validate` run makes 32 simultaneous comparisons
-    /// (8 structures × 4 programs), so a 2.5% one-sided test would
-    /// flag ~0.8 borderline false alarms per clean run, and at tiny
-    /// sample sizes one unlucky SDC swings the bound. A genuine
-    /// soundness bug overshoots by far more than the gap between the
-    /// two quantiles (and shows up at any sane campaign size).
+    /// 30 trials *and* at least 3 unmasked events: a `validate` run
+    /// makes 32 simultaneous comparisons (8 structures × 4 programs),
+    /// so a 2.5% one-sided test would flag ~0.8 borderline false
+    /// alarms per clean run, and near-zero ACE estimates make 1–2
+    /// unlucky events in a small sample clear the strict bound (e.g.
+    /// 2 DUEs in 30 trials against a true rate the larger-sample
+    /// measurement confirms) — the standard rare-event minimum-count
+    /// guard. A genuine soundness bug produces many unmasked events
+    /// and overshoots by far more than the gap between the quantiles
+    /// (and shows up at any sane campaign size).
     #[must_use]
     pub fn verdict(&self) -> Verdict {
         let (_, hi) = self.ci95();
         let (strict_lo, _) =
             crate::stats::wilson_interval(self.counts.unmasked(), self.counts.total(), 2.576);
-        if self.counts.total() >= 30 && self.ace_avf + EPS < strict_lo {
+        if self.counts.total() >= 30
+            && self.counts.unmasked() >= 3
+            && self.ace_avf + EPS < strict_lo
+        {
             Verdict::Violation
         } else if self.ace_avf <= hi + EPS {
             Verdict::Agree
@@ -90,12 +97,53 @@ impl TargetReport {
     }
 }
 
+/// Why a campaign stopped planning batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Non-adaptive campaign: the single fixed-size plan ran to the end.
+    FixedPlan,
+    /// Every target's 95% CI half-width fell below the configured
+    /// `ci_target` — the sequential-sampling early exit.
+    CiTarget,
+    /// The trial cap was reached before every target converged.
+    TrialCap,
+}
+
+impl StopReason {
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::FixedPlan => "fixed plan exhausted",
+            StopReason::CiTarget => "CI target reached",
+            StopReason::TrialCap => "trial cap reached",
+        }
+    }
+}
+
+/// Progress of one adaptive batch, recorded as the campaign aggregates
+/// incrementally.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchProgress {
+    /// Batch index (0-based).
+    pub batch: u64,
+    /// Trials executed in this batch.
+    pub trials: u64,
+    /// Trials executed so far, this batch included.
+    pub cumulative: u64,
+    /// The least-converged target after this batch.
+    pub widest: InjectionTarget,
+    /// That target's 95% CI half-width after this batch.
+    pub max_half_width: f64,
+}
+
 /// Full result of one campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
     /// Program name.
     pub program: String,
-    /// Planned injections.
+    /// Injections actually executed (for an adaptive campaign this is
+    /// where sequential sampling stopped, not the configured cap).
     pub injections: u64,
     /// Plan seed.
     pub seed: u64,
@@ -105,6 +153,14 @@ pub struct CampaignReport {
     pub golden: GoldenRun,
     /// Per-structure results, in configured target order.
     pub targets: Vec<TargetReport>,
+    /// CI half-width target of an adaptive campaign (`None` = fixed plan).
+    pub ci_target: Option<f64>,
+    /// Why the campaign stopped.
+    pub stop: StopReason,
+    /// Per-batch convergence progress.
+    pub batches: Vec<BatchProgress>,
+    /// Golden-run checkpoints the trial workers restored from.
+    pub checkpoints: usize,
     /// Campaign wall-clock time.
     pub wall: Duration,
 }
@@ -145,6 +201,21 @@ impl CampaignReport {
             self.injections as f64 / secs
         }
     }
+
+    /// Trials whose planned cycle the fault-free prefix never reached
+    /// (must be zero on a healthy plan/golden pair).
+    #[must_use]
+    pub fn unreached(&self) -> u64 {
+        self.targets.iter().map(|t| t.counts.unreached).sum()
+    }
+
+    /// Whether every target's 95% CI half-width is at or below `target`.
+    #[must_use]
+    pub fn converged_to(&self, target: f64) -> bool {
+        self.targets
+            .iter()
+            .all(|t| t.counts.half_width95() <= target)
+    }
 }
 
 impl fmt::Display for CampaignReport {
@@ -152,14 +223,31 @@ impl fmt::Display for CampaignReport {
         writeln!(
             f,
             "fault-injection campaign: `{}` — {} injections, seed {}, {} worker(s), \
-             golden {} cycles / {} instrs",
+             golden {} cycles / {} instrs, {} checkpoint(s)",
             self.program,
             self.injections,
             self.seed,
             self.workers,
             self.golden.cycles,
-            self.golden.committed
+            self.golden.committed,
+            self.checkpoints
         )?;
+        if let Some(target) = self.ci_target {
+            for b in &self.batches {
+                writeln!(
+                    f,
+                    "  batch {:>3}: {:>5} trials ({:>6} total), widest CI ±{:.4} ({})",
+                    b.batch, b.trials, b.cumulative, b.max_half_width, b.widest
+                )?;
+            }
+            writeln!(
+                f,
+                "  adaptive stop: {} (target ±{:.4} after {} trials)",
+                self.stop.name(),
+                target,
+                self.injections
+            )?;
+        }
         writeln!(
             f,
             "{:<6} {:>7} {:>7} {:>6} {:>6} {:>9} {:>17} {:>9}  verdict",
@@ -180,6 +268,14 @@ impl fmt::Display for CampaignReport {
                 hi,
                 t.ace_avf,
                 t.verdict().name()
+            )?;
+        }
+        if self.unreached() > 0 {
+            writeln!(
+                f,
+                "WARNING: {} trial(s) planned past the end of the fault-free prefix \
+                 (excluded from AVF estimates)",
+                self.unreached()
             )?;
         }
         writeln!(
@@ -212,5 +308,47 @@ pub fn ace_avf_of(report: &AvfReport, target: InjectionTarget) -> f64 {
         0.0
     } else {
         weighted / bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OutcomeCounts;
+
+    fn report_with(unmasked: u64, total: u64, ace_avf: f64) -> TargetReport {
+        TargetReport {
+            target: InjectionTarget::Dtlb,
+            counts: OutcomeCounts {
+                masked: total - unmasked,
+                sdc: 0,
+                due: unmasked,
+                unreached: 0,
+            },
+            ace_avf,
+        }
+    }
+
+    #[test]
+    fn sparse_events_never_flag_a_violation() {
+        // 2 DUEs in 30 trials against a small-but-correct ACE estimate:
+        // the strict interval clears the estimate, but two events are
+        // rare-event noise, not evidence (regression: seed-level flake
+        // in the CI smoke campaign).
+        let t = report_with(2, 30, 0.0075);
+        assert_ne!(t.verdict(), Verdict::Violation);
+    }
+
+    #[test]
+    fn gross_overshoot_still_flags() {
+        // A genuine soundness bug: measured ~0.33 against ACE ~0.
+        let t = report_with(10, 30, 0.0001);
+        assert_eq!(t.verdict(), Verdict::Violation);
+    }
+
+    #[test]
+    fn tiny_samples_never_flag() {
+        let t = report_with(5, 10, 0.0);
+        assert_ne!(t.verdict(), Verdict::Violation);
     }
 }

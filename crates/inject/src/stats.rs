@@ -11,6 +11,12 @@ pub struct OutcomeCounts {
     pub sdc: u64,
     /// Detected unrecoverable errors.
     pub due: u64,
+    /// Trials whose planned injection cycle the fault-free prefix never
+    /// reached (a plan/golden mismatch). These are *invalid samples*,
+    /// not observations: they are excluded from the AVF estimate and its
+    /// interval, and reported so a nonzero count is visible instead of
+    /// silently injecting at the wrong cycle.
+    pub unreached: u64,
 }
 
 impl OutcomeCounts {
@@ -20,6 +26,7 @@ impl OutcomeCounts {
             Outcome::Masked => self.masked += 1,
             Outcome::Sdc => self.sdc += 1,
             Outcome::Due => self.due += 1,
+            Outcome::Unreached => self.unreached += 1,
         }
     }
 
@@ -28,9 +35,11 @@ impl OutcomeCounts {
         self.masked += other.masked;
         self.sdc += other.sdc;
         self.due += other.due;
+        self.unreached += other.unreached;
     }
 
-    /// Total trials recorded.
+    /// Total *valid* trials recorded (excludes unreached trials, which
+    /// carry no observation).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.masked + self.sdc + self.due
@@ -56,6 +65,14 @@ impl OutcomeCounts {
     #[must_use]
     pub fn ci95(&self) -> (f64, f64) {
         wilson_interval(self.unmasked(), self.total(), 1.96)
+    }
+
+    /// Half-width of [`OutcomeCounts::ci95`] — the adaptive planner's
+    /// per-structure precision measure (and its stopping criterion).
+    #[must_use]
+    pub fn half_width95(&self) -> f64 {
+        let (lo, hi) = self.ci95();
+        (hi - lo) / 2.0
     }
 }
 
@@ -132,19 +149,45 @@ mod tests {
             masked: 1,
             sdc: 2,
             due: 3,
+            unreached: 0,
         };
         a.merge(OutcomeCounts {
             masked: 10,
             sdc: 20,
             due: 30,
+            unreached: 1,
         });
         assert_eq!(
             a,
             OutcomeCounts {
                 masked: 11,
                 sdc: 22,
-                due: 33
+                due: 33,
+                unreached: 1,
             }
         );
+    }
+
+    #[test]
+    fn unreached_trials_carry_no_observation() {
+        let mut c = OutcomeCounts::default();
+        c.record(Outcome::Masked);
+        c.record(Outcome::Unreached);
+        assert_eq!(c.total(), 1, "unreached excluded from the denominator");
+        assert_eq!(c.unreached, 1);
+        assert_eq!(c.avf(), 0.0);
+    }
+
+    #[test]
+    fn half_width_is_half_the_interval() {
+        let c = OutcomeCounts {
+            masked: 70,
+            sdc: 20,
+            due: 10,
+            unreached: 0,
+        };
+        let (lo, hi) = c.ci95();
+        assert!((c.half_width95() - (hi - lo) / 2.0).abs() < 1e-15);
+        assert_eq!(OutcomeCounts::default().half_width95(), 0.5);
     }
 }

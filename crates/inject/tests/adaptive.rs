@@ -1,0 +1,238 @@
+//! Campaign engine v2 properties: adaptive determinism across thread
+//! counts, sequential-sampling early exit, checkpoint-restore
+//! equivalence, and the adaptive-beats-fixed efficiency claim.
+
+use avf_inject::{
+    classify_trial, golden_run_checkpointed, Campaign, CampaignConfig, SamplingPlan, StopReason,
+};
+use avf_isa::{Opcode, Program, ProgramBuilder, Reg, DATA_BASE};
+use avf_sim::{golden_run, InjectionSim, InjectionTarget, MachineConfig};
+
+/// The mixed-liveness kernel of the campaign tests: live accumulator
+/// chain plus stores, so structures converge at very different rates.
+fn register_chain() -> Program {
+    let acc = Reg::of(1);
+    let counter = Reg::of(2);
+    let base = Reg::of(3);
+    let mut b = ProgramBuilder::new("register-chain");
+    b.addi(counter, Reg::ZERO, 200);
+    b.load_addr(base, DATA_BASE);
+    b.addi(acc, Reg::ZERO, 1);
+    for k in 8..24u8 {
+        b.addi(Reg::of(k), Reg::ZERO, i16::from(k));
+    }
+    let top = b.here();
+    for k in 8..24u8 {
+        b.alu_rr(Opcode::Xor, acc, acc, Reg::of(k));
+    }
+    for k in 8..24u8 {
+        b.alu_ri(Opcode::Add, Reg::of(k), Reg::of(k), i16::from(k));
+    }
+    b.stq(acc, base, 0);
+    b.subi(counter, counter, 1);
+    b.bne(counter, top);
+    b.halt();
+    b.build().expect("valid program")
+}
+
+fn adaptive_config(ci_target: f64, cap: u64, threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        injections: cap,
+        seed: 11,
+        threads,
+        instr_budget: 6_000,
+        ci_target: Some(ci_target),
+        batch_size: 64,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn adaptive_campaign_is_deterministic_across_thread_counts() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let reports: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| Campaign::new(&machine, &program, adaptive_config(0.12, 600, threads)).run())
+        .collect();
+    let (one, two, four) = (&reports[0], &reports[1], &reports[2]);
+    assert_eq!(one.injections, two.injections);
+    assert_eq!(one.injections, four.injections);
+    assert_eq!(one.stop, two.stop);
+    assert_eq!(one.stop, four.stop);
+    assert_eq!(one.batches.len(), two.batches.len());
+    assert_eq!(one.batches.len(), four.batches.len());
+    for ((a, b), c) in one.targets.iter().zip(&two.targets).zip(&four.targets) {
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.counts, b.counts, "{}: 1 vs 2 threads differ", a.target);
+        assert_eq!(a.counts, c.counts, "{}: 1 vs 4 threads differ", a.target);
+    }
+    for (a, b) in one.batches.iter().zip(&four.batches) {
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.cumulative, b.cumulative);
+        assert_eq!(a.widest, b.widest);
+        assert_eq!(a.max_half_width.to_bits(), b.max_half_width.to_bits());
+    }
+}
+
+#[test]
+fn loose_ci_target_exits_early() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    // ±0.45 is satisfied by almost any data: the first batch must
+    // already converge every target, far below the cap.
+    let report = Campaign::new(&machine, &program, adaptive_config(0.45, 10_000, 1)).run();
+    assert_eq!(report.stop, StopReason::CiTarget);
+    assert!(
+        report.injections <= 128,
+        "one small batch should satisfy ±0.45, used {}",
+        report.injections
+    );
+    assert!(report.converged_to(0.45), "{report}");
+    assert_eq!(report.unreached(), 0);
+}
+
+#[test]
+fn convergence_on_the_last_allowed_batch_reports_ci_target() {
+    // The cap is spent by exactly the batch that converges every
+    // target: the stop reason must credit the CI target, not the cap.
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let report = Campaign::new(
+        &machine,
+        &program,
+        CampaignConfig {
+            injections: 64,
+            seed: 11,
+            threads: 1,
+            instr_budget: 6_000,
+            ci_target: Some(0.45),
+            batch_size: 64,
+            ..CampaignConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(report.injections, 64);
+    assert!(report.converged_to(0.45));
+    assert_eq!(report.stop, StopReason::CiTarget);
+}
+
+#[test]
+fn trial_cap_stops_an_unreachable_target() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    // ±0.001 needs ~1M trials/structure; a 200-trial cap must win.
+    let report = Campaign::new(&machine, &program, adaptive_config(0.001, 200, 2)).run();
+    assert_eq!(report.stop, StopReason::TrialCap);
+    assert_eq!(report.injections, 200);
+    assert!(!report.converged_to(0.001));
+}
+
+#[test]
+fn adaptive_reaches_precision_with_fewer_trials_than_fixed() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let ci_target = 0.11;
+    let adaptive = Campaign::new(&machine, &program, adaptive_config(ci_target, 4_000, 2)).run();
+    assert_eq!(
+        adaptive.stop,
+        StopReason::CiTarget,
+        "adaptive must converge under the cap: {adaptive}"
+    );
+    assert!(adaptive.converged_to(ci_target));
+
+    // A fixed round-robin campaign of the same total size spreads
+    // trials evenly, so the slow-converging structures (the ones the
+    // adaptive planner fed) must still be above the target — i.e. fixed
+    // needs strictly more trials for the same precision.
+    let fixed = Campaign::new(
+        &machine,
+        &program,
+        CampaignConfig {
+            injections: adaptive.injections,
+            seed: 11,
+            threads: 2,
+            instr_budget: 6_000,
+            ..CampaignConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(fixed.injections, adaptive.injections);
+    assert!(
+        !fixed.converged_to(ci_target),
+        "fixed plan with {} trials already meets ±{ci_target}; adaptive shows no gain",
+        fixed.injections
+    );
+}
+
+#[test]
+fn checkpoint_restored_trials_classify_like_full_prefix_replay() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let instr_budget = 6_000;
+    let golden = golden_run(&machine, &program, instr_budget);
+    let (golden_cp, store) =
+        golden_run_checkpointed(&machine, &program, instr_budget, golden.cycles / 7 + 1);
+    assert_eq!(golden.digest, golden_cp.digest);
+    assert_eq!(golden.cycles, golden_cp.cycles);
+    assert!(store.len() >= 4, "several checkpoints in play");
+
+    let plan = SamplingPlan::new(&machine, &InjectionTarget::ALL, 160, golden.cycles, 23);
+    for trial in plan.trials() {
+        // Full-prefix replay: fresh sim walked from cycle 0.
+        let mut slow = InjectionSim::new(&machine, &program, instr_budget);
+        let a = classify_trial(&mut slow, trial, golden.digest);
+        // Checkpointed fork: restore the nearest checkpoint, catch up.
+        let mut fast = InjectionSim::new(&machine, &program, instr_budget);
+        let at = fast
+            .restore_nearest(&store, trial.cycle)
+            .expect("store covers every plan cycle");
+        assert!(at <= trial.cycle);
+        let b = classify_trial(&mut fast, trial, golden.digest);
+        assert_eq!(
+            a, b,
+            "trial {} ({} cycle {} entry {} bit {}) diverged",
+            trial.index, trial.target, trial.cycle, trial.entry, trial.bit
+        );
+    }
+}
+
+#[test]
+fn fixed_and_adaptive_record_progress_metadata() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let fixed = Campaign::new(
+        &machine,
+        &program,
+        CampaignConfig {
+            injections: 64,
+            seed: 5,
+            threads: 1,
+            instr_budget: 6_000,
+            ..CampaignConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(fixed.stop, StopReason::FixedPlan);
+    assert_eq!(fixed.batches.len(), 1);
+    assert_eq!(fixed.batches[0].cumulative, 64);
+    assert!(fixed.checkpoints >= 1);
+    assert!(fixed.ci_target.is_none());
+
+    let adaptive = Campaign::new(&machine, &program, adaptive_config(0.2, 800, 1)).run();
+    assert!(!adaptive.batches.is_empty());
+    let last = adaptive.batches.last().unwrap();
+    assert_eq!(last.cumulative, adaptive.injections);
+    assert!(
+        adaptive
+            .batches
+            .windows(2)
+            .all(|w| w[0].max_half_width >= w[1].max_half_width - 0.05),
+        "convergence should be broadly monotone: {:?}",
+        adaptive.batches
+    );
+    // Display renders the batch lines and stop reason.
+    let text = adaptive.to_string();
+    assert!(text.contains("batch"));
+    assert!(text.contains("adaptive stop"));
+}

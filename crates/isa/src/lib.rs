@@ -47,6 +47,7 @@ mod memory;
 mod opcode;
 mod program;
 mod reg;
+pub mod wire;
 
 pub use builder::{Label, ProgramBuilder};
 pub use disasm::listing;

@@ -1,5 +1,7 @@
 use std::collections::HashMap;
 
+use crate::wire::{WireError, WireReader, WireWriter};
+
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
@@ -116,6 +118,36 @@ impl Memory {
         h
     }
 
+    /// Serializes the resident pages (sorted by page id, so equal
+    /// memories encode to equal bytes).
+    pub fn encode(&self, w: &mut WireWriter) {
+        let mut page_ids: Vec<u64> = self.pages.keys().copied().collect();
+        page_ids.sort_unstable();
+        w.usize(page_ids.len());
+        for id in page_ids {
+            w.u64(id);
+            w.bytes(&self.pages[&id][..]);
+        }
+    }
+
+    /// Decodes a memory image written by [`Memory::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated input.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Memory, WireError> {
+        let n = r.seq_len(8 + PAGE_SIZE)?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let bytes = r.bytes(PAGE_SIZE)?;
+            let page: Box<[u8; PAGE_SIZE]> =
+                Box::new(bytes.try_into().expect("exact page-size slice"));
+            pages.insert(id, page);
+        }
+        Ok(Memory { pages })
+    }
+
     /// Writes `buf` starting at `addr`.
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
         let off = (addr & OFFSET_MASK) as usize;
@@ -180,6 +212,25 @@ mod tests {
         let mut c = Memory::new();
         c.write_u64(0x1008, 7);
         assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn encode_round_trips_and_rejects_corrupt_counts() {
+        use crate::wire::{WireReader, WireWriter};
+        let mut mem = Memory::new();
+        mem.write_u64(0x1000, 7);
+        mem.write_u64(0x9_0000, 0xABCD);
+        let mut w = WireWriter::new();
+        mem.encode(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = Memory::decode(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(decoded.digest(), mem.digest());
+
+        // A corrupt page count must fail cleanly, not abort allocating.
+        let mut w = WireWriter::new();
+        w.u64(u64::MAX / 2);
+        let corrupt = w.into_bytes();
+        assert!(Memory::decode(&mut WireReader::new(&corrupt)).is_err());
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Minimal binary codec for checkpoint serialization.
+//!
+//! The fault-injection engine periodically serializes complete pipeline
+//! snapshots so a campaign can restore the nearest checkpoint instead of
+//! re-simulating the fault-free prefix (and, eventually, ship checkpoints
+//! across machines). The container is fully offline, so this is a small
+//! hand-rolled little-endian format rather than a serde backend: fixed-width
+//! scalars, `u8`-tagged options, and length-prefixed sequences.
+//!
+//! The format is *internal*: both ends are the same build of this
+//! workspace, reconstructing geometry-dependent state from the same
+//! `MachineConfig` and `Program`. A leading version byte guards against
+//! accidentally mixing checkpoint blobs across incompatible builds.
+
+use std::fmt;
+
+/// Error decoding a wire blob: truncated input, a bad tag, or a value
+/// inconsistent with the decoder's machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// An enum/option tag byte had an unknown value.
+    BadTag(u8),
+    /// A decoded value is impossible for the decoding configuration
+    /// (e.g. an entry index past the structure's geometry).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire input truncated"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t:#04x}"),
+            WireError::Invalid(what) => write!(f, "invalid wire value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder over a byte vector.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Finishes encoding and returns the bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a `usize` as a `u64` (sizes are machine-independent on the
+    /// wire).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an optional `u32` as a tag byte plus payload.
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+
+    /// Writes an optional `u64` as a tag byte plus payload.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    /// Writes raw bytes (caller is responsible for length framing).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts decoding at the beginning of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a `bool` byte (0 or 1).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads a `usize` written by [`WireWriter::usize`].
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::Invalid("usize overflow"))
+    }
+
+    /// Reads a sequence length and validates it against the bytes left
+    /// in the input (each element occupies at least `min_elem_bytes` on
+    /// the wire). Decoders must use this before `with_capacity`-style
+    /// pre-allocation so a corrupt count field fails with a
+    /// [`WireError`] instead of a capacity-overflow abort.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.usize()?;
+        if n > self.remaining() / min_elem_bytes.max(1) {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Reads an optional `u32`.
+    pub fn opt_u32(&mut self) -> Result<Option<u32>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads an optional `u64`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Asserts the whole input was consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Invalid("trailing bytes after decode"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = WireWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.i32(-12345);
+        w.bool(true);
+        w.usize(99);
+        w.opt_u32(None);
+        w.opt_u32(Some(5));
+        w.opt_u64(Some(1 << 40));
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.i32().unwrap(), -12345);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.usize().unwrap(), 99);
+        assert_eq!(r.opt_u32().unwrap(), None);
+        assert_eq!(r.opt_u32().unwrap(), Some(5));
+        assert_eq!(r.opt_u64().unwrap(), Some(1 << 40));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut w = WireWriter::new();
+        w.u32(1);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn bad_tags_are_errors() {
+        let bytes = [2u8];
+        assert_eq!(WireReader::new(&bytes).bool(), Err(WireError::BadTag(2)),);
+        let bytes = [9u8, 0, 0, 0, 0];
+        assert_eq!(WireReader::new(&bytes).opt_u32(), Err(WireError::BadTag(9)),);
+    }
+
+    #[test]
+    fn seq_len_bounds_counts_by_remaining_input() {
+        let mut w = WireWriter::new();
+        w.usize(3);
+        w.bytes(&[0u8; 12]); // 3 elements × 4 bytes
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.seq_len(4).unwrap(), 3);
+
+        // A corrupt count far beyond the input must error, not allocate.
+        let mut w = WireWriter::new();
+        w.u64(u64::MAX - 1);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            WireReader::new(&bytes).seq_len(4),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let bytes = [1u8, 2];
+        let mut r = WireReader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

@@ -27,6 +27,7 @@
 //! and clean-cache-line flips hit the backing store directly.
 
 use avf_ace::{Structure, StructureSizes};
+use avf_isa::wire::WireError;
 use avf_isa::{AccessSize, OpClass, Program};
 
 use crate::config::MachineConfig;
@@ -297,6 +298,49 @@ impl<'a> InjectionSim<'a> {
     /// Rewinds to a snapshot taken earlier on this instance.
     pub fn restore(&mut self, snap: &PipelineSnapshot) {
         self.pipe.restore(snap);
+    }
+
+    /// Serializes the complete machine state to a self-contained blob
+    /// (see [`PipelineSnapshot::to_wire`]).
+    #[must_use]
+    pub fn snapshot_wire(&self) -> Vec<u8> {
+        self.pipe.snapshot().to_wire()
+    }
+
+    /// Restores state from a blob written by
+    /// [`InjectionSim::snapshot_wire`] on the same machine configuration
+    /// and program — including one captured by a *different* simulator
+    /// instance, which is what checkpoint sharding relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the blob does not decode against this
+    /// simulator's configuration and program.
+    pub fn restore_wire(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let snap = PipelineSnapshot::from_wire(bytes, self.pipe.cfg, self.pipe.program)?;
+        self.pipe.restore(&snap);
+        Ok(())
+    }
+
+    /// Rewinds (or fast-forwards) to the nearest stored checkpoint at or
+    /// before `cycle`, returning the restored cycle. The caller then
+    /// [`InjectionSim::run_to_cycle`]s the remaining `O(interval)`
+    /// distance instead of replaying the whole fault-free prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the store is empty or the checkpoint
+    /// blob does not decode against this simulator's configuration.
+    pub fn restore_nearest(
+        &mut self,
+        store: &CheckpointStore,
+        cycle: u64,
+    ) -> Result<u64, WireError> {
+        let (cp_cycle, bytes) = store
+            .nearest(cycle)
+            .ok_or(WireError::Invalid("empty checkpoint store"))?;
+        self.restore_wire(bytes)?;
+        Ok(cp_cycle)
     }
 
     /// Flips bit `bit` of physical entry `entry` in `target` at the
@@ -583,6 +627,117 @@ impl<'a> InjectionSim<'a> {
     }
 }
 
+/// Periodic serialized checkpoints of the fault-free run.
+///
+/// Built once per campaign by [`golden_run_checkpointed`]; trial workers
+/// call [`InjectionSim::restore_nearest`] to jump to the checkpoint at or
+/// before their injection cycle, turning per-trial setup from `O(cycle)`
+/// prefix replay into `O(interval)`. Checkpoints are plain byte blobs
+/// ([`PipelineSnapshot::to_wire`]), so a store can also be handed to
+/// another process or machine holding the same configuration and program.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    interval: u64,
+    /// `(cycle, blob)` in strictly ascending cycle order; always starts
+    /// with the cycle-0 initial state, so `nearest` never comes up empty.
+    checkpoints: Vec<(u64, Vec<u8>)>,
+}
+
+impl CheckpointStore {
+    /// Requested checkpoint spacing in cycles.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of stored checkpoints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the store holds no checkpoints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Total serialized size in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.checkpoints.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// The latest checkpoint at or before `cycle`.
+    #[must_use]
+    pub fn nearest(&self, cycle: u64) -> Option<(u64, &[u8])> {
+        let idx = self.checkpoints.partition_point(|&(c, _)| c <= cycle);
+        let (c, bytes) = self.checkpoints.get(idx.checked_sub(1)?)?;
+        Some((*c, bytes.as_slice()))
+    }
+
+    /// Decodes every checkpoint once for in-process use, so a campaign
+    /// restoring from the store per worker per batch pays one decode
+    /// per checkpoint instead of one per restore ([`Pipeline`] restores
+    /// from the decoded snapshot by deep clone, the same cost as a v1
+    /// in-memory fork).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if any blob does not decode against
+    /// `config`/`program`.
+    pub fn decode_all(
+        &self,
+        config: &MachineConfig,
+        program: &Program,
+    ) -> Result<DecodedCheckpoints, WireError> {
+        let mut checkpoints = Vec::with_capacity(self.checkpoints.len());
+        for (cycle, bytes) in &self.checkpoints {
+            checkpoints.push((*cycle, PipelineSnapshot::from_wire(bytes, config, program)?));
+        }
+        Ok(DecodedCheckpoints {
+            interval: self.interval,
+            checkpoints,
+        })
+    }
+}
+
+/// An in-memory decoded view of a [`CheckpointStore`]: each serialized
+/// checkpoint parsed once into a [`PipelineSnapshot`] that any number
+/// of workers can [`InjectionSim::restore`] from.
+pub struct DecodedCheckpoints {
+    interval: u64,
+    checkpoints: Vec<(u64, PipelineSnapshot)>,
+}
+
+impl DecodedCheckpoints {
+    /// Requested checkpoint spacing in cycles.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of decoded checkpoints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the view holds no checkpoints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// The latest checkpoint at or before `cycle`.
+    #[must_use]
+    pub fn nearest(&self, cycle: u64) -> Option<(u64, &PipelineSnapshot)> {
+        let idx = self.checkpoints.partition_point(|&(c, _)| c <= cycle);
+        let (c, snap) = self.checkpoints.get(idx.checked_sub(1)?)?;
+        Some((*c, snap))
+    }
+}
+
 /// Runs the fault-free reference execution for `program` bounded by
 /// `instr_budget` commits.
 #[must_use]
@@ -598,6 +753,48 @@ pub fn golden_run(config: &MachineConfig, program: &Program, instr_budget: u64) 
         committed: sim.committed(),
         digest: sim.memory_digest(),
     }
+}
+
+/// [`golden_run`] that also captures a serialized checkpoint every
+/// `interval` cycles (plus the cycle-0 initial state).
+///
+/// # Panics
+///
+/// Panics if `interval` is zero or the fault-free run does not complete
+/// cleanly.
+#[must_use]
+pub fn golden_run_checkpointed(
+    config: &MachineConfig,
+    program: &Program,
+    instr_budget: u64,
+    interval: u64,
+) -> (GoldenRun, CheckpointStore) {
+    assert!(interval > 0, "checkpoint interval must be positive");
+    let mut sim = InjectionSim::new(config, program, instr_budget);
+    let mut checkpoints = vec![(0, sim.snapshot_wire())];
+    loop {
+        let next = sim.cycle().saturating_add(interval);
+        if !sim.run_to_cycle(next) {
+            break;
+        }
+        checkpoints.push((sim.cycle(), sim.snapshot_wire()));
+    }
+    let end = sim.run_to_end();
+    assert!(
+        end == RunEnd::Completed,
+        "fault-free golden run must complete cleanly, got {end:?}"
+    );
+    (
+        GoldenRun {
+            cycles: sim.cycle().max(1),
+            committed: sim.committed(),
+            digest: sim.memory_digest(),
+        },
+        CheckpointStore {
+            interval,
+            checkpoints,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -673,6 +870,116 @@ mod tests {
         }
         assert!(flipped, "no register flip armed at mid-run");
         panic!("no register flip produced an SDC in a live accumulator loop");
+    }
+
+    #[test]
+    fn wire_snapshot_round_trips_across_instances() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let golden = golden_run(&cfg, &p, 10_000);
+        let mut sim = InjectionSim::new(&cfg, &p, 10_000);
+        assert!(sim.run_to_cycle(golden.cycles / 2));
+        let bytes = sim.snapshot_wire();
+        let end_a = sim.run_to_end();
+        let digest_a = sim.memory_digest();
+        let cycles_a = sim.cycle();
+        // Restore onto a *fresh* instance: the blob must be self-contained.
+        let mut other = InjectionSim::new(&cfg, &p, 10_000);
+        other.restore_wire(&bytes).expect("blob decodes");
+        assert_eq!(other.cycle(), golden.cycles / 2);
+        let end_b = other.run_to_end();
+        assert_eq!(end_a, end_b);
+        assert_eq!(digest_a, other.memory_digest());
+        assert_eq!(cycles_a, other.cycle(), "timing replays identically");
+        assert_eq!(digest_a, golden.digest);
+    }
+
+    #[test]
+    fn wire_snapshot_rejects_geometry_mismatch() {
+        // A checkpoint from the baseline machine must not decode on
+        // config-a (96 phys regs, 512 TLB entries): restoring it would
+        // leave the pipeline indexing structures out of bounds.
+        let base = MachineConfig::baseline();
+        let p = counted_loop();
+        let mut sim = InjectionSim::new(&base, &p, 10_000);
+        assert!(sim.run_to_cycle(50));
+        let bytes = sim.snapshot_wire();
+        let a = MachineConfig::config_a();
+        let mut other = InjectionSim::new(&a, &p, 10_000);
+        assert!(other.restore_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn decoded_checkpoints_match_wire_restores() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let (golden, store) = golden_run_checkpointed(&cfg, &p, 10_000, 40);
+        let decoded = store.decode_all(&cfg, &p).expect("own store decodes");
+        assert_eq!(decoded.len(), store.len());
+        assert_eq!(decoded.interval(), store.interval());
+        for target in [0, 39, 40, golden.cycles / 2, golden.cycles] {
+            let via_wire = store.nearest(target).map(|(c, _)| c);
+            let via_decoded = decoded.nearest(target).map(|(c, _)| c);
+            assert_eq!(via_wire, via_decoded);
+            if let Some((c, snap)) = decoded.nearest(target) {
+                let mut sim = InjectionSim::new(&cfg, &p, 10_000);
+                sim.restore(snap);
+                assert_eq!(sim.cycle(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_snapshot_rejects_garbage() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let mut sim = InjectionSim::new(&cfg, &p, 10_000);
+        assert!(sim.restore_wire(&[]).is_err());
+        assert!(sim.restore_wire(&[0xFF; 64]).is_err());
+        let mut bytes = sim.snapshot_wire();
+        bytes.truncate(bytes.len() / 2);
+        assert!(sim.restore_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn restore_nearest_matches_full_prefix_replay() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let (golden, store) = golden_run_checkpointed(&cfg, &p, 10_000, 32);
+        assert!(store.len() >= 2, "loop is long enough for checkpoints");
+        for target in [1, golden.cycles / 3, golden.cycles / 2, golden.cycles - 1] {
+            // Full-prefix replay.
+            let mut slow = InjectionSim::new(&cfg, &p, 10_000);
+            assert!(slow.run_to_cycle(target));
+            // Checkpoint restore + O(interval) catch-up.
+            let mut fast = InjectionSim::new(&cfg, &p, 10_000);
+            let at = fast
+                .restore_nearest(&store, target)
+                .expect("store non-empty");
+            assert!(at <= target && target - at <= store.interval());
+            assert!(fast.run_to_cycle(target));
+            assert_eq!(slow.cycle(), fast.cycle());
+            assert_eq!(slow.committed(), fast.committed());
+            assert_eq!(slow.memory_digest(), fast.memory_digest());
+            assert_eq!(
+                slow.snapshot_wire(),
+                fast.snapshot_wire(),
+                "whole state at cycle {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_store_nearest_picks_floor() {
+        let cfg = MachineConfig::baseline();
+        let p = counted_loop();
+        let (golden, store) = golden_run_checkpointed(&cfg, &p, 10_000, 50);
+        let (c0, _) = store.nearest(0).expect("cycle-0 checkpoint");
+        assert_eq!(c0, 0);
+        let (c, _) = store.nearest(golden.cycles).expect("some checkpoint");
+        assert!(c <= golden.cycles);
+        let (c49, _) = store.nearest(49).expect("floor of 49");
+        assert_eq!(c49, 0, "no checkpoint strictly between 0 and 50");
     }
 
     #[test]

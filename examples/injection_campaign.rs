@@ -27,13 +27,17 @@ fn main() {
     let report = Campaign::new(&machine, &stressmark.program, config).run();
     println!("{report}");
 
-    // A proxy workload for contrast: lower occupancy, lower AVF.
+    // A proxy workload for contrast: lower occupancy, lower AVF —
+    // measured adaptively: batches go to the structures with the widest
+    // Wilson intervals, and the campaign stops at ±0.05 per structure
+    // (or the 4000-trial cap) instead of spending a fixed budget.
     let mcf = avf_workloads::by_name("429.mcf")
         .expect("mcf proxy")
         .build();
     let config = CampaignConfig {
-        injections: 1_000,
+        injections: 4_000,
         seed: 42,
+        ci_target: Some(0.05),
         ..CampaignConfig::default()
     };
     let report = Campaign::new(&machine, &mcf, config).run();
