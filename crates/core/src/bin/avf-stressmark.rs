@@ -9,84 +9,61 @@
 //! avf-stressmark validate [--machine ...] [--injections N] [--seed N]
 //!                         [--instructions N] [--threads N] [--ci-target F]
 //!                         [--batch N] [--checkpoint-interval N]
+//!                         [--workers host:port,host:port,...]
+//! avf-stressmark serve    --listen host:port [--threads N]
 //! ```
+//!
+//! Flags are strict: an unrecognized `--flag` is an error (with a
+//! "did you mean" hint), never silently ignored.
 
 use std::process::ExitCode;
 
 use avf_ace::FaultRates;
 use avf_ga::GaParams;
-use avf_inject::CampaignConfig;
+use avf_inject::{CampaignConfig, LocalBackend};
+use avf_service::{serve, RemoteBackend, ServeOptions};
 use avf_sim::MachineConfig;
+use avf_stressmark::cli::{bool_flag, value_flag, Args, FlagSpec};
 use avf_stressmark::{
-    fig3, fig4, fig5, fig6, fig7, fig8, fig9, generate_stressmark, injection_vs_ace,
+    fig3, fig4, fig5, fig6, fig7, fig8, fig9, generate_stressmark, injection_vs_ace_on,
     instantaneous_qs_bound, instantaneous_qs_bound_general, raw_sum_core, run_suite, table3,
     ExperimentConfig, Fitness, KnobSettings, SearchConfig,
 };
 
-struct Args {
-    positional: Vec<String>,
-    flags: Vec<(String, Option<String>)>,
-}
+const SEARCH_FLAGS: &[FlagSpec] = &[
+    value_flag("rates"),
+    value_flag("machine"),
+    value_flag("population"),
+    value_flag("generations"),
+    value_flag("eval"),
+    value_flag("final"),
+    value_flag("seed"),
+];
 
-impl Args {
-    fn parse(argv: &[String]) -> Args {
-        let mut positional = Vec::new();
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < argv.len() {
-            let a = &argv[i];
-            if let Some(name) = a.strip_prefix("--") {
-                let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
-                if value.is_some() {
-                    i += 1;
-                }
-                flags.push((name.to_owned(), value));
-            } else {
-                positional.push(a.clone());
-            }
-            i += 1;
-        }
-        Args { positional, flags }
-    }
+const SUITE_FLAGS: &[FlagSpec] = &[
+    value_flag("rates"),
+    value_flag("machine"),
+    value_flag("instructions"),
+    bool_flag("tsv"),
+];
 
-    fn flag(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
+const FIG_FLAGS: &[FlagSpec] = &[bool_flag("smoke")];
 
-    fn has(&self, name: &str) -> bool {
-        self.flags.iter().any(|(n, _)| n == name)
-    }
+const BOUNDS_FLAGS: &[FlagSpec] = &[value_flag("machine")];
 
-    fn parse_u64(&self, name: &str, default: u64) -> Result<u64, String> {
-        match self.flag(name) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
-        }
-    }
+const VALIDATE_FLAGS: &[FlagSpec] = &[
+    value_flag("machine"),
+    value_flag("injections"),
+    value_flag("seed"),
+    value_flag("instructions"),
+    value_flag("threads"),
+    value_flag("ci-target"),
+    value_flag("batch"),
+    value_flag("checkpoint-interval"),
+    value_flag("workers"),
+];
 
-    fn parse_f64_opt(&self, name: &str) -> Result<Option<f64>, String> {
-        // Wilson half-widths never exceed 0.5 (the no-data interval is
-        // [0, 1]), so a target of 0.5 or more is satisfied by zero
-        // trials — a vacuous "validation" this refuses to run.
-        match self.flag(name) {
-            None => Ok(None),
-            Some(v) => v
-                .parse::<f64>()
-                .ok()
-                .filter(|x| x.is_finite() && *x > 0.0 && *x < 0.5)
-                .map(Some)
-                .ok_or(format!(
-                    "--{name} expects a fraction in (0, 0.5), got `{v}`"
-                )),
-        }
-    }
-}
+const SERVE_FLAGS: &[FlagSpec] = &[value_flag("listen"), value_flag("threads")];
 
 fn rates_of(args: &Args) -> Result<FaultRates, String> {
     match args.flag("rates").unwrap_or("baseline") {
@@ -112,13 +89,15 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let machine = machine_of(args)?;
     let mut config = SearchConfig::quick(machine, Fitness::overall(rates.clone()));
     config.ga = GaParams {
-        population: args.parse_u64("population", 16)? as usize,
-        generations: args.parse_u64("generations", 24)? as usize,
-        seed: args.parse_u64("seed", GaParams::quick().seed)?,
+        population: args.parse_u64("population", 16).map_err(|e| e.0)? as usize,
+        generations: args.parse_u64("generations", 24).map_err(|e| e.0)? as usize,
+        seed: args
+            .parse_u64("seed", GaParams::quick().seed)
+            .map_err(|e| e.0)?,
         ..GaParams::quick()
     };
-    config.eval_instructions = args.parse_u64("eval", 120_000)?;
-    config.final_instructions = args.parse_u64("final", 2_000_000)?;
+    config.eval_instructions = args.parse_u64("eval", 120_000).map_err(|e| e.0)?;
+    config.final_instructions = args.parse_u64("final", 2_000_000).map_err(|e| e.0)?;
 
     eprintln!(
         "searching ({} rates, {} x {} GA)...",
@@ -150,7 +129,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
 fn cmd_suite(args: &Args) -> Result<(), String> {
     let rates = rates_of(args)?;
     let machine = machine_of(args)?;
-    let instructions = args.parse_u64("instructions", 2_000_000)?;
+    let instructions = args.parse_u64("instructions", 2_000_000).map_err(|e| e.0)?;
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -192,8 +171,8 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
 
 fn cmd_fig(args: &Args) -> Result<(), String> {
     let which = args
-        .positional
-        .get(1)
+        .positional()
+        .first()
         .ok_or("fig requires an argument: 3|4|5|6|7|8|9|table3")?;
     let cfg = if args.has("smoke") {
         ExperimentConfig::smoke()
@@ -248,13 +227,13 @@ fn cmd_bounds(args: &Args) -> Result<(), String> {
 fn cmd_validate(args: &Args) -> Result<(), String> {
     let machine = machine_of(args)?;
     let config = CampaignConfig {
-        injections: args.parse_u64("injections", 1000)?,
-        seed: args.parse_u64("seed", 42)?,
-        threads: args.parse_u64("threads", 0)? as usize,
-        instr_budget: args.parse_u64("instructions", 30_000)?,
-        ci_target: args.parse_f64_opt("ci-target")?,
-        batch_size: args.parse_u64("batch", 128)?.max(1),
-        checkpoint_interval: args.parse_u64("checkpoint-interval", 0)?,
+        injections: args.parse_u64("injections", 1000).map_err(|e| e.0)?,
+        seed: args.parse_u64("seed", 42).map_err(|e| e.0)?,
+        threads: args.parse_u64("threads", 0).map_err(|e| e.0)? as usize,
+        instr_budget: args.parse_u64("instructions", 30_000).map_err(|e| e.0)?,
+        ci_target: args.parse_f64_opt("ci-target").map_err(|e| e.0)?,
+        batch_size: args.parse_u64("batch", 128).map_err(|e| e.0)?.max(1),
+        checkpoint_interval: args.parse_u64("checkpoint-interval", 0).map_err(|e| e.0)?,
         ..CampaignConfig::default()
     };
     match config.ci_target {
@@ -269,13 +248,65 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
             config.injections, config.seed
         ),
     }
-    let validation = injection_vs_ace(&machine, &config);
+    let validation = match args.flag("workers") {
+        None => injection_vs_ace_on(&machine, &config, &LocalBackend::new(config.threads)),
+        Some(list) => {
+            if args.has("threads") {
+                // Accepting the flag but letting it do nothing would be
+                // the exact silent-no-effect failure the strict parser
+                // exists to prevent.
+                return Err(
+                    "--threads selects local worker threads and has no effect with \
+                     --workers; set --threads on each `serve` process instead"
+                        .to_owned(),
+                );
+            }
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_owned)
+                .collect();
+            if addrs.is_empty() {
+                return Err("--workers expects a comma-separated list of host:port".to_owned());
+            }
+            eprintln!(
+                "dispatching campaigns to {} remote worker(s)...",
+                addrs.len()
+            );
+            injection_vs_ace_on(&machine, &config, &RemoteBackend::new(addrs))
+        }
+    }
+    .map_err(|e| format!("campaign backend failed: {e}"))?;
     print!("{validation}");
     if validation.all_consistent() {
         Ok(())
     } else {
         Err("injection measured more vulnerability than the ACE analysis claims".to_owned())
     }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let listen = args
+        .flag("listen")
+        .ok_or("serve requires --listen host:port")?;
+    let threads = args.parse_u64("threads", 0).map_err(|e| e.0)? as usize;
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot listen on `{listen}`: {e}"))?;
+    eprintln!(
+        "campaign service listening on {} ({} worker thread(s) per session)",
+        listener
+            .local_addr()
+            .map_or_else(|_| listen.to_owned(), |a| a.to_string()),
+        if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+    );
+    serve(listener, &ServeOptions { threads }).map_err(|e| format!("accept loop failed: {e}"))
 }
 
 const USAGE: &str = "\
@@ -295,22 +326,45 @@ commands:
             (0, 0.5)> stops each campaign once every structure's 95% CI
             is that tight, --injections then caps the trials, --batch
             sets the per-batch size, --checkpoint-interval the
-            golden-run checkpoint spacing in cycles)
+            golden-run checkpoint spacing in cycles; distributed
+            execution: --workers host:port,... fans trial batches out
+            to `serve` processes instead of local threads)
+  serve     run a long-lived campaign worker: accepts (program, machine,
+            plan-shard) jobs over TCP and streams per-trial outcomes
+            back (options: --listen host:port, --threads)
+
+flags are strict: unknown --flags are errors, not ignored.
 ";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = Args::parse(&argv);
-    let result = match args.positional.first().map(String::as_str) {
-        Some("search") => cmd_search(&args),
-        Some("suite") => cmd_suite(&args),
-        Some("fig") => cmd_fig(&args),
-        Some("bounds") => cmd_bounds(&args),
-        Some("validate") => cmd_validate(&args),
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let spec: &[FlagSpec] = match command {
+        "search" => SEARCH_FLAGS,
+        "suite" => SUITE_FLAGS,
+        "fig" => FIG_FLAGS,
+        "bounds" => BOUNDS_FLAGS,
+        "validate" => VALIDATE_FLAGS,
+        "serve" => SERVE_FLAGS,
         _ => {
             eprint!("{USAGE}");
             return ExitCode::FAILURE;
         }
+    };
+    let result = match Args::parse(&argv[1..], spec) {
+        Err(e) => Err(e.to_string()),
+        Ok(args) => match command {
+            "search" => cmd_search(&args),
+            "suite" => cmd_suite(&args),
+            "fig" => cmd_fig(&args),
+            "bounds" => cmd_bounds(&args),
+            "validate" => cmd_validate(&args),
+            "serve" => cmd_serve(&args),
+            _ => unreachable!("command validated above"),
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

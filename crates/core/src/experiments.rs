@@ -623,6 +623,25 @@ impl fmt::Display for InjectionValidation {
 /// search per run.
 #[must_use]
 pub fn injection_vs_ace(machine: &MachineConfig, base: &CampaignConfig) -> InjectionValidation {
+    injection_vs_ace_on(machine, base, &avf_inject::LocalBackend::new(base.threads))
+        .expect("the local backend is infallible")
+}
+
+/// [`injection_vs_ace`] over an arbitrary campaign execution backend —
+/// the same validation sweep, but trials run wherever the backend puts
+/// them (in-process thread pool, or remote `serve` workers via
+/// `avf-service`'s `RemoteBackend`). With a fixed seed the resulting
+/// reports are identical across backends.
+///
+/// # Errors
+///
+/// Returns a [`avf_inject::BackendError`] if the backend cannot execute
+/// a campaign (unreachable workers, protocol violation).
+pub fn injection_vs_ace_on(
+    machine: &MachineConfig,
+    base: &CampaignConfig,
+    backend: &dyn avf_inject::CampaignBackend,
+) -> Result<InjectionValidation, avf_inject::BackendError> {
     let stressmark = avf_codegen::generate(
         &avf_codegen::Knobs::paper_baseline(),
         &crate::target_params(machine),
@@ -637,9 +656,9 @@ pub fn injection_vs_ace(machine: &MachineConfig, base: &CampaignConfig) -> Injec
     }
     let reports = programs
         .iter()
-        .map(|program| Campaign::new(machine, program, base.clone()).run())
-        .collect();
-    InjectionValidation { reports }
+        .map(|program| Campaign::new(machine, program, base.clone()).run_on(backend))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(InjectionValidation { reports })
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod bounds;
+pub mod cli;
 pub mod experiments;
 mod fitness;
 mod search;
@@ -48,9 +49,9 @@ mod table;
 
 pub use bounds::{instantaneous_qs_bound, instantaneous_qs_bound_general, raw_sum, raw_sum_core};
 pub use experiments::{
-    fig3, fig4, fig5, fig6, fig7, fig8, fig9, injection_vs_ace, merged_avf, run_suite,
-    stressmark_for, table3, ExperimentConfig, Fig5, Fig8, Fig9, InjectionValidation, KnobSettings,
-    Table3, VALIDATION_PROFILES,
+    fig3, fig4, fig5, fig6, fig7, fig8, fig9, injection_vs_ace, injection_vs_ace_on, merged_avf,
+    run_suite, stressmark_for, table3, ExperimentConfig, Fig5, Fig8, Fig9, InjectionValidation,
+    KnobSettings, Table3, VALIDATION_PROFILES,
 };
 pub use fitness::{Fitness, FitnessScope};
 pub use search::{evaluate_knobs, generate_stressmark, target_params, SearchConfig, SearchOutcome};

@@ -1,0 +1,560 @@
+//! The campaign backend protocol: *where* trials execute, decoupled
+//! from *how* a campaign is driven.
+//!
+//! [`Campaign::run`](crate::Campaign::run) used to own its worker
+//! threads directly; bounding worst-case AVF at paper scale needs
+//! millions of trials across many (program, machine) pairs, which means
+//! the driver must not care whether trials run on this process's thread
+//! pool or on a rack of remote workers. This module is the seam:
+//!
+//! * [`JobSpec`] — everything a worker needs to execute trials for one
+//!   campaign: the program, the machine configuration, the serialized
+//!   fault-free [`CheckpointStore`], and the execution budgets. It has
+//!   a self-contained wire encoding (enveloped with
+//!   [`avf_isa::wire::kind::JOB_SETUP`]) so the same value can cross a
+//!   socket unchanged.
+//! * [`CampaignBackend::open`] — binds a job to an execution venue and
+//!   returns a [`CampaignSession`].
+//! * [`CampaignSession::submit`] — hands the session one batch of
+//!   [`Trial`]s and returns a [`TrialStream`]: an iterator of
+//!   [`TrialEvent`]s that yields each classified outcome *as it
+//!   completes*, so an adaptive driver can re-allocate the next batch
+//!   no matter where (or in what order) the trials actually ran.
+//! * [`LocalBackend`] — the in-process thread pool, now just one client
+//!   of this API. The TCP server and `RemoteBackend` in `avf-service`
+//!   are the other.
+//!
+//! Outcome counts merge commutatively, and every trial's sample is a
+//! pure function of `(seed, batch, index)`, so a campaign report is
+//! identical for any backend, worker count, or event arrival order.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use avf_isa::wire::{kind, WireError, WireReader, WireWriter};
+use avf_isa::Program;
+use avf_sim::{
+    CheckpointStore, DecodedCheckpoints, FlipEffect, InjectionSim, InjectionTarget, MachineConfig,
+    RunEnd,
+};
+
+use crate::plan::Trial;
+use crate::Outcome;
+
+/// Why a backend could not execute (part of) a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// A payload failed to encode or decode.
+    Wire(WireError),
+    /// A transport-level I/O failure (connect, read, write).
+    Io(String),
+    /// A frame larger than the transport's safety limit.
+    Oversized {
+        /// Length announced by the frame header.
+        len: u64,
+        /// The transport's limit.
+        max: u64,
+    },
+    /// The peer violated the campaign protocol (wrong frame kind,
+    /// missing events, events for unplanned targets).
+    Protocol(String),
+    /// A worker reported a fatal error of its own.
+    Remote(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Wire(e) => write!(f, "wire codec: {e}"),
+            BackendError::Io(e) => write!(f, "transport: {e}"),
+            BackendError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            BackendError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            BackendError::Remote(what) => write!(f, "worker error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<WireError> for BackendError {
+    fn from(e: WireError) -> BackendError {
+        BackendError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for BackendError {
+    fn from(e: std::io::Error) -> BackendError {
+        BackendError::Io(e.to_string())
+    }
+}
+
+/// Everything an execution venue needs to run trials for one campaign:
+/// program, machine, golden-run checkpoints, and budgets. The driver
+/// builds one per campaign; backends may clone it to any number of
+/// workers.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Machine configuration the plan was sampled against.
+    pub machine: MachineConfig,
+    /// Program under injection.
+    pub program: Program,
+    /// Serialized fault-free checkpoints (workers restore the nearest
+    /// one instead of replaying the prefix).
+    pub store: CheckpointStore,
+    /// Committed-instruction budget of every trial.
+    pub instr_budget: u64,
+    /// Cycle watchdog budget of every trial (hang ⇒ DUE).
+    pub cycle_budget: u64,
+    /// Memory digest of the fault-free run (the SDC comparator).
+    pub golden_digest: u64,
+}
+
+impl JobSpec {
+    /// Serializes the job to a self-contained enveloped blob.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.envelope(kind::JOB_SETUP);
+        self.machine.encode(&mut w);
+        self.program.encode(&mut w);
+        self.store.encode(&mut w);
+        w.u64(self.instr_budget);
+        w.u64(self.cycle_budget);
+        w.u64(self.golden_digest);
+        w.into_bytes()
+    }
+
+    /// Decodes a job written by [`JobSpec::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on envelope mismatch, truncation, or an
+    /// invalid machine/program payload.
+    pub fn from_wire(bytes: &[u8]) -> Result<JobSpec, WireError> {
+        let mut r = WireReader::new(bytes);
+        r.expect_envelope(kind::JOB_SETUP)?;
+        let machine = MachineConfig::decode(&mut r)?;
+        let program = Program::decode(&mut r)?;
+        let store = CheckpointStore::decode(&mut r)?;
+        let spec = JobSpec {
+            machine,
+            program,
+            store,
+            instr_budget: r.u64()?,
+            cycle_budget: r.u64()?,
+            golden_digest: r.u64()?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+/// One classified trial outcome, streamed back from wherever the trial
+/// executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialEvent {
+    /// Global trial index (from the plan).
+    pub index: u64,
+    /// Structure the trial injected into.
+    pub target: InjectionTarget,
+    /// Classified outcome.
+    pub outcome: Outcome,
+}
+
+impl TrialEvent {
+    /// Serializes the event to a self-contained enveloped blob.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.envelope(kind::TRIAL_EVENT);
+        w.u64(self.index);
+        w.u8(self.target.wire_code());
+        w.u8(self.outcome.wire_code());
+        w.into_bytes()
+    }
+
+    /// Decodes the payload of a [`kind::TRIAL_EVENT`] envelope whose
+    /// header `r` has already consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or unknown codes.
+    pub fn decode_body(r: &mut WireReader<'_>) -> Result<TrialEvent, WireError> {
+        let index = r.u64()?;
+        let target_code = r.u8()?;
+        let outcome_code = r.u8()?;
+        Ok(TrialEvent {
+            index,
+            target: InjectionTarget::from_wire_code(target_code)
+                .ok_or(WireError::BadTag(target_code))?,
+            outcome: Outcome::from_wire_code(outcome_code)
+                .ok_or(WireError::BadTag(outcome_code))?,
+        })
+    }
+
+    /// Decodes an event written by [`TrialEvent::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on envelope mismatch or truncation.
+    pub fn from_wire(bytes: &[u8]) -> Result<TrialEvent, WireError> {
+        let mut r = WireReader::new(bytes);
+        r.expect_envelope(kind::TRIAL_EVENT)?;
+        let ev = TrialEvent::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(ev)
+    }
+}
+
+/// Serializes one batch of trials to an enveloped blob
+/// ([`kind::TRIAL_BATCH`]).
+#[must_use]
+pub fn encode_trial_batch(trials: &[Trial]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.envelope(kind::TRIAL_BATCH);
+    w.usize(trials.len());
+    for t in trials {
+        t.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a batch written by [`encode_trial_batch`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on envelope mismatch, truncation, or unknown
+/// target codes.
+pub fn decode_trial_batch(bytes: &[u8]) -> Result<Vec<Trial>, WireError> {
+    let mut r = WireReader::new(bytes);
+    r.expect_envelope(kind::TRIAL_BATCH)?;
+    let n = r.seq_len(Trial::WIRE_BYTES)?;
+    let mut trials = Vec::with_capacity(n);
+    for _ in 0..n {
+        trials.push(Trial::decode(&mut r)?);
+    }
+    r.finish()?;
+    Ok(trials)
+}
+
+/// An execution venue for campaign trials.
+///
+/// Implementations bind a [`JobSpec`] once (paying setup — checkpoint
+/// decode, connections — a single time) and then execute any number of
+/// trial batches against it.
+pub trait CampaignBackend {
+    /// Degree of parallelism this backend reports (recorded in the
+    /// campaign report; never affects results).
+    fn workers(&self) -> usize;
+
+    /// Binds a job to this venue, returning the session batches are
+    /// submitted through.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if the venue cannot accept the job
+    /// (bad checkpoints, unreachable workers).
+    fn open(&self, spec: JobSpec) -> Result<Box<dyn CampaignSession>, BackendError>;
+}
+
+/// One campaign's execution state on a backend.
+pub trait CampaignSession {
+    /// Executes one batch of trials, streaming classified outcomes back
+    /// as they complete. The stream must be drained before the next
+    /// `submit` (the `&mut` receiver enforces it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if the batch cannot be dispatched.
+    fn submit(&mut self, trials: &[Trial]) -> Result<TrialStream, BackendError>;
+}
+
+/// Streaming iterator of per-trial outcomes for one submitted batch.
+///
+/// Yields events in completion order (which is execution-venue
+/// dependent and irrelevant to the result: outcome counts commute).
+/// The stream ends when every worker has reported; worker threads are
+/// joined on exhaustion or drop.
+pub struct TrialStream {
+    rx: mpsc::Receiver<Result<TrialEvent, BackendError>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl TrialStream {
+    /// Wraps a channel of events plus the worker threads feeding it.
+    #[must_use]
+    pub fn new(
+        rx: mpsc::Receiver<Result<TrialEvent, BackendError>>,
+        handles: Vec<JoinHandle<()>>,
+    ) -> TrialStream {
+        TrialStream { rx, handles }
+    }
+
+    fn join_workers(&mut self) {
+        for h in self.handles.drain(..) {
+            // A panicking worker dropped its sender, which already
+            // terminated the stream; surface the panic to the caller.
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Iterator for TrialStream {
+    type Item = Result<TrialEvent, BackendError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.rx.recv() {
+            Ok(item) => Some(item),
+            Err(_) => {
+                self.join_workers();
+                None
+            }
+        }
+    }
+}
+
+impl Drop for TrialStream {
+    fn drop(&mut self) {
+        // Stop buffering for senders, then wait the workers out so an
+        // abandoned stream cannot leak threads into the next batch.
+        drop(std::mem::replace(&mut self.rx, mpsc::channel().1));
+        self.join_workers();
+    }
+}
+
+/// Splits `trials` into `workers` cycle-sorted strided shards.
+///
+/// Each shard ascends in injection cycle, so one forward simulation
+/// pass (checkpoint restore at the head, snapshot/flip/rewind at each
+/// point) covers it; striding balances the per-trial tail-replay cost
+/// across workers. Shards partition the input: every trial appears in
+/// exactly one.
+#[must_use]
+pub fn shard_trials(trials: &[Trial], workers: usize) -> Vec<Vec<Trial>> {
+    let mut by_cycle: Vec<usize> = (0..trials.len()).collect();
+    by_cycle.sort_by_key(|&i| (trials[i].cycle, trials[i].index));
+    let workers = workers.max(1);
+    let mut shards = vec![Vec::with_capacity(trials.len() / workers + 1); workers];
+    for (pos, &i) in by_cycle.iter().enumerate() {
+        shards[pos % workers].push(trials[i]);
+    }
+    shards
+}
+
+/// Classifies a single trial on `sim`, which must be positioned at or
+/// before the trial's injection cycle (and on the fault-free path).
+/// Returns with `sim` rewound to the injection point, ready for the
+/// next (equal-or-later-cycle) trial.
+///
+/// A trial whose injection cycle the fault-free prefix never reaches is
+/// classified [`Outcome::Unreached`] — an explicit invalid-sample
+/// verdict rather than the old `debug_assert!`, which in release builds
+/// silently injected at whatever earlier cycle the run ended on.
+pub fn classify_trial(sim: &mut InjectionSim<'_>, trial: &Trial, golden_digest: u64) -> Outcome {
+    if !sim.run_to_cycle(trial.cycle) {
+        return Outcome::Unreached;
+    }
+    // Dry-probe first: provably masked flips touch no machine state, so
+    // they need neither the snapshot nor the rewind — on masked-heavy
+    // programs that halves the deep-clone cost.
+    match sim.probe_bit(trial.target, trial.entry, trial.bit) {
+        FlipEffect::Masked(_) => Outcome::Masked,
+        FlipEffect::Armed => {
+            let snap = sim.snapshot();
+            let armed = sim.flip_bit(trial.target, trial.entry, trial.bit);
+            debug_assert_eq!(armed, FlipEffect::Armed, "probe and flip must agree");
+            let outcome = match sim.run_to_end() {
+                RunEnd::Trapped | RunEnd::Timeout => Outcome::Due,
+                RunEnd::Completed => {
+                    if sim.memory_digest() == golden_digest {
+                        Outcome::Masked
+                    } else {
+                        Outcome::Sdc
+                    }
+                }
+            };
+            sim.restore(&snap);
+            outcome
+        }
+    }
+}
+
+/// The decoded, shareable execution state of one local campaign.
+struct LocalJob {
+    machine: MachineConfig,
+    program: Program,
+    checkpoints: DecodedCheckpoints,
+    instr_budget: u64,
+    cycle_budget: u64,
+    golden_digest: u64,
+}
+
+impl LocalJob {
+    /// Executes one cycle-sorted shard on a single forward pass,
+    /// emitting an event per trial.
+    fn run_shard(&self, shard: &[Trial], tx: &mpsc::Sender<Result<TrialEvent, BackendError>>) {
+        let mut sim: Option<InjectionSim<'_>> = None;
+        for trial in shard {
+            // Lazy init: restore the nearest checkpoint below the
+            // shard's first (lowest) injection cycle instead of
+            // simulating the prefix from cycle 0.
+            let sim = sim.get_or_insert_with(|| {
+                let mut s = InjectionSim::new(&self.machine, &self.program, self.instr_budget);
+                s.set_cycle_budget(self.cycle_budget);
+                let (_, snap) = self
+                    .checkpoints
+                    .nearest(trial.cycle)
+                    .expect("store always holds the cycle-0 checkpoint");
+                s.restore(snap);
+                s
+            });
+            let outcome = classify_trial(sim, trial, self.golden_digest);
+            let event = TrialEvent {
+                index: trial.index,
+                target: trial.target,
+                outcome,
+            };
+            if tx.send(Ok(event)).is_err() {
+                return; // the stream was dropped; no one is listening
+            }
+        }
+    }
+}
+
+/// The in-process thread-pool backend: the execution engine
+/// [`Campaign::run`](crate::Campaign::run) always had, refit behind the
+/// backend API.
+pub struct LocalBackend {
+    workers: usize,
+}
+
+impl LocalBackend {
+    /// A local backend with `threads` workers (0 = all available
+    /// cores).
+    #[must_use]
+    pub fn new(threads: usize) -> LocalBackend {
+        let workers = if threads > 0 {
+            threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        LocalBackend { workers }
+    }
+}
+
+impl CampaignBackend for LocalBackend {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn open(&self, spec: JobSpec) -> Result<Box<dyn CampaignSession>, BackendError> {
+        // Decode each checkpoint once per campaign; workers restore by
+        // deep clone instead of re-parsing blobs per batch.
+        let checkpoints = spec.store.decode_all(&spec.machine, &spec.program)?;
+        Ok(Box::new(LocalSession {
+            job: Arc::new(LocalJob {
+                machine: spec.machine,
+                program: spec.program,
+                checkpoints,
+                instr_budget: spec.instr_budget,
+                cycle_budget: spec.cycle_budget,
+                golden_digest: spec.golden_digest,
+            }),
+            workers: self.workers,
+        }))
+    }
+}
+
+struct LocalSession {
+    job: Arc<LocalJob>,
+    workers: usize,
+}
+
+impl CampaignSession for LocalSession {
+    fn submit(&mut self, trials: &[Trial]) -> Result<TrialStream, BackendError> {
+        let (tx, rx) = mpsc::channel();
+        let handles = shard_trials(trials, self.workers)
+            .into_iter()
+            .filter(|shard| !shard.is_empty())
+            .map(|shard| {
+                let job = Arc::clone(&self.job);
+                let tx = tx.clone();
+                std::thread::spawn(move || job.run_shard(&shard, &tx))
+            })
+            .collect();
+        // Drop the prototype sender so the stream terminates when the
+        // last worker finishes.
+        drop(tx);
+        Ok(TrialStream::new(rx, handles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(index: u64, cycle: u64) -> Trial {
+        Trial {
+            index,
+            target: InjectionTarget::ALL[(index % 8) as usize],
+            cycle,
+            entry: index * 3,
+            bit: (index % 60) as u32,
+        }
+    }
+
+    #[test]
+    fn trial_batch_round_trips() {
+        let trials: Vec<Trial> = (0..17).map(|i| trial(i, 1000 - i * 7)).collect();
+        let bytes = encode_trial_batch(&trials);
+        assert_eq!(decode_trial_batch(&bytes).unwrap(), trials);
+        assert!(decode_trial_batch(&bytes[..bytes.len() - 1]).is_err());
+        assert!(matches!(
+            decode_trial_batch(&[0u8; 32]),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn trial_event_round_trips() {
+        for (i, outcome) in [
+            Outcome::Masked,
+            Outcome::Sdc,
+            Outcome::Due,
+            Outcome::Unreached,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let ev = TrialEvent {
+                index: i as u64 * 1000,
+                target: InjectionTarget::ALL[i * 2],
+                outcome,
+            };
+            assert_eq!(TrialEvent::from_wire(&ev.to_wire()).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn shards_partition_and_sort_by_cycle() {
+        let trials: Vec<Trial> = (0..101).map(|i| trial(i, (i * 37) % 500)).collect();
+        let shards = shard_trials(&trials, 4);
+        assert_eq!(shards.len(), 4);
+        let mut seen: Vec<u64> = shards.iter().flatten().map(|t| t.index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..101).collect::<Vec<_>>());
+        for shard in &shards {
+            assert!(shard.windows(2).all(|p| p[0].cycle <= p[1].cycle));
+        }
+        // Zero workers degrades to one shard rather than panicking.
+        assert_eq!(shard_trials(&trials, 0).len(), 1);
+    }
+}

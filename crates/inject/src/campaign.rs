@@ -1,38 +1,31 @@
-//! The parallel campaign driver (engine v2).
+//! The campaign driver (engine v3): planning and aggregation only.
 //!
-//! Two additions over the v1 fixed-plan engine:
-//!
-//! * **Checkpointed forks** — the golden pass serializes periodic
-//!   [`CheckpointStore`] snapshots; every trial worker restores the
-//!   nearest checkpoint at-or-before its first injection cycle instead
-//!   of re-simulating the fault-free prefix, so per-batch setup is
-//!   `O(checkpoint interval)` rather than `O(injection cycle)`.
-//! * **Adaptive sequential sampling** — with a `ci_target`, trials are
-//!   planned in batches; between batches new trials go to the
-//!   structures with the widest 95% Wilson intervals
-//!   ([`crate::adaptive`]), and the campaign stops as soon as every
-//!   target's half-width is at or below the target (or the trial cap is
-//!   hit). Every batch is derived purely from `(seed, batch index)`, so
-//!   results stay independent of thread count.
+//! Engine v2 added checkpointed forks and adaptive sequential sampling;
+//! v3 splits the *driver* (golden run, batch planning, CI-driven
+//! allocation, aggregation) from the *execution venue*. All trial
+//! execution goes through the [`CampaignBackend`] protocol: the driver
+//! opens a session with a [`JobSpec`] (program + machine + serialized
+//! checkpoints + budgets), submits trial batches, and folds the
+//! [`TrialEvent`] stream into outcome counts. [`LocalBackend`] gives
+//! the classic in-process thread pool; `avf-service`'s `RemoteBackend`
+//! fans the same batches out over TCP — with a fixed seed both produce
+//! identical reports, because every sample is a pure function of
+//! `(seed, batch, index)` and outcome counts merge commutatively.
 //!
 //! The ACE reference simulation has no data dependence on the injection
-//! sweep, so it runs concurrently with the trial workers inside the
-//! same thread scope (on a single hardware thread the two simply
-//! serialize).
+//! sweep, so it runs concurrently with the batch loop inside the same
+//! thread scope (on a single hardware thread the two simply serialize).
 
 use std::time::Instant;
 
 use avf_isa::Program;
-use avf_sim::{
-    golden_run_checkpointed, simulate, DecodedCheckpoints, FlipEffect, InjectionSim,
-    InjectionTarget, MachineConfig, RunEnd,
-};
+use avf_sim::{golden_run_checkpointed, simulate, MachineConfig};
 
 use crate::adaptive::allocate_batch;
-use crate::plan::{SamplingPlan, Trial};
+use crate::backend::{BackendError, CampaignBackend, JobSpec, LocalBackend};
+use crate::plan::SamplingPlan;
 use crate::report::{ace_avf_of, BatchProgress, CampaignReport, StopReason, TargetReport};
 use crate::stats::OutcomeCounts;
-use crate::Outcome;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -44,12 +37,14 @@ pub struct CampaignConfig {
     pub injections: u64,
     /// Seed deriving the whole sampling plan.
     pub seed: u64,
-    /// Worker threads (0 = all available cores).
+    /// Worker threads of the default [`LocalBackend`] (0 = all
+    /// available cores). A backend passed to [`Campaign::run_on`]
+    /// brings its own parallelism and ignores this.
     pub threads: usize,
     /// Committed-instruction budget for the golden run and every trial.
     pub instr_budget: u64,
     /// Structures to inject into.
-    pub targets: Vec<InjectionTarget>,
+    pub targets: Vec<avf_sim::InjectionTarget>,
     /// Adaptive mode: stop once every target's 95% CI half-width is at
     /// or below this value. `None` runs the fixed plan.
     pub ci_target: Option<f64>,
@@ -68,7 +63,7 @@ impl Default for CampaignConfig {
             seed: 42,
             threads: 0,
             instr_budget: 30_000,
-            targets: InjectionTarget::ALL.to_vec(),
+            targets: avf_sim::InjectionTarget::ALL.to_vec(),
             ci_target: None,
             batch_size: 128,
             checkpoint_interval: 0,
@@ -77,16 +72,6 @@ impl Default for CampaignConfig {
 }
 
 impl CampaignConfig {
-    fn worker_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
-    }
-
     fn effective_checkpoint_interval(&self) -> u64 {
         if self.checkpoint_interval > 0 {
             self.checkpoint_interval
@@ -118,14 +103,31 @@ impl<'a> Campaign<'a> {
         }
     }
 
-    /// Runs the campaign: checkpointed golden run, then batched
-    /// injection sweeps overlapped with the ACE reference measurement.
+    /// Runs the campaign on the in-process [`LocalBackend`]
+    /// ([`CampaignConfig::threads`] workers).
     ///
     /// Results are deterministic in `(seed, injections, instr_budget,
-    /// ci_target, batch_size)` — the thread count only changes
-    /// wall-clock time.
+    /// ci_target, batch_size)` — the thread count (and execution venue,
+    /// see [`Campaign::run_on`]) only changes wall-clock time.
     #[must_use]
     pub fn run(&self) -> CampaignReport {
+        self.run_on(&LocalBackend::new(self.config.threads))
+            .expect("the local backend is infallible on a store it just captured")
+    }
+
+    /// Runs the campaign on an arbitrary execution backend: checkpointed
+    /// golden run, then batched trial submission overlapped with the
+    /// ACE reference measurement.
+    ///
+    /// With a fixed seed the report is identical across backends — the
+    /// sampling plan is derived purely from `(seed, batch, index)` and
+    /// event aggregation is order-independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if the backend cannot execute the
+    /// campaign (unreachable workers, protocol violation, codec skew).
+    pub fn run_on(&self, backend: &dyn CampaignBackend) -> Result<CampaignReport, BackendError> {
         let start = Instant::now();
         let (golden, store) = golden_run_checkpointed(
             self.machine,
@@ -133,16 +135,18 @@ impl<'a> Campaign<'a> {
             self.config.instr_budget,
             self.config.effective_checkpoint_interval(),
         );
+        let checkpoints = store.len();
         // Hang watchdog: a faulty run materially slower than the golden
         // run counts as a detected (timeout) error.
         let cycle_budget = golden.cycles.saturating_mul(4).saturating_add(50_000);
-        let workers = self.config.worker_count().max(1);
-        // Decode each checkpoint once up front; workers restore by deep
-        // clone (the v1 fork cost) instead of re-parsing blobs per batch.
-        let decoded = store
-            .decode_all(self.machine, self.program)
-            .expect("a freshly captured checkpoint store decodes on its own machine/program");
-        let decoded = &decoded;
+        let mut session = backend.open(JobSpec {
+            machine: self.machine.clone(),
+            program: self.program.clone(),
+            store,
+            instr_budget: self.config.instr_budget,
+            cycle_budget,
+            golden_digest: golden.digest,
+        })?;
 
         let mut counts = vec![OutcomeCounts::default(); self.config.targets.len()];
         let mut batches: Vec<BatchProgress> = Vec::new();
@@ -150,7 +154,7 @@ impl<'a> Campaign<'a> {
         let mut stop = StopReason::FixedPlan;
 
         // The ACE reference has no dependence on the sweep: overlap it
-        // with the injection workers instead of running it afterwards.
+        // with the trial batches instead of running it afterwards.
         let ace = std::thread::scope(|outer| {
             let ace_handle =
                 outer.spawn(|| simulate(self.machine, self.program, self.config.instr_budget));
@@ -205,26 +209,31 @@ impl<'a> Campaign<'a> {
                     break;
                 }
 
-                let tallies = run_plan(
-                    self.machine,
-                    self.program,
-                    self.config.instr_budget,
-                    cycle_budget,
-                    golden.digest,
-                    decoded,
-                    &plan,
-                    workers,
-                );
-                for tally in tallies {
-                    for (target, c) in tally {
-                        let slot = self
-                            .config
-                            .targets
-                            .iter()
-                            .position(|&t| t == target)
-                            .expect("worker reported an unplanned target");
-                        counts[slot].merge(c);
-                    }
+                let mut received = 0u64;
+                for event in session.submit(plan.trials())? {
+                    let event = event?;
+                    let slot = self
+                        .config
+                        .targets
+                        .iter()
+                        .position(|&t| t == event.target)
+                        .ok_or_else(|| {
+                            BackendError::Protocol(format!(
+                                "event for unplanned target {}",
+                                event.target
+                            ))
+                        })?;
+                    counts[slot].record(event.outcome);
+                    received += 1;
+                }
+                if received != plan.len() as u64 {
+                    // A lossy backend would silently skew the estimate;
+                    // fail loudly instead.
+                    return Err(BackendError::Protocol(format!(
+                        "batch planned {} trials but {} events arrived",
+                        plan.len(),
+                        received
+                    )));
                 }
                 executed += plan.len() as u64;
 
@@ -243,8 +252,8 @@ impl<'a> Campaign<'a> {
                 });
             }
 
-            ace_handle.join().expect("ACE reference thread panicked")
-        });
+            Ok::<_, BackendError>(ace_handle.join().expect("ACE reference thread panicked"))
+        })?;
 
         let targets = self
             .config
@@ -258,133 +267,18 @@ impl<'a> Campaign<'a> {
             })
             .collect();
 
-        CampaignReport {
+        Ok(CampaignReport {
             program: self.program.name().to_owned(),
             injections: executed,
             seed: self.config.seed,
-            workers,
+            workers: backend.workers(),
             golden,
             targets,
             ci_target: self.config.ci_target,
             stop,
             batches,
-            checkpoints: store.len(),
+            checkpoints,
             wall: start.elapsed(),
-        }
-    }
-}
-
-/// Runs one plan (a fixed campaign or one adaptive batch) sharded
-/// across `workers` threads, returning each worker's tally.
-#[allow(clippy::too_many_arguments)]
-fn run_plan(
-    machine: &MachineConfig,
-    program: &Program,
-    instr_budget: u64,
-    cycle_budget: u64,
-    golden_digest: u64,
-    checkpoints: &DecodedCheckpoints,
-    plan: &SamplingPlan,
-    workers: usize,
-) -> Vec<Vec<(InjectionTarget, OutcomeCounts)>> {
-    let mut tallies = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    run_shard(
-                        machine,
-                        program,
-                        instr_budget,
-                        cycle_budget,
-                        golden_digest,
-                        checkpoints,
-                        plan.shard(w, workers),
-                    )
-                })
-            })
-            .collect();
-        for h in handles {
-            tallies.push(h.join().expect("campaign worker panicked"));
-        }
-    });
-    tallies
-}
-
-/// Executes one worker's cycle-sorted shard on a single forward pass:
-/// restore the nearest golden checkpoint, advance to each injection
-/// cycle, snapshot, flip, run the faulty future out, classify, rewind.
-fn run_shard<'t>(
-    machine: &MachineConfig,
-    program: &Program,
-    instr_budget: u64,
-    cycle_budget: u64,
-    golden_digest: u64,
-    checkpoints: &DecodedCheckpoints,
-    shard: impl Iterator<Item = &'t Trial>,
-) -> Vec<(InjectionTarget, OutcomeCounts)> {
-    let mut tally: Vec<(InjectionTarget, OutcomeCounts)> = Vec::new();
-    let mut sim: Option<InjectionSim<'_>> = None;
-    for trial in shard {
-        // Lazy init: restore the nearest checkpoint below the shard's
-        // first (lowest) injection cycle instead of simulating the
-        // prefix from cycle 0.
-        let sim = sim.get_or_insert_with(|| {
-            let mut s = InjectionSim::new(machine, program, instr_budget);
-            s.set_cycle_budget(cycle_budget);
-            let (_, snap) = checkpoints
-                .nearest(trial.cycle)
-                .expect("store always holds the cycle-0 checkpoint");
-            s.restore(snap);
-            s
-        });
-        let outcome = classify_trial(sim, trial, golden_digest);
-        match tally.iter_mut().find(|(t, _)| *t == trial.target) {
-            Some((_, c)) => c.record(outcome),
-            None => {
-                let mut c = OutcomeCounts::default();
-                c.record(outcome);
-                tally.push((trial.target, c));
-            }
-        }
-    }
-    tally
-}
-
-/// Classifies a single trial on `sim`, which must be positioned at or
-/// before the trial's injection cycle (and on the fault-free path).
-/// Returns with `sim` rewound to the injection point, ready for the
-/// next (equal-or-later-cycle) trial.
-///
-/// A trial whose injection cycle the fault-free prefix never reaches is
-/// classified [`Outcome::Unreached`] — an explicit invalid-sample
-/// verdict rather than the old `debug_assert!`, which in release builds
-/// silently injected at whatever earlier cycle the run ended on.
-pub fn classify_trial(sim: &mut InjectionSim<'_>, trial: &Trial, golden_digest: u64) -> Outcome {
-    if !sim.run_to_cycle(trial.cycle) {
-        return Outcome::Unreached;
-    }
-    // Dry-probe first: provably masked flips touch no machine state, so
-    // they need neither the snapshot nor the rewind — on masked-heavy
-    // programs that halves the deep-clone cost.
-    match sim.probe_bit(trial.target, trial.entry, trial.bit) {
-        FlipEffect::Masked(_) => Outcome::Masked,
-        FlipEffect::Armed => {
-            let snap = sim.snapshot();
-            let armed = sim.flip_bit(trial.target, trial.entry, trial.bit);
-            debug_assert_eq!(armed, FlipEffect::Armed, "probe and flip must agree");
-            let outcome = match sim.run_to_end() {
-                RunEnd::Trapped | RunEnd::Timeout => Outcome::Due,
-                RunEnd::Completed => {
-                    if sim.memory_digest() == golden_digest {
-                        Outcome::Masked
-                    } else {
-                        Outcome::Sdc
-                    }
-                }
-            };
-            sim.restore(&snap);
-            outcome
-        }
+        })
     }
 }

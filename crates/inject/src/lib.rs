@@ -24,17 +24,24 @@
 //!   (every trial's sample is a pure function of `(seed, batch, trial
 //!   index)` through a SplitMix64 finalizer, so campaign results are
 //!   identical for any thread count and nearby seeds are uncorrelated);
-//! * [`Campaign`] — the parallel driver: the golden pass serializes
-//!   periodic checkpoints ([`avf_sim::CheckpointStore`]); trials are
-//!   strided across worker threads in cycle-sorted borrowed views, each
-//!   worker restores the nearest checkpoint
-//!   ([`avf_sim::InjectionSim::restore_nearest`]) and then forks with
+//! * [`Campaign`] — the driver: the golden pass serializes periodic
+//!   checkpoints ([`avf_sim::CheckpointStore`]), then batches of trials
+//!   are submitted through the [`CampaignBackend`] protocol while the
+//!   ACE reference simulation runs concurrently. With
+//!   [`CampaignConfig::ci_target`] set, trials are planned in batches
+//!   allocated to the structures with the widest Wilson intervals,
+//!   stopping as soon as every target reaches the precision target
+//!   (sequential sampling);
+//! * [`CampaignBackend`] / [`CampaignSession`] — the execution seam: a
+//!   backend binds a [`JobSpec`] (program, machine, checkpoint store,
+//!   budgets — all wire-encodable) and streams per-trial
+//!   [`TrialEvent`]s back as they complete. [`LocalBackend`] is the
+//!   in-process thread pool (cycle-sorted strided shards, each worker
+//!   restoring the nearest checkpoint and forking with
 //!   [`avf_sim::InjectionSim::snapshot`]/`restore` at each injection
-//!   point; the ACE reference simulation runs concurrently with the
-//!   sweep. With [`CampaignConfig::ci_target`] set, trials are planned
-//!   in batches allocated to the structures with the widest Wilson
-//!   intervals, stopping as soon as every target reaches the precision
-//!   target (sequential sampling);
+//!   point); `avf-service` adds a TCP `RemoteBackend` plus the matching
+//!   long-running server, and a fixed seed yields identical reports on
+//!   either;
 //! * [`CampaignReport`] — per-structure outcome counts, measured AVF
 //!   with 95% Wilson confidence intervals, per-batch convergence
 //!   progress with the early-exit reason ([`StopReason`]), and the ACE
@@ -57,12 +64,17 @@
 #![warn(missing_docs)]
 
 mod adaptive;
+mod backend;
 mod campaign;
 mod plan;
 mod report;
 mod stats;
 
-pub use campaign::{classify_trial, Campaign, CampaignConfig};
+pub use backend::{
+    classify_trial, decode_trial_batch, encode_trial_batch, shard_trials, BackendError,
+    CampaignBackend, CampaignSession, JobSpec, LocalBackend, TrialEvent, TrialStream,
+};
+pub use campaign::{Campaign, CampaignConfig};
 pub use plan::{SamplingPlan, Trial};
 pub use report::{BatchProgress, CampaignReport, StopReason, TargetReport, Verdict};
 pub use stats::{wilson_interval, OutcomeCounts};
@@ -89,4 +101,29 @@ pub enum Outcome {
     /// the report and excluded from the AVF estimate (a healthy
     /// plan/golden pair never produces these).
     Unreached,
+}
+
+impl Outcome {
+    /// Stable single-byte code used by the trial-event wire codec.
+    #[must_use]
+    pub fn wire_code(self) -> u8 {
+        match self {
+            Outcome::Masked => 0,
+            Outcome::Sdc => 1,
+            Outcome::Due => 2,
+            Outcome::Unreached => 3,
+        }
+    }
+
+    /// Inverse of [`Outcome::wire_code`].
+    #[must_use]
+    pub fn from_wire_code(code: u8) -> Option<Outcome> {
+        match code {
+            0 => Some(Outcome::Masked),
+            1 => Some(Outcome::Sdc),
+            2 => Some(Outcome::Due),
+            3 => Some(Outcome::Unreached),
+            _ => None,
+        }
+    }
 }

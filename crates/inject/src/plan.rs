@@ -15,6 +15,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use avf_isa::wire::{WireError, WireReader, WireWriter};
 use avf_sim::{InjectionTarget, MachineConfig};
 
 /// One planned injection.
@@ -30,6 +31,40 @@ pub struct Trial {
     pub entry: u64,
     /// Bit index within the entry.
     pub bit: u32,
+}
+
+impl Trial {
+    /// Bytes one trial occupies on the wire (all fields fixed-width).
+    pub const WIRE_BYTES: usize = 8 + 1 + 8 + 8 + 4;
+
+    /// Serializes the trial into a wire writer.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.index);
+        w.u8(self.target.wire_code());
+        w.u64(self.cycle);
+        w.u64(self.entry);
+        w.u32(self.bit);
+    }
+
+    /// Decodes a trial written by [`Trial::encode`]. Geometry bounds
+    /// (`entry`, `bit`) are validated by the executing simulator, which
+    /// holds the machine configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or an unknown target code.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Trial, WireError> {
+        let index = r.u64()?;
+        let code = r.u8()?;
+        let target = InjectionTarget::from_wire_code(code).ok_or(WireError::BadTag(code))?;
+        Ok(Trial {
+            index,
+            target,
+            cycle: r.u64()?,
+            entry: r.u64()?,
+            bit: r.u32()?,
+        })
+    }
 }
 
 /// SplitMix64 finalizer: a full-avalanche bijection, so consecutive
@@ -64,14 +99,14 @@ fn trial_rng(seed: u64, batch: u64, index: u64) -> SmallRng {
 }
 
 /// One batch's worth of trials, derived purely from the seed.
+///
+/// Execution-order concerns (cycle-sorting, striding across workers)
+/// belong to the backend that runs the plan —
+/// [`crate::backend::shard_trials`] — not to the plan itself.
 #[derive(Debug, Clone)]
 pub struct SamplingPlan {
     /// Trials in plan (global index) order.
     trials: Vec<Trial>,
-    /// Indices into `trials` sorted by `(cycle, index)` — computed once
-    /// at construction so sharding hands out borrowed strided views
-    /// instead of cloning and re-sorting per worker.
-    by_cycle: Vec<u32>,
 }
 
 impl SamplingPlan {
@@ -152,9 +187,7 @@ impl SamplingPlan {
             u32::try_from(trials.len()).is_ok(),
             "a single plan is capped at u32::MAX trials"
         );
-        let mut by_cycle: Vec<u32> = (0..trials.len() as u32).collect();
-        by_cycle.sort_by_key(|&i| (trials[i as usize].cycle, trials[i as usize].index));
-        SamplingPlan { trials, by_cycle }
+        SamplingPlan { trials }
     }
 
     /// All trials in plan order.
@@ -174,23 +207,6 @@ impl SamplingPlan {
     pub fn is_empty(&self) -> bool {
         self.trials.is_empty()
     }
-
-    /// The trials assigned to worker `worker` of `workers`, in
-    /// ascending injection-cycle order so one forward simulation pass
-    /// (with a checkpoint restore at the batch head and snapshot/fork at
-    /// each point) covers them all.
-    ///
-    /// A borrowed strided view over the plan's single cycle-sorted
-    /// order: handing out shards is `O(shard length)`, not the old
-    /// `O(N log N)` clone-and-sort per worker, and striding balances the
-    /// per-trial tail-replay cost across workers.
-    pub fn shard(&self, worker: usize, workers: usize) -> impl Iterator<Item = &Trial> + '_ {
-        self.by_cycle
-            .iter()
-            .skip(worker)
-            .step_by(workers.max(1))
-            .map(|&i| &self.trials[i as usize])
-    }
 }
 
 #[cfg(test)]
@@ -208,25 +224,6 @@ mod tests {
             assert!((1..10_000).contains(&t.cycle));
             assert!(t.entry < t.target.entries(&machine));
             assert!(t.bit < t.target.entry_bits(&sizes));
-        }
-    }
-
-    #[test]
-    fn shards_partition_the_plan() {
-        let machine = MachineConfig::baseline();
-        let plan = SamplingPlan::new(&machine, &InjectionTarget::ALL, 101, 5_000, 3);
-        let mut seen: Vec<u64> = (0..4)
-            .flat_map(|w| plan.shard(w, 4))
-            .map(|t| t.index)
-            .collect();
-        seen.sort_unstable();
-        assert_eq!(seen, (0..101).collect::<Vec<_>>());
-        for w in 0..4 {
-            let shard: Vec<&Trial> = plan.shard(w, 4).collect();
-            assert!(
-                shard.windows(2).all(|p| p[0].cycle <= p[1].cycle),
-                "shards cycle-sorted"
-            );
         }
     }
 

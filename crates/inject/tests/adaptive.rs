@@ -5,35 +5,9 @@
 use avf_inject::{
     classify_trial, golden_run_checkpointed, Campaign, CampaignConfig, SamplingPlan, StopReason,
 };
-use avf_isa::{Opcode, Program, ProgramBuilder, Reg, DATA_BASE};
 use avf_sim::{golden_run, InjectionSim, InjectionTarget, MachineConfig};
 
-/// The mixed-liveness kernel of the campaign tests: live accumulator
-/// chain plus stores, so structures converge at very different rates.
-fn register_chain() -> Program {
-    let acc = Reg::of(1);
-    let counter = Reg::of(2);
-    let base = Reg::of(3);
-    let mut b = ProgramBuilder::new("register-chain");
-    b.addi(counter, Reg::ZERO, 200);
-    b.load_addr(base, DATA_BASE);
-    b.addi(acc, Reg::ZERO, 1);
-    for k in 8..24u8 {
-        b.addi(Reg::of(k), Reg::ZERO, i16::from(k));
-    }
-    let top = b.here();
-    for k in 8..24u8 {
-        b.alu_rr(Opcode::Xor, acc, acc, Reg::of(k));
-    }
-    for k in 8..24u8 {
-        b.alu_ri(Opcode::Add, Reg::of(k), Reg::of(k), i16::from(k));
-    }
-    b.stq(acc, base, 0);
-    b.subi(counter, counter, 1);
-    b.bne(counter, top);
-    b.halt();
-    b.build().expect("valid program")
-}
+use avf_workloads::testkit::register_chain;
 
 fn adaptive_config(ci_target: f64, cap: u64, threads: usize) -> CampaignConfig {
     CampaignConfig {

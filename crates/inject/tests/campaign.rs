@@ -2,59 +2,10 @@
 //! and measured-vs-ACE consistency.
 
 use avf_inject::{Campaign, CampaignConfig, InjectionTarget, Verdict};
-use avf_isa::{Opcode, Program, ProgramBuilder, Reg, DATA_BASE};
+use avf_isa::Program;
 use avf_sim::MachineConfig;
 
-/// A deliberately un-ACE kernel: every iteration computes values into
-/// registers that the next iteration unconditionally overwrites, and
-/// nothing is ever stored. The only live state is the loop counter and
-/// the (constant) operand registers, so almost every flip must be
-/// masked.
-fn idle_loop() -> Program {
-    let counter = Reg::of(1);
-    let mut b = ProgramBuilder::new("idle-loop");
-    b.addi(counter, Reg::ZERO, 400);
-    let top = b.here();
-    for dead in 8..16u8 {
-        b.addi(Reg::of(dead), Reg::ZERO, i16::from(dead));
-    }
-    b.subi(counter, counter, 1);
-    b.bne(counter, top);
-    b.halt();
-    b.build().expect("valid program")
-}
-
-/// A register-chain kernel at the opposite extreme: sixteen registers
-/// stay architecturally live across the whole loop — every iteration
-/// folds each of them into a stored accumulator and then updates them
-/// in place — so a flip in any of those registers reaches program
-/// output on the next traversal. This is the paper's long
-/// dependency-distance pattern, the shape that maximizes register-file
-/// AVF.
-fn register_chain() -> Program {
-    let acc = Reg::of(1);
-    let counter = Reg::of(2);
-    let base = Reg::of(3);
-    let mut b = ProgramBuilder::new("register-chain");
-    b.addi(counter, Reg::ZERO, 200);
-    b.load_addr(base, DATA_BASE);
-    b.addi(acc, Reg::ZERO, 1);
-    for k in 8..24u8 {
-        b.addi(Reg::of(k), Reg::ZERO, i16::from(k));
-    }
-    let top = b.here();
-    for k in 8..24u8 {
-        b.alu_rr(Opcode::Xor, acc, acc, Reg::of(k));
-    }
-    for k in 8..24u8 {
-        b.alu_ri(Opcode::Add, Reg::of(k), Reg::of(k), i16::from(k));
-    }
-    b.stq(acc, base, 0);
-    b.subi(counter, counter, 1);
-    b.bne(counter, top);
-    b.halt();
-    b.build().expect("valid program")
-}
+use avf_workloads::testkit::{idle_loop, register_chain};
 
 fn campaign(
     program: &Program,

@@ -103,6 +103,47 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Every opcode, in wire-code order. The position of an opcode in
+    /// this table IS its wire code, so new opcodes must be appended.
+    pub const ALL: [Opcode; 21] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Cmplt,
+        Opcode::Cmpeq,
+        Opcode::Mul,
+        Opcode::Ldq,
+        Opcode::Ldl,
+        Opcode::Stq,
+        Opcode::Stl,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Br,
+        Opcode::Nop,
+        Opcode::Halt,
+    ];
+
+    /// Stable single-byte code used by the wire program codec.
+    #[must_use]
+    pub fn wire_code(self) -> u8 {
+        Opcode::ALL
+            .iter()
+            .position(|&op| op == self)
+            .expect("every opcode is in ALL") as u8
+    }
+
+    /// Inverse of [`Opcode::wire_code`].
+    #[must_use]
+    pub fn from_wire_code(code: u8) -> Option<Opcode> {
+        Opcode::ALL.get(usize::from(code)).copied()
+    }
+
     /// The functional class this opcode belongs to.
     #[must_use]
     pub fn class(self) -> OpClass {

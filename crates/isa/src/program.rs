@@ -1,6 +1,9 @@
 use crate::error::IsaError;
-use crate::inst::Inst;
+use crate::inst::{Inst, Operand};
 use crate::memory::Memory;
+use crate::opcode::Opcode;
+use crate::reg::Reg;
+use crate::wire::{WireError, WireReader, WireWriter};
 use crate::DATA_BASE;
 
 /// Initialized data carried with a program.
@@ -147,6 +150,78 @@ impl Program {
     pub fn is_empty(&self) -> bool {
         self.insts.is_empty()
     }
+
+    /// Serializes the whole program (name, text, data, entry) into a
+    /// wire writer. Programs cross process boundaries as part of a
+    /// campaign job specification, so the encoding is self-contained:
+    /// the decoder needs nothing but the bytes.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.str(&self.name);
+        w.usize(self.insts.len());
+        for inst in &self.insts {
+            w.u8(inst.op.wire_code());
+            w.u8(inst.dest.number());
+            w.u8(inst.src1.number());
+            match inst.src2 {
+                Operand::Reg(r) => {
+                    w.u8(0);
+                    w.u8(r.number());
+                }
+                Operand::Imm(v) => {
+                    w.u8(1);
+                    w.i16(v);
+                }
+            }
+            w.i32(inst.disp);
+            w.u32(inst.target);
+        }
+        w.u64(self.data.base);
+        w.usize(self.data.bytes.len());
+        w.bytes(&self.data.bytes);
+        w.u32(self.entry);
+    }
+
+    /// Decodes a program written by [`Program::encode`], re-running the
+    /// [`Program::new`] validation (branch targets, entry point) so a
+    /// corrupted blob cannot smuggle an invalid program into a worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation, unknown opcodes or
+    /// registers, or a program that fails structural validation.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Program, WireError> {
+        let name = r.str()?;
+        // An instruction occupies at least 12 bytes on the wire.
+        let n_insts = r.seq_len(12)?;
+        let reg =
+            |n: u8| Reg::new(n).map_err(|_| WireError::Invalid("register number out of range"));
+        let mut insts = Vec::with_capacity(n_insts);
+        for _ in 0..n_insts {
+            let code = r.u8()?;
+            let op = Opcode::from_wire_code(code).ok_or(WireError::BadTag(code))?;
+            let dest = reg(r.u8()?)?;
+            let src1 = reg(r.u8()?)?;
+            let src2 = match r.u8()? {
+                0 => Operand::Reg(reg(r.u8()?)?),
+                1 => Operand::Imm(r.i16()?),
+                t => return Err(WireError::BadTag(t)),
+            };
+            insts.push(Inst {
+                op,
+                dest,
+                src1,
+                src2,
+                disp: r.i32()?,
+                target: r.u32()?,
+            });
+        }
+        let base = r.u64()?;
+        let n_data = r.seq_len(1)?;
+        let bytes = r.bytes(n_data)?.to_vec();
+        let entry = r.u32()?;
+        Program::new(name, insts, DataSegment { base, bytes }, entry)
+            .map_err(|_| WireError::Invalid("program failed structural validation"))
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +251,67 @@ mod tests {
             Program::new("p", insts, DataSegment::default(), 5),
             Err(IsaError::PcOutOfRange(5))
         ));
+    }
+
+    #[test]
+    fn wire_codec_round_trips() {
+        let mut data = DataSegment::zeroed(24);
+        data.put_u64(16, 0xABCD);
+        let insts = vec![
+            Inst::alu(Opcode::Add, Reg::of(1), Reg::of(2), Operand::Imm(-7)),
+            Inst::alu(
+                Opcode::Xor,
+                Reg::of(3),
+                Reg::of(1),
+                Operand::Reg(Reg::of(2)),
+            ),
+            Inst::load(Opcode::Ldq, Reg::of(4), Reg::of(3), 16),
+            Inst::store(Opcode::Stl, Reg::of(4), Reg::of(3), -8),
+            Inst::branch(Opcode::Bne, Reg::of(1), 0),
+            Inst::halt(),
+        ];
+        let p = Program::new("codec-test", insts, data, 0).unwrap();
+        let mut w = WireWriter::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let q = Program::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(q.name(), p.name());
+        assert_eq!(q.insts(), p.insts());
+        assert_eq!(q.entry(), p.entry());
+        assert_eq!(q.data().base, p.data().base);
+        assert_eq!(q.data().bytes, p.data().bytes);
+    }
+
+    #[test]
+    fn wire_codec_rejects_corruption() {
+        let insts = vec![Inst::branch(Opcode::Bne, Reg::ZERO, 1), Inst::halt()];
+        let p = Program::new("p", insts, DataSegment::default(), 0).unwrap();
+        let mut w = WireWriter::new();
+        p.encode(&mut w);
+        let good = w.into_bytes();
+
+        // Truncation anywhere must error, never panic.
+        for cut in [0, 1, good.len() / 2, good.len() - 1] {
+            let mut r = WireReader::new(&good[..cut]);
+            assert!(Program::decode(&mut r).is_err(), "cut at {cut}");
+        }
+        // An unknown opcode byte is a typed tag error. The first inst's
+        // opcode sits after the name (8-byte len + "p") and the 8-byte
+        // instruction count.
+        const OP_OFF: usize = 8 + 1 + 8;
+        let mut bad = good.clone();
+        bad[OP_OFF] = 0xEE;
+        assert!(matches!(
+            Program::decode(&mut WireReader::new(&bad)),
+            Err(WireError::BadTag(0xEE))
+        ));
+        // Re-validation catches a branch retargeted out of the text:
+        // target is the last field of the 13-byte branch encoding.
+        let mut wild = good;
+        wild[OP_OFF + 9] = 0x7F;
+        assert!(Program::decode(&mut WireReader::new(&wild)).is_err());
     }
 
     #[test]

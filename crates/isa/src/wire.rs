@@ -14,14 +14,63 @@
 
 use std::fmt;
 
-/// Error decoding a wire blob: truncated input, a bad tag, or a value
-/// inconsistent with the decoder's machine configuration.
+/// Magic number opening every enveloped wire blob ("AVFW").
+///
+/// Once blobs cross a socket or land on disk, a stale or foreign payload
+/// must fail *identifiably* — a magic mismatch means "this is not ours at
+/// all", a version mismatch means "ours, but from an incompatible build"
+/// — rather than surfacing as a random [`WireError::BadTag`] deep inside
+/// the payload.
+pub const WIRE_MAGIC: [u8; 4] = *b"AVFW";
+
+/// Format version of every enveloped blob. Bump on any incompatible
+/// change to an enveloped payload's layout.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Registry of envelope kind bytes, so the payload kinds that cross
+/// process boundaries cannot collide.
+pub mod kind {
+    /// A serialized [`avf-sim`] pipeline snapshot (checkpoint blob).
+    pub const SNAPSHOT: u8 = 1;
+    /// A campaign job specification (program + machine + checkpoints).
+    pub const JOB_SETUP: u8 = 2;
+    /// One batch of planned injection trials.
+    pub const TRIAL_BATCH: u8 = 3;
+    /// One classified per-trial outcome event.
+    pub const TRIAL_EVENT: u8 = 4;
+    /// End-of-batch marker carrying the event count for the batch.
+    pub const BATCH_DONE: u8 = 5;
+    /// A fatal error reported by a campaign worker.
+    pub const SERVICE_ERROR: u8 = 6;
+}
+
+/// Error decoding a wire blob: truncated input, a bad tag, an envelope
+/// mismatch, or a value inconsistent with the decoder's machine
+/// configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// Input ended before the value was complete.
     Truncated,
     /// An enum/option tag byte had an unknown value.
     BadTag(u8),
+    /// The envelope does not start with [`WIRE_MAGIC`]: the payload is
+    /// not an AVF wire blob at all (garbage, or a foreign protocol).
+    BadMagic([u8; 4]),
+    /// The envelope carries a format version this build does not speak.
+    UnsupportedVersion {
+        /// Version byte found in the envelope.
+        found: u8,
+        /// The version this build encodes and decodes ([`WIRE_VERSION`]).
+        expected: u8,
+    },
+    /// The envelope's kind byte is not the kind the decoder expected
+    /// (e.g. a trial-batch frame where a job-setup frame belongs).
+    WrongKind {
+        /// Kind byte found in the envelope.
+        found: u8,
+        /// Kind the decoder required.
+        expected: u8,
+    },
     /// A decoded value is impossible for the decoding configuration
     /// (e.g. an entry index past the structure's geometry).
     Invalid(&'static str),
@@ -32,6 +81,19 @@ impl fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "wire input truncated"),
             WireError::BadTag(t) => write!(f, "unknown wire tag {t:#04x}"),
+            WireError::BadMagic(m) => write!(f, "bad wire magic {m:02x?} (not an AVF blob)"),
+            WireError::UnsupportedVersion { found, expected } => {
+                write!(
+                    f,
+                    "wire format version {found} (this build speaks {expected})"
+                )
+            }
+            WireError::WrongKind { found, expected } => {
+                write!(
+                    f,
+                    "wire envelope kind {found} where kind {expected} was expected"
+                )
+            }
             WireError::Invalid(what) => write!(f, "invalid wire value: {what}"),
         }
     }
@@ -70,6 +132,17 @@ impl WireWriter {
         self.buf.is_empty()
     }
 
+    /// Opens a self-describing envelope: [`WIRE_MAGIC`], the build's
+    /// [`WIRE_VERSION`], and the payload's `kind` byte (see [`kind`]).
+    /// Every blob that can cross a process or machine boundary starts
+    /// with one, so stale, truncated, or foreign payloads are rejected
+    /// with a typed error before any payload field is touched.
+    pub fn envelope(&mut self, kind: u8) {
+        self.buf.extend_from_slice(&WIRE_MAGIC);
+        self.buf.push(WIRE_VERSION);
+        self.buf.push(kind);
+    }
+
     /// Writes one byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -90,9 +163,20 @@ impl WireWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Writes a little-endian `i16`.
+    pub fn i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Writes a little-endian `i32`.
     pub fn i32(&mut self, v: i32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
     }
 
     /// Writes a `bool` as one byte.
@@ -163,6 +247,35 @@ impl<'a> WireReader<'a> {
         Ok(s)
     }
 
+    /// Validates an envelope written by [`WireWriter::envelope`] and
+    /// returns its kind byte. Checks run outermost-first, so the error
+    /// names the most fundamental mismatch: not-ours ([`WireError::BadMagic`]),
+    /// then incompatible build ([`WireError::UnsupportedVersion`]).
+    pub fn envelope(&mut self) -> Result<u8, WireError> {
+        let magic: [u8; 4] = self.take(4)?.try_into().expect("4");
+        if magic != WIRE_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = self.u8()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                found: version,
+                expected: WIRE_VERSION,
+            });
+        }
+        self.u8()
+    }
+
+    /// [`WireReader::envelope`] that additionally requires the kind
+    /// byte to be `expected`, failing with [`WireError::WrongKind`].
+    pub fn expect_envelope(&mut self, expected: u8) -> Result<(), WireError> {
+        let found = self.envelope()?;
+        if found != expected {
+            return Err(WireError::WrongKind { found, expected });
+        }
+        Ok(())
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
@@ -183,9 +296,21 @@ impl<'a> WireReader<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
+    /// Reads a little-endian `i16`.
+    pub fn i16(&mut self) -> Result<i16, WireError> {
+        Ok(i16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
     /// Reads a little-endian `i32`.
     pub fn i32(&mut self) -> Result<i32, WireError> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a string written by [`WireWriter::str`].
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.seq_len(1)?;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("string is not UTF-8"))
     }
 
     /// Reads a `bool` byte (0 or 1).
@@ -315,6 +440,73 @@ mod tests {
             WireReader::new(&bytes).seq_len(4),
             Err(WireError::Truncated)
         );
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let mut w = WireWriter::new();
+        w.envelope(kind::TRIAL_EVENT);
+        w.u32(7);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.envelope().unwrap(), kind::TRIAL_EVENT);
+        assert_eq!(r.u32().unwrap(), 7);
+        r.finish().unwrap();
+
+        let mut r = WireReader::new(&bytes);
+        r.expect_envelope(kind::TRIAL_EVENT).unwrap();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(
+            r.expect_envelope(kind::JOB_SETUP),
+            Err(WireError::WrongKind {
+                found: kind::TRIAL_EVENT,
+                expected: kind::JOB_SETUP,
+            })
+        );
+    }
+
+    #[test]
+    fn envelope_rejects_garbage_and_version_skew() {
+        // Garbage: not our magic at all.
+        let garbage = [0xDEu8, 0xAD, 0xBE, 0xEF, 1, 1];
+        assert_eq!(
+            WireReader::new(&garbage).envelope(),
+            Err(WireError::BadMagic([0xDE, 0xAD, 0xBE, 0xEF]))
+        );
+        // Truncated: magic cut short.
+        assert_eq!(WireReader::new(b"AV").envelope(), Err(WireError::Truncated));
+        // A stale blob from a hypothetical older build: right magic,
+        // wrong version.
+        let mut stale = Vec::from(WIRE_MAGIC);
+        stale.push(WIRE_VERSION + 1);
+        stale.push(kind::SNAPSHOT);
+        assert_eq!(
+            WireReader::new(&stale).envelope(),
+            Err(WireError::UnsupportedVersion {
+                found: WIRE_VERSION + 1,
+                expected: WIRE_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn strings_and_i16_round_trip() {
+        let mut w = WireWriter::new();
+        w.str("register-chain");
+        w.str("");
+        w.i16(-300);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.str().unwrap(), "register-chain");
+        assert_eq!(r.str().unwrap(), "");
+        assert_eq!(r.i16().unwrap(), -300);
+        r.finish().unwrap();
+
+        // A corrupt string length far beyond the input must error.
+        let mut w = WireWriter::new();
+        w.usize(1 << 40);
+        let bytes = w.into_bytes();
+        assert_eq!(WireReader::new(&bytes).str(), Err(WireError::Truncated));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message on a campaign connection is one frame: a little-endian
+//! `u32` payload length followed by the payload (itself an
+//! [`avf_isa::wire`] envelope, so the payload's own magic and version
+//! are checked after the frame boundary is established). The length
+//! header is bounded by [`MAX_FRAME_BYTES`] so a corrupt or hostile
+//! header cannot make a worker allocate gigabytes before the payload
+//! decoder ever runs.
+
+use std::io::{ErrorKind, Read, Write};
+
+use avf_inject::BackendError;
+
+/// Upper bound on a single frame payload.
+///
+/// Sized for the largest legitimate payload — a job setup carrying a
+/// full checkpoint store (tens of snapshots at a few hundred KiB) — with
+/// an order of magnitude of headroom.
+pub const MAX_FRAME_BYTES: u32 = 256 << 20;
+
+/// Writes one frame (length header + payload).
+///
+/// # Errors
+///
+/// Returns a [`BackendError`] on transport failure, or
+/// [`BackendError::Oversized`] for a payload beyond [`MAX_FRAME_BYTES`]
+/// (nothing is written in that case).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), BackendError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or(BackendError::Oversized {
+            len: payload.len() as u64,
+            max: u64::from(MAX_FRAME_BYTES),
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame, or `None` on a clean end-of-stream (the peer closed
+/// the connection between frames — the normal way a session ends).
+///
+/// # Errors
+///
+/// Returns [`BackendError::Oversized`] for a length header beyond
+/// [`MAX_FRAME_BYTES`], and [`BackendError::Io`] for transport failures
+/// — including a stream that ends *inside* a frame, which is truncation,
+/// not a clean close.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, BackendError> {
+    let mut header = [0u8; 4];
+    // A clean EOF before any header byte means "no more frames"; an EOF
+    // mid-header is a truncated frame.
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(BackendError::Io(
+                    "stream ended inside a frame header".to_owned(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(BackendError::Oversized {
+            len: u64::from(len),
+            max: u64::from(MAX_FRAME_BYTES),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| BackendError::Io(format!("stream ended inside a {len}-byte frame: {e}")))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![7u8; 1000]);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors_not_eof() {
+        // Header promises 100 bytes; only 10 arrive.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(BackendError::Io(_))
+        ));
+        // A header cut short is also truncation.
+        let buf = vec![5u8, 0];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(BackendError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(BackendError::Oversized {
+                len: u64::from(u32::MAX),
+                max: u64::from(MAX_FRAME_BYTES),
+            })
+        );
+        // Writing is symmetric: the limit is enforced before any bytes
+        // go out (the buffer is untouched zero pages until then).
+        let huge = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+        let mut sink = Vec::new();
+        assert_eq!(
+            write_frame(&mut std::io::Cursor::new(&mut sink), &huge),
+            Err(BackendError::Oversized {
+                len: u64::from(MAX_FRAME_BYTES) + 1,
+                max: u64::from(MAX_FRAME_BYTES),
+            })
+        );
+        assert!(sink.is_empty(), "nothing written before the rejection");
+    }
+}

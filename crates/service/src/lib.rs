@@ -1,0 +1,42 @@
+//! # avf-service
+//!
+//! The wire-native campaign service: everything needed to run
+//! fault-injection campaigns *somewhere else*.
+//!
+//! The campaign driver in `avf-inject` speaks the [`CampaignBackend`]
+//! protocol — open a job, submit trial batches, drain a stream of
+//! per-trial outcomes. This crate carries that protocol across a
+//! socket:
+//!
+//! * [`frame`] — length-prefixed framing with an allocation-bounding
+//!   size limit;
+//! * [`protocol`] — the session schema (job setup → batches → streamed
+//!   events), every payload wrapped in the `avf_isa::wire` magic +
+//!   version envelope so stale or foreign peers fail typed;
+//! * [`serve`] / [`spawn_local`] — the long-running job server
+//!   (`avf-stressmark serve`), a thin wire adapter over the same
+//!   `LocalBackend` the in-process path uses;
+//! * [`RemoteBackend`] — the client, fanning each batch's cycle-sorted
+//!   shards across one or more workers and merging their event streams.
+//!
+//! Determinism is the design invariant: with a fixed seed, a campaign
+//! over `RemoteBackend` produces a [`CampaignReport`] identical to the
+//! local run — same outcome counts, intervals, batch trajectory, and
+//! stop reason — because samples are derived purely from `(seed,
+//! batch, index)` and aggregation commutes. The loopback test suite
+//! asserts exactly that, and everything here is plain `std::net` (no
+//! async runtime), keeping the fully-offline vendored build intact.
+//!
+//! [`CampaignBackend`]: avf_inject::CampaignBackend
+//! [`CampaignReport`]: avf_inject::CampaignReport
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod protocol;
+mod remote;
+mod server;
+
+pub use remote::RemoteBackend;
+pub use server::{serve, spawn_local, ServeOptions};

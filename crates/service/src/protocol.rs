@@ -1,0 +1,135 @@
+//! Campaign service message schema on top of [`crate::frame`].
+//!
+//! One connection carries one campaign session:
+//!
+//! ```text
+//! client → server   JOB_SETUP    (JobSpec: machine, program, checkpoints, budgets)
+//! client → server   TRIAL_BATCH  (one adaptive batch of planned trials)
+//! server → client   TRIAL_EVENT* (one per trial, streamed as classified)
+//! server → client   BATCH_DONE   (event count for the batch, a sanity check)
+//! client → server   TRIAL_BATCH  ... (repeat until the driver converges)
+//! client closes the connection   (clean end of session)
+//! server → client   SERVICE_ERROR (any time: fatal, connection closes)
+//! ```
+//!
+//! Every payload opens with the [`avf_isa::wire`] envelope, so a stale
+//! worker build or a foreign peer fails with a typed magic/version
+//! error instead of a confusing mid-payload decode failure.
+
+use avf_inject::{BackendError, TrialEvent};
+use avf_isa::wire::{kind, WireError, WireReader, WireWriter};
+
+/// One server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMessage {
+    /// A classified trial outcome.
+    Event(TrialEvent),
+    /// The current batch is complete; `events` outcomes were streamed.
+    Done {
+        /// Number of events the server sent for the batch.
+        events: u64,
+    },
+    /// The server hit a fatal error; the connection is closing.
+    Error(String),
+}
+
+impl ServerMessage {
+    /// Serializes the message to an enveloped frame payload.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        match self {
+            ServerMessage::Event(ev) => ev.to_wire(),
+            ServerMessage::Done { events } => {
+                let mut w = WireWriter::new();
+                w.envelope(kind::BATCH_DONE);
+                w.u64(*events);
+                w.into_bytes()
+            }
+            ServerMessage::Error(msg) => {
+                let mut w = WireWriter::new();
+                w.envelope(kind::SERVICE_ERROR);
+                w.str(msg);
+                w.into_bytes()
+            }
+        }
+    }
+
+    /// Decodes a frame payload written by [`ServerMessage::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on envelope mismatch, truncation, or an
+    /// unexpected frame kind.
+    pub fn from_wire(bytes: &[u8]) -> Result<ServerMessage, WireError> {
+        let mut r = WireReader::new(bytes);
+        let msg = match r.envelope()? {
+            kind::TRIAL_EVENT => ServerMessage::Event(TrialEvent::decode_body(&mut r)?),
+            kind::BATCH_DONE => ServerMessage::Done { events: r.u64()? },
+            kind::SERVICE_ERROR => ServerMessage::Error(r.str()?),
+            found => {
+                return Err(WireError::WrongKind {
+                    found,
+                    expected: kind::TRIAL_EVENT,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Maps a server-reported [`ServerMessage::Error`] into the backend
+/// error the driver surfaces.
+#[must_use]
+pub fn remote_error(msg: String) -> BackendError {
+    BackendError::Remote(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avf_inject::Outcome;
+    use avf_sim::InjectionTarget;
+
+    #[test]
+    fn server_messages_round_trip() {
+        let msgs = [
+            ServerMessage::Event(TrialEvent {
+                index: 42,
+                target: InjectionTarget::Iq,
+                outcome: Outcome::Sdc,
+            }),
+            ServerMessage::Done { events: 128 },
+            ServerMessage::Error("checkpoint store rejected".to_owned()),
+        ];
+        for msg in msgs {
+            assert_eq!(ServerMessage::from_wire(&msg.to_wire()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn foreign_and_stale_payloads_fail_typed() {
+        assert!(matches!(
+            ServerMessage::from_wire(&[0u8; 16]),
+            Err(WireError::BadMagic(_))
+        ));
+        // A payload from a build speaking a different format version.
+        let mut stale = Vec::from(avf_isa::wire::WIRE_MAGIC);
+        stale.push(avf_isa::wire::WIRE_VERSION + 3);
+        stale.push(kind::BATCH_DONE);
+        stale.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            ServerMessage::from_wire(&stale),
+            Err(WireError::UnsupportedVersion {
+                found: avf_isa::wire::WIRE_VERSION + 3,
+                expected: avf_isa::wire::WIRE_VERSION,
+            })
+        );
+        // A client-side frame kind arriving where a server message belongs.
+        let batch = avf_inject::encode_trial_batch(&[]);
+        assert!(matches!(
+            ServerMessage::from_wire(&batch),
+            Err(WireError::WrongKind { .. })
+        ));
+    }
+}

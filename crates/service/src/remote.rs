@@ -1,0 +1,159 @@
+//! [`RemoteBackend`]: the TCP client side of the campaign service.
+//!
+//! One backend fans a campaign out over one or more `serve` workers.
+//! `open` ships the identical [`JobSpec`] bytes to every worker (each
+//! pays checkpoint decode once per campaign, exactly like the local
+//! backend); `submit` strides the batch's cycle-sorted trials across
+//! the workers and merges their event streams into one
+//! [`TrialStream`]. Because outcome counts commute and samples are
+//! seed-derived, the driver's report is bit-identical to a local run —
+//! the loopback test in `tests/loopback.rs` holds that line.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+
+use avf_inject::{
+    encode_trial_batch, shard_trials, BackendError, CampaignBackend, CampaignSession, JobSpec,
+    Trial, TrialStream,
+};
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::ServerMessage;
+
+/// A campaign backend executing trials on remote `serve` workers.
+pub struct RemoteBackend {
+    addrs: Vec<String>,
+}
+
+impl RemoteBackend {
+    /// A backend over one or more worker addresses (`host:port`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty — a remote backend with no workers
+    /// cannot execute anything.
+    #[must_use]
+    pub fn new(addrs: Vec<String>) -> RemoteBackend {
+        assert!(
+            !addrs.is_empty(),
+            "remote backend needs at least one worker"
+        );
+        RemoteBackend { addrs }
+    }
+
+    /// The configured worker addresses.
+    #[must_use]
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+}
+
+impl CampaignBackend for RemoteBackend {
+    fn workers(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn open(&self, spec: JobSpec) -> Result<Box<dyn CampaignSession>, BackendError> {
+        let setup = spec.to_wire();
+        let mut conns = Vec::with_capacity(self.addrs.len());
+        for addr in &self.addrs {
+            let stream = TcpStream::connect(addr.as_str())
+                .map_err(|e| BackendError::Io(format!("connect {addr}: {e}")))?;
+            // Event frames are tiny; don't let Nagle batch them up.
+            let _ = stream.set_nodelay(true);
+            let mut w = BufWriter::new(&stream);
+            write_frame(&mut w, &setup)?;
+            w.flush().map_err(BackendError::from)?;
+            drop(w);
+            conns.push(stream);
+        }
+        Ok(Box::new(RemoteSession { conns }))
+    }
+}
+
+struct RemoteSession {
+    conns: Vec<TcpStream>,
+}
+
+impl CampaignSession for RemoteSession {
+    fn submit(&mut self, trials: &[Trial]) -> Result<TrialStream, BackendError> {
+        let shards = shard_trials(trials, self.conns.len());
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::with_capacity(self.conns.len());
+        for (conn, shard) in self.conns.iter().zip(shards) {
+            // Every worker gets a batch frame — an empty one still
+            // elicits a DONE, keeping the per-connection state machine
+            // in lockstep with the driver's batch loop.
+            let mut w = BufWriter::new(conn);
+            write_frame(&mut w, &encode_trial_batch(&shard))?;
+            w.flush().map_err(BackendError::from)?;
+
+            // Read this batch's replies on a dedicated thread so slow
+            // and fast workers interleave into one stream. The clone is
+            // safe to drop at DONE: the server sends nothing further
+            // until our next batch frame, so no reply bytes can be
+            // stranded in the BufReader.
+            let reader = conn
+                .try_clone()
+                .map_err(|e| BackendError::Io(format!("clone stream: {e}")))?;
+            let tx = tx.clone();
+            let expected = shard.len() as u64;
+            handles.push(std::thread::spawn(move || {
+                drain_batch(reader, expected, &tx);
+            }));
+        }
+        drop(tx);
+        Ok(TrialStream::new(rx, handles))
+    }
+}
+
+/// Forwards one worker's event stream for one batch into `tx`,
+/// terminating at the DONE marker (or surfacing whatever went wrong).
+fn drain_batch(
+    stream: TcpStream,
+    expected: u64,
+    tx: &mpsc::Sender<Result<avf_inject::TrialEvent, BackendError>>,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut seen = 0u64;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                let _ = tx.send(Err(BackendError::Io(
+                    "worker closed the connection mid-batch".to_owned(),
+                )));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+        };
+        match ServerMessage::from_wire(&payload) {
+            Ok(ServerMessage::Event(ev)) => {
+                seen += 1;
+                if tx.send(Ok(ev)).is_err() {
+                    return; // stream dropped; stop reading
+                }
+            }
+            Ok(ServerMessage::Done { events }) => {
+                if events != seen || seen != expected {
+                    let _ = tx.send(Err(BackendError::Protocol(format!(
+                        "worker reported {events} events, streamed {seen}, expected {expected}"
+                    ))));
+                }
+                return;
+            }
+            Ok(ServerMessage::Error(msg)) => {
+                let _ = tx.send(Err(crate::protocol::remote_error(msg)));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e.into()));
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The long-running campaign job server.
+//!
+//! `avf-stressmark serve --listen <addr>` runs [`serve`]: an accept
+//! loop that gives every connection its own handler thread. A handler
+//! is a thin wire adapter over [`LocalBackend`] — it decodes the
+//! [`JobSpec`], opens a local session (paying checkpoint decode once
+//! per connection), then turns every trial-batch frame into a `submit`
+//! and streams the resulting trial events back as length-prefixed
+//! frames *as they complete*, so the driver's adaptive loop sees
+//! per-trial progress regardless of where execution happens. The
+//! server is venue-symmetric with in-process execution by
+//! construction: both sides of the socket run the exact same
+//! [`CampaignBackend`] code path.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+
+use avf_inject::{decode_trial_batch, BackendError, CampaignBackend, JobSpec, LocalBackend};
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::ServerMessage;
+
+/// Server tuning.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Worker threads per connection (0 = all available cores).
+    pub threads: usize,
+}
+
+/// Runs the accept loop forever, spawning one handler thread per
+/// connection. Never returns except on listener failure.
+///
+/// # Errors
+///
+/// Returns the I/O error that broke the accept loop.
+pub fn serve(listener: TcpListener, opts: &ServeOptions) -> std::io::Result<()> {
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let opts = opts.clone();
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
+            if let Err(e) = handle_connection(&stream, &opts) {
+                // Best-effort error frame; the connection may already be
+                // gone, and either way the session is over.
+                let mut w = BufWriter::new(&stream);
+                let _ = write_frame(&mut w, &ServerMessage::Error(e.to_string()).to_wire());
+                let _ = w.flush();
+                eprintln!("serve: session with {peer} failed: {e}");
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Binds an ephemeral local port and runs [`serve`] on a background
+/// thread, returning the bound address — the in-process harness the
+/// loopback tests and CI smoke use.
+///
+/// # Errors
+///
+/// Returns the I/O error if the port cannot be bound.
+pub fn spawn_local(opts: ServeOptions) -> std::io::Result<std::net::SocketAddr> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    std::thread::spawn(move || {
+        if let Err(e) = serve(listener, &opts) {
+            eprintln!("serve: accept loop failed: {e}");
+        }
+    });
+    Ok(addr)
+}
+
+/// Drives one campaign session over one connection.
+fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), BackendError> {
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(stream);
+
+    // The session must open with a job setup frame.
+    let Some(setup) = read_frame(&mut reader)? else {
+        return Ok(()); // connected and left; nothing to do
+    };
+    let spec = JobSpec::from_wire(&setup)?;
+    // Keep the job's geometry for batch validation: the simulator
+    // *asserts* entry/bit bounds, so an out-of-geometry trial smuggled
+    // over the wire must be rejected here with an error frame, not
+    // allowed to panic a worker thread.
+    let machine = spec.machine.clone();
+    let sizes = machine.structure_sizes();
+    let backend = LocalBackend::new(opts.threads);
+    let mut session = backend.open(spec)?;
+
+    // Then any number of trial batches until the client hangs up.
+    while let Some(payload) = read_frame(&mut reader)? {
+        let trials = decode_trial_batch(&payload)?;
+        if let Some(t) = trials
+            .iter()
+            .find(|t| t.entry >= t.target.entries(&machine) || t.bit >= t.target.entry_bits(&sizes))
+        {
+            return Err(BackendError::Protocol(format!(
+                "trial {} ({} entry {} bit {}) lies outside the job's machine geometry",
+                t.index, t.target, t.entry, t.bit
+            )));
+        }
+        let mut events = 0u64;
+        for event in session.submit(&trials)? {
+            let event = event?;
+            write_frame(&mut writer, &ServerMessage::Event(event).to_wire())?;
+            // Flush per event: the client's adaptive driver is entitled
+            // to see outcomes as they complete, not at batch boundaries.
+            writer.flush().map_err(BackendError::from)?;
+            events += 1;
+        }
+        write_frame(&mut writer, &ServerMessage::Done { events }.to_wire())?;
+        writer.flush().map_err(BackendError::from)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_connection_is_a_clean_session() {
+        let addr = spawn_local(ServeOptions { threads: 1 }).unwrap();
+        // Connect and immediately hang up: the handler must treat this
+        // as a zero-job session, not an error.
+        drop(TcpStream::connect(addr).unwrap());
+        // A second connection still works (the accept loop survived).
+        drop(TcpStream::connect(addr).unwrap());
+    }
+
+    #[test]
+    fn out_of_geometry_trials_get_an_error_frame_not_a_panic() {
+        use avf_inject::{encode_trial_batch, Trial};
+        use avf_sim::{golden_run_checkpointed, InjectionTarget, MachineConfig};
+
+        let machine = MachineConfig::baseline();
+        let program = avf_workloads::testkit::idle_loop();
+        let (golden, store) = golden_run_checkpointed(&machine, &program, 2_000, 256);
+        let spec = JobSpec {
+            machine: machine.clone(),
+            program,
+            store,
+            instr_budget: 2_000,
+            cycle_budget: golden.cycles * 4 + 50_000,
+            golden_digest: golden.digest,
+        };
+
+        let addr = spawn_local(ServeOptions { threads: 1 }).unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(&stream);
+        write_frame(&mut w, &spec.to_wire()).unwrap();
+        // One trial far past the ROB's physical entries: the simulator
+        // would assert; the server must reject it at the protocol layer.
+        let bad = Trial {
+            index: 0,
+            target: InjectionTarget::Rob,
+            cycle: 1,
+            entry: machine.rob_entries as u64 + 5,
+            bit: 0,
+        };
+        write_frame(&mut w, &encode_trial_batch(&[bad])).unwrap();
+        w.flush().unwrap();
+
+        let mut r = BufReader::new(&stream);
+        let reply = read_frame(&mut r).unwrap().expect("error frame");
+        match ServerMessage::from_wire(&reply).unwrap() {
+            ServerMessage::Error(msg) => assert!(msg.contains("geometry"), "{msg}"),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_setup_gets_an_error_frame() {
+        let addr = spawn_local(ServeOptions { threads: 1 }).unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(&stream);
+        write_frame(&mut w, b"this is not a job spec").unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(&stream);
+        let reply = read_frame(&mut r).unwrap().expect("error frame");
+        match ServerMessage::from_wire(&reply).unwrap() {
+            ServerMessage::Error(msg) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+}

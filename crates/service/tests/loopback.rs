@@ -1,0 +1,125 @@
+//! End-to-end loopback validation: a campaign driven through a real
+//! TCP `serve` worker must be *bit-identical* to the in-process run.
+//!
+//! This is the acceptance bar of the backend redesign — local threads
+//! and remote sockets are interchangeable execution venues behind the
+//! same streaming API, so with a fixed seed the adaptive driver must
+//! produce the same outcome counts, intervals, batch trajectory, and
+//! stop reason over either.
+
+use avf_inject::{Campaign, CampaignConfig, CampaignReport, LocalBackend};
+use avf_service::{spawn_local, RemoteBackend, ServeOptions};
+use avf_sim::MachineConfig;
+
+use avf_workloads::testkit::register_chain;
+
+fn adaptive_config() -> CampaignConfig {
+    CampaignConfig {
+        injections: 400,
+        seed: 11,
+        threads: 2,
+        instr_budget: 6_000,
+        ci_target: Some(0.14),
+        batch_size: 64,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Everything the methodology cares about must match; wall-clock and
+/// the venue's parallelism legitimately differ.
+fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport) {
+    assert_eq!(a.program, b.program);
+    assert_eq!(a.injections, b.injections);
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(a.checkpoints, b.checkpoints);
+    assert_eq!(a.golden.cycles, b.golden.cycles);
+    assert_eq!(a.golden.digest, b.golden.digest);
+    assert_eq!(a.targets.len(), b.targets.len());
+    for (x, y) in a.targets.iter().zip(&b.targets) {
+        assert_eq!(x.target, y.target);
+        assert_eq!(x.counts, y.counts, "{}: outcome counts differ", x.target);
+        assert_eq!(
+            x.ci95().0.to_bits(),
+            y.ci95().0.to_bits(),
+            "{}: CI lower bound differs",
+            x.target
+        );
+        assert_eq!(
+            x.ci95().1.to_bits(),
+            y.ci95().1.to_bits(),
+            "{}: CI upper bound differs",
+            x.target
+        );
+        assert_eq!(x.ace_avf.to_bits(), y.ace_avf.to_bits());
+    }
+    assert_eq!(a.batches.len(), b.batches.len(), "batch trajectory length");
+    for (x, y) in a.batches.iter().zip(&b.batches) {
+        assert_eq!(x.batch, y.batch);
+        assert_eq!(x.trials, y.trials);
+        assert_eq!(x.cumulative, y.cumulative);
+        assert_eq!(x.widest, y.widest);
+        assert_eq!(x.max_half_width.to_bits(), y.max_half_width.to_bits());
+    }
+}
+
+#[test]
+fn loopback_remote_matches_local_adaptive_campaign() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let config = adaptive_config();
+
+    let local = Campaign::new(&machine, &program, config.clone())
+        .run_on(&LocalBackend::new(2))
+        .expect("local run");
+
+    let addr = spawn_local(ServeOptions { threads: 2 }).expect("bind loopback server");
+    let remote_backend = RemoteBackend::new(vec![addr.to_string()]);
+    let remote = Campaign::new(&machine, &program, config)
+        .run_on(&remote_backend)
+        .expect("loopback remote run");
+
+    assert!(local.injections > 0, "campaign actually ran");
+    assert_reports_identical(&local, &remote);
+}
+
+#[test]
+fn two_workers_split_the_campaign_and_still_match() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let mut config = adaptive_config();
+    // Keep the two-worker variant cheap: it checks fan-out equivalence,
+    // not convergence depth.
+    config.ci_target = Some(0.2);
+    config.injections = 256;
+
+    let local = Campaign::new(&machine, &program, config.clone())
+        .run_on(&LocalBackend::new(1))
+        .expect("local run");
+
+    // Two independent single-threaded server processes-worth of state
+    // on one loopback: the driver strides each batch across both.
+    let a = spawn_local(ServeOptions { threads: 1 }).expect("worker a");
+    let b = spawn_local(ServeOptions { threads: 1 }).expect("worker b");
+    let remote_backend = RemoteBackend::new(vec![a.to_string(), b.to_string()]);
+    let remote = Campaign::new(&machine, &program, config)
+        .run_on(&remote_backend)
+        .expect("two-worker remote run");
+
+    assert_reports_identical(&local, &remote);
+}
+
+#[test]
+fn unreachable_worker_fails_loudly_not_wrongly() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let mut config = adaptive_config();
+    config.injections = 32;
+    // A port nothing listens on: the campaign must error, never
+    // silently fall back or return a partial report.
+    let backend = RemoteBackend::new(vec!["127.0.0.1:1".to_owned()]);
+    let err = Campaign::new(&machine, &program, config)
+        .run_on(&backend)
+        .expect_err("connecting to a dead port must fail");
+    assert!(err.to_string().contains("connect"), "{err}");
+}

@@ -1,4 +1,5 @@
 use avf_ace::StructureSizes;
+use avf_isa::wire::{WireError, WireReader, WireWriter};
 
 /// Geometry and latency of one cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +25,38 @@ impl CacheConfig {
     #[must_use]
     pub fn sets(&self) -> u32 {
         self.lines() / self.ways
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.size_bytes);
+        w.u32(self.ways);
+        w.u32(self.line_bytes);
+        w.u32(self.latency);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<CacheConfig, WireError> {
+        let c = CacheConfig {
+            size_bytes: r.u64()?,
+            ways: r.u32()?,
+            line_bytes: r.u32()?,
+            latency: r.u32()?,
+        };
+        // The geometry arithmetic (lines, sets, index masks) divides by
+        // these — a zero smuggled over the wire would panic a worker —
+        // and the line/set arrays are allocated eagerly, so a crafted
+        // multi-terabyte cache must fail here, not OOM the allocator.
+        if c.line_bytes == 0
+            || c.ways == 0
+            || c.size_bytes == 0
+            || c.size_bytes > 1 << 30
+            || c.line_bytes > 1 << 16
+            || !c.size_bytes.is_multiple_of(u64::from(c.line_bytes))
+            || c.lines() == 0
+            || !c.lines().is_multiple_of(c.ways)
+        {
+            return Err(WireError::Invalid("degenerate cache geometry"));
+        }
+        Ok(c)
     }
 }
 
@@ -231,6 +264,161 @@ impl MachineConfig {
     pub fn dtlb_reach_bytes(&self) -> u64 {
         self.page_bytes * self.dtlb_entries as u64
     }
+
+    /// Serializes the full configuration into a wire writer, so a
+    /// campaign job can carry the exact machine it was planned against
+    /// to a remote worker (checkpoint blobs only decode against the
+    /// matching geometry).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.str(&self.name);
+        for v in [
+            self.fetch_width,
+            self.dispatch_width,
+            self.issue_width,
+            self.commit_width,
+            self.mem_issue_width,
+        ] {
+            w.u32(v);
+        }
+        for v in [
+            self.fetch_queue,
+            self.iq_entries,
+            self.rob_entries,
+            self.lq_entries,
+            self.sq_entries,
+            self.phys_regs,
+        ] {
+            w.usize(v);
+        }
+        for v in [
+            self.n_alus,
+            self.n_muls,
+            self.alu_latency,
+            self.mul_latency,
+            self.mispredict_penalty,
+        ] {
+            w.u32(v);
+        }
+        for v in [
+            self.bpred.global_entries,
+            self.bpred.local_hist_entries,
+            self.bpred.local_hist_bits,
+            self.bpred.local_counter_entries,
+            self.bpred.choice_entries,
+        ] {
+            w.u32(v);
+        }
+        self.l1i.encode(w);
+        self.dl1.encode(w);
+        self.l2.encode(w);
+        w.usize(self.dtlb_entries);
+        w.u64(self.page_bytes);
+        w.u32(self.dtlb_miss_penalty);
+        w.u32(self.mem_latency);
+    }
+
+    /// Decodes a configuration written by [`MachineConfig::encode`],
+    /// rejecting degenerate geometry that would panic the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or impossible geometry.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<MachineConfig, WireError> {
+        let name = r.str()?;
+        let fetch_width = r.u32()?;
+        let dispatch_width = r.u32()?;
+        let issue_width = r.u32()?;
+        let commit_width = r.u32()?;
+        let mem_issue_width = r.u32()?;
+        let fetch_queue = r.usize()?;
+        let iq_entries = r.usize()?;
+        let rob_entries = r.usize()?;
+        let lq_entries = r.usize()?;
+        let sq_entries = r.usize()?;
+        let phys_regs = r.usize()?;
+        let n_alus = r.u32()?;
+        let n_muls = r.u32()?;
+        let alu_latency = r.u32()?;
+        let mul_latency = r.u32()?;
+        let mispredict_penalty = r.u32()?;
+        let bpred = BpredConfig {
+            global_entries: r.u32()?,
+            local_hist_entries: r.u32()?,
+            local_hist_bits: r.u32()?,
+            local_counter_entries: r.u32()?,
+            choice_entries: r.u32()?,
+        };
+        let l1i = CacheConfig::decode(r)?;
+        let dl1 = CacheConfig::decode(r)?;
+        let l2 = CacheConfig::decode(r)?;
+        let dtlb_entries = r.usize()?;
+        let page_bytes = r.u64()?;
+        let dtlb_miss_penalty = r.u32()?;
+        let mem_latency = r.u32()?;
+        // Upper bounds matter as much as the lower ones: queue sizes
+        // feed `with_capacity` and array allocations in the simulator,
+        // so a crafted config with rob_entries = 1<<60 would panic (or
+        // OOM) a worker instead of failing with this typed error. The
+        // caps are orders of magnitude beyond any machine the paper's
+        // methodology models.
+        const MAX_ENTRIES: usize = 1 << 20;
+        const MAX_WIDTH: u32 = 1 << 10;
+        let widths_ok = (1..=MAX_WIDTH).contains(&fetch_width)
+            && (1..=MAX_WIDTH).contains(&dispatch_width)
+            && (1..=MAX_WIDTH).contains(&issue_width)
+            && (1..=MAX_WIDTH).contains(&commit_width)
+            && (1..=MAX_WIDTH).contains(&mem_issue_width)
+            && (1..=MAX_WIDTH).contains(&n_alus)
+            && n_muls <= MAX_WIDTH;
+        let queues_ok = (1..=MAX_ENTRIES).contains(&fetch_queue)
+            && (1..=MAX_ENTRIES).contains(&iq_entries)
+            && (1..=MAX_ENTRIES).contains(&rob_entries)
+            && (1..=MAX_ENTRIES).contains(&lq_entries)
+            && (1..=MAX_ENTRIES).contains(&sq_entries)
+            && (1..=MAX_ENTRIES).contains(&dtlb_entries)
+            && (avf_isa::Reg::COUNT..=MAX_ENTRIES).contains(&phys_regs);
+        let bpred_ok = bpred.global_entries.is_power_of_two()
+            && bpred.local_hist_entries.is_power_of_two()
+            && bpred.local_counter_entries.is_power_of_two()
+            && bpred.choice_entries.is_power_of_two()
+            && bpred.global_entries as usize <= MAX_ENTRIES
+            && bpred.local_hist_entries as usize <= MAX_ENTRIES
+            && bpred.local_counter_entries as usize <= MAX_ENTRIES
+            && bpred.choice_entries as usize <= MAX_ENTRIES
+            && bpred.local_hist_bits > 0
+            && bpred.local_hist_bits < 32;
+        let pages_ok = page_bytes.is_power_of_two() && page_bytes <= 1 << 30;
+        if !(widths_ok && queues_ok && bpred_ok && pages_ok) {
+            return Err(WireError::Invalid("degenerate machine configuration"));
+        }
+        Ok(MachineConfig {
+            name,
+            fetch_width,
+            dispatch_width,
+            issue_width,
+            commit_width,
+            mem_issue_width,
+            fetch_queue,
+            iq_entries,
+            rob_entries,
+            lq_entries,
+            sq_entries,
+            phys_regs,
+            n_alus,
+            n_muls,
+            alu_latency,
+            mul_latency,
+            mispredict_penalty,
+            bpred,
+            l1i,
+            dl1,
+            l2,
+            dtlb_entries,
+            page_bytes,
+            dtlb_miss_penalty,
+            mem_latency,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +474,61 @@ mod tests {
         assert_eq!(sizes.iq_entries, 32);
         assert_eq!(sizes.dtlb_entries, 512);
         assert_eq!(sizes.l2_lines, 32_768);
+    }
+
+    #[test]
+    fn wire_codec_round_trips() {
+        for cfg in [MachineConfig::baseline(), MachineConfig::config_a()] {
+            let mut w = WireWriter::new();
+            cfg.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let back = MachineConfig::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn wire_codec_rejects_degenerate_geometry() {
+        let mut cfg = MachineConfig::baseline();
+        cfg.dl1.line_bytes = 0;
+        let mut w = WireWriter::new();
+        cfg.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(MachineConfig::decode(&mut WireReader::new(&bytes)).is_err());
+
+        let mut cfg = MachineConfig::baseline();
+        cfg.phys_regs = 4; // fewer than the architected registers
+        let mut w = WireWriter::new();
+        cfg.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(MachineConfig::decode(&mut WireReader::new(&bytes)).is_err());
+
+        // A crafted huge queue would feed `with_capacity` in the
+        // simulator: the decoder must reject it, not let it panic or
+        // OOM a worker.
+        let mut cfg = MachineConfig::baseline();
+        cfg.rob_entries = 1 << 60;
+        let mut w = WireWriter::new();
+        cfg.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(MachineConfig::decode(&mut WireReader::new(&bytes)).is_err());
+
+        let mut cfg = MachineConfig::baseline();
+        cfg.l2.size_bytes = 1 << 45; // a 32 TiB cache array
+        cfg.l2.ways = 1;
+        let mut w = WireWriter::new();
+        cfg.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(MachineConfig::decode(&mut WireReader::new(&bytes)).is_err());
+
+        // Truncation errors instead of panicking.
+        let mut w = WireWriter::new();
+        MachineConfig::baseline().encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes[..bytes.len() / 2]);
+        assert!(MachineConfig::decode(&mut r).is_err());
     }
 
     #[test]

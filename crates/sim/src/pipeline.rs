@@ -295,10 +295,17 @@ impl<'a> Pipeline<'a> {
                 );
             }
         }
-        self.stats.rob_occ_sum += self.rob.len() as u64;
-        self.stats.iq_occ_sum += self.iq_count as u64;
-        self.stats.lq_occ_sum += self.lq_count as u64;
-        self.stats.sq_occ_sum += self.sq_count as u64;
+        // Occupancy means only feed the ACE/occupancy reports of an
+        // analyzer run; injection trials never read them, so fault-mode
+        // pipelines skip the four per-cycle sums (a measurable win at
+        // campaign trial counts — the sums sit on the only per-cycle
+        // unconditional path besides the stage walk itself).
+        if !self.fault_mode {
+            self.stats.rob_occ_sum += self.rob.len() as u64;
+            self.stats.iq_occ_sum += self.iq_count as u64;
+            self.stats.lq_occ_sum += self.lq_count as u64;
+            self.stats.sq_occ_sum += self.sq_count as u64;
+        }
         self.cycle += 1;
     }
 
@@ -1014,9 +1021,6 @@ impl Pipeline<'_> {
     }
 }
 
-/// Version byte guarding checkpoint blobs against format drift.
-const SNAPSHOT_WIRE_VERSION: u8 = 1;
-
 impl PipelineSnapshot {
     /// Simulated cycle this snapshot was taken at.
     #[must_use]
@@ -1035,7 +1039,7 @@ impl PipelineSnapshot {
     #[must_use]
     pub fn to_wire(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.u8(SNAPSHOT_WIRE_VERSION);
+        w.envelope(avf_isa::wire::kind::SNAPSHOT);
         self.oracle.encode(&mut w);
         self.oracle_mem.encode(&mut w);
         w.bool(self.trapped);
@@ -1097,10 +1101,7 @@ impl PipelineSnapshot {
         program: &Program,
     ) -> Result<PipelineSnapshot, WireError> {
         let mut r = WireReader::new(bytes);
-        let version = r.u8()?;
-        if version != SNAPSHOT_WIRE_VERSION {
-            return Err(WireError::Invalid("snapshot version mismatch"));
-        }
+        r.expect_envelope(avf_isa::wire::kind::SNAPSHOT)?;
         let oracle = ExecState::decode(&mut r)?;
         let oracle_mem = Memory::decode(&mut r)?;
         let trapped = r.bool()?;

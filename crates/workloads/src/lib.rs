@@ -30,6 +30,7 @@ mod kernel;
 mod profile;
 mod profiles;
 mod suite;
+pub mod testkit;
 
 pub use kernel::build;
 pub use profile::{AccessPattern, Suite, WorkloadProfile};
