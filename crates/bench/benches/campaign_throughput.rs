@@ -150,4 +150,60 @@ fn main() {
             "fixed plan matched the target here"
         }
     );
+
+    write_bench_json(&machine, &stressmark.program, injections, instr_budget);
+}
+
+/// PR number stamped into the perf-trajectory artifact when
+/// `AVF_BENCH_PR` is unset. `scripts/ci/bench_delta.sh` is the single
+/// authority in CI (it exports `AVF_BENCH_PR`); this fallback only
+/// serves ad-hoc local runs, so a stale value here cannot break the
+/// pipeline.
+const BENCH_PR_FALLBACK: &str = "4";
+
+/// Emits `BENCH_pr<N>.json` (path overridable via `AVF_BENCH_JSON`):
+/// the median inj/s of three identical fixed campaigns, the per-PR
+/// perf-trajectory artifact CI uploads and diffs against the committed
+/// history in `bench-results/`.
+fn write_bench_json(
+    machine: &MachineConfig,
+    program: &avf_isa::Program,
+    injections: u64,
+    instr_budget: u64,
+) {
+    let mut rates = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let config = CampaignConfig {
+            injections,
+            seed: 42,
+            threads: 0,
+            instr_budget,
+            ..CampaignConfig::default()
+        };
+        let start = Instant::now();
+        let report = Campaign::new(machine, program, config).run();
+        rates.push(report.injections as f64 / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    rates.sort_by(f64::total_cmp);
+    let median = rates[1];
+    let scale = std::env::var("AVF_EXPERIMENT_SCALE").unwrap_or_else(|_| "standard".to_owned());
+    let pr = std::env::var("AVF_BENCH_PR").unwrap_or_else(|_| BENCH_PR_FALLBACK.to_owned());
+    let path = std::env::var("AVF_BENCH_JSON").unwrap_or_else(|_| format!("BENCH_pr{pr}.json"));
+    // Hand-rolled JSON (the workspace is offline; no serde). One field
+    // per line on purpose: the CI delta script extracts fields with
+    // grep/sed.
+    let json = format!(
+        "{{\n  \"pr\": {pr},\n  \"bench\": \"campaign_throughput\",\n  \
+         \"metric\": \"inj_per_s\",\n  \"scale\": \"{scale}\",\n  \
+         \"injections\": {injections},\n  \"instr_budget\": {instr_budget},\n  \
+         \"runs\": [{:.1}, {:.1}, {:.1}],\n  \"median\": {median:.1}\n}}\n",
+        rates[0], rates[1], rates[2],
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => println!(
+            "\nperf artifact {path}: median {median:.0} inj/s over 3 fixed runs \
+             ({injections} inj, {scale} scale)"
+        ),
+        Err(e) => eprintln!("WARNING: could not write {path}: {e}"),
+    }
 }

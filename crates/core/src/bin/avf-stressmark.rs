@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 use avf_ace::FaultRates;
 use avf_ga::GaParams;
-use avf_inject::{CampaignConfig, LocalBackend};
+use avf_inject::{CampaignConfig, GoldenMode, LocalBackend};
 use avf_service::{serve, RemoteBackend, ServeOptions};
 use avf_sim::MachineConfig;
 use avf_stressmark::cli::{bool_flag, value_flag, Args, FlagSpec};
@@ -61,9 +61,14 @@ const VALIDATE_FLAGS: &[FlagSpec] = &[
     value_flag("batch"),
     value_flag("checkpoint-interval"),
     value_flag("workers"),
+    value_flag("golden"),
 ];
 
-const SERVE_FLAGS: &[FlagSpec] = &[value_flag("listen"), value_flag("threads")];
+const SERVE_FLAGS: &[FlagSpec] = &[
+    value_flag("listen"),
+    value_flag("threads"),
+    value_flag("die-mid-batch"),
+];
 
 fn rates_of(args: &Args) -> Result<FaultRates, String> {
     match args.flag("rates").unwrap_or("baseline") {
@@ -226,6 +231,11 @@ fn cmd_bounds(args: &Args) -> Result<(), String> {
 
 fn cmd_validate(args: &Args) -> Result<(), String> {
     let machine = machine_of(args)?;
+    let golden_mode = match args.flag("golden").unwrap_or("worker") {
+        "worker" => GoldenMode::Worker,
+        "driver" => GoldenMode::Driver,
+        other => return Err(format!("unknown golden mode `{other}` (worker|driver)")),
+    };
     let config = CampaignConfig {
         injections: args.parse_u64("injections", 1000).map_err(|e| e.0)?,
         seed: args.parse_u64("seed", 42).map_err(|e| e.0)?,
@@ -234,6 +244,7 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
         ci_target: args.parse_f64_opt("ci-target").map_err(|e| e.0)?,
         batch_size: args.parse_u64("batch", 128).map_err(|e| e.0)?.max(1),
         checkpoint_interval: args.parse_u64("checkpoint-interval", 0).map_err(|e| e.0)?,
+        golden_mode,
         ..CampaignConfig::default()
     };
     match config.ci_target {
@@ -291,6 +302,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .flag("listen")
         .ok_or("serve requires --listen host:port")?;
     let threads = args.parse_u64("threads", 0).map_err(|e| e.0)? as usize;
+    let die_mid_batch = match args.flag("die-mid-batch") {
+        None => None,
+        Some(_) => Some(args.parse_u64("die-mid-batch", 0).map_err(|e| e.0)?),
+    };
+    if let Some(n) = die_mid_batch {
+        eprintln!(
+            "serve: FAULT INJECTION ARMED — every connection aborts midway through \
+             its batch {n} (resilience testing only)"
+        );
+    }
     let listener = std::net::TcpListener::bind(listen)
         .map_err(|e| format!("cannot listen on `{listen}`: {e}"))?;
     eprintln!(
@@ -306,7 +327,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             threads
         }
     );
-    serve(listener, &ServeOptions { threads }).map_err(|e| format!("accept loop failed: {e}"))
+    serve(
+        listener,
+        &ServeOptions {
+            threads,
+            die_mid_batch,
+            ..ServeOptions::default()
+        },
+    )
+    .map_err(|e| format!("accept loop failed: {e}"))
 }
 
 const USAGE: &str = "\
@@ -328,10 +357,18 @@ commands:
             sets the per-batch size, --checkpoint-interval the
             golden-run checkpoint spacing in cycles; distributed
             execution: --workers host:port,... fans trial batches out
-            to `serve` processes instead of local threads)
+            to `serve` processes instead of local threads, re-dispatching
+            a worker's trials to survivors if its connection dies
+            mid-batch; --golden worker|driver picks who runs the golden
+            pass — workers in parallel [default, digests cross-checked]
+            or the driver, shipping checkpoints behind the content-hash
+            cache handshake)
   serve     run a long-lived campaign worker: accepts (program, machine,
-            plan-shard) jobs over TCP and streams per-trial outcomes
-            back (options: --listen host:port, --threads)
+            store-hash) jobs over TCP, resolves checkpoint stores
+            through a bounded LRU cache (HAVE/NEED handshake) or its own
+            golden run, and streams per-trial outcomes back (options:
+            --listen host:port, --threads; --die-mid-batch N aborts each
+            connection midway through batch N — resilience testing only)
 
 flags are strict: unknown --flags are errors, not ignored.
 ";

@@ -8,13 +8,17 @@
 //! pool or on a rack of remote workers. This module is the seam:
 //!
 //! * [`JobSpec`] — everything a worker needs to execute trials for one
-//!   campaign: the program, the machine configuration, the serialized
-//!   fault-free [`CheckpointStore`], and the execution budgets. It has
-//!   a self-contained wire encoding (enveloped with
-//!   [`avf_isa::wire::kind::JOB_SETUP`]) so the same value can cross a
-//!   socket unchanged.
+//!   campaign: the program, the machine configuration, the instruction
+//!   budget, and a [`GoldenSpec`] saying where the fault-free reference
+//!   comes from — either a [`CheckpointStore`] the driver already
+//!   captured ([`GoldenSpec::Shipped`]) or an instruction to the venue
+//!   to execute the golden pass itself ([`GoldenSpec::Delegated`], the
+//!   default: N remote workers warm up in parallel and the driver
+//!   never simulates the prefix locally).
 //! * [`CampaignBackend::open`] — binds a job to an execution venue and
-//!   returns a [`CampaignSession`].
+//!   returns an [`OpenedJob`]: the [`CampaignSession`] plus the golden
+//!   run the venue resolved (measured or received) and a per-worker
+//!   record of how each worker obtained the checkpoint store.
 //! * [`CampaignSession::submit`] — hands the session one batch of
 //!   [`Trial`]s and returns a [`TrialStream`]: an iterator of
 //!   [`TrialEvent`]s that yields each classified outcome *as it
@@ -36,8 +40,8 @@ use std::thread::JoinHandle;
 use avf_isa::wire::{kind, WireError, WireReader, WireWriter};
 use avf_isa::Program;
 use avf_sim::{
-    CheckpointStore, DecodedCheckpoints, FlipEffect, InjectionSim, InjectionTarget, MachineConfig,
-    RunEnd,
+    golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FlipEffect, GoldenRun,
+    InjectionSim, InjectionTarget, MachineConfig, RunEnd,
 };
 
 use crate::plan::Trial;
@@ -50,6 +54,19 @@ pub enum BackendError {
     Wire(WireError),
     /// A transport-level I/O failure (connect, read, write).
     Io(String),
+    /// A worker's connection died mid-session: the stream closed or
+    /// truncated between frames. Distinct from [`BackendError::Remote`]
+    /// (the worker is alive and reported a job-level error) because the
+    /// remote backend treats a dead connection as *retryable* — the
+    /// worker's unacknowledged trials are re-dispatched to survivors —
+    /// while a reported error is always fatal.
+    Disconnected {
+        /// The worker whose connection died (address, or `all` when no
+        /// survivor remained to re-dispatch to).
+        worker: String,
+        /// What the transport reported.
+        detail: String,
+    },
     /// A frame larger than the transport's safety limit.
     Oversized {
         /// Length announced by the frame header.
@@ -58,7 +75,8 @@ pub enum BackendError {
         max: u64,
     },
     /// The peer violated the campaign protocol (wrong frame kind,
-    /// missing events, events for unplanned targets).
+    /// missing events, events for unplanned targets, golden-run
+    /// divergence between workers).
     Protocol(String),
     /// A worker reported a fatal error of its own.
     Remote(String),
@@ -69,6 +87,9 @@ impl fmt::Display for BackendError {
         match self {
             BackendError::Wire(e) => write!(f, "wire codec: {e}"),
             BackendError::Io(e) => write!(f, "transport: {e}"),
+            BackendError::Disconnected { worker, detail } => {
+                write!(f, "worker {worker} disconnected: {detail}")
+            }
             BackendError::Oversized { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
             }
@@ -92,65 +113,119 @@ impl From<std::io::Error> for BackendError {
     }
 }
 
+/// Where a job's fault-free reference (golden run + checkpoint store)
+/// comes from.
+#[derive(Debug, Clone)]
+pub enum GoldenSpec {
+    /// The driver already executed the golden pass and hands the
+    /// results over. Over the wire only the store's *content hash*
+    /// travels with the setup — a worker that already caches the store
+    /// replies `HAVE` and the bytes are never re-shipped.
+    Shipped {
+        /// Serialized fault-free checkpoints (`Arc` so a cache or a
+        /// multi-worker fan-out never deep-copies the blobs).
+        store: Arc<CheckpointStore>,
+        /// The fault-free reference run the store was captured from.
+        golden: GoldenRun,
+        /// Cycle watchdog budget of every trial (hang ⇒ DUE).
+        cycle_budget: u64,
+    },
+    /// The execution venue runs [`avf_sim::golden_run_checkpointed`]
+    /// itself from the shipped program/machine. N remote workers warm
+    /// up in parallel, the driver never simulates the prefix, and the
+    /// driver cross-checks that every worker reports the identical
+    /// golden digest.
+    Delegated {
+        /// Golden-run checkpoint spacing in cycles (must be positive).
+        checkpoint_interval: u64,
+    },
+}
+
 /// Everything an execution venue needs to run trials for one campaign:
-/// program, machine, golden-run checkpoints, and budgets. The driver
-/// builds one per campaign; backends may clone it to any number of
-/// workers.
+/// program, machine, instruction budget, and the golden-run source.
+/// The driver builds one per campaign; backends may clone it to any
+/// number of workers.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// Machine configuration the plan was sampled against.
     pub machine: MachineConfig,
     /// Program under injection.
     pub program: Program,
-    /// Serialized fault-free checkpoints (workers restore the nearest
-    /// one instead of replaying the prefix).
-    pub store: CheckpointStore,
-    /// Committed-instruction budget of every trial.
+    /// Committed-instruction budget of every trial (and of a delegated
+    /// golden run).
     pub instr_budget: u64,
-    /// Cycle watchdog budget of every trial (hang ⇒ DUE).
-    pub cycle_budget: u64,
-    /// Memory digest of the fault-free run (the SDC comparator).
-    pub golden_digest: u64,
+    /// Where the fault-free reference comes from.
+    pub golden: GoldenSpec,
 }
 
-impl JobSpec {
-    /// Serializes the job to a self-contained enveloped blob.
-    #[must_use]
-    pub fn to_wire(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
-        w.envelope(kind::JOB_SETUP);
-        self.machine.encode(&mut w);
-        self.program.encode(&mut w);
-        self.store.encode(&mut w);
-        w.u64(self.instr_budget);
-        w.u64(self.cycle_budget);
-        w.u64(self.golden_digest);
-        w.into_bytes()
-    }
+/// The hang watchdog every trial runs under, derived from the golden
+/// run's length: a faulty run materially slower than the reference
+/// counts as a detected (timeout) error. One shared formula so the
+/// driver, the local backend, and every remote worker agree bit-for-bit
+/// on trial classification.
+#[must_use]
+pub fn cycle_budget_of(golden_cycles: u64) -> u64 {
+    golden_cycles.saturating_mul(4).saturating_add(50_000)
+}
 
-    /// Decodes a job written by [`JobSpec::to_wire`].
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`WireError`] on envelope mismatch, truncation, or an
-    /// invalid machine/program payload.
-    pub fn from_wire(bytes: &[u8]) -> Result<JobSpec, WireError> {
-        let mut r = WireReader::new(bytes);
-        r.expect_envelope(kind::JOB_SETUP)?;
-        let machine = MachineConfig::decode(&mut r)?;
-        let program = Program::decode(&mut r)?;
-        let store = CheckpointStore::decode(&mut r)?;
-        let spec = JobSpec {
-            machine,
-            program,
-            store,
-            instr_budget: r.u64()?,
-            cycle_budget: r.u64()?,
-            golden_digest: r.u64()?,
-        };
-        r.finish()?;
-        Ok(spec)
+/// How one worker obtained the job's checkpoint store at `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreSource {
+    /// The worker already held the store (content-hash cache hit).
+    Cached,
+    /// The store was shipped to the worker over the session.
+    Shipped,
+    /// The worker executed the golden run itself.
+    GoldenRun,
+}
+
+impl fmt::Display for StoreSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StoreSource::Cached => "cached",
+            StoreSource::Shipped => "shipped",
+            StoreSource::GoldenRun => "golden-run",
+        })
     }
+}
+
+/// Per-worker record of how `open` provisioned the checkpoint store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerProvision {
+    /// Worker identity (remote address, or `local`).
+    pub worker: String,
+    /// How the worker obtained the store.
+    pub source: StoreSource,
+}
+
+/// One dispatch of trials to one worker, recorded by the session so the
+/// campaign report carries the full per-worker dispatch/re-dispatch
+/// trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// Driver batch index (0-based submit counter of the session).
+    pub batch: u64,
+    /// Worker the shard went to (remote address, or `local#k`).
+    pub worker: String,
+    /// Trials in the shard.
+    pub trials: u64,
+    /// Whether this dispatch re-queued trials a dead worker never
+    /// acknowledged (`false` for the batch's initial fan-out).
+    pub redispatched: bool,
+}
+
+/// A bound job: the batch session plus everything the venue resolved
+/// while setting it up.
+pub struct OpenedJob {
+    /// The session trial batches are submitted through.
+    pub session: Box<dyn CampaignSession>,
+    /// The fault-free reference — measured by the venue in delegated
+    /// mode, echoed back in shipped mode.
+    pub golden: GoldenRun,
+    /// Checkpoints in the job's store.
+    pub checkpoints: usize,
+    /// How each worker obtained the store.
+    pub provisioning: Vec<WorkerProvision>,
 }
 
 /// One classified trial outcome, streamed back from wherever the trial
@@ -243,22 +318,23 @@ pub fn decode_trial_batch(bytes: &[u8]) -> Result<Vec<Trial>, WireError> {
 
 /// An execution venue for campaign trials.
 ///
-/// Implementations bind a [`JobSpec`] once (paying setup — checkpoint
-/// decode, connections — a single time) and then execute any number of
-/// trial batches against it.
+/// Implementations bind a [`JobSpec`] once (paying setup — golden run
+/// or checkpoint decode, connections — a single time) and then execute
+/// any number of trial batches against it.
 pub trait CampaignBackend {
     /// Degree of parallelism this backend reports (recorded in the
     /// campaign report; never affects results).
     fn workers(&self) -> usize;
 
-    /// Binds a job to this venue, returning the session batches are
-    /// submitted through.
+    /// Binds a job to this venue, returning the opened session plus the
+    /// golden run the venue resolved.
     ///
     /// # Errors
     ///
     /// Returns a [`BackendError`] if the venue cannot accept the job
-    /// (bad checkpoints, unreachable workers).
-    fn open(&self, spec: JobSpec) -> Result<Box<dyn CampaignSession>, BackendError>;
+    /// (bad checkpoints, unreachable workers, golden-run divergence
+    /// between workers).
+    fn open(&self, spec: JobSpec) -> Result<OpenedJob, BackendError>;
 }
 
 /// One campaign's execution state on a backend.
@@ -271,6 +347,13 @@ pub trait CampaignSession {
     ///
     /// Returns a [`BackendError`] if the batch cannot be dispatched.
     fn submit(&mut self, trials: &[Trial]) -> Result<TrialStream, BackendError>;
+
+    /// Every dispatch the session performed so far, in dispatch order —
+    /// including re-dispatches of trials a dead worker never
+    /// acknowledged. Default: no record kept.
+    fn dispatch_log(&self) -> Vec<DispatchRecord> {
+        Vec::new()
+    }
 }
 
 /// Streaming iterator of per-trial outcomes for one submitted batch.
@@ -455,36 +538,86 @@ impl CampaignBackend for LocalBackend {
         self.workers
     }
 
-    fn open(&self, spec: JobSpec) -> Result<Box<dyn CampaignSession>, BackendError> {
+    fn open(&self, spec: JobSpec) -> Result<OpenedJob, BackendError> {
+        let (store, golden, cycle_budget, source) = match spec.golden {
+            GoldenSpec::Shipped {
+                store,
+                golden,
+                cycle_budget,
+            } => (store, golden, cycle_budget, StoreSource::Shipped),
+            GoldenSpec::Delegated {
+                checkpoint_interval,
+            } => {
+                if checkpoint_interval == 0 {
+                    return Err(BackendError::Protocol(
+                        "delegated golden run needs a positive checkpoint interval".to_owned(),
+                    ));
+                }
+                let (golden, store) = golden_run_checkpointed(
+                    &spec.machine,
+                    &spec.program,
+                    spec.instr_budget,
+                    checkpoint_interval,
+                );
+                (
+                    Arc::new(store),
+                    golden,
+                    cycle_budget_of(golden.cycles),
+                    StoreSource::GoldenRun,
+                )
+            }
+        };
+        let checkpoints_total = store.len();
         // Decode each checkpoint once per campaign; workers restore by
         // deep clone instead of re-parsing blobs per batch.
-        let checkpoints = spec.store.decode_all(&spec.machine, &spec.program)?;
-        Ok(Box::new(LocalSession {
-            job: Arc::new(LocalJob {
-                machine: spec.machine,
-                program: spec.program,
-                checkpoints,
-                instr_budget: spec.instr_budget,
-                cycle_budget: spec.cycle_budget,
-                golden_digest: spec.golden_digest,
+        let checkpoints = store.decode_all(&spec.machine, &spec.program)?;
+        Ok(OpenedJob {
+            session: Box::new(LocalSession {
+                job: Arc::new(LocalJob {
+                    machine: spec.machine,
+                    program: spec.program,
+                    checkpoints,
+                    instr_budget: spec.instr_budget,
+                    cycle_budget,
+                    golden_digest: golden.digest,
+                }),
+                workers: self.workers,
+                log: Vec::new(),
+                batch: 0,
             }),
-            workers: self.workers,
-        }))
+            golden,
+            checkpoints: checkpoints_total,
+            provisioning: vec![WorkerProvision {
+                worker: "local".to_owned(),
+                source,
+            }],
+        })
     }
 }
 
 struct LocalSession {
     job: Arc<LocalJob>,
     workers: usize,
+    log: Vec<DispatchRecord>,
+    batch: u64,
 }
 
 impl CampaignSession for LocalSession {
     fn submit(&mut self, trials: &[Trial]) -> Result<TrialStream, BackendError> {
+        let batch = self.batch;
+        self.batch += 1;
         let (tx, rx) = mpsc::channel();
         let handles = shard_trials(trials, self.workers)
             .into_iter()
-            .filter(|shard| !shard.is_empty())
-            .map(|shard| {
+            .enumerate()
+            .filter(|(_, shard)| !shard.is_empty())
+            .map(|(k, shard)| {
+                self.log.push(DispatchRecord {
+                    batch,
+                    worker: format!("local#{k}"),
+                    trials: shard.len() as u64,
+                    redispatched: false,
+                });
                 let job = Arc::clone(&self.job);
                 let tx = tx.clone();
                 std::thread::spawn(move || job.run_shard(&shard, &tx))
@@ -494,6 +627,10 @@ impl CampaignSession for LocalSession {
         // last worker finishes.
         drop(tx);
         Ok(TrialStream::new(rx, handles))
+    }
+
+    fn dispatch_log(&self) -> Vec<DispatchRecord> {
+        self.log.clone()
     }
 }
 

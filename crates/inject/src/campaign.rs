@@ -1,12 +1,14 @@
 //! The campaign driver (engine v3): planning and aggregation only.
 //!
 //! Engine v2 added checkpointed forks and adaptive sequential sampling;
-//! v3 splits the *driver* (golden run, batch planning, CI-driven
-//! allocation, aggregation) from the *execution venue*. All trial
-//! execution goes through the [`CampaignBackend`] protocol: the driver
-//! opens a session with a [`JobSpec`] (program + machine + serialized
-//! checkpoints + budgets), submits trial batches, and folds the
-//! [`TrialEvent`] stream into outcome counts. [`LocalBackend`] gives
+//! v3 splits the *driver* (batch planning, CI-driven allocation,
+//! aggregation) from the *execution venue*. All trial execution goes
+//! through the [`CampaignBackend`] protocol: the driver opens a
+//! session with a [`JobSpec`] (program + machine + budget + golden-run
+//! source), submits trial batches, and folds the [`TrialEvent`] stream
+//! into outcome counts. Even the golden pass belongs to the venue by
+//! default ([`GoldenMode::Worker`]): remote workers execute it in
+//! parallel and the driver simulates nothing. [`LocalBackend`] gives
 //! the classic in-process thread pool; `avf-service`'s `RemoteBackend`
 //! fans the same batches out over TCP — with a fixed seed both produce
 //! identical reports, because every sample is a pure function of
@@ -16,16 +18,36 @@
 //! sweep, so it runs concurrently with the batch loop inside the same
 //! thread scope (on a single hardware thread the two simply serialize).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use avf_isa::Program;
 use avf_sim::{golden_run_checkpointed, simulate, MachineConfig};
 
 use crate::adaptive::allocate_batch;
-use crate::backend::{BackendError, CampaignBackend, JobSpec, LocalBackend};
+use crate::backend::{
+    cycle_budget_of, BackendError, CampaignBackend, GoldenSpec, JobSpec, LocalBackend,
+};
 use crate::plan::SamplingPlan;
 use crate::report::{ace_avf_of, BatchProgress, CampaignReport, StopReason, TargetReport};
 use crate::stats::OutcomeCounts;
+
+/// Who executes the fault-free golden pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GoldenMode {
+    /// The execution venue runs the golden pass itself
+    /// ([`GoldenSpec::Delegated`]): remote workers warm up in parallel
+    /// and the driver never simulates the prefix locally. The driver
+    /// cross-checks that every worker reports the identical golden
+    /// digest.
+    #[default]
+    Worker,
+    /// The driver runs the golden pass locally and ships the
+    /// checkpoint store ([`GoldenSpec::Shipped`]) — subject to the
+    /// content-hash cache handshake, so a worker that already holds
+    /// the store never receives the bytes again.
+    Driver,
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -54,6 +76,10 @@ pub struct CampaignConfig {
     /// the instruction budget, which lands near 4–16 checkpoints at
     /// typical IPC).
     pub checkpoint_interval: u64,
+    /// Who executes the golden pass (default: the execution venue).
+    /// Either mode yields a bit-identical report at a fixed seed — the
+    /// golden run is deterministic, so only *where* it executes moves.
+    pub golden_mode: GoldenMode,
 }
 
 impl Default for CampaignConfig {
@@ -67,6 +93,7 @@ impl Default for CampaignConfig {
             ci_target: None,
             batch_size: 128,
             checkpoint_interval: 0,
+            golden_mode: GoldenMode::Worker,
         }
     }
 }
@@ -129,24 +156,34 @@ impl<'a> Campaign<'a> {
     /// campaign (unreachable workers, protocol violation, codec skew).
     pub fn run_on(&self, backend: &dyn CampaignBackend) -> Result<CampaignReport, BackendError> {
         let start = Instant::now();
-        let (golden, store) = golden_run_checkpointed(
-            self.machine,
-            self.program,
-            self.config.instr_budget,
-            self.config.effective_checkpoint_interval(),
-        );
-        let checkpoints = store.len();
-        // Hang watchdog: a faulty run materially slower than the golden
-        // run counts as a detected (timeout) error.
-        let cycle_budget = golden.cycles.saturating_mul(4).saturating_add(50_000);
-        let mut session = backend.open(JobSpec {
+        let golden_spec = match self.config.golden_mode {
+            GoldenMode::Worker => GoldenSpec::Delegated {
+                checkpoint_interval: self.config.effective_checkpoint_interval(),
+            },
+            GoldenMode::Driver => {
+                let (golden, store) = golden_run_checkpointed(
+                    self.machine,
+                    self.program,
+                    self.config.instr_budget,
+                    self.config.effective_checkpoint_interval(),
+                );
+                GoldenSpec::Shipped {
+                    store: Arc::new(store),
+                    golden,
+                    cycle_budget: cycle_budget_of(golden.cycles),
+                }
+            }
+        };
+        let opened = backend.open(JobSpec {
             machine: self.machine.clone(),
             program: self.program.clone(),
-            store,
             instr_budget: self.config.instr_budget,
-            cycle_budget,
-            golden_digest: golden.digest,
+            golden: golden_spec,
         })?;
+        let golden = opened.golden;
+        let checkpoints = opened.checkpoints;
+        let provisioning = opened.provisioning;
+        let mut session = opened.session;
 
         let mut counts = vec![OutcomeCounts::default(); self.config.targets.len()];
         let mut batches: Vec<BatchProgress> = Vec::new();
@@ -278,6 +315,8 @@ impl<'a> Campaign<'a> {
             stop,
             batches,
             checkpoints,
+            provisioning,
+            dispatches: session.dispatch_log(),
             wall: start.elapsed(),
         })
     }

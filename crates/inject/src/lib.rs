@@ -33,15 +33,19 @@
 //!   stopping as soon as every target reaches the precision target
 //!   (sequential sampling);
 //! * [`CampaignBackend`] / [`CampaignSession`] — the execution seam: a
-//!   backend binds a [`JobSpec`] (program, machine, checkpoint store,
-//!   budgets — all wire-encodable) and streams per-trial
+//!   backend binds a [`JobSpec`] (program, machine, budget, and a
+//!   [`GoldenSpec`] saying whether the venue receives the checkpoint
+//!   store or executes the golden pass itself) and streams per-trial
 //!   [`TrialEvent`]s back as they complete. [`LocalBackend`] is the
 //!   in-process thread pool (cycle-sorted strided shards, each worker
 //!   restoring the nearest checkpoint and forking with
 //!   [`avf_sim::InjectionSim::snapshot`]/`restore` at each injection
 //!   point); `avf-service` adds a TCP `RemoteBackend` plus the matching
-//!   long-running server, and a fixed seed yields identical reports on
-//!   either;
+//!   long-running server — with content-hash checkpoint caching,
+//!   parallel worker-side golden runs (digest cross-checked), and
+//!   re-dispatch of a dead worker's unacknowledged trials — and a
+//!   fixed seed yields identical reports on any of them, worker
+//!   failures included;
 //! * [`CampaignReport`] — per-structure outcome counts, measured AVF
 //!   with 95% Wilson confidence intervals, per-batch convergence
 //!   progress with the early-exit reason ([`StopReason`]), and the ACE
@@ -71,10 +75,11 @@ mod report;
 mod stats;
 
 pub use backend::{
-    classify_trial, decode_trial_batch, encode_trial_batch, shard_trials, BackendError,
-    CampaignBackend, CampaignSession, JobSpec, LocalBackend, TrialEvent, TrialStream,
+    classify_trial, cycle_budget_of, decode_trial_batch, encode_trial_batch, shard_trials,
+    BackendError, CampaignBackend, CampaignSession, DispatchRecord, GoldenSpec, JobSpec,
+    LocalBackend, OpenedJob, StoreSource, TrialEvent, TrialStream, WorkerProvision,
 };
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{Campaign, CampaignConfig, GoldenMode};
 pub use plan::{SamplingPlan, Trial};
 pub use report::{BatchProgress, CampaignReport, StopReason, TargetReport, Verdict};
 pub use stats::{wilson_interval, OutcomeCounts};

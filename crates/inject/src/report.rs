@@ -6,6 +6,7 @@ use std::time::Duration;
 use avf_ace::AvfReport;
 use avf_sim::{GoldenRun, InjectionTarget};
 
+use crate::backend::{DispatchRecord, WorkerProvision};
 use crate::stats::OutcomeCounts;
 
 /// Numerical slack when comparing a point estimate to a CI edge.
@@ -161,6 +162,15 @@ pub struct CampaignReport {
     pub batches: Vec<BatchProgress>,
     /// Golden-run checkpoints the trial workers restored from.
     pub checkpoints: usize,
+    /// How each worker obtained the checkpoint store at job setup
+    /// (cache hit, shipped bytes, or its own golden run).
+    pub provisioning: Vec<WorkerProvision>,
+    /// Every dispatch of trials to a worker, in dispatch order — the
+    /// per-worker trajectory, including re-dispatches of shards whose
+    /// worker died mid-batch. Venue-dependent metadata: two runs with
+    /// different worker fates still produce identical statistical
+    /// results (counts, CIs, trajectory, stop reason).
+    pub dispatches: Vec<DispatchRecord>,
     /// Campaign wall-clock time.
     pub wall: Duration,
 }
@@ -216,6 +226,17 @@ impl CampaignReport {
             .iter()
             .all(|t| t.counts.half_width95() <= target)
     }
+
+    /// Trials that had to be re-dispatched because their worker's
+    /// connection died mid-batch (0 on a fault-free run).
+    #[must_use]
+    pub fn redispatched_trials(&self) -> u64 {
+        self.dispatches
+            .iter()
+            .filter(|d| d.redispatched)
+            .map(|d| d.trials)
+            .sum()
+    }
 }
 
 impl fmt::Display for CampaignReport {
@@ -268,6 +289,13 @@ impl fmt::Display for CampaignReport {
                 hi,
                 t.ace_avf,
                 t.verdict().name()
+            )?;
+        }
+        if self.redispatched_trials() > 0 {
+            writeln!(
+                f,
+                "  re-dispatched {} trial(s) to surviving workers after connection loss",
+                self.redispatched_trials()
             )?;
         }
         if self.unreached() > 0 {

@@ -25,14 +25,22 @@ pub const WIRE_MAGIC: [u8; 4] = *b"AVFW";
 
 /// Format version of every enveloped blob. Bump on any incompatible
 /// change to an enveloped payload's layout.
-pub const WIRE_VERSION: u8 = 2;
+///
+/// v3: `JOB_SETUP` no longer embeds the checkpoint store inline — it
+/// carries a content hash plus a golden-run mode, with the store (when
+/// needed at all) following in a separate `STORE_DATA` frame after a
+/// `STORE_NEED` reply.
+pub const WIRE_VERSION: u8 = 3;
+
+/// Bytes an envelope occupies on the wire: magic + version + kind.
+pub const ENVELOPE_BYTES: usize = 6;
 
 /// Registry of envelope kind bytes, so the payload kinds that cross
 /// process boundaries cannot collide.
 pub mod kind {
     /// A serialized [`avf-sim`] pipeline snapshot (checkpoint blob).
     pub const SNAPSHOT: u8 = 1;
-    /// A campaign job specification (program + machine + checkpoints).
+    /// A campaign job specification (program + machine + store hash).
     pub const JOB_SETUP: u8 = 2;
     /// One batch of planned injection trials.
     pub const TRIAL_BATCH: u8 = 3;
@@ -42,6 +50,33 @@ pub mod kind {
     pub const BATCH_DONE: u8 = 5;
     /// A fatal error reported by a campaign worker.
     pub const SERVICE_ERROR: u8 = 6;
+    /// Worker already holds the job's checkpoint store (cache hit).
+    pub const STORE_HAVE: u8 = 7;
+    /// Worker needs the job's checkpoint store (cache miss).
+    pub const STORE_NEED: u8 = 8;
+    /// A full checkpoint store shipped in response to [`STORE_NEED`].
+    pub const STORE_DATA: u8 = 9;
+    /// Worker finished job setup (store resolved, golden run known).
+    pub const JOB_READY: u8 = 10;
+}
+
+/// 64-bit FNV-1a content hash with a leading domain byte.
+///
+/// This keys the worker-side checkpoint-store cache: hashes over
+/// different byte streams in different *domains* (store contents vs.
+/// delegated-job parameters) must not collide structurally, so every
+/// hash mixes in a domain tag first. Not cryptographic — the cache is a
+/// bandwidth optimization between trusted peers, and a mismatch is
+/// re-verified by the worker before use.
+#[must_use]
+pub fn content_hash64(domain: u8, bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = (OFFSET ^ u64::from(domain)).wrapping_mul(PRIME);
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
 }
 
 /// Error decoding a wire blob: truncated input, a bad tag, an envelope
@@ -507,6 +542,20 @@ mod tests {
         w.usize(1 << 40);
         let bytes = w.into_bytes();
         assert_eq!(WireReader::new(&bytes).str(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn content_hash_separates_domains_and_inputs() {
+        let a = content_hash64(0, b"checkpoint store bytes");
+        assert_eq!(a, content_hash64(0, b"checkpoint store bytes"), "stable");
+        assert_ne!(a, content_hash64(1, b"checkpoint store bytes"), "domains");
+        assert_ne!(a, content_hash64(0, b"checkpoint store bytez"), "content");
+        // The canonical FNV-1a offset basis survives the domain mixing
+        // (domain 0 of the empty string is a fixed, documented value).
+        assert_eq!(
+            content_hash64(0, b""),
+            0xCBF2_9CE4_8422_2325u64.wrapping_mul(0x0000_0100_0000_01B3)
+        );
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Bounded worker-side checkpoint-store cache.
+//!
+//! Re-shipping a multi-megabyte [`CheckpointStore`] to every worker on
+//! every campaign is the single biggest waste on a real network: the
+//! store is a pure function of `(machine, program, instruction budget,
+//! checkpoint interval)`, and a validation sweep re-runs the same four
+//! programs per invocation. The service therefore keys every job by a
+//! 64-bit content hash ([`avf_isa::wire::content_hash64`]) and a worker
+//! answers the `JOB_SETUP` handshake with `HAVE` (skip the bytes / the
+//! golden re-run entirely) or `NEED`.
+//!
+//! The cache is bounded both by entry count and by total serialized
+//! bytes, evicting least-recently-used entries first, so a long-lived
+//! `serve` process cannot grow without limit no matter how many
+//! distinct campaigns pass through it. One cache is shared by every
+//! connection of a server (`Arc` + mutex — entries hold `Arc`s, so a
+//! hit never copies blob bytes under the lock).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use avf_sim::{CheckpointStore, GoldenRun};
+
+/// Default entry bound of a server's cache.
+pub const DEFAULT_CACHE_ENTRIES: usize = 16;
+
+/// Default byte bound of a server's cache (serialized store bytes).
+pub const DEFAULT_CACHE_BYTES: usize = 512 << 20;
+
+/// One cached job setup: the checkpoint store plus the golden run it
+/// was captured from.
+#[derive(Clone)]
+pub struct CacheEntry {
+    /// Serialized fault-free checkpoints.
+    pub store: Arc<CheckpointStore>,
+    /// The golden run the store belongs to.
+    pub golden: GoldenRun,
+}
+
+/// Cache observability counters (monotonic over the cache's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to respect the bounds.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Serialized bytes currently held.
+    pub bytes: usize,
+}
+
+struct Inner {
+    /// `hash -> (entry, recency stamp)`.
+    map: HashMap<u64, (CacheEntry, u64)>,
+    /// Monotonic use counter backing the LRU order.
+    clock: u64,
+    bytes: usize,
+    max_entries: usize,
+    max_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded LRU of checkpoint stores keyed by content hash, shared by
+/// every connection of one server.
+pub struct StoreCache {
+    inner: Mutex<Inner>,
+}
+
+impl StoreCache {
+    /// A cache bounded by `max_entries` entries and `max_bytes` total
+    /// serialized store bytes (both clamped to at least one entry's
+    /// worth so a cache can never refuse everything).
+    #[must_use]
+    pub fn new(max_entries: usize, max_bytes: usize) -> StoreCache {
+        StoreCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+                max_entries: max_entries.max(1),
+                max_bytes,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// A default-bounded cache behind the `Arc` the server clones per
+    /// connection.
+    #[must_use]
+    pub fn shared() -> Arc<StoreCache> {
+        Arc::new(StoreCache::new(DEFAULT_CACHE_ENTRIES, DEFAULT_CACHE_BYTES))
+    }
+
+    /// Looks `hash` up, refreshing its recency. Counts a hit or miss.
+    #[must_use]
+    pub fn get(&self, hash: u64) -> Option<CacheEntry> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&hash) {
+            Some((entry, stamp)) => {
+                *stamp = clock;
+                let entry = entry.clone();
+                inner.hits += 1;
+                Some(entry)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `hash`, evicting least-recently-used
+    /// entries until both bounds hold. An entry larger than the byte
+    /// bound is still admitted alone — the handshake already paid for
+    /// it, so refusing would only force an immediate re-ship.
+    pub fn insert(&self, hash: u64, entry: CacheEntry) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        let size = entry.store.total_bytes();
+        if let Some((old, _)) = inner.map.remove(&hash) {
+            inner.bytes -= old.store.total_bytes();
+        }
+        inner.map.insert(hash, (entry, clock));
+        inner.bytes += size;
+        while inner.map.len() > inner.max_entries
+            || (inner.bytes > inner.max_bytes && inner.map.len() > 1)
+        {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&h, _)| h)
+                .expect("non-empty map");
+            if lru == hash && inner.map.len() == 1 {
+                break;
+            }
+            let (evicted, _) = inner.map.remove(&lru).expect("lru key present");
+            inner.bytes -= evicted.store.total_bytes();
+            inner.evictions += 1;
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avf_sim::{golden_run_checkpointed, MachineConfig};
+
+    fn entry(seed: u64) -> CacheEntry {
+        // Distinct stores via distinct checkpoint intervals.
+        let machine = MachineConfig::baseline();
+        let program = avf_workloads::testkit::idle_loop();
+        let (golden, store) = golden_run_checkpointed(&machine, &program, 400, 50 + seed);
+        CacheEntry {
+            store: Arc::new(store),
+            golden,
+        }
+    }
+
+    #[test]
+    fn hits_refresh_recency_and_bounds_evict_lru() {
+        let cache = StoreCache::new(2, usize::MAX);
+        cache.insert(1, entry(1));
+        cache.insert(2, entry(2));
+        assert!(cache.get(1).is_some(), "warm entry");
+        // Inserting a third must evict the least recently used: 2.
+        cache.insert(3, entry(3));
+        assert!(cache.get(2).is_none(), "LRU evicted");
+        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn byte_bound_evicts_but_never_refuses_the_newest() {
+        let e = entry(0);
+        let size = e.store.total_bytes();
+        assert!(size > 0);
+        // Bound below one store: the newest entry is still admitted.
+        let cache = StoreCache::new(8, size / 2);
+        cache.insert(1, e.clone());
+        assert!(cache.get(1).is_some(), "oversize entry admitted alone");
+        // A second insert evicts the first to respect the bound.
+        cache.insert(2, e);
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn reinserting_the_same_hash_does_not_double_count_bytes() {
+        let cache = StoreCache::new(4, usize::MAX);
+        let e = entry(0);
+        let size = e.store.total_bytes();
+        cache.insert(7, e.clone());
+        cache.insert(7, e);
+        assert_eq!(cache.stats().bytes, size);
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -9,6 +9,7 @@
 //! decoder ever runs.
 
 use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
 
 use avf_inject::BackendError;
 
@@ -79,10 +80,124 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, BackendError> {
     Ok(Some(payload))
 }
 
+/// Frames buffered before a coalesced flush.
+pub const COALESCE_MAX_FRAMES: usize = 32;
+
+/// Longest a queued frame may wait for companions before the next
+/// `push` flushes it anyway.
+pub const COALESCE_MAX_DELAY: Duration = Duration::from_millis(2);
+
+/// A frame writer that coalesces small frames into one write syscall.
+///
+/// The event path used to `write + flush` per [`TrialEvent`] — fine on
+/// loopback, chatty on a real network (an event frame is 16 bytes of
+/// payload; per-frame flushing costs a syscall and, without
+/// `TCP_NODELAY`, a round trip each). `push` queues the frame and
+/// flushes once [`COALESCE_MAX_FRAMES`] are pending or the oldest
+/// queued frame is [`COALESCE_MAX_DELAY`] old, so a fast trial stream
+/// batches up while a trickling one still goes out promptly. Callers
+/// flush explicitly at protocol barriers (end-of-batch, handshake
+/// replies) — coalescing changes *when* bytes move, never what they
+/// are, so determinism tests are unaffected.
+///
+/// [`TrialEvent`]: avf_inject::TrialEvent
+pub struct FrameBatcher<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+    pending: usize,
+    oldest: Option<Instant>,
+    max_frames: usize,
+    max_delay: Duration,
+}
+
+impl<W: Write> FrameBatcher<W> {
+    /// A batcher with the default count/time window.
+    pub fn new(inner: W) -> FrameBatcher<W> {
+        FrameBatcher::with_window(inner, COALESCE_MAX_FRAMES, COALESCE_MAX_DELAY)
+    }
+
+    /// A batcher with an explicit window (`max_frames` clamped to ≥ 1).
+    pub fn with_window(inner: W, max_frames: usize, max_delay: Duration) -> FrameBatcher<W> {
+        FrameBatcher {
+            inner,
+            buf: Vec::new(),
+            pending: 0,
+            oldest: None,
+            max_frames: max_frames.max(1),
+            max_delay,
+        }
+    }
+
+    /// Queues one frame, flushing if the count or time window closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Oversized`] for a payload beyond
+    /// [`MAX_FRAME_BYTES`] (nothing is queued), or the transport error
+    /// of a triggered flush.
+    pub fn push(&mut self, payload: &[u8]) -> Result<(), BackendError> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_FRAME_BYTES)
+            .ok_or(BackendError::Oversized {
+                len: payload.len() as u64,
+                max: u64::from(MAX_FRAME_BYTES),
+            })?;
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.pending += 1;
+        let oldest = *self.oldest.get_or_insert_with(Instant::now);
+        if self.pending >= self.max_frames || oldest.elapsed() >= self.max_delay {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes every queued frame in one syscall and flushes the
+    /// transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error. A failed flush **poisons the
+    /// stream**: an unknown prefix of the queued bytes may already be
+    /// on the wire, so re-sending could never be safe — the queue is
+    /// dropped and the connection must be abandoned (which is what
+    /// every frame-level failure means on this protocol anyway).
+    pub fn flush(&mut self) -> Result<(), BackendError> {
+        if !self.buf.is_empty() {
+            let wrote = self.inner.write_all(&self.buf);
+            self.buf.clear();
+            self.pending = 0;
+            self.oldest = None;
+            wrote?;
+        }
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::Cursor;
+
+    /// A sink that counts write syscalls.
+    #[derive(Default)]
+    struct CountingSink {
+        bytes: Vec<u8>,
+        writes: usize,
+    }
+
+    impl Write for &mut CountingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writes += 1;
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
 
     #[test]
     fn frames_round_trip() {
@@ -95,6 +210,76 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![7u8; 1000]);
         assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn batcher_coalesces_frames_and_preserves_the_byte_stream() {
+        let mut plain = Vec::new();
+        let payloads: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 16]).collect();
+        for p in &payloads {
+            write_frame(&mut plain, p).unwrap();
+        }
+
+        let mut sink = CountingSink::default();
+        {
+            // A window wider than the burst: everything coalesces into
+            // one write at the explicit flush.
+            let mut b = FrameBatcher::with_window(&mut sink, 64, Duration::from_secs(60));
+            for p in &payloads {
+                b.push(p).unwrap();
+            }
+            b.flush().unwrap();
+        }
+        assert_eq!(sink.writes, 1, "ten frames, one syscall");
+        assert_eq!(sink.bytes, plain, "coalescing must not alter the stream");
+
+        // Decoders see the identical frame sequence.
+        let mut r = Cursor::new(sink.bytes);
+        for p in &payloads {
+            assert_eq!(&read_frame(&mut r).unwrap().unwrap(), p);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn batcher_count_window_triggers_intermediate_flushes() {
+        let mut sink = CountingSink::default();
+        {
+            let mut b = FrameBatcher::with_window(&mut sink, 4, Duration::from_secs(60));
+            for i in 0..9u8 {
+                b.push(&[i]).unwrap();
+            }
+            b.flush().unwrap();
+        }
+        // 9 frames at a window of 4: flushes at 4, 8, and the final 1.
+        assert_eq!(sink.writes, 3);
+    }
+
+    #[test]
+    fn batcher_time_window_flushes_stale_frames_on_the_next_push() {
+        let mut sink = CountingSink::default();
+        {
+            let mut b = FrameBatcher::with_window(&mut sink, 1024, Duration::ZERO);
+            b.push(b"first").unwrap();
+            // Zero delay: the queued frame is already stale, so this
+            // push flushes both immediately.
+            b.push(b"second").unwrap();
+        }
+        assert!(sink.writes >= 1);
+        let mut r = Cursor::new(sink.bytes);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"second");
+    }
+
+    #[test]
+    fn batcher_rejects_oversized_frames_without_queueing() {
+        let huge = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+        let mut sink = CountingSink::default();
+        let mut b = FrameBatcher::new(&mut sink);
+        assert!(matches!(b.push(&huge), Err(BackendError::Oversized { .. })));
+        b.flush().unwrap();
+        drop(b);
+        assert!(sink.bytes.is_empty(), "nothing queued for the bad frame");
     }
 
     #[test]

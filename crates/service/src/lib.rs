@@ -9,23 +9,36 @@
 //! socket:
 //!
 //! * [`frame`] — length-prefixed framing with an allocation-bounding
-//!   size limit;
-//! * [`protocol`] — the session schema (job setup → batches → streamed
-//!   events), every payload wrapped in the `avf_isa::wire` magic +
-//!   version envelope so stale or foreign peers fail typed;
+//!   size limit, plus a count/time-window [`frame::FrameBatcher`] so
+//!   the event hot path does not pay one syscall per 16-byte frame;
+//! * [`protocol`] — the session schema (job setup → store handshake →
+//!   batches → streamed events), every payload wrapped in the
+//!   `avf_isa::wire` magic + version envelope so stale or foreign
+//!   peers fail typed;
+//! * [`cache`] — the bounded worker-side LRU of checkpoint stores
+//!   keyed by content hash, behind the `HAVE`/`NEED` handshake that
+//!   keeps identical stores from ever being re-shipped;
 //! * [`serve`] / [`spawn_local`] — the long-running job server
 //!   (`avf-stressmark serve`), a thin wire adapter over the same
-//!   `LocalBackend` the in-process path uses;
+//!   `LocalBackend` the in-process path uses — including worker-side
+//!   golden runs, so N workers warm a campaign up in parallel while
+//!   the driver simulates nothing;
 //! * [`RemoteBackend`] — the client, fanning each batch's cycle-sorted
-//!   shards across one or more workers and merging their event streams.
+//!   shards across one or more workers, merging their event streams,
+//!   and **re-dispatching** the unacknowledged trials of any worker
+//!   whose connection dies mid-batch onto the survivors.
 //!
 //! Determinism is the design invariant: with a fixed seed, a campaign
 //! over `RemoteBackend` produces a [`CampaignReport`] identical to the
 //! local run — same outcome counts, intervals, batch trajectory, and
 //! stop reason — because samples are derived purely from `(seed,
-//! batch, index)` and aggregation commutes. The loopback test suite
-//! asserts exactly that, and everything here is plain `std::net` (no
-//! async runtime), keeping the fully-offline vendored build intact.
+//! batch, index)` and aggregation commutes. That also makes worker
+//! failure recoverable without bias: a re-executed trial yields the
+//! identical outcome wherever it runs, so a campaign that lost a
+//! worker mid-batch still reports bit-identically to the fault-free
+//! run. The loopback and resilience test suites assert exactly that,
+//! and everything here is plain `std::net` (no async runtime), keeping
+//! the fully-offline vendored build intact.
 //!
 //! [`CampaignBackend`]: avf_inject::CampaignBackend
 //! [`CampaignReport`]: avf_inject::CampaignReport
@@ -33,10 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod frame;
 pub mod protocol;
 mod remote;
 mod server;
 
+pub use cache::{CacheStats, StoreCache};
 pub use remote::RemoteBackend;
 pub use server::{serve, spawn_local, ServeOptions};

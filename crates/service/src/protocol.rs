@@ -3,7 +3,10 @@
 //! One connection carries one campaign session:
 //!
 //! ```text
-//! client → server   JOB_SETUP    (JobSpec: machine, program, checkpoints, budgets)
+//! client → server   JOB_SETUP    (machine, program, budget, golden mode + store hash)
+//! server → client   STORE_HAVE | STORE_NEED   (checkpoint-store cache handshake)
+//! client → server   STORE_DATA   (full store — only after NEED in shipped mode)
+//! server → client   JOB_READY    (store hash + golden run + checkpoint count)
 //! client → server   TRIAL_BATCH  (one adaptive batch of planned trials)
 //! server → client   TRIAL_EVENT* (one per trial, streamed as classified)
 //! server → client   BATCH_DONE   (event count for the batch, a sanity check)
@@ -12,16 +15,243 @@
 //! server → client   SERVICE_ERROR (any time: fatal, connection closes)
 //! ```
 //!
+//! The `JOB_SETUP` frame never carries checkpoint bytes: it names the
+//! store by content hash (shipped mode) or by the delegated-job key
+//! (worker-side golden run), and the worker answers `HAVE` from its
+//! bounded LRU ([`crate::cache::StoreCache`]) or `NEED`. Only a `NEED`
+//! in shipped mode moves store bytes; a `NEED` in delegated mode means
+//! the worker is executing the golden pass itself. Either way the
+//! worker closes setup with `JOB_READY`, and a driver fanning one job
+//! across N workers cross-checks that every `JOB_READY` is identical —
+//! golden-run divergence between workers is a hard protocol error.
+//!
 //! Every payload opens with the [`avf_isa::wire`] envelope, so a stale
 //! worker build or a foreign peer fails with a typed magic/version
 //! error instead of a confusing mid-payload decode failure.
 
-use avf_inject::{BackendError, TrialEvent};
-use avf_isa::wire::{kind, WireError, WireReader, WireWriter};
+use std::sync::Arc;
+
+use avf_inject::{decode_trial_batch, BackendError, Trial, TrialEvent};
+use avf_isa::wire::{content_hash64, kind, WireError, WireReader, WireWriter, ENVELOPE_BYTES};
+use avf_isa::Program;
+use avf_sim::{CheckpointStore, GoldenRun, MachineConfig};
+
+fn encode_golden(w: &mut WireWriter, golden: &GoldenRun) {
+    w.u64(golden.cycles);
+    w.u64(golden.committed);
+    w.u64(golden.digest);
+}
+
+fn decode_golden(r: &mut WireReader<'_>) -> Result<GoldenRun, WireError> {
+    Ok(GoldenRun {
+        cycles: r.u64()?,
+        committed: r.u64()?,
+        digest: r.u64()?,
+    })
+}
+
+/// Hash domain of checkpoint-store content (shipped mode).
+pub const HASH_DOMAIN_STORE: u8 = 0;
+
+/// Hash domain of delegated-job parameters (worker-side golden runs).
+pub const HASH_DOMAIN_DELEGATED_JOB: u8 = 1;
+
+/// Golden-run mode of a [`JobSetup`], mirroring
+/// [`avf_inject::GoldenSpec`] without the store bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetupMode {
+    /// The driver holds the store; the worker caches it by content
+    /// hash and asks for the bytes only on a miss.
+    Shipped {
+        /// Content hash of the store's `STORE_DATA` payload.
+        store_hash: u64,
+        /// The driver's golden run (echoed back in `JOB_READY` so the
+        /// cross-check is uniform across modes).
+        golden: GoldenRun,
+        /// Cycle watchdog budget of every trial.
+        cycle_budget: u64,
+    },
+    /// The worker executes `golden_run_checkpointed` itself.
+    Delegated {
+        /// Golden-run checkpoint spacing in cycles.
+        checkpoint_interval: u64,
+    },
+}
+
+/// The session-opening frame: everything a worker needs to set a
+/// campaign up, minus any checkpoint bytes.
+#[derive(Debug, Clone)]
+pub struct JobSetup {
+    /// Machine configuration the plan was sampled against.
+    pub machine: MachineConfig,
+    /// Program under injection.
+    pub program: Program,
+    /// Committed-instruction budget of every trial (and of a delegated
+    /// golden run).
+    pub instr_budget: u64,
+    /// Golden-run mode.
+    pub mode: SetupMode,
+}
+
+impl JobSetup {
+    /// The cache key this setup resolves to: the store's content hash
+    /// in shipped mode, the delegated-job key otherwise.
+    #[must_use]
+    pub fn cache_key(&self) -> u64 {
+        match self.mode {
+            SetupMode::Shipped { store_hash, .. } => store_hash,
+            SetupMode::Delegated {
+                checkpoint_interval,
+            } => delegated_job_key(
+                &self.machine,
+                &self.program,
+                self.instr_budget,
+                checkpoint_interval,
+            ),
+        }
+    }
+
+    /// Serializes the setup to an enveloped frame payload.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.envelope(kind::JOB_SETUP);
+        self.machine.encode(&mut w);
+        self.program.encode(&mut w);
+        w.u64(self.instr_budget);
+        match &self.mode {
+            SetupMode::Shipped {
+                store_hash,
+                golden,
+                cycle_budget,
+            } => {
+                w.u8(0);
+                w.u64(*store_hash);
+                encode_golden(&mut w, golden);
+                w.u64(*cycle_budget);
+            }
+            SetupMode::Delegated {
+                checkpoint_interval,
+            } => {
+                w.u8(1);
+                w.u64(*checkpoint_interval);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<JobSetup, WireError> {
+        let machine = MachineConfig::decode(r)?;
+        let program = Program::decode(r)?;
+        let instr_budget = r.u64()?;
+        let mode = match r.u8()? {
+            0 => SetupMode::Shipped {
+                store_hash: r.u64()?,
+                golden: decode_golden(r)?,
+                cycle_budget: r.u64()?,
+            },
+            1 => {
+                let checkpoint_interval = r.u64()?;
+                if checkpoint_interval == 0 {
+                    return Err(WireError::Invalid("checkpoint interval must be positive"));
+                }
+                SetupMode::Delegated {
+                    checkpoint_interval,
+                }
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(JobSetup {
+            machine,
+            program,
+            instr_budget,
+            mode,
+        })
+    }
+}
+
+/// The worker's end-of-setup report: which store it is running on and
+/// the golden run it resolved (its own measurement in delegated mode,
+/// the driver's echo in shipped mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobReady {
+    /// Cache key the worker stored/found the job under.
+    pub store_hash: u64,
+    /// The fault-free reference run.
+    pub golden: GoldenRun,
+    /// Checkpoints in the store.
+    pub checkpoints: u64,
+}
+
+/// One client-to-server message.
+#[derive(Debug, Clone)]
+pub enum ClientMessage {
+    /// Open a campaign session (boxed: a setup dwarfs the other
+    /// variants and would bloat every message otherwise).
+    Setup(Box<JobSetup>),
+    /// One batch of planned trials.
+    Batch(Vec<Trial>),
+    /// The checkpoint store, shipped after a `STORE_NEED` reply.
+    Store {
+        /// Decoded store.
+        store: Arc<CheckpointStore>,
+        /// Content hash of the payload as it crossed the wire — the
+        /// receiver verifies it against the hash announced in setup.
+        hash: u64,
+    },
+}
+
+impl ClientMessage {
+    /// Decodes a frame payload written by one of the client-side
+    /// encoders ([`JobSetup::to_wire`], [`encode_store_data`],
+    /// [`avf_inject::encode_trial_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on envelope mismatch, truncation, or an
+    /// unexpected frame kind.
+    pub fn from_wire(bytes: &[u8]) -> Result<ClientMessage, WireError> {
+        let mut r = WireReader::new(bytes);
+        match r.envelope()? {
+            kind::JOB_SETUP => {
+                let setup = JobSetup::decode_body(&mut r)?;
+                r.finish()?;
+                Ok(ClientMessage::Setup(Box::new(setup)))
+            }
+            kind::TRIAL_BATCH => Ok(ClientMessage::Batch(decode_trial_batch(bytes)?)),
+            kind::STORE_DATA => {
+                let hash = content_hash64(HASH_DOMAIN_STORE, &bytes[ENVELOPE_BYTES..]);
+                let store = CheckpointStore::decode(&mut r)?;
+                r.finish()?;
+                Ok(ClientMessage::Store {
+                    store: Arc::new(store),
+                    hash,
+                })
+            }
+            found => Err(WireError::WrongKind {
+                found,
+                expected: kind::JOB_SETUP,
+            }),
+        }
+    }
+}
 
 /// One server-to-client message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerMessage {
+    /// Worker already caches the job's store under this key.
+    StoreHave {
+        /// The cache key (echoed for cross-checking).
+        hash: u64,
+    },
+    /// Worker needs the store (shipped mode: send `STORE_DATA`;
+    /// delegated mode: the worker is running the golden pass itself).
+    StoreNeed {
+        /// The cache key (echoed for cross-checking).
+        hash: u64,
+    },
+    /// Job setup is complete; trial batches may flow.
+    Ready(JobReady),
     /// A classified trial outcome.
     Event(TrialEvent),
     /// The current batch is complete; `events` outcomes were streamed.
@@ -39,6 +269,26 @@ impl ServerMessage {
     pub fn to_wire(&self) -> Vec<u8> {
         match self {
             ServerMessage::Event(ev) => ev.to_wire(),
+            ServerMessage::StoreHave { hash } => {
+                let mut w = WireWriter::new();
+                w.envelope(kind::STORE_HAVE);
+                w.u64(*hash);
+                w.into_bytes()
+            }
+            ServerMessage::StoreNeed { hash } => {
+                let mut w = WireWriter::new();
+                w.envelope(kind::STORE_NEED);
+                w.u64(*hash);
+                w.into_bytes()
+            }
+            ServerMessage::Ready(ready) => {
+                let mut w = WireWriter::new();
+                w.envelope(kind::JOB_READY);
+                w.u64(ready.store_hash);
+                encode_golden(&mut w, &ready.golden);
+                w.u64(ready.checkpoints);
+                w.into_bytes()
+            }
             ServerMessage::Done { events } => {
                 let mut w = WireWriter::new();
                 w.envelope(kind::BATCH_DONE);
@@ -64,6 +314,13 @@ impl ServerMessage {
         let mut r = WireReader::new(bytes);
         let msg = match r.envelope()? {
             kind::TRIAL_EVENT => ServerMessage::Event(TrialEvent::decode_body(&mut r)?),
+            kind::STORE_HAVE => ServerMessage::StoreHave { hash: r.u64()? },
+            kind::STORE_NEED => ServerMessage::StoreNeed { hash: r.u64()? },
+            kind::JOB_READY => ServerMessage::Ready(JobReady {
+                store_hash: r.u64()?,
+                golden: decode_golden(&mut r)?,
+                checkpoints: r.u64()?,
+            }),
             kind::BATCH_DONE => ServerMessage::Done { events: r.u64()? },
             kind::SERVICE_ERROR => ServerMessage::Error(r.str()?),
             found => {
@@ -76,6 +333,42 @@ impl ServerMessage {
         r.finish()?;
         Ok(msg)
     }
+}
+
+/// Serializes a checkpoint store to a `STORE_DATA` frame payload.
+#[must_use]
+pub fn encode_store_data(store: &CheckpointStore) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.envelope(kind::STORE_DATA);
+    store.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Content hash of a `STORE_DATA` frame payload — over exactly the
+/// bytes after the envelope, so both ends hash the same span without a
+/// second serialization pass.
+#[must_use]
+pub fn store_frame_hash(frame: &[u8]) -> u64 {
+    content_hash64(HASH_DOMAIN_STORE, &frame[ENVELOPE_BYTES.min(frame.len())..])
+}
+
+/// The cache key of a delegated (worker-side golden run) job: a content
+/// hash over the job's defining parameters. Two jobs with the same key
+/// provably produce the same store and golden run — the golden pass is
+/// a deterministic function of exactly these inputs.
+#[must_use]
+pub fn delegated_job_key(
+    machine: &MachineConfig,
+    program: &Program,
+    instr_budget: u64,
+    checkpoint_interval: u64,
+) -> u64 {
+    let mut w = WireWriter::new();
+    machine.encode(&mut w);
+    program.encode(&mut w);
+    w.u64(instr_budget);
+    w.u64(checkpoint_interval);
+    content_hash64(HASH_DOMAIN_DELEGATED_JOB, &w.into_bytes())
 }
 
 /// Maps a server-reported [`ServerMessage::Error`] into the backend
@@ -91,6 +384,14 @@ mod tests {
     use avf_inject::Outcome;
     use avf_sim::InjectionTarget;
 
+    fn golden() -> GoldenRun {
+        GoldenRun {
+            cycles: 12_345,
+            committed: 9_876,
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+        }
+    }
+
     #[test]
     fn server_messages_round_trip() {
         let msgs = [
@@ -99,12 +400,99 @@ mod tests {
                 target: InjectionTarget::Iq,
                 outcome: Outcome::Sdc,
             }),
+            ServerMessage::StoreHave { hash: 7 },
+            ServerMessage::StoreNeed { hash: u64::MAX },
+            ServerMessage::Ready(JobReady {
+                store_hash: 99,
+                golden: golden(),
+                checkpoints: 12,
+            }),
             ServerMessage::Done { events: 128 },
             ServerMessage::Error("checkpoint store rejected".to_owned()),
         ];
         for msg in msgs {
             assert_eq!(ServerMessage::from_wire(&msg.to_wire()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn job_setup_round_trips_in_both_modes() {
+        let machine = MachineConfig::baseline();
+        let program = avf_workloads::testkit::idle_loop();
+        for mode in [
+            SetupMode::Shipped {
+                store_hash: 0xABCD,
+                golden: golden(),
+                cycle_budget: 77_777,
+            },
+            SetupMode::Delegated {
+                checkpoint_interval: 512,
+            },
+        ] {
+            let setup = JobSetup {
+                machine: machine.clone(),
+                program: program.clone(),
+                instr_budget: 4_000,
+                mode,
+            };
+            let bytes = setup.to_wire();
+            match ClientMessage::from_wire(&bytes).unwrap() {
+                ClientMessage::Setup(back) => {
+                    assert_eq!(back.instr_budget, setup.instr_budget);
+                    assert_eq!(back.mode, setup.mode);
+                    assert_eq!(back.cache_key(), setup.cache_key());
+                }
+                other => panic!("expected a setup, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delegated_zero_interval_is_rejected_at_decode() {
+        let machine = MachineConfig::baseline();
+        let program = avf_workloads::testkit::idle_loop();
+        let mut w = WireWriter::new();
+        w.envelope(kind::JOB_SETUP);
+        machine.encode(&mut w);
+        program.encode(&mut w);
+        w.u64(1_000);
+        w.u8(1);
+        w.u64(0); // zero interval: the golden pass would never checkpoint
+        assert_eq!(
+            ClientMessage::from_wire(&w.into_bytes()).map(|_| ()),
+            Err(WireError::Invalid("checkpoint interval must be positive"))
+        );
+    }
+
+    #[test]
+    fn store_data_hash_matches_on_both_ends() {
+        let machine = MachineConfig::baseline();
+        let program = avf_workloads::testkit::idle_loop();
+        let (_, store) = avf_sim::golden_run_checkpointed(&machine, &program, 500, 64);
+        let frame = encode_store_data(&store);
+        let sender_side = store_frame_hash(&frame);
+        match ClientMessage::from_wire(&frame).unwrap() {
+            ClientMessage::Store { store: back, hash } => {
+                assert_eq!(hash, sender_side, "receiver hashes the same span");
+                assert_eq!(back.len(), store.len());
+                assert_eq!(back.interval(), store.interval());
+            }
+            other => panic!("expected store data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delegated_job_key_tracks_every_parameter() {
+        let machine = MachineConfig::baseline();
+        let program = avf_workloads::testkit::idle_loop();
+        let base = delegated_job_key(&machine, &program, 1_000, 256);
+        assert_eq!(base, delegated_job_key(&machine, &program, 1_000, 256));
+        assert_ne!(base, delegated_job_key(&machine, &program, 1_001, 256));
+        assert_ne!(base, delegated_job_key(&machine, &program, 1_000, 257));
+        assert_ne!(
+            base,
+            delegated_job_key(&MachineConfig::config_a(), &program, 1_000, 256)
+        );
     }
 
     #[test]
@@ -129,6 +517,12 @@ mod tests {
         let batch = avf_inject::encode_trial_batch(&[]);
         assert!(matches!(
             ServerMessage::from_wire(&batch),
+            Err(WireError::WrongKind { .. })
+        ));
+        // And a server frame where a client message belongs.
+        let done = ServerMessage::Done { events: 0 }.to_wire();
+        assert!(matches!(
+            ClientMessage::from_wire(&done),
             Err(WireError::WrongKind { .. })
         ));
     }

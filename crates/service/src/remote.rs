@@ -1,25 +1,41 @@
 //! [`RemoteBackend`]: the TCP client side of the campaign service.
 //!
 //! One backend fans a campaign out over one or more `serve` workers.
-//! `open` ships the identical [`JobSpec`] bytes to every worker (each
-//! pays checkpoint decode once per campaign, exactly like the local
-//! backend); `submit` strides the batch's cycle-sorted trials across
-//! the workers and merges their event streams into one
-//! [`TrialStream`]. Because outcome counts commute and samples are
-//! seed-derived, the driver's report is bit-identical to a local run —
-//! the loopback test in `tests/loopback.rs` holds that line.
+//! `open` runs the setup handshake against every worker *in parallel*:
+//! the setup frame names the checkpoint store by content hash, each
+//! worker answers `HAVE` (cached) or `NEED` (ship the bytes, or — in
+//! delegated mode — run the golden pass itself), and every worker
+//! closes with `JOB_READY`. The driver then cross-checks that all
+//! workers resolved the *identical* golden run; divergence is a hard
+//! protocol error, because a worker disagreeing about the fault-free
+//! reference would silently corrupt every classification it returns.
+//!
+//! `submit` strides the batch's cycle-sorted trials across live
+//! workers and merges their event streams into one [`TrialStream`].
+//! A worker whose connection dies mid-batch does **not** kill the
+//! campaign: the supervisor collects the trials that worker never
+//! acknowledged and re-dispatches them to the survivors. Because every
+//! trial's outcome is a pure function of the trial itself (sampled
+//! from `(seed, batch, index)`), the merged result — and therefore the
+//! final `CampaignReport` — is bit-identical to the fault-free run;
+//! only the dispatch trajectory records that the failure happened.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 use avf_inject::{
-    encode_trial_batch, shard_trials, BackendError, CampaignBackend, CampaignSession, JobSpec,
-    Trial, TrialStream,
+    encode_trial_batch, shard_trials, BackendError, CampaignBackend, CampaignSession,
+    DispatchRecord, GoldenSpec, JobSpec, OpenedJob, StoreSource, Trial, TrialEvent, TrialStream,
+    WorkerProvision,
 };
 
 use crate::frame::{read_frame, write_frame};
-use crate::protocol::ServerMessage;
+use crate::protocol::{
+    encode_store_data, store_frame_hash, JobReady, JobSetup, ServerMessage, SetupMode,
+};
 
 /// A campaign backend executing trials on remote `serve` workers.
 pub struct RemoteBackend {
@@ -49,111 +65,479 @@ impl RemoteBackend {
     }
 }
 
+/// Every worker must report the same setup result; any divergence is a
+/// correctness emergency, not a tolerable degradation.
+fn cross_check_ready(readys: &[(String, JobReady)]) -> Result<(), BackendError> {
+    let (first_addr, reference) = &readys[0];
+    for (addr, ready) in &readys[1..] {
+        if ready != reference {
+            return Err(BackendError::Protocol(format!(
+                "golden-run divergence between workers: {first_addr} reports \
+                 digest {:016x} / {} cycles / store {:016x}, {addr} reports \
+                 digest {:016x} / {} cycles / store {:016x}",
+                reference.golden.digest,
+                reference.golden.cycles,
+                reference.store_hash,
+                ready.golden.digest,
+                ready.golden.cycles,
+                ready.store_hash,
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reads one handshake frame, mapping a clean close to a typed error —
+/// a worker that hangs up during setup is a failed open, not EOF.
+fn handshake_frame(
+    reader: &mut BufReader<&TcpStream>,
+    addr: &str,
+) -> Result<Vec<u8>, BackendError> {
+    read_frame(reader)?.ok_or_else(|| BackendError::Disconnected {
+        worker: addr.to_owned(),
+        detail: "connection closed during the setup handshake".to_owned(),
+    })
+}
+
+/// Runs the full setup handshake against one worker.
+fn open_worker(
+    addr: &str,
+    setup_frame: &[u8],
+    store_frame: Option<&[u8]>,
+) -> Result<(TcpStream, JobReady, StoreSource), BackendError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| BackendError::Io(format!("connect {addr}: {e}")))?;
+    // Event frames are tiny; don't let Nagle batch them up.
+    let _ = stream.set_nodelay(true);
+    let mut w = BufWriter::new(&stream);
+    write_frame(&mut w, setup_frame)?;
+    w.flush().map_err(BackendError::from)?;
+
+    let mut r = BufReader::new(&stream);
+    let reply = handshake_frame(&mut r, addr)?;
+    let source = match ServerMessage::from_wire(&reply)? {
+        ServerMessage::StoreHave { .. } => StoreSource::Cached,
+        ServerMessage::StoreNeed { .. } => match store_frame {
+            Some(frame) => {
+                write_frame(&mut w, frame)?;
+                w.flush().map_err(BackendError::from)?;
+                StoreSource::Shipped
+            }
+            // Delegated mode: the worker is running the golden pass.
+            None => StoreSource::GoldenRun,
+        },
+        ServerMessage::Error(msg) => return Err(crate::protocol::remote_error(msg)),
+        other => {
+            return Err(BackendError::Protocol(format!(
+                "worker {addr} answered setup with {other:?} instead of HAVE/NEED"
+            )))
+        }
+    };
+    let reply = handshake_frame(&mut r, addr)?;
+    let ready = match ServerMessage::from_wire(&reply)? {
+        ServerMessage::Ready(ready) => ready,
+        ServerMessage::Error(msg) => return Err(crate::protocol::remote_error(msg)),
+        other => {
+            return Err(BackendError::Protocol(format!(
+                "worker {addr} answered setup with {other:?} instead of JOB_READY"
+            )))
+        }
+    };
+    // The server sends nothing after JOB_READY until our next batch
+    // frame, so dropping the BufReader here cannot strand reply bytes.
+    drop(r);
+    drop(w);
+    Ok((stream, ready, source))
+}
+
 impl CampaignBackend for RemoteBackend {
     fn workers(&self) -> usize {
         self.addrs.len()
     }
 
-    fn open(&self, spec: JobSpec) -> Result<Box<dyn CampaignSession>, BackendError> {
-        let setup = spec.to_wire();
-        let mut conns = Vec::with_capacity(self.addrs.len());
-        for addr in &self.addrs {
-            let stream = TcpStream::connect(addr.as_str())
-                .map_err(|e| BackendError::Io(format!("connect {addr}: {e}")))?;
-            // Event frames are tiny; don't let Nagle batch them up.
-            let _ = stream.set_nodelay(true);
-            let mut w = BufWriter::new(&stream);
-            write_frame(&mut w, &setup)?;
-            w.flush().map_err(BackendError::from)?;
-            drop(w);
-            conns.push(stream);
+    fn open(&self, spec: JobSpec) -> Result<OpenedJob, BackendError> {
+        // Serialize the setup (and, in shipped mode, the store) once;
+        // every worker receives the identical bytes.
+        let (mode, store_frame, expected) = match &spec.golden {
+            GoldenSpec::Shipped {
+                store,
+                golden,
+                cycle_budget,
+            } => {
+                let frame = encode_store_data(store);
+                let hash = store_frame_hash(&frame);
+                let expected = JobReady {
+                    store_hash: hash,
+                    golden: *golden,
+                    checkpoints: store.len() as u64,
+                };
+                (
+                    SetupMode::Shipped {
+                        store_hash: hash,
+                        golden: *golden,
+                        cycle_budget: *cycle_budget,
+                    },
+                    Some(Arc::new(frame)),
+                    Some(expected),
+                )
+            }
+            GoldenSpec::Delegated {
+                checkpoint_interval,
+            } => (
+                SetupMode::Delegated {
+                    checkpoint_interval: *checkpoint_interval,
+                },
+                None,
+                None,
+            ),
+        };
+        let setup_frame = Arc::new(
+            JobSetup {
+                machine: spec.machine,
+                program: spec.program,
+                instr_budget: spec.instr_budget,
+                mode,
+            }
+            .to_wire(),
+        );
+
+        // N workers handshake — and, in delegated mode, execute their
+        // golden passes — in parallel.
+        let handles: Vec<_> = self
+            .addrs
+            .iter()
+            .map(|addr| {
+                let addr = addr.clone();
+                let setup_frame = Arc::clone(&setup_frame);
+                let store_frame = store_frame.clone();
+                std::thread::spawn(move || {
+                    open_worker(
+                        &addr,
+                        &setup_frame,
+                        store_frame.as_deref().map(Vec::as_slice),
+                    )
+                })
+            })
+            .collect();
+        let mut workers = Vec::with_capacity(self.addrs.len());
+        let mut readys = Vec::with_capacity(self.addrs.len());
+        let mut provisioning = Vec::with_capacity(self.addrs.len());
+        for (handle, addr) in handles.into_iter().zip(&self.addrs) {
+            let (stream, ready, source) = handle.join().expect("handshake thread panicked")?;
+            workers.push(RemoteWorker {
+                addr: addr.clone(),
+                stream: Some(stream),
+            });
+            readys.push((addr.clone(), ready));
+            provisioning.push(WorkerProvision {
+                worker: addr.clone(),
+                source,
+            });
         }
-        Ok(Box::new(RemoteSession { conns }))
+        cross_check_ready(&readys)?;
+        let ready = readys[0].1;
+        if let Some(expected) = expected {
+            if ready != expected {
+                return Err(BackendError::Protocol(format!(
+                    "workers acknowledged store {:016x} / digest {:016x}, driver shipped \
+                     store {:016x} / digest {:016x}",
+                    ready.store_hash,
+                    ready.golden.digest,
+                    expected.store_hash,
+                    expected.golden.digest,
+                )));
+            }
+        }
+        Ok(OpenedJob {
+            session: Box::new(RemoteSession {
+                workers: Arc::new(Mutex::new(workers)),
+                log: Arc::new(Mutex::new(Vec::new())),
+                batch: 0,
+            }),
+            golden: ready.golden,
+            checkpoints: usize::try_from(ready.checkpoints).unwrap_or(usize::MAX),
+            provisioning,
+        })
     }
 }
 
+struct RemoteWorker {
+    addr: String,
+    /// `None` once the connection died; the slot stays so worker
+    /// indices remain stable across batches.
+    stream: Option<TcpStream>,
+}
+
 struct RemoteSession {
-    conns: Vec<TcpStream>,
+    workers: Arc<Mutex<Vec<RemoteWorker>>>,
+    log: Arc<Mutex<Vec<DispatchRecord>>>,
+    batch: u64,
 }
 
 impl CampaignSession for RemoteSession {
     fn submit(&mut self, trials: &[Trial]) -> Result<TrialStream, BackendError> {
-        let shards = shard_trials(trials, self.conns.len());
+        let batch = self.batch;
+        self.batch += 1;
         let (tx, rx) = mpsc::channel();
-        let mut handles = Vec::with_capacity(self.conns.len());
-        for (conn, shard) in self.conns.iter().zip(shards) {
-            // Every worker gets a batch frame — an empty one still
-            // elicits a DONE, keeping the per-connection state machine
-            // in lockstep with the driver's batch loop.
-            let mut w = BufWriter::new(conn);
-            write_frame(&mut w, &encode_trial_batch(&shard))?;
-            w.flush().map_err(BackendError::from)?;
+        let workers = Arc::clone(&self.workers);
+        let log = Arc::clone(&self.log);
+        let trials = trials.to_vec();
+        // The supervisor owns the whole batch: it dispatches shards,
+        // re-queues the unacknowledged trials of dead workers, and
+        // terminates the stream when every trial is accounted for. The
+        // driver just drains events.
+        let supervisor = std::thread::spawn(move || {
+            supervise_batch(&workers, &log, batch, trials, &tx);
+        });
+        Ok(TrialStream::new(rx, vec![supervisor]))
+    }
 
-            // Read this batch's replies on a dedicated thread so slow
-            // and fast workers interleave into one stream. The clone is
-            // safe to drop at DONE: the server sends nothing further
-            // until our next batch frame, so no reply bytes can be
-            // stranded in the BufReader.
-            let reader = conn
-                .try_clone()
-                .map_err(|e| BackendError::Io(format!("clone stream: {e}")))?;
-            let tx = tx.clone();
-            let expected = shard.len() as u64;
-            handles.push(std::thread::spawn(move || {
-                drain_batch(reader, expected, &tx);
-            }));
-        }
-        drop(tx);
-        Ok(TrialStream::new(rx, handles))
+    fn dispatch_log(&self) -> Vec<DispatchRecord> {
+        self.log.lock().expect("dispatch log lock").clone()
     }
 }
 
-/// Forwards one worker's event stream for one batch into `tx`,
-/// terminating at the DONE marker (or surfacing whatever went wrong).
-fn drain_batch(
-    stream: TcpStream,
-    expected: u64,
-    tx: &mpsc::Sender<Result<avf_inject::TrialEvent, BackendError>>,
+/// What one shard's reader observed.
+enum ShardFate {
+    /// Every trial acknowledged, DONE checked out.
+    Clean,
+    /// The driver dropped the stream; stop everything quietly.
+    ConsumerGone,
+    /// The connection died; `leftover` never got an event and must be
+    /// re-dispatched.
+    Dead {
+        leftover: Vec<Trial>,
+        error: BackendError,
+    },
+    /// A non-retryable failure (worker-reported error, protocol or
+    /// codec violation).
+    Fatal(BackendError),
+}
+
+/// Dispatch/re-dispatch loop for one batch.
+fn supervise_batch(
+    workers: &Mutex<Vec<RemoteWorker>>,
+    log: &Mutex<Vec<DispatchRecord>>,
+    batch: u64,
+    mut pending: Vec<Trial>,
+    tx: &mpsc::Sender<Result<TrialEvent, BackendError>>,
 ) {
+    let mut redispatched = false;
+    let mut last_disconnect: Option<BackendError> = None;
+    while !pending.is_empty() {
+        // Round: write one shard per live worker, remembering shards
+        // whose write already failed (those re-queue immediately).
+        let mut round = Vec::new();
+        let mut deferred: Vec<Trial> = Vec::new();
+        {
+            let mut ws = workers.lock().expect("workers lock");
+            let live: Vec<usize> = ws
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.stream.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                let err = last_disconnect
+                    .take()
+                    .unwrap_or_else(|| BackendError::Disconnected {
+                        worker: "all".to_owned(),
+                        detail: "no live worker remains to dispatch trials to".to_owned(),
+                    });
+                let _ = tx.send(Err(err));
+                return;
+            }
+            for (k, shard) in shard_trials(&pending, live.len()).into_iter().enumerate() {
+                if shard.is_empty() {
+                    continue;
+                }
+                let worker = &mut ws[live[k]];
+                let frame = encode_trial_batch(&shard);
+                let dispatched = {
+                    let stream = worker.stream.as_ref().expect("live worker");
+                    let mut w = BufWriter::new(stream);
+                    write_frame(&mut w, &frame)
+                        .and_then(|()| w.flush().map_err(BackendError::from))
+                        .and_then(|()| {
+                            stream
+                                .try_clone()
+                                .map_err(|e| BackendError::Io(format!("clone stream: {e}")))
+                        })
+                };
+                match dispatched {
+                    Ok(reader) => {
+                        log.lock().expect("dispatch log lock").push(DispatchRecord {
+                            batch,
+                            worker: worker.addr.clone(),
+                            trials: shard.len() as u64,
+                            redispatched,
+                        });
+                        round.push((live[k], worker.addr.clone(), shard, reader));
+                    }
+                    Err(e) => {
+                        last_disconnect = Some(BackendError::Disconnected {
+                            worker: worker.addr.clone(),
+                            detail: e.to_string(),
+                        });
+                        worker.stream = None;
+                        deferred.extend(shard);
+                    }
+                }
+            }
+        }
+
+        // Drain every dispatched shard concurrently; join the round
+        // before deciding on re-dispatch so survivors are never written
+        // to while their reader is mid-stream.
+        let handles: Vec<_> = round
+            .into_iter()
+            .map(|(wi, addr, shard, reader)| {
+                let tx = tx.clone();
+                std::thread::spawn(move || (wi, drain_shard(reader, &addr, shard, &tx)))
+            })
+            .collect();
+        let mut fatal: Option<BackendError> = None;
+        let mut consumer_gone = false;
+        for handle in handles {
+            let (wi, fate) = match handle.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            match fate {
+                ShardFate::Clean => {}
+                ShardFate::ConsumerGone => consumer_gone = true,
+                ShardFate::Dead { leftover, error } => {
+                    workers.lock().expect("workers lock")[wi].stream = None;
+                    last_disconnect = Some(error);
+                    deferred.extend(leftover);
+                }
+                ShardFate::Fatal(e) => fatal = fatal.or(Some(e)),
+            }
+        }
+        if consumer_gone {
+            return;
+        }
+        if let Some(e) = fatal {
+            let _ = tx.send(Err(e));
+            return;
+        }
+        pending = deferred;
+        redispatched = true;
+    }
+}
+
+/// Forwards one worker's event stream for one shard into `tx`,
+/// tracking which trials the worker acknowledged so a dead connection
+/// can hand the remainder back for re-dispatch.
+fn drain_shard(
+    stream: TcpStream,
+    addr: &str,
+    shard: Vec<Trial>,
+    tx: &mpsc::Sender<Result<TrialEvent, BackendError>>,
+) -> ShardFate {
+    let mut outstanding: HashMap<u64, usize> = shard
+        .iter()
+        .enumerate()
+        .map(|(p, t)| (t.index, p))
+        .collect();
+    let disconnected = |outstanding: &HashMap<u64, usize>, detail: String| {
+        // Re-queue in shard (cycle-sorted) order: determinism does not
+        // need it, but it keeps re-dispatched shards as cheap to
+        // execute as the originals.
+        let mut positions: Vec<usize> = outstanding.values().copied().collect();
+        positions.sort_unstable();
+        ShardFate::Dead {
+            leftover: positions.into_iter().map(|p| shard[p]).collect(),
+            error: BackendError::Disconnected {
+                worker: addr.to_owned(),
+                detail,
+            },
+        }
+    };
     let mut reader = BufReader::new(stream);
+    let expected = shard.len() as u64;
     let mut seen = 0u64;
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
             Ok(None) => {
-                let _ = tx.send(Err(BackendError::Io(
+                return disconnected(
+                    &outstanding,
                     "worker closed the connection mid-batch".to_owned(),
-                )));
-                return;
+                )
             }
-            Err(e) => {
-                let _ = tx.send(Err(e));
-                return;
-            }
+            // Transport failures — including a stream truncated inside
+            // a frame — are connection death: typed, retryable.
+            Err(BackendError::Io(detail)) => return disconnected(&outstanding, detail),
+            Err(e) => return ShardFate::Fatal(e),
         };
         match ServerMessage::from_wire(&payload) {
             Ok(ServerMessage::Event(ev)) => {
+                if outstanding.remove(&ev.index).is_none() {
+                    return ShardFate::Fatal(BackendError::Protocol(format!(
+                        "worker {addr} sent an event for trial {} it was never assigned \
+                         (or sent it twice)",
+                        ev.index
+                    )));
+                }
                 seen += 1;
                 if tx.send(Ok(ev)).is_err() {
-                    return; // stream dropped; stop reading
+                    return ShardFate::ConsumerGone;
                 }
             }
             Ok(ServerMessage::Done { events }) => {
                 if events != seen || seen != expected {
-                    let _ = tx.send(Err(BackendError::Protocol(format!(
-                        "worker reported {events} events, streamed {seen}, expected {expected}"
-                    ))));
+                    return ShardFate::Fatal(BackendError::Protocol(format!(
+                        "worker {addr} reported {events} events, streamed {seen}, \
+                         expected {expected}"
+                    )));
                 }
-                return;
+                return ShardFate::Clean;
             }
             Ok(ServerMessage::Error(msg)) => {
-                let _ = tx.send(Err(crate::protocol::remote_error(msg)));
-                return;
+                return ShardFate::Fatal(crate::protocol::remote_error(msg))
             }
-            Err(e) => {
-                let _ = tx.send(Err(e.into()));
-                return;
+            Ok(other) => {
+                return ShardFate::Fatal(BackendError::Protocol(format!(
+                    "worker {addr} sent {other:?} mid-batch"
+                )))
             }
+            Err(e) => return ShardFate::Fatal(e.into()),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avf_sim::GoldenRun;
+
+    fn ready(digest: u64) -> JobReady {
+        JobReady {
+            store_hash: 0xA1,
+            golden: GoldenRun {
+                cycles: 1000,
+                committed: 900,
+                digest,
+            },
+            checkpoints: 4,
+        }
+    }
+
+    #[test]
+    fn cross_check_accepts_agreement_and_rejects_divergence() {
+        let agree = vec![
+            ("a:1".to_owned(), ready(7)),
+            ("b:2".to_owned(), ready(7)),
+            ("c:3".to_owned(), ready(7)),
+        ];
+        assert!(cross_check_ready(&agree).is_ok());
+
+        let diverge = vec![("a:1".to_owned(), ready(7)), ("b:2".to_owned(), ready(8))];
+        let err = cross_check_ready(&diverge).unwrap_err();
+        assert!(
+            matches!(&err, BackendError::Protocol(msg) if msg.contains("divergence")),
+            "{err}"
+        );
     }
 }

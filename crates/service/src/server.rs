@@ -2,29 +2,70 @@
 //!
 //! `avf-stressmark serve --listen <addr>` runs [`serve`]: an accept
 //! loop that gives every connection its own handler thread. A handler
-//! is a thin wire adapter over [`LocalBackend`] — it decodes the
-//! [`JobSpec`], opens a local session (paying checkpoint decode once
-//! per connection), then turns every trial-batch frame into a `submit`
-//! and streams the resulting trial events back as length-prefixed
-//! frames *as they complete*, so the driver's adaptive loop sees
-//! per-trial progress regardless of where execution happens. The
-//! server is venue-symmetric with in-process execution by
-//! construction: both sides of the socket run the exact same
-//! [`CampaignBackend`] code path.
+//! is a thin wire adapter over [`LocalBackend`] — it resolves the
+//! job's checkpoint store through the shared [`StoreCache`] (cache
+//! hit, shipped bytes, or its own golden run), opens a local session,
+//! then turns every trial-batch frame into a `submit` and streams the
+//! resulting trial events back as length-prefixed frames *as they
+//! complete* (coalesced through a [`FrameBatcher`] so a fast stream
+//! does not pay one syscall per 16-byte event). The server is
+//! venue-symmetric with in-process execution by construction: both
+//! sides of the socket run the exact same [`CampaignBackend`] code
+//! path.
+//!
+//! [`ServeOptions::die_mid_batch`] is deliberate fault injection for
+//! the resilience tests and the CI resilience job: the handler streams
+//! half of the designated batch's events, then drops the connection
+//! with no error frame — exactly what a worker crash looks like from
+//! the driver's side.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
 
-use avf_inject::{decode_trial_batch, BackendError, CampaignBackend, JobSpec, LocalBackend};
+use avf_inject::{
+    cycle_budget_of, BackendError, CampaignBackend, GoldenSpec, JobSpec, LocalBackend,
+};
+use avf_sim::golden_run_checkpointed;
 
-use crate::frame::{read_frame, write_frame};
-use crate::protocol::ServerMessage;
+use crate::cache::{CacheEntry, StoreCache};
+use crate::frame::{read_frame, write_frame, FrameBatcher};
+use crate::protocol::{ClientMessage, JobReady, ServerMessage, SetupMode};
 
 /// Server tuning.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct ServeOptions {
     /// Worker threads per connection (0 = all available cores).
     pub threads: usize,
+    /// Fault injection for resilience testing: abort the connection
+    /// midway through streaming batch `n` (0-based, counted per
+    /// connection) — half the batch's events go out, then the socket
+    /// dies with no error frame.
+    pub die_mid_batch: Option<u64>,
+    /// The checkpoint-store cache shared by every connection. A fresh
+    /// default-bounded cache per `ServeOptions` unless the caller
+    /// wants to observe or share one.
+    pub cache: Arc<StoreCache>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            threads: 0,
+            die_mid_batch: None,
+            cache: StoreCache::shared(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("threads", &self.threads)
+            .field("die_mid_batch", &self.die_mid_batch)
+            .field("cache", &self.cache.stats())
+            .finish()
+    }
 }
 
 /// Runs the accept loop forever, spawning one handler thread per
@@ -72,28 +113,127 @@ pub fn spawn_local(opts: ServeOptions) -> std::io::Result<std::net::SocketAddr> 
     Ok(addr)
 }
 
+/// Resolves the job's checkpoint store and golden run through the
+/// cache, answering the handshake on `writer`. On a shipped-mode miss
+/// this reads the `STORE_DATA` frame from `reader` and verifies its
+/// content hash against the one announced in setup.
+fn resolve_store(
+    setup: ClientMessage,
+    reader: &mut BufReader<&TcpStream>,
+    writer: &mut FrameBatcher<&TcpStream>,
+    cache: &StoreCache,
+) -> Result<(crate::protocol::JobSetup, CacheEntry, u64), BackendError> {
+    let ClientMessage::Setup(setup) = setup else {
+        return Err(BackendError::Protocol(
+            "session must open with a job setup frame".to_owned(),
+        ));
+    };
+    let setup = *setup;
+    let key = setup.cache_key();
+    if let Some(entry) = cache.get(key) {
+        eprintln!("serve: job {key:016x} checkpoint store HAVE (cache hit)");
+        writer.push(&ServerMessage::StoreHave { hash: key }.to_wire())?;
+        writer.flush()?;
+        return Ok((setup, entry, key));
+    }
+    writer.push(&ServerMessage::StoreNeed { hash: key }.to_wire())?;
+    writer.flush()?;
+    let entry = match setup.mode {
+        SetupMode::Shipped {
+            store_hash, golden, ..
+        } => {
+            eprintln!("serve: job {key:016x} checkpoint store NEED (awaiting shipment)");
+            let Some(payload) = read_frame(reader)? else {
+                return Err(BackendError::Disconnected {
+                    worker: "client".to_owned(),
+                    detail: "connection closed before the checkpoint store arrived".to_owned(),
+                });
+            };
+            let ClientMessage::Store { store, hash } = ClientMessage::from_wire(&payload)? else {
+                return Err(BackendError::Protocol(
+                    "expected a STORE_DATA frame after STORE_NEED".to_owned(),
+                ));
+            };
+            if hash != store_hash {
+                return Err(BackendError::Protocol(format!(
+                    "shipped store hashes to {hash:016x}, setup announced {store_hash:016x}"
+                )));
+            }
+            CacheEntry { store, golden }
+        }
+        SetupMode::Delegated {
+            checkpoint_interval,
+        } => {
+            eprintln!("serve: job {key:016x} checkpoint store NEED (running golden pass)");
+            let (golden, store) = golden_run_checkpointed(
+                &setup.machine,
+                &setup.program,
+                setup.instr_budget,
+                checkpoint_interval,
+            );
+            CacheEntry {
+                store: Arc::new(store),
+                golden,
+            }
+        }
+    };
+    cache.insert(key, entry.clone());
+    Ok((setup, entry, key))
+}
+
 /// Drives one campaign session over one connection.
 fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), BackendError> {
     let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = FrameBatcher::new(stream);
 
     // The session must open with a job setup frame.
-    let Some(setup) = read_frame(&mut reader)? else {
+    let Some(payload) = read_frame(&mut reader)? else {
         return Ok(()); // connected and left; nothing to do
     };
-    let spec = JobSpec::from_wire(&setup)?;
+    let first = ClientMessage::from_wire(&payload)?;
+    let (setup, entry, key) = resolve_store(first, &mut reader, &mut writer, &opts.cache)?;
+
+    let cycle_budget = match setup.mode {
+        SetupMode::Shipped { cycle_budget, .. } => cycle_budget,
+        SetupMode::Delegated { .. } => cycle_budget_of(entry.golden.cycles),
+    };
     // Keep the job's geometry for batch validation: the simulator
     // *asserts* entry/bit bounds, so an out-of-geometry trial smuggled
     // over the wire must be rejected here with an error frame, not
     // allowed to panic a worker thread.
-    let machine = spec.machine.clone();
+    let machine = setup.machine.clone();
     let sizes = machine.structure_sizes();
     let backend = LocalBackend::new(opts.threads);
-    let mut session = backend.open(spec)?;
+    let golden = entry.golden;
+    let opened = backend.open(JobSpec {
+        machine: setup.machine,
+        program: setup.program,
+        instr_budget: setup.instr_budget,
+        golden: GoldenSpec::Shipped {
+            store: entry.store,
+            golden,
+            cycle_budget,
+        },
+    })?;
+    writer.push(
+        &ServerMessage::Ready(JobReady {
+            store_hash: key,
+            golden,
+            checkpoints: opened.checkpoints as u64,
+        })
+        .to_wire(),
+    )?;
+    writer.flush()?;
+    let mut session = opened.session;
 
     // Then any number of trial batches until the client hangs up.
+    let mut served = 0u64;
     while let Some(payload) = read_frame(&mut reader)? {
-        let trials = decode_trial_batch(&payload)?;
+        let ClientMessage::Batch(trials) = ClientMessage::from_wire(&payload)? else {
+            return Err(BackendError::Protocol(
+                "expected a trial batch frame".to_owned(),
+            ));
+        };
         if let Some(t) = trials
             .iter()
             .find(|t| t.entry >= t.target.entries(&machine) || t.bit >= t.target.entry_bits(&sizes))
@@ -103,17 +243,33 @@ fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), Back
                 t.index, t.target, t.entry, t.bit
             )));
         }
+        if opts.die_mid_batch == Some(served) {
+            // Injected fault: stream half the batch, then crash. No
+            // error frame, no DONE — the driver must observe this as a
+            // dead connection and re-dispatch the unacknowledged half.
+            let half = (trials.len() / 2) as u64;
+            for (streamed, event) in session.submit(&trials)?.enumerate() {
+                if streamed as u64 >= half {
+                    break;
+                }
+                writer.push(&ServerMessage::Event(event?).to_wire())?;
+            }
+            writer.flush()?;
+            eprintln!("serve: injected fault — aborting connection mid-batch {served}");
+            let _ = stream.shutdown(Shutdown::Both);
+            return Ok(());
+        }
         let mut events = 0u64;
         for event in session.submit(&trials)? {
             let event = event?;
-            write_frame(&mut writer, &ServerMessage::Event(event).to_wire())?;
-            // Flush per event: the client's adaptive driver is entitled
-            // to see outcomes as they complete, not at batch boundaries.
-            writer.flush().map_err(BackendError::from)?;
+            writer.push(&ServerMessage::Event(event).to_wire())?;
             events += 1;
         }
-        write_frame(&mut writer, &ServerMessage::Done { events }.to_wire())?;
-        writer.flush().map_err(BackendError::from)?;
+        writer.push(&ServerMessage::Done { events }.to_wire())?;
+        // The DONE marker is a protocol barrier: everything queued for
+        // the batch must reach the driver before it plans the next one.
+        writer.flush()?;
+        served += 1;
     }
     Ok(())
 }
@@ -121,10 +277,16 @@ fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), Back
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::JobSetup;
+    use avf_sim::MachineConfig;
 
     #[test]
     fn empty_connection_is_a_clean_session() {
-        let addr = spawn_local(ServeOptions { threads: 1 }).unwrap();
+        let addr = spawn_local(ServeOptions {
+            threads: 1,
+            ..ServeOptions::default()
+        })
+        .unwrap();
         // Connect and immediately hang up: the handler must treat this
         // as a zero-job session, not an error.
         drop(TcpStream::connect(addr).unwrap());
@@ -132,27 +294,52 @@ mod tests {
         drop(TcpStream::connect(addr).unwrap());
     }
 
+    /// Opens a delegated-mode session on `addr` and drains the
+    /// handshake up to (and including) JOB_READY.
+    fn open_session(addr: std::net::SocketAddr, instr_budget: u64) -> TcpStream {
+        let machine = MachineConfig::baseline();
+        let program = avf_workloads::testkit::idle_loop();
+        let stream = TcpStream::connect(addr).unwrap();
+        {
+            let mut w = BufWriter::new(&stream);
+            let setup = JobSetup {
+                machine,
+                program,
+                instr_budget,
+                mode: SetupMode::Delegated {
+                    checkpoint_interval: 256,
+                },
+            };
+            write_frame(&mut w, &setup.to_wire()).unwrap();
+            w.flush().unwrap();
+            let mut r = BufReader::new(&stream);
+            let reply = read_frame(&mut r).unwrap().expect("handshake reply");
+            assert!(matches!(
+                ServerMessage::from_wire(&reply).unwrap(),
+                ServerMessage::StoreHave { .. } | ServerMessage::StoreNeed { .. }
+            ));
+            let ready = read_frame(&mut r).unwrap().expect("ready frame");
+            match ServerMessage::from_wire(&ready).unwrap() {
+                ServerMessage::Ready(ready) => assert!(ready.checkpoints > 0),
+                other => panic!("expected JOB_READY, got {other:?}"),
+            }
+        }
+        stream
+    }
+
     #[test]
     fn out_of_geometry_trials_get_an_error_frame_not_a_panic() {
         use avf_inject::{encode_trial_batch, Trial};
-        use avf_sim::{golden_run_checkpointed, InjectionTarget, MachineConfig};
+        use avf_sim::InjectionTarget;
 
         let machine = MachineConfig::baseline();
-        let program = avf_workloads::testkit::idle_loop();
-        let (golden, store) = golden_run_checkpointed(&machine, &program, 2_000, 256);
-        let spec = JobSpec {
-            machine: machine.clone(),
-            program,
-            store,
-            instr_budget: 2_000,
-            cycle_budget: golden.cycles * 4 + 50_000,
-            golden_digest: golden.digest,
-        };
-
-        let addr = spawn_local(ServeOptions { threads: 1 }).unwrap();
-        let stream = TcpStream::connect(addr).unwrap();
+        let addr = spawn_local(ServeOptions {
+            threads: 1,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let stream = open_session(addr, 2_000);
         let mut w = BufWriter::new(&stream);
-        write_frame(&mut w, &spec.to_wire()).unwrap();
         // One trial far past the ROB's physical entries: the simulator
         // would assert; the server must reject it at the protocol layer.
         let bad = Trial {
@@ -175,7 +362,11 @@ mod tests {
 
     #[test]
     fn garbage_setup_gets_an_error_frame() {
-        let addr = spawn_local(ServeOptions { threads: 1 }).unwrap();
+        let addr = spawn_local(ServeOptions {
+            threads: 1,
+            ..ServeOptions::default()
+        })
+        .unwrap();
         let stream = TcpStream::connect(addr).unwrap();
         let mut w = BufWriter::new(&stream);
         write_frame(&mut w, b"this is not a job spec").unwrap();
@@ -186,5 +377,25 @@ mod tests {
             ServerMessage::Error(msg) => assert!(msg.contains("magic"), "{msg}"),
             other => panic!("expected an error frame, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn second_identical_session_hits_the_store_cache() {
+        let opts = ServeOptions {
+            threads: 1,
+            ..ServeOptions::default()
+        };
+        let cache = Arc::clone(&opts.cache);
+        let addr = spawn_local(opts).unwrap();
+        drop(open_session(addr, 2_000));
+        assert_eq!(cache.stats().hits, 0);
+        drop(open_session(addr, 2_000));
+        // The handler thread of the second connection completed its
+        // lookup before sending JOB_READY, which open_session waited on.
+        assert_eq!(cache.stats().hits, 1, "identical job must hit");
+        // A different budget is a different job key.
+        drop(open_session(addr, 2_500));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 2);
     }
 }

@@ -1,0 +1,43 @@
+//! Shared assertions for the loopback/resilience suites.
+
+use avf_inject::CampaignReport;
+
+/// Everything the methodology cares about must match bit-for-bit;
+/// wall-clock, the venue's parallelism, and the dispatch trajectory
+/// (which worker ran what, and what was re-dispatched after a failure)
+/// legitimately differ between venues and between worker fates.
+pub fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport) {
+    assert_eq!(a.program, b.program);
+    assert_eq!(a.injections, b.injections);
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(a.checkpoints, b.checkpoints);
+    assert_eq!(a.golden.cycles, b.golden.cycles);
+    assert_eq!(a.golden.digest, b.golden.digest);
+    assert_eq!(a.targets.len(), b.targets.len());
+    for (x, y) in a.targets.iter().zip(&b.targets) {
+        assert_eq!(x.target, y.target);
+        assert_eq!(x.counts, y.counts, "{}: outcome counts differ", x.target);
+        assert_eq!(
+            x.ci95().0.to_bits(),
+            y.ci95().0.to_bits(),
+            "{}: CI lower bound differs",
+            x.target
+        );
+        assert_eq!(
+            x.ci95().1.to_bits(),
+            y.ci95().1.to_bits(),
+            "{}: CI upper bound differs",
+            x.target
+        );
+        assert_eq!(x.ace_avf.to_bits(), y.ace_avf.to_bits());
+    }
+    assert_eq!(a.batches.len(), b.batches.len(), "batch trajectory length");
+    for (x, y) in a.batches.iter().zip(&b.batches) {
+        assert_eq!(x.batch, y.batch);
+        assert_eq!(x.trials, y.trials);
+        assert_eq!(x.cumulative, y.cumulative);
+        assert_eq!(x.widest, y.widest);
+        assert_eq!(x.max_half_width.to_bits(), y.max_half_width.to_bits());
+    }
+}

@@ -7,11 +7,14 @@
 //! produce the same outcome counts, intervals, batch trajectory, and
 //! stop reason over either.
 
-use avf_inject::{Campaign, CampaignConfig, CampaignReport, LocalBackend};
+use avf_inject::{Campaign, CampaignConfig, GoldenMode, LocalBackend, StoreSource};
 use avf_service::{spawn_local, RemoteBackend, ServeOptions};
 use avf_sim::MachineConfig;
 
 use avf_workloads::testkit::register_chain;
+
+mod common;
+use common::assert_reports_identical;
 
 fn adaptive_config() -> CampaignConfig {
     CampaignConfig {
@@ -25,41 +28,10 @@ fn adaptive_config() -> CampaignConfig {
     }
 }
 
-/// Everything the methodology cares about must match; wall-clock and
-/// the venue's parallelism legitimately differ.
-fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport) {
-    assert_eq!(a.program, b.program);
-    assert_eq!(a.injections, b.injections);
-    assert_eq!(a.seed, b.seed);
-    assert_eq!(a.stop, b.stop);
-    assert_eq!(a.checkpoints, b.checkpoints);
-    assert_eq!(a.golden.cycles, b.golden.cycles);
-    assert_eq!(a.golden.digest, b.golden.digest);
-    assert_eq!(a.targets.len(), b.targets.len());
-    for (x, y) in a.targets.iter().zip(&b.targets) {
-        assert_eq!(x.target, y.target);
-        assert_eq!(x.counts, y.counts, "{}: outcome counts differ", x.target);
-        assert_eq!(
-            x.ci95().0.to_bits(),
-            y.ci95().0.to_bits(),
-            "{}: CI lower bound differs",
-            x.target
-        );
-        assert_eq!(
-            x.ci95().1.to_bits(),
-            y.ci95().1.to_bits(),
-            "{}: CI upper bound differs",
-            x.target
-        );
-        assert_eq!(x.ace_avf.to_bits(), y.ace_avf.to_bits());
-    }
-    assert_eq!(a.batches.len(), b.batches.len(), "batch trajectory length");
-    for (x, y) in a.batches.iter().zip(&b.batches) {
-        assert_eq!(x.batch, y.batch);
-        assert_eq!(x.trials, y.trials);
-        assert_eq!(x.cumulative, y.cumulative);
-        assert_eq!(x.widest, y.widest);
-        assert_eq!(x.max_half_width.to_bits(), y.max_half_width.to_bits());
+fn serve_options(threads: usize) -> ServeOptions {
+    ServeOptions {
+        threads,
+        ..ServeOptions::default()
     }
 }
 
@@ -73,7 +45,7 @@ fn loopback_remote_matches_local_adaptive_campaign() {
         .run_on(&LocalBackend::new(2))
         .expect("local run");
 
-    let addr = spawn_local(ServeOptions { threads: 2 }).expect("bind loopback server");
+    let addr = spawn_local(serve_options(2)).expect("bind loopback server");
     let remote_backend = RemoteBackend::new(vec![addr.to_string()]);
     let remote = Campaign::new(&machine, &program, config)
         .run_on(&remote_backend)
@@ -81,6 +53,50 @@ fn loopback_remote_matches_local_adaptive_campaign() {
 
     assert!(local.injections > 0, "campaign actually ran");
     assert_reports_identical(&local, &remote);
+    // Default mode: the worker executed the golden pass itself.
+    assert_eq!(remote.provisioning.len(), 1);
+    assert_eq!(remote.provisioning[0].source, StoreSource::GoldenRun);
+}
+
+#[test]
+fn driver_golden_mode_ships_the_store_and_still_matches() {
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let mut config = adaptive_config();
+    config.ci_target = Some(0.2);
+    config.injections = 256;
+
+    // Reference: default worker-side golden pass, local venue.
+    let local = Campaign::new(&machine, &program, config.clone())
+        .run_on(&LocalBackend::new(1))
+        .expect("local run");
+
+    // Driver-side golden pass over the wire: the store ships once
+    // (NEED), and a second campaign against the same worker hits the
+    // content-hash cache instead of re-shipping.
+    config.golden_mode = GoldenMode::Driver;
+    let opts = serve_options(1);
+    let cache = std::sync::Arc::clone(&opts.cache);
+    let addr = spawn_local(opts).expect("bind loopback server");
+    let backend = RemoteBackend::new(vec![addr.to_string()]);
+
+    let first = Campaign::new(&machine, &program, config.clone())
+        .run_on(&backend)
+        .expect("shipped-store remote run");
+    assert_reports_identical(&local, &first);
+    assert_eq!(first.provisioning[0].source, StoreSource::Shipped);
+    assert_eq!(cache.stats().hits, 0);
+
+    let second = Campaign::new(&machine, &program, config)
+        .run_on(&backend)
+        .expect("cache-hit remote run");
+    assert_reports_identical(&local, &second);
+    assert_eq!(
+        second.provisioning[0].source,
+        StoreSource::Cached,
+        "identical store must not be re-shipped"
+    );
+    assert_eq!(cache.stats().hits, 1);
 }
 
 #[test]
@@ -99,8 +115,8 @@ fn two_workers_split_the_campaign_and_still_match() {
 
     // Two independent single-threaded server processes-worth of state
     // on one loopback: the driver strides each batch across both.
-    let a = spawn_local(ServeOptions { threads: 1 }).expect("worker a");
-    let b = spawn_local(ServeOptions { threads: 1 }).expect("worker b");
+    let a = spawn_local(serve_options(1)).expect("worker a");
+    let b = spawn_local(serve_options(1)).expect("worker b");
     let remote_backend = RemoteBackend::new(vec![a.to_string(), b.to_string()]);
     let remote = Campaign::new(&machine, &program, config)
         .run_on(&remote_backend)

@@ -215,7 +215,12 @@ pub enum RunEnd {
 }
 
 /// Reference (fault-free) execution a campaign classifies against.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq` is load-bearing for the distributed service: when N
+/// workers each execute the golden pass themselves, the driver
+/// cross-checks that every worker reports the *identical* reference —
+/// any divergence is a hard protocol error, not a warning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GoldenRun {
     /// Cycles the fault-free run took (the injection-cycle sampling
     /// space).

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the campaign_throughput bench at standard scale, emits the
+# per-PR perf artifact (BENCH_pr<N>.json, inj/s medians over 3 runs),
+# and prints the delta against the newest *earlier* artifact committed
+# under bench-results/ so the perf trajectory is visible per PR.
+set -euo pipefail
+
+# Single authority for the PR number: the bench and the artifact name
+# both derive from this export.
+export AVF_BENCH_PR=4
+ARTIFACT="BENCH_pr${AVF_BENCH_PR}.json"
+
+# The bench must run at a scale comparable with the committed history,
+# regardless of the workflow-level smoke default. The artifact path is
+# absolute because cargo runs bench binaries from the package dir.
+export AVF_EXPERIMENT_SCALE=standard
+AVF_BENCH_JSON="$PWD/$ARTIFACT" cargo bench -q --locked -p avf-bench --bench campaign_throughput
+
+field() { grep "\"$2\"" "$1" | sed -E 's/[^0-9.]+//g'; }
+
+[ -f "$ARTIFACT" ] || { echo "error: bench did not write $ARTIFACT" >&2; exit 1; }
+new_median=$(field "$ARTIFACT" median)
+echo "== perf trajectory =="
+echo "$ARTIFACT (this run): ${new_median} inj/s median"
+
+prev=$(ls bench-results/BENCH_pr*.json 2>/dev/null | grep -v "/$ARTIFACT$" | sort -V | tail -1 || true)
+if [ -z "$prev" ]; then
+  echo "no earlier BENCH_*.json committed under bench-results/ — nothing to diff"
+  exit 0
+fi
+old_median=$(field "$prev" median)
+old_scale=$(grep '"scale"' "$prev" | sed -E 's/.*: *"([a-z]+)".*/\1/')
+if [ "$old_scale" != "standard" ]; then
+  echo "$prev was recorded at scale '$old_scale'; skipping the delta (not comparable)"
+  exit 0
+fi
+awk -v new="$new_median" -v old="$old_median" -v prev="$prev" 'BEGIN {
+  printf "%s (committed): %.1f inj/s median\n", prev, old
+  printf "delta: %+.1f%% (CI runners are noisy; the committed 1-CPU history is the anchor)\n",
+         (new - old) / old * 100.0
+}'

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Release-mode end-to-end smoke of the fault-injection subsystem: a
+# fixed campaign plus an adaptive sequential-sampling campaign (the
+# latter exercises the checkpoint-restore path and the explicit
+# unreached-trial classification, not just its debug_assert shadow).
+set -euo pipefail
+
+BIN=./target/release/avf-stressmark
+[ -x "$BIN" ] || { echo "error: $BIN not built (run cargo build --release --locked first)" >&2; exit 1; }
+
+"$BIN" validate --injections 240 --seed 42 --instructions 8000
+"$BIN" validate --ci-target 0.1 --injections 2000 --seed 42 --instructions 8000

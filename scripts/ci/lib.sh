@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Shared helpers for the CI smoke scripts. Source, don't execute.
+
+# Waits until TCP $1 on 127.0.0.1 accepts, while PID $2 is still alive.
+wait_port() {
+  local port=$1 pid=$2 i
+  for i in $(seq 1 100); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "error: serve worker (pid $pid) exited before accepting on port $port" >&2
+      return 1
+    fi
+    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+      exec 3>&- 3<&-
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "error: port $port never came up" >&2
+  return 1
+}
+
+# Asserts a backgrounded serve worker is still alive — a worker that
+# crashed mid-campaign must fail the step even if the client somehow
+# exited zero.
+assert_alive() {
+  local pid=$1 name=$2
+  if ! kill -0 "$pid" 2>/dev/null; then
+    # Reap it so the real exit status lands in the log.
+    local status=0
+    wait "$pid" || status=$?
+    echo "error: $name (pid $pid) died during the smoke (exit $status)" >&2
+    return 1
+  fi
+}
+
+# Terminates a backgrounded serve worker and checks it died from *our*
+# signal (143 = SIGTERM), not from an earlier failure of its own.
+reap() {
+  local pid=$1 name=$2 status=0
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" || status=$?
+  if [ "$status" -ne 0 ] && [ "$status" -ne 143 ]; then
+    echo "error: $name (pid $pid) exited $status, not via our SIGTERM" >&2
+    return 1
+  fi
+}

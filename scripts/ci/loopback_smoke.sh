@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Release-mode distributed-campaign smoke: a long-running `serve`
+# worker plus `validate --workers` over the wire protocol. Strict CLI
+# flags mean a typo here fails the job instead of silently running a
+# default campaign; the explicit alive/reap checks mean a crashed
+# backgrounded worker can never leave the step green.
+set -euo pipefail
+. "$(dirname "$0")/lib.sh"
+
+BIN=./target/release/avf-stressmark
+[ -x "$BIN" ] || { echo "error: $BIN not built (run cargo build --release --locked first)" >&2; exit 1; }
+PORT=7411
+
+"$BIN" serve --listen "127.0.0.1:$PORT" --threads 2 &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+
+wait_port "$PORT" "$SERVE_PID"
+"$BIN" validate --workers "127.0.0.1:$PORT" \
+  --ci-target 0.1 --injections 2000 --seed 42 --instructions 8000
+assert_alive "$SERVE_PID" "serve worker"
+
+trap - EXIT
+reap "$SERVE_PID" "serve worker"

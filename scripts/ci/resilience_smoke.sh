@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Release-mode resilience smoke of the distributed campaign service.
+#
+# Two `serve` workers; worker B is armed with `--die-mid-batch 1`, so
+# every campaign connection to it aborts midway through its second
+# batch — a deterministic stand-in for a worker killed mid-campaign.
+# The two-worker campaign must (a) complete, (b) re-dispatch the dead
+# worker's trials, and (c) print a report bit-identical to a
+# single-worker run at the same seed modulo venue metadata (worker
+# count, inj/s, the re-dispatch note). A second single-worker campaign
+# then proves the checkpoint-store cache: its JOB_SETUPs must log HAVE
+# on the worker.
+set -euo pipefail
+. "$(dirname "$0")/lib.sh"
+
+BIN=./target/release/avf-stressmark
+[ -x "$BIN" ] || { echo "error: $BIN not built (run cargo build --release --locked first)" >&2; exit 1; }
+PORT_A=7421
+PORT_B=7422
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+CAMPAIGN=(--ci-target 0.1 --injections 2000 --seed 42 --instructions 8000 --batch 128)
+
+"$BIN" serve --listen "127.0.0.1:$PORT_A" --threads 2 2>"$WORKDIR/worker_a.log" &
+PID_A=$!
+"$BIN" serve --listen "127.0.0.1:$PORT_B" --threads 2 --die-mid-batch 1 \
+  2>"$WORKDIR/worker_b.log" &
+PID_B=$!
+trap 'kill $PID_A $PID_B 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+wait_port "$PORT_A" "$PID_A"
+wait_port "$PORT_B" "$PID_B"
+
+echo "== two-worker campaign, worker B dies mid-batch =="
+"$BIN" validate --workers "127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" \
+  "${CAMPAIGN[@]}" | tee "$WORKDIR/two_worker.out"
+assert_alive "$PID_A" "worker A"
+assert_alive "$PID_B" "worker B"
+
+echo "== single-worker reference at the same seed =="
+"$BIN" validate --workers "127.0.0.1:$PORT_A" \
+  "${CAMPAIGN[@]}" | tee "$WORKDIR/one_worker.out"
+
+# The fault must actually have fired, and the report must say so.
+grep -q "injected fault" "$WORKDIR/worker_b.log" || {
+  echo "error: worker B never fired its injected fault" >&2; exit 1; }
+grep -q "re-dispatched" "$WORKDIR/two_worker.out" || {
+  echo "error: the two-worker report records no re-dispatch" >&2; exit 1; }
+
+# Bit-identical modulo venue metadata: strip the worker count, the
+# throughput figure, and the re-dispatch note — everything statistical
+# (counts, CIs, batch trajectory, verdicts, stop reasons) must match
+# byte for byte.
+filter() {
+  sed -E 's/[0-9]+ worker\(s\)//; s/\([0-9]+ inj\/s\)//' "$1" | grep -v "re-dispatched"
+}
+if ! diff <(filter "$WORKDIR/two_worker.out") <(filter "$WORKDIR/one_worker.out"); then
+  echo "error: campaign with a mid-batch worker death diverged from the fault-free run" >&2
+  exit 1
+fi
+echo "report with worker death is bit-identical to the fault-free run ✓"
+
+echo "== cache-hit smoke: identical campaign against the same worker =="
+"$BIN" validate --workers "127.0.0.1:$PORT_A" "${CAMPAIGN[@]}" >/dev/null
+grep -q "HAVE (cache hit)" "$WORKDIR/worker_a.log" || {
+  echo "error: second identical campaign never hit the checkpoint-store cache" >&2; exit 1; }
+echo "checkpoint-store cache HAVE observed on re-run ✓"
+
+# Keep the kills in the trap: if the first reap fails, the second
+# worker must still be torn down rather than outliving the job.
+reap "$PID_A" "worker A"
+reap "$PID_B" "worker B"
+trap 'rm -rf "$WORKDIR"' EXIT
