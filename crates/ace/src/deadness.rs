@@ -22,6 +22,12 @@ use std::collections::HashMap;
 use crate::record::{AceKind, DynId, InstrRecord, PregRecord, Residency};
 use crate::structures::Structure;
 
+/// Width of the ROB entry's result (data) field — the portion of a dead
+/// instruction's ROB residency that genuinely is un-ACE. The remaining
+/// control bits (destination tag, status) stay ACE even for dead
+/// occupants.
+const ROB_RESULT_FIELD_BITS: u32 = 64;
+
 /// Resolution state of a dynamic instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Liveness {
@@ -416,19 +422,36 @@ impl DeadnessEngine {
             };
             self.states[n as usize] = Liveness::Dead;
             self.stats.dead += 1;
-            if node.kind == AceKind::Store {
-                // Mukherjee's dead-store refinement applies to the *data*
-                // field only: a dynamically dead store's value is un-ACE
-                // (overwritten before any read), but its address bits stay
-                // ACE — a fault there redirects the write and corrupts
-                // unrelated state, which injection observes as SDC. Credit
-                // the tag residency even as the rest is dropped.
-                for slice in node
-                    .residency
-                    .iter()
-                    .filter(|s| s.structure == Structure::SqTag)
-                {
-                    self.ace.add(slice.structure, slice.bit_cycles());
+            // Mukherjee's dead-instruction refinement applies to *data*
+            // fields only: a dynamically dead instruction's value is
+            // un-ACE (never consumed), but its control and tag fields
+            // stay ACE — a corrupted address redirects the write, a
+            // corrupted operand or destination tag misroutes a value, a
+            // corrupted opcode decodes to a different micro-op; each
+            // corrupts *unrelated live* state, which injection (and the
+            // micro-op replay oracle in particular) observes as SDC or a
+            // detected error regardless of the occupant's own deadness.
+            // Credit the control/tag residency even as the data-field
+            // residency is dropped: the ROB keeps its 12 control bits
+            // (entry minus the 64-bit result field), the IQ entry is all
+            // control, and both LSQ tag arrays stay whole. NOPs are the
+            // one exception — the model resolves them un-ACE outright
+            // (they route nothing, so there is no misroute to credit),
+            // and the injection engine masks every NOP-entry flip to
+            // match; the flipped-NOP-opcode gap both sides share is
+            // recorded in the ROADMAP.
+            if node.kind != AceKind::Nop {
+                for slice in node.residency.iter() {
+                    let control_bits = match slice.structure {
+                        Structure::Rob => slice.bits.saturating_sub(ROB_RESULT_FIELD_BITS),
+                        Structure::Iq | Structure::LqTag | Structure::SqTag => slice.bits,
+                        _ => 0,
+                    };
+                    if control_bits > 0 {
+                        let mut control = *slice;
+                        control.bits = control_bits;
+                        self.ace.add(control.structure, control.bit_cycles());
+                    }
                 }
             }
             for p in node.producers.into_iter().flatten() {
@@ -574,7 +597,7 @@ mod tests {
     }
 
     #[test]
-    fn residency_credited_only_for_live() {
+    fn dead_residency_keeps_control_bits_only() {
         let mut e = DeadnessEngine::new();
         let mut live_rec = value(Some(1), &[]);
         live_rec.residency.push(Slice {
@@ -592,9 +615,57 @@ mod tests {
             bits: 76,
         });
         e.commit(dead_rec);
-        // First value dead (overwritten unread); second unresolved until finish.
+        // Both values die (overwritten unread / unresolved at finish):
+        // their 64-bit result fields are un-ACE, but the 12 control bits
+        // of each entry stay ACE — a misdirected writeback corrupts
+        // unrelated live state no matter how dead the occupant is.
         e.finish();
+        assert_eq!(e.accumulator().get(Structure::Rob), 2 * 10 * 12);
+    }
+
+    #[test]
+    fn nop_residency_credits_nothing_at_all() {
+        let mut e = DeadnessEngine::new();
+        let mut nop = InstrRecord::of_kind(AceKind::Nop);
+        nop.residency.push(Slice {
+            structure: Structure::Rob,
+            start: 0,
+            end: 8,
+            bits: 76,
+        });
+        nop.residency.push(Slice {
+            structure: Structure::Iq,
+            start: 0,
+            end: 8,
+            bits: 32,
+        });
+        e.commit(nop);
+        // NOPs are un-ACE outright — no control-credit exception.
         assert_eq!(e.accumulator().get(Structure::Rob), 0);
+        assert_eq!(e.accumulator().get(Structure::Iq), 0);
+    }
+
+    #[test]
+    fn dead_iq_and_lsq_tag_residency_stays_whole() {
+        let mut e = DeadnessEngine::new();
+        let mut dead_rec = value(Some(1), &[]);
+        dead_rec.residency.push(Slice {
+            structure: Structure::Iq,
+            start: 0,
+            end: 4,
+            bits: 32,
+        });
+        dead_rec.residency.push(Slice {
+            structure: Structure::LqData,
+            start: 0,
+            end: 4,
+            bits: 64,
+        });
+        e.commit(dead_rec);
+        e.commit(value(Some(1), &[])); // overwrite -> dead
+                                       // IQ entries are all control; LQ data is pure data.
+        assert_eq!(e.accumulator().get(Structure::Iq), 4 * 32);
+        assert_eq!(e.accumulator().get(Structure::LqData), 0);
     }
 
     #[test]

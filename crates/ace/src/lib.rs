@@ -66,5 +66,5 @@ pub use deadness::{AceAccumulator, DeadnessEngine, DeadnessStats, Liveness};
 pub use faultrates::FaultRates;
 pub use lifetime::{CacheLifetime, TlbLifetime};
 pub use record::{AceKind, DynId, InstrRecord, MemRef, PregRecord, Residency, Slice};
-pub use report::{AvfReport, SerReport};
+pub use report::{AceGap, AvfReport, SerReport};
 pub use structures::{Structure, StructureClass, StructureSizes};

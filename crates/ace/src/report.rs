@@ -91,6 +91,25 @@ impl AvfReport {
         v.min(1.0)
     }
 
+    /// Bit-weighted AVF over an arbitrary structure group — the merge
+    /// rule every consumer shares: an injection target or a figure
+    /// column that spans tag/data arrays weighs each array by its bit
+    /// count, exactly as a physical entry does.
+    #[must_use]
+    pub fn merged_avf(&self, structures: &[Structure]) -> f64 {
+        let mut weighted = 0.0;
+        let mut bits = 0u64;
+        for &s in structures {
+            weighted += self.avf(s) * self.sizes.bits(s) as f64;
+            bits += self.sizes.bits(s);
+        }
+        if bits == 0 {
+            0.0
+        } else {
+            weighted / bits as f64
+        }
+    }
+
     /// Derates the AVFs by circuit-level fault rates, producing SER.
     #[must_use]
     pub fn ser(&self, rates: &FaultRates) -> SerReport {
@@ -104,6 +123,33 @@ impl AvfReport {
             sizes: self.sizes.clone(),
             units,
         }
+    }
+}
+
+/// One structure's measured-vs-ACE gap: the distance between the
+/// analysis' conservative AVF bound and an injection measurement of the
+/// same structure on the same run.
+///
+/// The paper's methodology lives or dies on this number: the ACE
+/// analysis must stay an upper bound (`gap ≥ 0` within sampling noise —
+/// anything else is a soundness violation), but a *large* gap means the
+/// fault model is too coarse to observe vulnerability the deadness
+/// analysis correctly refuses to discount — exactly what the micro-op
+/// replay oracle tightens on the queueing structures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AceGap {
+    /// The analysis' (bit-weighted) AVF bound.
+    pub ace_avf: f64,
+    /// The injection-measured AVF.
+    pub measured_avf: f64,
+}
+
+impl AceGap {
+    /// The signed gap, `ace − measured`: positive is conservatism,
+    /// negative is measured vulnerability the bound does not cover.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.ace_avf - self.measured_avf
     }
 }
 

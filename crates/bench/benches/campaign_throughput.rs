@@ -159,18 +159,18 @@ fn main() {
 /// authority in CI (it exports `AVF_BENCH_PR`); this fallback only
 /// serves ad-hoc local runs, so a stale value here cannot break the
 /// pipeline.
-const BENCH_PR_FALLBACK: &str = "4";
+const BENCH_PR_FALLBACK: &str = "5";
 
-/// Emits `BENCH_pr<N>.json` (path overridable via `AVF_BENCH_JSON`):
-/// the median inj/s of three identical fixed campaigns, the per-PR
-/// perf-trajectory artifact CI uploads and diffs against the committed
-/// history in `bench-results/`.
-fn write_bench_json(
+/// Inj/s of three identical fixed campaigns under `model`, sorted
+/// ascending (the caller reads the median at index 1 and records the
+/// full spread in the artifact).
+fn sorted_rates(
     machine: &MachineConfig,
     program: &avf_isa::Program,
     injections: u64,
     instr_budget: u64,
-) {
+    model: avf_inject::FaultModel,
+) -> [f64; 3] {
     let mut rates = Vec::with_capacity(3);
     for _ in 0..3 {
         let config = CampaignConfig {
@@ -178,6 +178,7 @@ fn write_bench_json(
             seed: 42,
             threads: 0,
             instr_budget,
+            fault_model: model,
             ..CampaignConfig::default()
         };
         let start = Instant::now();
@@ -185,7 +186,34 @@ fn write_bench_json(
         rates.push(report.injections as f64 / start.elapsed().as_secs_f64().max(1e-9));
     }
     rates.sort_by(f64::total_cmp);
+    rates.try_into().expect("three runs")
+}
+
+/// Emits `BENCH_pr<N>.json` (path overridable via `AVF_BENCH_JSON`):
+/// the median inj/s of three identical fixed campaigns, the per-PR
+/// perf-trajectory artifact CI uploads and diffs against the committed
+/// history in `bench-results/`. The primary `median` series runs the
+/// trap fault model — directly comparable with the pre-replay history —
+/// and a second `replay_median` series tracks the replay oracle's
+/// throughput (its hot path adds field decode + the in-flight walk, so
+/// regressions there must be visible per PR too).
+fn write_bench_json(
+    machine: &MachineConfig,
+    program: &avf_isa::Program,
+    injections: u64,
+    instr_budget: u64,
+) {
+    use avf_inject::FaultModel;
+    let rates = sorted_rates(machine, program, injections, instr_budget, FaultModel::Trap);
+    let replay = sorted_rates(
+        machine,
+        program,
+        injections,
+        instr_budget,
+        FaultModel::Replay,
+    );
     let median = rates[1];
+    let replay_median = replay[1];
     let scale = std::env::var("AVF_EXPERIMENT_SCALE").unwrap_or_else(|_| "standard".to_owned());
     let pr = std::env::var("AVF_BENCH_PR").unwrap_or_else(|_| BENCH_PR_FALLBACK.to_owned());
     let path = std::env::var("AVF_BENCH_JSON").unwrap_or_else(|_| format!("BENCH_pr{pr}.json"));
@@ -196,12 +224,14 @@ fn write_bench_json(
         "{{\n  \"pr\": {pr},\n  \"bench\": \"campaign_throughput\",\n  \
          \"metric\": \"inj_per_s\",\n  \"scale\": \"{scale}\",\n  \
          \"injections\": {injections},\n  \"instr_budget\": {instr_budget},\n  \
-         \"runs\": [{:.1}, {:.1}, {:.1}],\n  \"median\": {median:.1}\n}}\n",
-        rates[0], rates[1], rates[2],
+         \"runs\": [{:.1}, {:.1}, {:.1}],\n  \"median\": {median:.1},\n  \
+         \"replay_runs\": [{:.1}, {:.1}, {:.1}],\n  \"replay_median\": {replay_median:.1}\n}}\n",
+        rates[0], rates[1], rates[2], replay[0], replay[1], replay[2],
     );
     match std::fs::write(&path, json) {
         Ok(()) => println!(
-            "\nperf artifact {path}: median {median:.0} inj/s over 3 fixed runs \
+            "\nperf artifact {path}: median {median:.0} inj/s (trap), \
+             {replay_median:.0} inj/s (replay) over 3 fixed runs each \
              ({injections} inj, {scale} scale)"
         ),
         Err(e) => eprintln!("WARNING: could not write {path}: {e}"),

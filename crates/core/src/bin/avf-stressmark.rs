@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 use avf_ace::FaultRates;
 use avf_ga::GaParams;
-use avf_inject::{CampaignConfig, GoldenMode, LocalBackend};
+use avf_inject::{CampaignConfig, FaultModel, GoldenMode, LocalBackend};
 use avf_service::{serve, RemoteBackend, ServeOptions};
 use avf_sim::MachineConfig;
 use avf_stressmark::cli::{bool_flag, value_flag, Args, FlagSpec};
@@ -62,6 +62,7 @@ const VALIDATE_FLAGS: &[FlagSpec] = &[
     value_flag("checkpoint-interval"),
     value_flag("workers"),
     value_flag("golden"),
+    value_flag("fault-model"),
 ];
 
 const SERVE_FLAGS: &[FlagSpec] = &[
@@ -236,6 +237,11 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
         "driver" => GoldenMode::Driver,
         other => return Err(format!("unknown golden mode `{other}` (worker|driver)")),
     };
+    let fault_model = {
+        let spelled = args.flag("fault-model").unwrap_or("replay");
+        FaultModel::parse(spelled)
+            .ok_or_else(|| format!("unknown fault model `{spelled}` (trap|replay)"))?
+    };
     let config = CampaignConfig {
         injections: args.parse_u64("injections", 1000).map_err(|e| e.0)?,
         seed: args.parse_u64("seed", 42).map_err(|e| e.0)?,
@@ -245,18 +251,19 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
         batch_size: args.parse_u64("batch", 128).map_err(|e| e.0)?.max(1),
         checkpoint_interval: args.parse_u64("checkpoint-interval", 0).map_err(|e| e.0)?,
         golden_mode,
+        fault_model,
         ..CampaignConfig::default()
     };
     match config.ci_target {
         Some(target) => eprintln!(
             "cross-validating ACE AVF by adaptive statistical fault injection \
-             (CI target ±{target}, cap {} injections/program, seed {})...",
-            config.injections, config.seed
+             (CI target ±{target}, cap {} injections/program, {} fault model, seed {})...",
+            config.injections, config.fault_model, config.seed
         ),
         None => eprintln!(
             "cross-validating ACE AVF by statistical fault injection \
-             ({} injections/program, seed {})...",
-            config.injections, config.seed
+             ({} injections/program, {} fault model, seed {})...",
+            config.injections, config.fault_model, config.seed
         ),
     }
     let validation = match args.flag("workers") {
@@ -362,7 +369,11 @@ commands:
             mid-batch; --golden worker|driver picks who runs the golden
             pass — workers in parallel [default, digests cross-checked]
             or the driver, shipping checkpoints behind the content-hash
-            cache handshake)
+            cache handshake; --fault-model replay|trap picks how
+            ROB/IQ/LQ/SQ control/tag flips resolve — the micro-op
+            replay oracle [default: corrupted entries re-decode and
+            re-execute, outcomes classified architecturally] or the
+            coarse control-corruption-is-DUE trap model)
   serve     run a long-lived campaign worker: accepts (program, machine,
             store-hash) jobs over TCP, resolves checkpoint stores
             through a bounded LRU cache (HAVE/NEED handshake) or its own

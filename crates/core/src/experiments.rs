@@ -125,18 +125,7 @@ pub fn run_suite(
 /// the per-structure figures).
 #[must_use]
 pub fn merged_avf(result: &SimResult, structures: &[Structure]) -> f64 {
-    let sizes = result.report.sizes();
-    let mut weighted = 0.0;
-    let mut bits = 0u64;
-    for &s in structures {
-        weighted += result.report.avf(s) * sizes.bits(s) as f64;
-        bits += sizes.bits(s);
-    }
-    if bits == 0 {
-        0.0
-    } else {
-        weighted / bits as f64
-    }
+    result.report.merged_avf(structures)
 }
 
 fn ser_row(result: &SimResult, rates: &FaultRates) -> Vec<f64> {

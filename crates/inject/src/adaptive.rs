@@ -89,6 +89,7 @@ mod tests {
                 masked: total - unmasked,
                 sdc: unmasked,
                 due: 0,
+                diverged: 0,
                 unreached: 0,
             })
             .collect()

@@ -40,8 +40,8 @@ use std::thread::JoinHandle;
 use avf_isa::wire::{kind, WireError, WireReader, WireWriter};
 use avf_isa::Program;
 use avf_sim::{
-    golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FlipEffect, GoldenRun,
-    InjectionSim, InjectionTarget, MachineConfig, RunEnd,
+    golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FaultModel, FlipEffect,
+    GoldenRun, InjectionSim, InjectionTarget, MachineConfig, RunEnd,
 };
 
 use crate::plan::Trial;
@@ -125,6 +125,11 @@ pub enum GoldenSpec {
         /// Serialized fault-free checkpoints (`Arc` so a cache or a
         /// multi-worker fan-out never deep-copies the blobs).
         store: Arc<CheckpointStore>,
+        /// Already-decoded snapshots of the same store, when the venue
+        /// has them at hand (a worker's decoded-checkpoint cache): the
+        /// local backend then skips the per-campaign `decode_all`.
+        /// `None` means "decode from the bytes".
+        decoded: Option<Arc<DecodedCheckpoints>>,
         /// The fault-free reference run the store was captured from.
         golden: GoldenRun,
         /// Cycle watchdog budget of every trial (hang ⇒ DUE).
@@ -154,6 +159,10 @@ pub struct JobSpec {
     /// Committed-instruction budget of every trial (and of a delegated
     /// golden run).
     pub instr_budget: u64,
+    /// How queueing-structure control/tag flips are resolved (the
+    /// golden run is fault-free, so the model changes trial
+    /// classification only — never the store or the reference digest).
+    pub fault_model: FaultModel,
     /// Where the fault-free reference comes from.
     pub golden: GoldenSpec,
 }
@@ -448,6 +457,9 @@ pub fn classify_trial(sim: &mut InjectionSim<'_>, trial: &Trial, golden_digest: 
     // programs that halves the deep-clone cost.
     match sim.probe_bit(trial.target, trial.entry, trial.bit) {
         FlipEffect::Masked(_) => Outcome::Masked,
+        // An architecturally impossible decode mutates nothing either:
+        // the verdict is immediate.
+        FlipEffect::Diverged => Outcome::ReplayDiverged,
         FlipEffect::Armed => {
             let snap = sim.snapshot();
             let armed = sim.flip_bit(trial.target, trial.entry, trial.bit);
@@ -472,9 +484,10 @@ pub fn classify_trial(sim: &mut InjectionSim<'_>, trial: &Trial, golden_digest: 
 struct LocalJob {
     machine: MachineConfig,
     program: Program,
-    checkpoints: DecodedCheckpoints,
+    checkpoints: Arc<DecodedCheckpoints>,
     instr_budget: u64,
     cycle_budget: u64,
+    fault_model: FaultModel,
     golden_digest: u64,
 }
 
@@ -490,6 +503,7 @@ impl LocalJob {
             let sim = sim.get_or_insert_with(|| {
                 let mut s = InjectionSim::new(&self.machine, &self.program, self.instr_budget);
                 s.set_cycle_budget(self.cycle_budget);
+                s.set_fault_model(self.fault_model);
                 let (_, snap) = self
                     .checkpoints
                     .nearest(trial.cycle)
@@ -539,12 +553,13 @@ impl CampaignBackend for LocalBackend {
     }
 
     fn open(&self, spec: JobSpec) -> Result<OpenedJob, BackendError> {
-        let (store, golden, cycle_budget, source) = match spec.golden {
+        let (store, decoded, golden, cycle_budget, source) = match spec.golden {
             GoldenSpec::Shipped {
                 store,
+                decoded,
                 golden,
                 cycle_budget,
-            } => (store, golden, cycle_budget, StoreSource::Shipped),
+            } => (store, decoded, golden, cycle_budget, StoreSource::Shipped),
             GoldenSpec::Delegated {
                 checkpoint_interval,
             } => {
@@ -561,6 +576,7 @@ impl CampaignBackend for LocalBackend {
                 );
                 (
                     Arc::new(store),
+                    None,
                     golden,
                     cycle_budget_of(golden.cycles),
                     StoreSource::GoldenRun,
@@ -568,9 +584,15 @@ impl CampaignBackend for LocalBackend {
             }
         };
         let checkpoints_total = store.len();
-        // Decode each checkpoint once per campaign; workers restore by
-        // deep clone instead of re-parsing blobs per batch.
-        let checkpoints = store.decode_all(&spec.machine, &spec.program)?;
+        // Decode each checkpoint once per campaign (workers restore by
+        // deep clone instead of re-parsing blobs per batch) — unless the
+        // venue already holds the decoded snapshots (a cache hit in a
+        // long-lived worker), in which case even that single decode is
+        // skipped.
+        let checkpoints = match decoded {
+            Some(decoded) => decoded,
+            None => Arc::new(store.decode_all(&spec.machine, &spec.program)?),
+        };
         Ok(OpenedJob {
             session: Box::new(LocalSession {
                 job: Arc::new(LocalJob {
@@ -579,6 +601,7 @@ impl CampaignBackend for LocalBackend {
                     checkpoints,
                     instr_budget: spec.instr_budget,
                     cycle_budget,
+                    fault_model: spec.fault_model,
                     golden_digest: golden.digest,
                 }),
                 workers: self.workers,

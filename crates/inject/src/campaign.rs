@@ -80,6 +80,10 @@ pub struct CampaignConfig {
     /// Either mode yields a bit-identical report at a fixed seed — the
     /// golden run is deterministic, so only *where* it executes moves.
     pub golden_mode: GoldenMode,
+    /// How queueing-structure control/tag flips are resolved (default:
+    /// the micro-op replay oracle; `trap` restores the coarse
+    /// control-corruption-is-DUE model for comparison).
+    pub fault_model: avf_sim::FaultModel,
 }
 
 impl Default for CampaignConfig {
@@ -94,6 +98,7 @@ impl Default for CampaignConfig {
             batch_size: 128,
             checkpoint_interval: 0,
             golden_mode: GoldenMode::Worker,
+            fault_model: avf_sim::FaultModel::default(),
         }
     }
 }
@@ -169,6 +174,7 @@ impl<'a> Campaign<'a> {
                 );
                 GoldenSpec::Shipped {
                     store: Arc::new(store),
+                    decoded: None,
                     golden,
                     cycle_budget: cycle_budget_of(golden.cycles),
                 }
@@ -178,6 +184,7 @@ impl<'a> Campaign<'a> {
             machine: self.machine.clone(),
             program: self.program.clone(),
             instr_budget: self.config.instr_budget,
+            fault_model: self.config.fault_model,
             golden: golden_spec,
         })?;
         let golden = opened.golden;
@@ -307,6 +314,7 @@ impl<'a> Campaign<'a> {
         Ok(CampaignReport {
             program: self.program.name().to_owned(),
             injections: executed,
+            fault_model: self.config.fault_model,
             seed: self.config.seed,
             workers: backend.workers(),
             golden,

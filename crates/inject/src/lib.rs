@@ -85,8 +85,8 @@ pub use report::{BatchProgress, CampaignReport, StopReason, TargetReport, Verdic
 pub use stats::{wilson_interval, OutcomeCounts};
 
 pub use avf_sim::{
-    golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FlipEffect, InjectionTarget,
-    MaskReason, RunEnd,
+    golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FaultModel, FlipEffect,
+    InjectionTarget, MaskReason, RunEnd,
 };
 
 /// Classified outcome of one injection trial.
@@ -106,6 +106,15 @@ pub enum Outcome {
     /// the report and excluded from the AVF estimate (a healthy
     /// plan/golden pair never produces these).
     Unreached,
+    /// The corrupted entry decodes to an architecturally impossible
+    /// state (unencodable opcode or stage code, a register tag past the
+    /// physical file or naming no live definition): the replay oracle
+    /// cannot express the faulty machine. Counted as unmasked — real
+    /// hardware detects exactly these malformed states (a machine
+    /// check), so the taxonomy treats them as DUE-grade events — but
+    /// tallied in its own bucket so the report shows how much of a
+    /// structure's vulnerability rests on impossible decodes.
+    ReplayDiverged,
 }
 
 impl Outcome {
@@ -117,6 +126,7 @@ impl Outcome {
             Outcome::Sdc => 1,
             Outcome::Due => 2,
             Outcome::Unreached => 3,
+            Outcome::ReplayDiverged => 4,
         }
     }
 
@@ -128,6 +138,7 @@ impl Outcome {
             1 => Some(Outcome::Sdc),
             2 => Some(Outcome::Due),
             3 => Some(Outcome::Unreached),
+            4 => Some(Outcome::ReplayDiverged),
             _ => None,
         }
     }

@@ -3,8 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
-use avf_ace::AvfReport;
-use avf_sim::{GoldenRun, InjectionTarget};
+use avf_ace::{AceGap, AvfReport};
+use avf_sim::{FaultModel, GoldenRun, InjectionTarget};
 
 use crate::backend::{DispatchRecord, WorkerProvision};
 use crate::stats::OutcomeCounts;
@@ -64,6 +64,18 @@ impl TargetReport {
     #[must_use]
     pub fn ci95(&self) -> (f64, f64) {
         self.counts.ci95()
+    }
+
+    /// The measured-vs-ACE gap for this structure: how much of the
+    /// analysis' conservatism the measurement leaves uncovered. The
+    /// replay oracle's reason to exist is making this strictly smaller
+    /// on the queueing structures than the trap model does.
+    #[must_use]
+    pub fn gap(&self) -> AceGap {
+        AceGap {
+            ace_avf: self.ace_avf,
+            measured_avf: self.measured_avf(),
+        }
     }
 
     /// Relation of the ACE estimate to the measurement.
@@ -146,6 +158,8 @@ pub struct CampaignReport {
     /// Injections actually executed (for an adaptive campaign this is
     /// where sequential sampling stopped, not the configured cap).
     pub injections: u64,
+    /// How queueing-structure control/tag flips were resolved.
+    pub fault_model: FaultModel,
     /// Plan seed.
     pub seed: u64,
     /// Worker threads used.
@@ -243,10 +257,11 @@ impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fault-injection campaign: `{}` — {} injections, seed {}, {} worker(s), \
-             golden {} cycles / {} instrs, {} checkpoint(s)",
+            "fault-injection campaign: `{}` — {} injections, {} fault model, seed {}, \
+             {} worker(s), golden {} cycles / {} instrs, {} checkpoint(s)",
             self.program,
             self.injections,
+            self.fault_model,
             self.seed,
             self.workers,
             self.golden.cycles,
@@ -271,23 +286,34 @@ impl fmt::Display for CampaignReport {
         }
         writeln!(
             f,
-            "{:<6} {:>7} {:>7} {:>6} {:>6} {:>9} {:>17} {:>9}  verdict",
-            "struct", "trials", "masked", "sdc", "due", "inj-AVF", "95% CI", "ACE-AVF"
+            "{:<6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9} {:>17} {:>9} {:>8}  verdict",
+            "struct",
+            "trials",
+            "masked",
+            "sdc",
+            "due",
+            "divg",
+            "inj-AVF",
+            "95% CI",
+            "ACE-AVF",
+            "gap"
         )?;
         for t in &self.targets {
             let (lo, hi) = t.ci95();
             writeln!(
                 f,
-                "{:<6} {:>7} {:>7} {:>6} {:>6} {:>9.4} [{:>6.4}, {:>6.4}] {:>9.4}  {}",
+                "{:<6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9.4} [{:>6.4}, {:>6.4}] {:>9.4} {:>8.4}  {}",
                 t.target.name(),
                 t.counts.total(),
                 t.counts.masked,
                 t.counts.sdc,
                 t.counts.due,
+                t.counts.diverged,
                 t.measured_avf(),
                 lo,
                 hi,
                 t.ace_avf,
+                t.gap().gap(),
                 t.verdict().name()
             )?;
         }
@@ -325,18 +351,7 @@ impl fmt::Display for CampaignReport {
 /// Bit-weighted ACE AVF of the arrays an injection target spans.
 #[must_use]
 pub fn ace_avf_of(report: &AvfReport, target: InjectionTarget) -> f64 {
-    let sizes = report.sizes();
-    let mut weighted = 0.0;
-    let mut bits = 0u64;
-    for &s in target.ace_structures() {
-        weighted += report.avf(s) * sizes.bits(s) as f64;
-        bits += sizes.bits(s);
-    }
-    if bits == 0 {
-        0.0
-    } else {
-        weighted / bits as f64
-    }
+    report.merged_avf(target.ace_structures())
 }
 
 #[cfg(test)]
@@ -351,6 +366,7 @@ mod tests {
                 masked: total - unmasked,
                 sdc: 0,
                 due: unmasked,
+                diverged: 0,
                 unreached: 0,
             },
             ace_avf,

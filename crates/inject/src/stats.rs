@@ -11,6 +11,10 @@ pub struct OutcomeCounts {
     pub sdc: u64,
     /// Detected unrecoverable errors.
     pub due: u64,
+    /// Replay-oracle trials whose corrupted entry decoded to an
+    /// architecturally impossible state. Unmasked (DUE-grade: hardware
+    /// machine-checks malformed scheduling state), tallied separately.
+    pub diverged: u64,
     /// Trials whose planned injection cycle the fault-free prefix never
     /// reached (a plan/golden mismatch). These are *invalid samples*,
     /// not observations: they are excluded from the AVF estimate and its
@@ -26,6 +30,7 @@ impl OutcomeCounts {
             Outcome::Masked => self.masked += 1,
             Outcome::Sdc => self.sdc += 1,
             Outcome::Due => self.due += 1,
+            Outcome::ReplayDiverged => self.diverged += 1,
             Outcome::Unreached => self.unreached += 1,
         }
     }
@@ -35,6 +40,7 @@ impl OutcomeCounts {
         self.masked += other.masked;
         self.sdc += other.sdc;
         self.due += other.due;
+        self.diverged += other.diverged;
         self.unreached += other.unreached;
     }
 
@@ -42,13 +48,13 @@ impl OutcomeCounts {
     /// carry no observation).
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.masked + self.sdc + self.due
+        self.masked + self.sdc + self.due + self.diverged
     }
 
-    /// Unmasked trials (the AVF numerator: SDC + DUE).
+    /// Unmasked trials (the AVF numerator: SDC + DUE + diverged).
     #[must_use]
     pub fn unmasked(&self) -> u64 {
-        self.sdc + self.due
+        self.sdc + self.due + self.diverged
     }
 
     /// Injection-measured AVF: the unmasked fraction.
@@ -149,12 +155,14 @@ mod tests {
             masked: 1,
             sdc: 2,
             due: 3,
+            diverged: 0,
             unreached: 0,
         };
         a.merge(OutcomeCounts {
             masked: 10,
             sdc: 20,
             due: 30,
+            diverged: 0,
             unreached: 1,
         });
         assert_eq!(
@@ -163,6 +171,7 @@ mod tests {
                 masked: 11,
                 sdc: 22,
                 due: 33,
+                diverged: 0,
                 unreached: 1,
             }
         );
@@ -184,6 +193,7 @@ mod tests {
             masked: 70,
             sdc: 20,
             due: 10,
+            diverged: 0,
             unreached: 0,
         };
         let (lo, hi) = c.ci95();

@@ -3,6 +3,7 @@ use crate::inst::{Inst, Operand};
 use crate::memory::Memory;
 use crate::opcode::{AccessSize, OpClass, Opcode};
 use crate::program::Program;
+use crate::reg::Reg;
 use crate::wire::{WireError, WireReader, WireWriter};
 
 /// Everything the pipeline model needs to know about one executed
@@ -243,6 +244,75 @@ impl ExecState {
             self.regs[r.index()] = v;
         }
     }
+}
+
+/// Pure functional re-execution of one instruction with *supplied*
+/// source-register values: the micro-op replay oracle's evaluator.
+///
+/// `src1`/`src2` are the values of the instruction's two source-register
+/// slots (aligned with [`Inst::src_regs`]; a slot that is an immediate,
+/// the zero register, or unused is ignored — pass anything). Unlike
+/// [`ExecState::exec_inst`], nothing is mutated: loads read `mem`, and a
+/// store's write is *computed* (effective address and data in the
+/// returned [`Outcome`]) but not applied, so a fault-injection engine
+/// can first decide whether the replayed micro-op diverges from its
+/// original outcome and only then commit the side effect.
+#[must_use]
+pub fn replay_eval(inst: &Inst, pc: u32, src1: u64, src2: u64, mem: &Memory) -> Outcome {
+    let fall_through = pc + 1;
+    let mut out = Outcome {
+        next_pc: fall_through,
+        taken: false,
+        ea: None,
+        size: None,
+        value: 0,
+        halted: false,
+    };
+    let reg_or = |r: Reg, v: u64| if r.is_zero() { 0 } else { v };
+    let operand2 = match inst.src2 {
+        Operand::Reg(r) => reg_or(r, src2),
+        Operand::Imm(v) => v as i64 as u64,
+    };
+    match inst.op.class() {
+        OpClass::IntShort | OpClass::IntLong => {
+            out.value = alu_op(inst.op, reg_or(inst.src1, src1), operand2);
+        }
+        OpClass::Load => {
+            let ea = reg_or(inst.src1, src1).wrapping_add(inst.disp as i64 as u64);
+            let size = inst.op.access_size().expect("load has a size");
+            out.ea = Some(ea);
+            out.size = Some(size);
+            out.value = match size {
+                AccessSize::Word => u64::from(mem.read_u32(ea)),
+                AccessSize::Quad => mem.read_u64(ea),
+            };
+        }
+        OpClass::Store => {
+            let ea = reg_or(inst.src1, src1).wrapping_add(inst.disp as i64 as u64);
+            out.ea = Some(ea);
+            out.size = Some(inst.op.access_size().expect("store has a size"));
+            out.value = operand2;
+        }
+        OpClass::Branch => {
+            let cond = reg_or(inst.src1, src1);
+            let taken = match inst.op {
+                Opcode::Br => true,
+                Opcode::Beq => cond == 0,
+                Opcode::Bne => cond != 0,
+                Opcode::Blt => (cond as i64) < 0,
+                Opcode::Bge => (cond as i64) >= 0,
+                _ => unreachable!("non-branch in branch class"),
+            };
+            out.taken = taken;
+            out.next_pc = if taken { inst.target } else { fall_through };
+        }
+        OpClass::Nop => {}
+        OpClass::Halt => {
+            out.halted = true;
+            out.next_pc = pc;
+        }
+    }
+    out
 }
 
 fn alu_op(op: Opcode, a: u64, b: u64) -> u64 {

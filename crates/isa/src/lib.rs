@@ -52,7 +52,7 @@ pub mod wire;
 pub use builder::{Label, ProgramBuilder};
 pub use disasm::listing;
 pub use error::IsaError;
-pub use exec::{ExecState, Outcome};
+pub use exec::{replay_eval, ExecState, Outcome};
 pub use inst::{Inst, Operand};
 pub use memory::Memory;
 pub use opcode::{AccessSize, OpClass, Opcode};

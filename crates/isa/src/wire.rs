@@ -30,7 +30,14 @@ pub const WIRE_MAGIC: [u8; 4] = *b"AVFW";
 /// carries a content hash plus a golden-run mode, with the store (when
 /// needed at all) following in a separate `STORE_DATA` frame after a
 /// `STORE_NEED` reply.
-pub const WIRE_VERSION: u8 = 3;
+///
+/// v4: the micro-op replay oracle. Snapshot `DynInst` records now carry
+/// the fetch-time source-operand values the oracle replays corrupted
+/// micro-ops with, `JOB_SETUP` carries the campaign's fault model
+/// (trap vs replay), and trial events gained the `ReplayDiverged`
+/// outcome code for corrupted entries that decode to architecturally
+/// impossible states.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Bytes an envelope occupies on the wire: magic + version + kind.
 pub const ENVELOPE_BYTES: usize = 6;

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use avf_sim::{CheckpointStore, GoldenRun};
+use avf_sim::{CheckpointStore, DecodedCheckpoints, GoldenRun};
 
 /// Default entry bound of a server's cache.
 pub const DEFAULT_CACHE_ENTRIES: usize = 16;
@@ -27,14 +27,38 @@ pub const DEFAULT_CACHE_ENTRIES: usize = 16;
 /// Default byte bound of a server's cache (serialized store bytes).
 pub const DEFAULT_CACHE_BYTES: usize = 512 << 20;
 
-/// One cached job setup: the checkpoint store plus the golden run it
-/// was captured from.
+/// One cached job setup: the checkpoint store, the golden run it was
+/// captured from, and the *decoded* snapshots — so a cache hit pays
+/// neither the golden pass nor the per-campaign `decode_all`.
 #[derive(Clone)]
 pub struct CacheEntry {
     /// Serialized fault-free checkpoints.
     pub store: Arc<CheckpointStore>,
+    /// The same checkpoints decoded once at insertion; every later
+    /// session on this worker restores from these by deep clone.
+    pub decoded: Arc<DecodedCheckpoints>,
     /// The golden run the store belongs to.
     pub golden: GoldenRun,
+    /// Fingerprint of the machine/program pair the snapshots were
+    /// decoded against ([`crate::protocol::geometry_fingerprint`]).
+    /// Decoded snapshots index machine-shaped structures directly, so
+    /// serving them to a job with different geometry would trade a
+    /// typed decode error for an out-of-bounds panic — a lookup whose
+    /// fingerprint disagrees is answered as a miss instead.
+    pub geometry: u64,
+}
+
+impl CacheEntry {
+    /// Bytes this entry is charged against the cache's byte bound: the
+    /// serialized store plus an equal estimate for the decoded
+    /// snapshots it pins (a decoded checkpoint materializes the same
+    /// state the blob serializes, so the serialized size is the right
+    /// order of magnitude — the bound must track what the worker
+    /// actually holds resident, not just the wire bytes).
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.store.total_bytes() * 2
+    }
 }
 
 /// Cache observability counters (monotonic over the cache's lifetime).
@@ -48,7 +72,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently held.
     pub entries: usize,
-    /// Serialized bytes currently held.
+    /// Bytes currently charged against the bound
+    /// ([`CacheEntry::footprint`]: serialized store plus the
+    /// decoded-snapshot estimate).
     pub bytes: usize,
 }
 
@@ -99,19 +125,22 @@ impl StoreCache {
     }
 
     /// Looks `hash` up, refreshing its recency. Counts a hit or miss.
+    /// An entry whose geometry fingerprint disagrees with `geometry`
+    /// (a key collision across machine/program pairs) is a miss: its
+    /// decoded snapshots must not be served to this job.
     #[must_use]
-    pub fn get(&self, hash: u64) -> Option<CacheEntry> {
+    pub fn get(&self, hash: u64, geometry: u64) -> Option<CacheEntry> {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(&hash) {
-            Some((entry, stamp)) => {
+            Some((entry, stamp)) if entry.geometry == geometry => {
                 *stamp = clock;
                 let entry = entry.clone();
                 inner.hits += 1;
                 Some(entry)
             }
-            None => {
+            _ => {
                 inner.misses += 1;
                 None
             }
@@ -126,9 +155,9 @@ impl StoreCache {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.clock += 1;
         let clock = inner.clock;
-        let size = entry.store.total_bytes();
+        let size = entry.footprint();
         if let Some((old, _)) = inner.map.remove(&hash) {
-            inner.bytes -= old.store.total_bytes();
+            inner.bytes -= old.footprint();
         }
         inner.map.insert(hash, (entry, clock));
         inner.bytes += size;
@@ -145,7 +174,7 @@ impl StoreCache {
                 break;
             }
             let (evicted, _) = inner.map.remove(&lru).expect("lru key present");
-            inner.bytes -= evicted.store.total_bytes();
+            inner.bytes -= evicted.footprint();
             inner.evictions += 1;
         }
     }
@@ -167,16 +196,22 @@ impl StoreCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::geometry_fingerprint;
     use avf_sim::{golden_run_checkpointed, MachineConfig};
+
+    const GEO: u64 = 0xFEED;
 
     fn entry(seed: u64) -> CacheEntry {
         // Distinct stores via distinct checkpoint intervals.
         let machine = MachineConfig::baseline();
         let program = avf_workloads::testkit::idle_loop();
         let (golden, store) = golden_run_checkpointed(&machine, &program, 400, 50 + seed);
+        let decoded = store.decode_all(&machine, &program).expect("own store");
         CacheEntry {
             store: Arc::new(store),
+            decoded: Arc::new(decoded),
             golden,
+            geometry: GEO,
         }
     }
 
@@ -185,11 +220,11 @@ mod tests {
         let cache = StoreCache::new(2, usize::MAX);
         cache.insert(1, entry(1));
         cache.insert(2, entry(2));
-        assert!(cache.get(1).is_some(), "warm entry");
+        assert!(cache.get(1, GEO).is_some(), "warm entry");
         // Inserting a third must evict the least recently used: 2.
         cache.insert(3, entry(3));
-        assert!(cache.get(2).is_none(), "LRU evicted");
-        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+        assert!(cache.get(2, GEO).is_none(), "LRU evicted");
+        assert!(cache.get(1, GEO).is_some() && cache.get(3, GEO).is_some());
         let stats = cache.stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 1);
@@ -204,11 +239,11 @@ mod tests {
         // Bound below one store: the newest entry is still admitted.
         let cache = StoreCache::new(8, size / 2);
         cache.insert(1, e.clone());
-        assert!(cache.get(1).is_some(), "oversize entry admitted alone");
+        assert!(cache.get(1, GEO).is_some(), "oversize entry admitted alone");
         // A second insert evicts the first to respect the bound.
         cache.insert(2, e);
-        assert!(cache.get(1).is_none());
-        assert!(cache.get(2).is_some());
+        assert!(cache.get(1, GEO).is_none());
+        assert!(cache.get(2, GEO).is_some());
         assert_eq!(cache.stats().entries, 1);
     }
 
@@ -216,10 +251,57 @@ mod tests {
     fn reinserting_the_same_hash_does_not_double_count_bytes() {
         let cache = StoreCache::new(4, usize::MAX);
         let e = entry(0);
-        let size = e.store.total_bytes();
+        let footprint = e.footprint();
+        assert!(
+            footprint > e.store.total_bytes(),
+            "the decoded snapshots must be charged too"
+        );
         cache.insert(7, e.clone());
         cache.insert(7, e);
-        assert_eq!(cache.stats().bytes, size);
+        assert_eq!(cache.stats().bytes, footprint);
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn hit_hands_back_the_decoded_snapshots_without_copying() {
+        let cache = StoreCache::new(4, usize::MAX);
+        let e = entry(0);
+        cache.insert(9, e.clone());
+        let hit = cache.get(9, GEO).expect("hit");
+        assert!(
+            Arc::ptr_eq(&hit.decoded, &e.decoded),
+            "a hit shares the decoded snapshots, it does not re-decode"
+        );
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_miss_not_a_wrong_answer() {
+        let cache = StoreCache::new(4, usize::MAX);
+        cache.insert(5, entry(0));
+        // Same cache key, different machine/program fingerprint: the
+        // decoded snapshots must not be served.
+        assert!(cache.get(5, GEO ^ 1).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.get(5, GEO).is_some(), "entry itself is intact");
+    }
+
+    #[test]
+    fn fingerprint_tracks_machine_and_program() {
+        let base = MachineConfig::baseline();
+        let a = MachineConfig::config_a();
+        let p1 = avf_workloads::testkit::idle_loop();
+        let p2 = avf_workloads::testkit::register_chain();
+        assert_eq!(
+            geometry_fingerprint(&base, &p1),
+            geometry_fingerprint(&base, &p1)
+        );
+        assert_ne!(
+            geometry_fingerprint(&base, &p1),
+            geometry_fingerprint(&a, &p1)
+        );
+        assert_ne!(
+            geometry_fingerprint(&base, &p1),
+            geometry_fingerprint(&base, &p2)
+        );
     }
 }

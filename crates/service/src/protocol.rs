@@ -34,7 +34,7 @@ use std::sync::Arc;
 use avf_inject::{decode_trial_batch, BackendError, Trial, TrialEvent};
 use avf_isa::wire::{content_hash64, kind, WireError, WireReader, WireWriter, ENVELOPE_BYTES};
 use avf_isa::Program;
-use avf_sim::{CheckpointStore, GoldenRun, MachineConfig};
+use avf_sim::{CheckpointStore, FaultModel, GoldenRun, MachineConfig};
 
 fn encode_golden(w: &mut WireWriter, golden: &GoldenRun) {
     w.u64(golden.cycles);
@@ -55,6 +55,21 @@ pub const HASH_DOMAIN_STORE: u8 = 0;
 
 /// Hash domain of delegated-job parameters (worker-side golden runs).
 pub const HASH_DOMAIN_DELEGATED_JOB: u8 = 1;
+
+/// Hash domain of a job's machine/program geometry fingerprint (guards
+/// the decoded-checkpoint cache against serving snapshots decoded for a
+/// different configuration).
+pub const HASH_DOMAIN_GEOMETRY: u8 = 2;
+
+/// Fingerprint of the machine/program pair a cached decoded store is
+/// only valid for.
+#[must_use]
+pub fn geometry_fingerprint(machine: &MachineConfig, program: &Program) -> u64 {
+    let mut w = WireWriter::new();
+    machine.encode(&mut w);
+    program.encode(&mut w);
+    content_hash64(HASH_DOMAIN_GEOMETRY, &w.into_bytes())
+}
 
 /// Golden-run mode of a [`JobSetup`], mirroring
 /// [`avf_inject::GoldenSpec`] without the store bytes.
@@ -89,6 +104,11 @@ pub struct JobSetup {
     /// Committed-instruction budget of every trial (and of a delegated
     /// golden run).
     pub instr_budget: u64,
+    /// How the worker resolves queueing-structure control/tag flips.
+    /// Deliberately *not* part of the store cache key: the golden pass
+    /// is fault-free, so trap and replay campaigns over the same
+    /// (machine, program, budget, interval) share one checkpoint store.
+    pub fault_model: FaultModel,
     /// Golden-run mode.
     pub mode: SetupMode,
 }
@@ -119,6 +139,7 @@ impl JobSetup {
         self.machine.encode(&mut w);
         self.program.encode(&mut w);
         w.u64(self.instr_budget);
+        w.u8(self.fault_model.wire_code());
         match &self.mode {
             SetupMode::Shipped {
                 store_hash,
@@ -144,6 +165,9 @@ impl JobSetup {
         let machine = MachineConfig::decode(r)?;
         let program = Program::decode(r)?;
         let instr_budget = r.u64()?;
+        let model_code = r.u8()?;
+        let fault_model =
+            FaultModel::from_wire_code(model_code).ok_or(WireError::BadTag(model_code))?;
         let mode = match r.u8()? {
             0 => SetupMode::Shipped {
                 store_hash: r.u64()?,
@@ -165,6 +189,7 @@ impl JobSetup {
             machine,
             program,
             instr_budget,
+            fault_model,
             mode,
         })
     }
@@ -433,12 +458,14 @@ mod tests {
                 machine: machine.clone(),
                 program: program.clone(),
                 instr_budget: 4_000,
+                fault_model: FaultModel::Trap,
                 mode,
             };
             let bytes = setup.to_wire();
             match ClientMessage::from_wire(&bytes).unwrap() {
                 ClientMessage::Setup(back) => {
                     assert_eq!(back.instr_budget, setup.instr_budget);
+                    assert_eq!(back.fault_model, setup.fault_model);
                     assert_eq!(back.mode, setup.mode);
                     assert_eq!(back.cache_key(), setup.cache_key());
                 }
@@ -456,6 +483,7 @@ mod tests {
         machine.encode(&mut w);
         program.encode(&mut w);
         w.u64(1_000);
+        w.u8(FaultModel::Replay.wire_code());
         w.u8(1);
         w.u64(0); // zero interval: the golden pass would never checkpoint
         assert_eq!(

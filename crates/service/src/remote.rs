@@ -163,6 +163,7 @@ impl CampaignBackend for RemoteBackend {
                 store,
                 golden,
                 cycle_budget,
+                ..
             } => {
                 let frame = encode_store_data(store);
                 let hash = store_frame_hash(&frame);
@@ -196,6 +197,7 @@ impl CampaignBackend for RemoteBackend {
                 machine: spec.machine,
                 program: spec.program,
                 instr_budget: spec.instr_budget,
+                fault_model: spec.fault_model,
                 mode,
             }
             .to_wire(),

@@ -30,7 +30,7 @@ use avf_sim::golden_run_checkpointed;
 
 use crate::cache::{CacheEntry, StoreCache};
 use crate::frame::{read_frame, write_frame, FrameBatcher};
-use crate::protocol::{ClientMessage, JobReady, ServerMessage, SetupMode};
+use crate::protocol::{geometry_fingerprint, ClientMessage, JobReady, ServerMessage, SetupMode};
 
 /// Server tuning.
 #[derive(Clone)]
@@ -130,7 +130,8 @@ fn resolve_store(
     };
     let setup = *setup;
     let key = setup.cache_key();
-    if let Some(entry) = cache.get(key) {
+    let geometry = geometry_fingerprint(&setup.machine, &setup.program);
+    if let Some(entry) = cache.get(key, geometry) {
         eprintln!("serve: job {key:016x} checkpoint store HAVE (cache hit)");
         writer.push(&ServerMessage::StoreHave { hash: key }.to_wire())?;
         writer.flush()?;
@@ -138,7 +139,7 @@ fn resolve_store(
     }
     writer.push(&ServerMessage::StoreNeed { hash: key }.to_wire())?;
     writer.flush()?;
-    let entry = match setup.mode {
+    let (store, golden) = match setup.mode {
         SetupMode::Shipped {
             store_hash, golden, ..
         } => {
@@ -159,7 +160,7 @@ fn resolve_store(
                     "shipped store hashes to {hash:016x}, setup announced {store_hash:016x}"
                 )));
             }
-            CacheEntry { store, golden }
+            (store, golden)
         }
         SetupMode::Delegated {
             checkpoint_interval,
@@ -171,11 +172,19 @@ fn resolve_store(
                 setup.instr_budget,
                 checkpoint_interval,
             );
-            CacheEntry {
-                store: Arc::new(store),
-                golden,
-            }
+            (Arc::new(store), golden)
         }
+    };
+    // Decode once at insertion: every later campaign on this worker —
+    // this connection included — restores straight from the decoded
+    // snapshots, so a cache hit no longer pays `decode_all`. Doubles as
+    // the geometry verification of a shipped store.
+    let decoded = Arc::new(store.decode_all(&setup.machine, &setup.program)?);
+    let entry = CacheEntry {
+        store,
+        decoded,
+        golden,
+        geometry,
     };
     cache.insert(key, entry.clone());
     Ok((setup, entry, key))
@@ -209,8 +218,10 @@ fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), Back
         machine: setup.machine,
         program: setup.program,
         instr_budget: setup.instr_budget,
+        fault_model: setup.fault_model,
         golden: GoldenSpec::Shipped {
             store: entry.store,
+            decoded: Some(entry.decoded),
             golden,
             cycle_budget,
         },
@@ -306,6 +317,7 @@ mod tests {
                 machine,
                 program,
                 instr_budget,
+                fault_model: avf_inject::FaultModel::default(),
                 mode: SetupMode::Delegated {
                     checkpoint_interval: 256,
                 },

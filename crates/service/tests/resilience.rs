@@ -173,6 +173,7 @@ fn delegated_spec() -> JobSpec {
         machine: MachineConfig::baseline(),
         program: register_chain(),
         instr_budget: 6_000,
+        fault_model: avf_inject::FaultModel::default(),
         golden: GoldenSpec::Delegated {
             checkpoint_interval: 512,
         },

@@ -47,6 +47,12 @@ pub struct DynInst {
     /// Renamed source physical registers, aligned with
     /// [`Inst::src_regs`]'s slots.
     pub src_pregs: [Option<u32>; 2],
+    /// Source-operand values the architectural oracle read when this
+    /// instruction executed at fetch, aligned with [`Inst::src_regs`]'s
+    /// slots (0 for empty slots and for wrong-path work, which never
+    /// executes). The micro-op replay oracle re-executes corrupted
+    /// entries from these.
+    pub src_vals: [u64; 2],
 }
 
 impl DynInst {
@@ -69,6 +75,7 @@ impl DynInst {
             dest_preg: None,
             prev_preg: None,
             src_pregs: [None; 2],
+            src_vals: [0; 2],
         }
     }
 
@@ -109,6 +116,8 @@ impl DynInst {
         w.opt_u32(self.prev_preg);
         w.opt_u32(self.src_pregs[0]);
         w.opt_u32(self.src_pregs[1]);
+        w.u64(self.src_vals[0]);
+        w.u64(self.src_vals[1]);
     }
 
     /// Decodes an instruction written by [`DynInst::encode`], re-fetching
@@ -144,6 +153,68 @@ impl DynInst {
             dest_preg: r.opt_u32()?,
             prev_preg: r.opt_u32()?,
             src_pregs: [r.opt_u32()?, r.opt_u32()?],
+            src_vals: [r.u64()?, r.u64()?],
         })
+    }
+}
+
+/// Field of the 32-bit IQ entry encoding (Table I) a flipped bit lands
+/// in: one byte of opcode, one byte per source-operand tag, one byte of
+/// destination tag. The replay oracle re-decodes the corrupted byte
+/// back into a (possibly different) micro-op instead of trapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IqField {
+    /// Opcode byte; payload is the bit within the byte.
+    Opcode(u8),
+    /// Source-operand physical-register tag; payload is the
+    /// [`avf_isa::Inst::src_regs`] slot and the bit within the byte.
+    SrcTag(usize, u8),
+    /// Destination physical-register tag; payload is the bit within
+    /// the byte.
+    DestTag(u8),
+}
+
+/// Maps a bit of the 32-bit IQ entry to its field.
+///
+/// # Panics
+///
+/// Panics if `bit` is outside the 32-bit entry.
+pub(crate) fn iq_field_of(bit: u32) -> IqField {
+    let b = (bit % 8) as u8;
+    match bit / 8 {
+        0 => IqField::Opcode(b),
+        1 => IqField::SrcTag(0, b),
+        2 => IqField::SrcTag(1, b),
+        3 => IqField::DestTag(b),
+        _ => panic!("bit {bit} outside the 32-bit IQ entry"),
+    }
+}
+
+/// Field of the ROB entry's 12-bit control half (Table I's 76-bit entry
+/// minus the 64-bit result field) a flipped bit lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RobControlField {
+    /// Destination physical-register tag (8 bits); payload is the bit
+    /// within the tag.
+    DestTag(u8),
+    /// Completion-status / stage encoding (2 bits); payload is the bit
+    /// within the code.
+    Status(u8),
+    /// Speculation bookkeeping (wrong-path, mispredict-pending).
+    PathFlag,
+}
+
+/// Maps a bit of the control half (`0..12`, i.e. entry bit minus 64) to
+/// its field.
+///
+/// # Panics
+///
+/// Panics if `ctl_bit` is outside the 12-bit control half.
+pub(crate) fn rob_control_field_of(ctl_bit: u32) -> RobControlField {
+    match ctl_bit {
+        0..=7 => RobControlField::DestTag(ctl_bit as u8),
+        8..=9 => RobControlField::Status((ctl_bit - 8) as u8),
+        10..=11 => RobControlField::PathFlag,
+        _ => panic!("bit {ctl_bit} outside the 12-bit ROB control half"),
     }
 }

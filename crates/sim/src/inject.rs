@@ -11,28 +11,51 @@
 //! sanity-check the simulator's AVF numbers and quantify the
 //! methodology's built-in pessimism.
 //!
-//! ## Fault model
+//! ## Fault models
 //!
 //! The timing pipeline carries no data values (the architectural oracle
 //! executes at fetch), so a flip is applied *semantically*: the engine
 //! locates the architectural value the flipped bit backs and corrupts
-//! that, or — for control state with no clean architectural image
-//! (branch/store queue control, ROB bookkeeping) — records a detected
-//! unrecoverable error. Flips that land on provably dead state
-//! (vacant entries, wrong-path instructions, un-ACE operand halves,
-//! superseded register definitions) are classified masked without
-//! running. Three deliberate approximations are documented inline:
-//! value flips reach only not-yet-fetched readers, store-tag flips
-//! corrupt the flipped address without un-writing the original one,
-//! and clean-cache-line flips hit the backing store directly.
+//! that. Flips that land on provably dead state (vacant entries,
+//! wrong-path instructions, un-ACE operand halves, padding bits of
+//! byte-aligned tag fields) are classified masked without running.
+//!
+//! Queueing-structure (ROB/IQ/LQ/SQ) control and tag fields resolve
+//! under one of two [`FaultModel`]s:
+//!
+//! * **trap** — any control-field corruption of a live entry is a
+//!   detected unrecoverable error, without running. Coarse on purpose:
+//!   it is the pre-replay baseline the fidelity gate compares against.
+//! * **replay** (default) — the *micro-op replay oracle*: the corrupted
+//!   entry is re-decoded into a (possibly different) micro-op — a
+//!   flipped opcode byte decodes to another operation, a flipped
+//!   operand tag re-routes the value of a different physical register
+//!   into the slot, a flipped destination tag misdirects the writeback
+//!   — re-executed from its recorded fetch-time operands
+//!   ([`avf_isa::replay_eval`]), and its changed result replayed
+//!   through every not-yet-issued in-flight consumer (and the oracle
+//!   frontier for future fetches). The run's architectural outcome then
+//!   classifies the trial like any data-field flip, with
+//!   [`FlipEffect::Diverged`] for entries that decode to
+//!   architecturally impossible states.
+//!
+//! Deliberate approximations, documented inline: value flips reach
+//! in-flight consumers that have not yet issued plus all not-yet-fetched
+//! readers (already-issued consumers keep their clean operands);
+//! store-tag flips and replayed stores corrupt the corrupted address
+//! without un-writing the original one; a misdirected writeback
+//! clobbers the victim register while the true destination keeps its
+//! already-applied value; replayed loads read frontier memory; a
+//! register holding no live definition reads stale content modeled as
+//! zero; and clean-cache-line flips hit the backing store directly.
 
 use avf_ace::{Structure, StructureSizes};
 use avf_isa::wire::WireError;
-use avf_isa::{AccessSize, OpClass, Program};
+use avf_isa::{AccessSize, Inst, OpClass, Opcode, Program};
 
 use crate::config::MachineConfig;
-use crate::dyninst::Stage;
-use crate::pipeline::Pipeline;
+use crate::dyninst::{iq_field_of, rob_control_field_of, IqField, RobControlField, Stage};
+use crate::pipeline::{Pipeline, ReplayEnd};
 
 pub use crate::pipeline::PipelineSnapshot;
 
@@ -156,6 +179,75 @@ impl std::fmt::Display for InjectionTarget {
     }
 }
 
+/// How the injection engine resolves flips in queueing-structure
+/// (ROB/IQ/LQ/SQ) control and tag fields.
+///
+/// Data-field flips classify identically under either model; only the
+/// control/tag handling moves, which is exactly where the trap model is
+/// coarse (every control corruption of a live entry becomes a DUE,
+/// regardless of its architectural outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultModel {
+    /// Control-field corruption of a live entry is recorded as a
+    /// detected unrecoverable error without running the faulty future —
+    /// the pre-replay approximation.
+    Trap,
+    /// The corrupted entry is re-decoded into a (possibly different)
+    /// micro-op and replayed through the execute/commit path from the
+    /// recorded fetch-time operands; the run's architectural outcome
+    /// (golden-digest comparison) decides the classification, with
+    /// [`FlipEffect::Diverged`] for entries that decode to
+    /// architecturally impossible states.
+    #[default]
+    Replay,
+}
+
+impl FaultModel {
+    /// Short name used in reports and on the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultModel::Trap => "trap",
+            FaultModel::Replay => "replay",
+        }
+    }
+
+    /// Parses a CLI spelling of the model.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FaultModel> {
+        match s {
+            "trap" => Some(FaultModel::Trap),
+            "replay" => Some(FaultModel::Replay),
+            _ => None,
+        }
+    }
+
+    /// Stable single-byte code used by the job-setup wire codec.
+    #[must_use]
+    pub fn wire_code(self) -> u8 {
+        match self {
+            FaultModel::Trap => 0,
+            FaultModel::Replay => 1,
+        }
+    }
+
+    /// Inverse of [`FaultModel::wire_code`].
+    #[must_use]
+    pub fn from_wire_code(code: u8) -> Option<FaultModel> {
+        match code {
+            0 => Some(FaultModel::Trap),
+            1 => Some(FaultModel::Replay),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Why a flip provably cannot affect program output (classified masked
 /// without running the faulty future).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +267,13 @@ pub enum MaskReason {
     /// The field does not hold valid data yet (load data before the
     /// fill returns, store data before issue).
     NotYetValid,
+    /// A misdirected destination tag lands the result in a physical
+    /// register holding no reachable definition (replay model).
+    DeadTarget,
+    /// The re-decoded micro-op reproduces the original outcome exactly
+    /// (same value / address / direction), so the corruption is benign
+    /// by re-execution (replay model).
+    ReplayClean,
 }
 
 impl MaskReason {
@@ -188,6 +287,8 @@ impl MaskReason {
             MaskReason::Overwritten => "overwritten",
             MaskReason::UnAceBits => "un-ACE bits",
             MaskReason::NotYetValid => "not-yet-valid",
+            MaskReason::DeadTarget => "dead-target",
+            MaskReason::ReplayClean => "replay-clean",
         }
     }
 }
@@ -200,6 +301,13 @@ pub enum FlipEffect {
     Armed,
     /// The flip provably cannot reach program output.
     Masked(MaskReason),
+    /// The corrupted entry decodes to an architecturally impossible
+    /// state (an unencodable opcode or stage code, a register tag past
+    /// the physical file, a tag naming no live definition): the replay
+    /// oracle cannot express the faulty machine, and a campaign
+    /// classifies the trial in its own `ReplayDiverged` bucket. No
+    /// machine state is mutated.
+    Diverged,
 }
 
 /// How a (possibly faulty) bounded run ended.
@@ -237,6 +345,7 @@ pub struct InjectionSim<'a> {
     pipe: Pipeline<'a>,
     instr_budget: u64,
     cycle_budget: u64,
+    fault_model: FaultModel,
 }
 
 impl<'a> InjectionSim<'a> {
@@ -255,6 +364,7 @@ impl<'a> InjectionSim<'a> {
             pipe,
             instr_budget,
             cycle_budget,
+            fault_model: FaultModel::default(),
         }
     }
 
@@ -262,6 +372,18 @@ impl<'a> InjectionSim<'a> {
     /// golden run's length so hangs are detected quickly).
     pub fn set_cycle_budget(&mut self, cycles: u64) {
         self.cycle_budget = cycles;
+    }
+
+    /// Selects how queueing-structure control/tag flips are resolved
+    /// (default: [`FaultModel::Replay`]).
+    pub fn set_fault_model(&mut self, model: FaultModel) {
+        self.fault_model = model;
+    }
+
+    /// The active fault model.
+    #[must_use]
+    pub fn fault_model(&self) -> FaultModel {
+        self.fault_model
     }
 
     /// Current cycle.
@@ -481,7 +603,14 @@ impl<'a> InjectionSim<'a> {
         if e.wrong_path {
             return FlipEffect::Masked(MaskReason::WrongPath);
         }
-        let class = e.inst.op.class();
+        match self.fault_model {
+            FaultModel::Trap => self.flip_rob_trap(idx, bit, apply),
+            FaultModel::Replay => self.flip_rob_replay(idx, bit, apply),
+        }
+    }
+
+    fn flip_rob_trap(&mut self, idx: usize, bit: u32, apply: bool) -> FlipEffect {
+        let class = self.pipe.rob[idx].inst.op.class();
         // Table I's 76-bit ROB entry: a 64-bit result field plus control
         // (dest tag, status). Control corruption breaks commit
         // bookkeeping — a detected error; result-field corruption
@@ -502,6 +631,62 @@ impl<'a> InjectionSim<'a> {
         }
     }
 
+    /// The micro-op replay oracle's ROB model. A result-field flip
+    /// corrupts the value the entry carries (the same entry-backs-the-
+    /// in-flight-value abstraction the ACE analysis credits dispatch→
+    /// commit) and replays it through every not-yet-issued in-flight
+    /// consumer; the 12-bit control half is re-decoded field by field
+    /// instead of trapping wholesale.
+    fn flip_rob_replay(&mut self, idx: usize, bit: u32, apply: bool) -> FlipEffect {
+        let e = &self.pipe.rob[idx];
+        let class = e.inst.op.class();
+        if class == OpClass::Nop {
+            // The ACE model resolves a NOP's whole entry un-ACE, so the
+            // oracle masks it too (the flipped-opcode-on-a-NOP gap is
+            // recorded in the ROADMAP).
+            return FlipEffect::Masked(MaskReason::Idle);
+        }
+        if bit < 64 {
+            if matches!(class, OpClass::Branch | OpClass::Store | OpClass::Halt) {
+                // No result field in use.
+                return FlipEffect::Masked(MaskReason::Idle);
+            }
+            let Some(dest) = e.inst.dest_reg() else {
+                return FlipEffect::Masked(MaskReason::Idle);
+            };
+            let out = e.outcome.expect("right-path producer has an outcome");
+            let corrupted = out.value ^ (1u64 << bit);
+            if apply {
+                let seq = e.seq;
+                let mut new_out = out;
+                new_out.value = corrupted;
+                self.pipe.rob[idx].outcome = Some(new_out);
+                self.replay_seed(seq, vec![(dest.number(), corrupted)]);
+            }
+            return FlipEffect::Armed;
+        }
+        match rob_control_field_of(bit - 64) {
+            RobControlField::DestTag(b) => self.flip_dest_tag(idx, b, apply),
+            RobControlField::Status(b) => {
+                // 2-bit stage code: InIq 0, Executing 1, Complete 2.
+                let code: u8 = match e.stage {
+                    Stage::InIq => 0,
+                    Stage::Executing => 1,
+                    Stage::Complete => 2,
+                };
+                if code ^ (1 << b) == 3 {
+                    // Unencodable scheduling state.
+                    FlipEffect::Diverged
+                } else {
+                    // A live entry scheduled out of order breaks the
+                    // in-order commit contract: detected.
+                    self.trap(apply)
+                }
+            }
+            RobControlField::PathFlag => self.trap(apply),
+        }
+    }
+
     fn flip_iq(&mut self, idx: usize, bit: u32, apply: bool) -> FlipEffect {
         let Some(rob_idx) = self
             .pipe
@@ -518,14 +703,188 @@ impl<'a> InjectionSim<'a> {
         if e.wrong_path {
             return FlipEffect::Masked(MaskReason::WrongPath);
         }
-        // A 32-bit IQ entry is all control: opcode and operand tags.
-        // Corrupting a waiting computation's routing yields a wrong
-        // result; corrupting waiting control flow (branch/store/halt
-        // scheduling) is a detected error.
-        match e.inst.op.class() {
-            OpClass::Nop => FlipEffect::Masked(MaskReason::Idle),
-            OpClass::Branch | OpClass::Store | OpClass::Halt => self.trap(apply),
-            _ => self.flip_result_value(rob_idx, bit, apply),
+        if e.inst.op.class() == OpClass::Nop {
+            return FlipEffect::Masked(MaskReason::Idle);
+        }
+        match self.fault_model {
+            FaultModel::Trap => {
+                // A 32-bit IQ entry is all control: opcode and operand
+                // tags. Corrupting a waiting computation's routing
+                // yields a wrong result; corrupting waiting control
+                // flow (branch/store/halt scheduling) is a detected
+                // error.
+                match self.pipe.rob[rob_idx].inst.op.class() {
+                    OpClass::Branch | OpClass::Store | OpClass::Halt => self.trap(apply),
+                    _ => self.flip_result_value(rob_idx, bit, apply),
+                }
+            }
+            FaultModel::Replay => match iq_field_of(bit) {
+                IqField::Opcode(b) => self.flip_iq_opcode(rob_idx, b, apply),
+                IqField::SrcTag(slot, b) => self.flip_iq_src_tag(rob_idx, slot, b, apply),
+                IqField::DestTag(b) => self.flip_dest_tag(rob_idx, b, apply),
+            },
+        }
+    }
+
+    /// Implemented width of a physical-register tag: `Table I` pads tag
+    /// fields to a byte, but only `ceil(log2(phys_regs))` bits back real
+    /// storage — a flip past that is a padding bit and masks.
+    fn tag_width(&self) -> u8 {
+        let regs = self.pipe.cfg.phys_regs.max(2);
+        (usize::BITS - (regs - 1).leading_zeros()) as u8
+    }
+
+    /// Re-decodes a waiting micro-op's opcode byte with bit `b` flipped
+    /// and replays the decoded instruction.
+    fn flip_iq_opcode(&mut self, idx: usize, b: u8, apply: bool) -> FlipEffect {
+        // Implemented opcode width: the encoding space holds
+        // `Opcode::ALL.len()` points; bits past its log2 are padding.
+        let opcode_width = (usize::BITS - (Opcode::ALL.len() - 1).leading_zeros()) as u8;
+        if b >= opcode_width {
+            return FlipEffect::Masked(MaskReason::UnAceBits);
+        }
+        let e = &self.pipe.rob[idx];
+        let op = e.inst.op;
+        let Some(op2) = Opcode::from_wire_code(op.wire_code() ^ (1 << b)) else {
+            return FlipEffect::Diverged; // unencodable opcode
+        };
+        if op2.class() != op.class() {
+            // The entry's routing metadata (function-unit class, LSQ
+            // linkage, branch checkpoint) no longer matches the decoded
+            // micro-op: a detected scheduling inconsistency.
+            return self.trap(apply);
+        }
+        let mut inst2 = e.inst;
+        inst2.op = op2;
+        let vals = e.src_vals;
+        self.replay_corrupted_uop(idx, inst2, vals, apply)
+    }
+
+    /// Re-routes one source-operand tag of a waiting micro-op and
+    /// replays it with the victim register's value in that slot.
+    fn flip_iq_src_tag(&mut self, idx: usize, slot: usize, b: u8, apply: bool) -> FlipEffect {
+        if b >= self.tag_width() {
+            return FlipEffect::Masked(MaskReason::UnAceBits);
+        }
+        let e = &self.pipe.rob[idx];
+        let Some(p) = e.src_pregs[slot] else {
+            // Immediate, zero-register, or unused operand slot.
+            return FlipEffect::Masked(MaskReason::Idle);
+        };
+        let p2 = p ^ (1u32 << b);
+        if p2 as usize >= self.pipe.cfg.phys_regs {
+            // An implemented tag bit flipped the number past the
+            // physical file: no such register exists.
+            return FlipEffect::Diverged;
+        }
+        let v2 = self.pipe.preg_value(p2);
+        let inst = e.inst;
+        let mut vals = e.src_vals;
+        vals[slot] = v2;
+        self.replay_corrupted_uop(idx, inst, vals, apply)
+    }
+
+    /// Misdirected-writeback decode shared by the ROB control half and
+    /// the IQ destination byte: the tag with bit `b` flipped names a
+    /// different physical register, so the result lands there —
+    /// clobbering whatever architected value that register backs.
+    ///
+    /// Approximation: the true destination keeps its already-applied
+    /// oracle value (mirroring the store-tag model, which does not
+    /// un-write the original address).
+    fn flip_dest_tag(&mut self, idx: usize, b: u8, apply: bool) -> FlipEffect {
+        if b >= self.tag_width() {
+            return FlipEffect::Masked(MaskReason::UnAceBits);
+        }
+        let e = &self.pipe.rob[idx];
+        let Some(dest_preg) = e.dest_preg else {
+            // No result to misdirect.
+            return FlipEffect::Masked(MaskReason::Idle);
+        };
+        let victim = dest_preg ^ (1u32 << b);
+        if victim as usize >= self.pipe.cfg.phys_regs {
+            // An implemented tag bit flipped the number past the
+            // physical file: no such register exists.
+            return FlipEffect::Diverged;
+        }
+        if e.is_complete(self.pipe.cycle) {
+            // Writeback already consumed the tag; its remaining use is
+            // commit bookkeeping — freeing and mapping the wrong
+            // register. Detected.
+            return self.trap(apply);
+        }
+        let Some(victim_arch) = self.pipe.rf.arch_of_newest(victim) else {
+            return FlipEffect::Masked(MaskReason::DeadTarget);
+        };
+        let value = e.outcome.expect("right-path def has an outcome").value;
+        if apply {
+            let seq = e.seq;
+            self.replay_seed(seq, vec![(victim_arch, value)]);
+        }
+        FlipEffect::Armed
+    }
+
+    /// Re-executes in-flight entry `idx` as the (possibly re-decoded)
+    /// micro-op `inst` with source values `vals` and compares against
+    /// its original oracle outcome: a reproduced outcome is benign
+    /// ([`MaskReason::ReplayClean`]); a changed one is applied and
+    /// replayed through the in-flight window.
+    fn replay_corrupted_uop(
+        &mut self,
+        idx: usize,
+        inst: Inst,
+        vals: [u64; 2],
+        apply: bool,
+    ) -> FlipEffect {
+        let e = &self.pipe.rob[idx];
+        let out = e.outcome.expect("right-path entry has an outcome");
+        let (pc, seq) = (e.pc, e.seq);
+        let new_out = avf_isa::replay_eval(&inst, pc, vals[0], vals[1], &self.pipe.oracle_mem);
+        if inst.op.is_branch() {
+            if new_out.taken == out.taken {
+                return FlipEffect::Masked(MaskReason::ReplayClean);
+            }
+            // The corrupted micro-op steers control off the fetched
+            // history: detected divergence.
+            return self.trap(apply);
+        }
+        if inst.op.is_store() {
+            if (new_out.ea, new_out.size, new_out.value) == (out.ea, out.size, out.value) {
+                return FlipEffect::Masked(MaskReason::ReplayClean);
+            }
+            if apply {
+                // The corrupted write reaches memory; the original
+                // (clean) write is not un-written, as in the store-tag
+                // model.
+                let ea = new_out.ea.expect("store has an effective address");
+                match new_out.size.expect("store has a size") {
+                    AccessSize::Word => self.pipe.oracle_mem.write_u32(ea, new_out.value as u32),
+                    AccessSize::Quad => self.pipe.oracle_mem.write_u64(ea, new_out.value),
+                }
+                self.pipe.rob[idx].outcome = Some(new_out);
+            }
+            return FlipEffect::Armed;
+        }
+        // Value producers (ALU ops, loads).
+        let Some(dest) = inst.dest_reg() else {
+            return FlipEffect::Masked(MaskReason::Idle);
+        };
+        if new_out.value == out.value {
+            return FlipEffect::Masked(MaskReason::ReplayClean);
+        }
+        if apply {
+            self.pipe.rob[idx].outcome = Some(new_out);
+            self.replay_seed(seq, vec![(dest.number(), new_out.value)]);
+        }
+        FlipEffect::Armed
+    }
+
+    /// Runs the in-flight replay walk, recording a control divergence
+    /// as a detected error (the simplified oracle cannot re-steer the
+    /// already-fetched path).
+    fn replay_seed(&mut self, after_seq: u64, delta: Vec<(u8, u64)>) {
+        if let ReplayEnd::ControlDiverged { .. } = self.pipe.replay_forward(after_seq, delta) {
+            self.pipe.trapped = true;
         }
     }
 
@@ -559,6 +918,27 @@ impl<'a> InjectionSim<'a> {
                     AccessSize::Word => u64::from(self.pipe.oracle_mem.read_u32(flipped_ea)),
                     AccessSize::Quad => self.pipe.oracle_mem.read_u64(flipped_ea),
                 };
+                if self.fault_model == FaultModel::Replay {
+                    // The wrong-address load is a replayed micro-op:
+                    // its (different) result reaches not-yet-issued
+                    // in-flight consumers, not just future fetches.
+                    let Some(dest) = e.inst.dest_reg() else {
+                        return FlipEffect::Masked(MaskReason::Idle);
+                    };
+                    if wrong == outcome.value {
+                        // The corrupted address holds the right value.
+                        return FlipEffect::Masked(MaskReason::ReplayClean);
+                    }
+                    if apply {
+                        let seq = e.seq;
+                        let mut new_out = outcome;
+                        new_out.ea = Some(flipped_ea);
+                        new_out.value = wrong;
+                        self.pipe.rob[rob_idx].outcome = Some(new_out);
+                        self.replay_seed(seq, vec![(dest.number(), wrong)]);
+                    }
+                    return FlipEffect::Armed;
+                }
                 return self.set_result_value(rob_idx, wrong, apply);
             }
             // Approximation: the misdirected store corrupts the flipped
@@ -779,6 +1159,15 @@ impl CheckpointStore {
 pub struct DecodedCheckpoints {
     interval: u64,
     checkpoints: Vec<(u64, PipelineSnapshot)>,
+}
+
+impl std::fmt::Debug for DecodedCheckpoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodedCheckpoints")
+            .field("interval", &self.interval)
+            .field("len", &self.checkpoints.len())
+            .finish()
+    }
 }
 
 impl DecodedCheckpoints {

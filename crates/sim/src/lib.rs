@@ -58,8 +58,8 @@ pub use caches::{AccessResult, Cache};
 pub use config::{BpredConfig, CacheConfig, MachineConfig};
 pub use dtlb::{Dtlb, TlbResult};
 pub use inject::{
-    golden_run, golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FlipEffect,
-    GoldenRun, InjectionSim, InjectionTarget, MaskReason, PipelineSnapshot, RunEnd,
+    golden_run, golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FaultModel,
+    FlipEffect, GoldenRun, InjectionSim, InjectionTarget, MaskReason, PipelineSnapshot, RunEnd,
 };
 pub use pipeline::SimResult;
 pub use stats::SimStats;

@@ -35,6 +35,21 @@ pub struct SimResult {
     pub stats: SimStats,
 }
 
+/// How a [`Pipeline::replay_forward`] walk ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplayEnd {
+    /// The corrupted dataflow was replayed through the in-flight window
+    /// and folded into the oracle frontier; the run decides the outcome.
+    Applied,
+    /// A re-executed branch changed direction: the machine's fetched
+    /// history no longer matches the corrupted dataflow.
+    ControlDiverged {
+        /// Sequence number of the diverging branch.
+        #[allow(dead_code)]
+        at_seq: u64,
+    },
+}
+
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Recovery {
     resume_cycle: u64,
@@ -257,6 +272,133 @@ impl<'a> Pipeline<'a> {
         }
         self.oracle.regs[dest.index()] ^= xor;
         true
+    }
+
+    /// The value a physical register holds, as the replay oracle sees
+    /// it: the fetch-time result of its in-flight definition, or — for a
+    /// committed definition that is still the newest mapping of its
+    /// architected register — the frontier architectural value. A
+    /// register holding no reachable definition (free, superseded, or a
+    /// never-executed wrong-path def) reads its stale content, modeled
+    /// deterministically as zero (cold-file stale-value model).
+    pub(crate) fn preg_value(&self, preg: u32) -> u64 {
+        if let Some(e) = self.rob.iter().find(|e| e.dest_preg == Some(preg)) {
+            return e.outcome.map_or(0, |o| o.value);
+        }
+        match self.rf.arch_of_newest(preg) {
+            Some(arch) => self.oracle.regs[usize::from(arch)],
+            None => 0,
+        }
+    }
+
+    /// Replays the in-flight dependence cone of a corrupted definition.
+    ///
+    /// `delta` maps architected registers to corrupted values as of
+    /// program-order position `after_seq`. The walk visits every
+    /// younger right-path in-flight instruction (ROB then fetch queue —
+    /// together the whole window, in ascending sequence order):
+    ///
+    /// * an instruction that has **not yet read its operands** (still in
+    ///   the IQ, or fetched but not dispatched) and sources a corrupted
+    ///   register is re-executed from its recorded fetch-time operands
+    ///   with the corrupted ones patched in ([`avf_isa::replay_eval`]),
+    ///   its outcome updated in place, and its own result added to (or
+    ///   removed from) the delta;
+    /// * an instruction that already issued read its operands before the
+    ///   flip landed, so its (clean) definition re-establishes the
+    ///   architectural value and kills the delta for its register;
+    /// * a re-executed branch whose direction changes diverges from the
+    ///   already-fetched path — the walk stops and reports it (the
+    ///   caller records a detected error: this simplified oracle cannot
+    ///   re-steer fetch history).
+    ///
+    /// Whatever survives the window is the register image future fetches
+    /// execute against, so it is folded into the oracle frontier.
+    ///
+    /// Two documented approximations: a re-executed store's *original*
+    /// (clean) write is not un-written, matching the store-tag fault
+    /// model; and a re-executed load reads frontier memory, which may
+    /// already include younger in-flight stores.
+    pub(crate) fn replay_forward(
+        &mut self,
+        after_seq: u64,
+        mut delta: Vec<(u8, u64)>,
+    ) -> ReplayEnd {
+        let rob_len = self.rob.len();
+        let total = rob_len + self.fetch_queue.len();
+        for i in 0..total {
+            if delta.is_empty() {
+                break;
+            }
+            let (inst, pc, seq, skip, not_yet_read, src_vals, out) = {
+                let d = if i < rob_len {
+                    &self.rob[i]
+                } else {
+                    &self.fetch_queue[i - rob_len]
+                };
+                (
+                    d.inst,
+                    d.pc,
+                    d.seq,
+                    d.seq <= after_seq || d.wrong_path || d.outcome.is_none(),
+                    d.stage == Stage::InIq || i >= rob_len,
+                    d.src_vals,
+                    d.outcome,
+                )
+            };
+            if skip {
+                continue;
+            }
+            let out = out.expect("skip covers missing outcomes");
+            let srcs = inst.src_regs();
+            let patched = |slot: usize| -> Option<u64> {
+                let r = srcs[slot]?;
+                delta
+                    .iter()
+                    .find(|&&(dr, _)| dr == r.number())
+                    .map(|&(_, v)| v)
+            };
+            let corrupt = [patched(0), patched(1)];
+            if not_yet_read && (corrupt[0].is_some() || corrupt[1].is_some()) {
+                let s1 = corrupt[0].unwrap_or(src_vals[0]);
+                let s2 = corrupt[1].unwrap_or(src_vals[1]);
+                let new_out = avf_isa::replay_eval(&inst, pc, s1, s2, &self.oracle_mem);
+                if inst.op.is_branch() && new_out.taken != out.taken {
+                    return ReplayEnd::ControlDiverged { at_seq: seq };
+                }
+                if inst.op.is_store() {
+                    // The corrupted store data/address reaches memory;
+                    // the original write stays (documented above).
+                    let ea = new_out.ea.expect("store has an effective address");
+                    match new_out.size.expect("store has a size") {
+                        avf_isa::AccessSize::Word => {
+                            self.oracle_mem.write_u32(ea, new_out.value as u32);
+                        }
+                        avf_isa::AccessSize::Quad => self.oracle_mem.write_u64(ea, new_out.value),
+                    }
+                }
+                if let Some(dest) = inst.dest_reg() {
+                    delta.retain(|&(r, _)| r != dest.number());
+                    if new_out.value != out.value {
+                        delta.push((dest.number(), new_out.value));
+                    }
+                }
+                let d = if i < rob_len {
+                    &mut self.rob[i]
+                } else {
+                    &mut self.fetch_queue[i - rob_len]
+                };
+                d.outcome = Some(new_out);
+            } else if let Some(dest) = inst.dest_reg() {
+                // Clean inputs (or operands read before the flip): this
+                // definition re-establishes the architectural value.
+                delta.retain(|&(r, _)| r != dest.number());
+            }
+        }
+        for (r, v) in delta {
+            self.oracle.regs[usize::from(r)] = v;
+        }
+        ReplayEnd::Applied
     }
 
     /// Whether the run is over: clean halt, commit budget reached, or a
@@ -848,6 +990,14 @@ impl<'a> Pipeline<'a> {
             e.wrong_path = !right_path;
 
             if right_path {
+                // Record the source values this instruction is about to
+                // execute with: the replay oracle re-executes corrupted
+                // micro-ops from exactly these.
+                for (slot, src) in inst.src_regs().into_iter().enumerate() {
+                    if let Some(r) = src {
+                        e.src_vals[slot] = self.oracle.regs[r.index()];
+                    }
+                }
                 if self.oracle.retired >= self.fetch_budget {
                     // Fault mode: stop the oracle exactly at the budget so
                     // the final architectural memory state does not depend
@@ -1111,8 +1261,9 @@ impl PipelineSnapshot {
         let l2 = Cache::decode(&mut r, &cfg.l2)?;
         let dtlb = Dtlb::decode(&mut r, cfg.dtlb_entries, cfg.page_bytes)?;
         let rf = PhysRegFile::decode(&mut r, cfg.phys_regs)?;
-        // A DynInst is at least seq + pc + flag/tag bytes + cycles.
-        const DYNINST_MIN_BYTES: usize = 8 + 4 + 6 + 32;
+        // A DynInst is at least seq + pc + flag/tag bytes + cycles +
+        // the two fetch-time source values.
+        const DYNINST_MIN_BYTES: usize = 8 + 4 + 6 + 32 + 16;
         let n_fetch = r.seq_len(DYNINST_MIN_BYTES)?;
         let mut fetch_queue = VecDeque::with_capacity(n_fetch);
         for _ in 0..n_fetch {

@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # Runs the campaign_throughput bench at standard scale, emits the
-# per-PR perf artifact (BENCH_pr<N>.json, inj/s medians over 3 runs),
-# and prints the delta against the newest *earlier* artifact committed
-# under bench-results/ so the perf trajectory is visible per PR.
+# per-PR perf artifact (BENCH_pr<N>.json, inj/s medians over 3 runs,
+# trap + replay series), and prints the delta against the newest
+# *earlier* artifact committed under bench-results/ so the perf
+# trajectory is visible per PR.
+#
+# Hard-fail mode: setting AVF_BENCH_MAX_REGRESS=<percent> turns the
+# delta from advisory into a gate — a trap-series median more than that
+# many percent below the committed history fails the script, so a
+# replay-oracle hot-path regression blocks the PR instead of only
+# printing a number. Unset (the default for local runs) keeps it
+# advisory.
 set -euo pipefail
 
 # Single authority for the PR number: the bench and the artifact name
 # both derive from this export.
-export AVF_BENCH_PR=4
+export AVF_BENCH_PR=5
 ARTIFACT="BENCH_pr${AVF_BENCH_PR}.json"
 
 # The bench must run at a scale comparable with the committed history,
@@ -20,8 +28,9 @@ field() { grep "\"$2\"" "$1" | sed -E 's/[^0-9.]+//g'; }
 
 [ -f "$ARTIFACT" ] || { echo "error: bench did not write $ARTIFACT" >&2; exit 1; }
 new_median=$(field "$ARTIFACT" median)
+replay_median=$(field "$ARTIFACT" replay_median || true)
 echo "== perf trajectory =="
-echo "$ARTIFACT (this run): ${new_median} inj/s median"
+echo "$ARTIFACT (this run): ${new_median} inj/s median (trap)${replay_median:+, ${replay_median} inj/s median (replay)}"
 
 prev=$(ls bench-results/BENCH_pr*.json 2>/dev/null | grep -v "/$ARTIFACT$" | sort -V | tail -1 || true)
 if [ -z "$prev" ]; then
@@ -34,8 +43,31 @@ if [ "$old_scale" != "standard" ]; then
   echo "$prev was recorded at scale '$old_scale'; skipping the delta (not comparable)"
   exit 0
 fi
-awk -v new="$new_median" -v old="$old_median" -v prev="$prev" 'BEGIN {
-  printf "%s (committed): %.1f inj/s median\n", prev, old
-  printf "delta: %+.1f%% (CI runners are noisy; the committed 1-CPU history is the anchor)\n",
-         (new - old) / old * 100.0
-}'
+max_regress="${AVF_BENCH_MAX_REGRESS:-}"
+gate_series() { # $1 = label, $2 = new median, $3 = committed median
+  awk -v label="$1" -v new="$2" -v old="$3" -v max="$max_regress" 'BEGIN {
+    delta = (new - old) / old * 100.0
+    printf "%s delta: %+.1f%% (CI runners are noisy; the committed 1-CPU history is the anchor)\n",
+           label, delta
+    if (max != "" && delta < -max) {
+      printf "FAIL: %s-series median regressed %.1f%%, beyond the AVF_BENCH_MAX_REGRESS=%s%% gate\n",
+             label, -delta, max
+      exit 1
+    }
+    if (max != "") {
+      printf "OK: %s series within the %s%% regression gate\n", label, max
+    }
+  }'
+}
+echo "$prev (committed): ${old_median} inj/s median (trap)"
+gate_series trap "$new_median" "$old_median"
+# The replay oracle runs only under --fault-model replay, so its hot
+# path (field decode + the in-flight walk) is invisible to the trap
+# series — gate the replay series too once the history carries it.
+old_replay=$(field "$prev" replay_median || true)
+if [ -n "$old_replay" ] && [ -n "$replay_median" ]; then
+  echo "$prev (committed): ${old_replay} inj/s median (replay)"
+  gate_series replay "$replay_median" "$old_replay"
+else
+  echo "no committed replay_median to diff against (first replay-series artifact)"
+fi

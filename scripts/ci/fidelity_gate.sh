@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Fidelity gate for the micro-op replay oracle (release mode).
+#
+# Runs the injection-vs-ACE validation sweep twice at a fixed seed —
+# once with the coarse trap fault model, once with the replay oracle —
+# and asserts the two properties the oracle exists for:
+#
+#   1. SOUNDNESS: under `--fault-model replay`, no structure's measured
+#      AVF exceeds its ACE bound by more than the measurement's 95% CI
+#      half-width, on any program. (The binary itself already fails on a
+#      statistical Violation verdict; this is the stricter campaign-level
+#      check the acceptance criterion names.)
+#   2. FIDELITY: the measured-vs-ACE gap, summed across the sweep's
+#      programs, is strictly smaller under replay than under trap on the
+#      ROB and the IQ — the two structures whose coarse
+#      control-corruption-is-DUE model the oracle replaces.
+#
+# Both sweeps are deterministic functions of (seed, budgets, code), so
+# the comparison is exactly reproducible; a regression in either
+# property fails the job.
+set -euo pipefail
+
+BIN=./target/release/avf-stressmark
+[ -x "$BIN" ] || { echo "error: $BIN not built (run cargo build --release --locked first)" >&2; exit 1; }
+
+INJECTIONS=${AVF_FIDELITY_INJECTIONS:-2400}
+INSTRUCTIONS=${AVF_FIDELITY_INSTRUCTIONS:-15000}
+SEED=${AVF_FIDELITY_SEED:-42}
+
+run_sweep() {
+  local model=$1 out=$2
+  echo "== validation sweep: --fault-model $model ($INJECTIONS inj, $INSTRUCTIONS instrs, seed $SEED) =="
+  "$BIN" validate --fault-model "$model" --injections "$INJECTIONS" \
+    --instructions "$INSTRUCTIONS" --seed "$SEED" | tee "$out"
+}
+
+TRAP_OUT=$(mktemp)
+REPLAY_OUT=$(mktemp)
+trap 'rm -f "$TRAP_OUT" "$REPLAY_OUT"' EXIT
+
+run_sweep trap "$TRAP_OUT"
+run_sweep replay "$REPLAY_OUT"
+
+# Per-structure table rows look like:
+#   ROB   300  218  54  24  4  0.2733 [0.2260, 0.3264]  0.8055  0.5321  bounded
+# fields: 1 name, 2 trials, 3 masked, 4 sdc, 5 due, 6 divg, 7 inj-AVF,
+#         8 "[lo," 9 "hi]", 10 ACE-AVF, 11 gap, 12 verdict.
+
+echo "== soundness: replay measured AVF vs ACE bound + CI half-width =="
+awk '
+  /^(ROB|IQ|LQ|SQ|RF|DL1|L2|DTLB) / {
+    measured = $7; ace = $10
+    lo = $8; gsub(/[\[,]/, "", lo)
+    hi = $9; gsub(/[\]]/, "", hi)
+    half = (hi - lo) / 2.0
+    if (measured > ace + half + 1e-9) {
+      printf "FAIL: %s measured %.4f exceeds ACE %.4f + half-width %.4f\n",
+             $1, measured, ace, half
+      bad = 1
+    }
+    rows++
+  }
+  END {
+    if (rows == 0) { print "FAIL: no structure rows parsed"; exit 1 }
+    if (bad) exit 1
+    printf "OK: ACE bound + half-width holds on all %d structure rows\n", rows
+  }
+' "$REPLAY_OUT"
+
+echo "== fidelity: replay must strictly narrow the ROB and IQ gaps =="
+gap_sum() { # $1 = file, $2 = structure
+  awk -v s="$2" '$1 == s { sum += ($11 < 0 ? -$11 : $11); n++ }
+                 END { if (n == 0) { print "nan"; exit 1 } printf "%.6f\n", sum }' "$1"
+}
+status=0
+for s in ROB IQ; do
+  t=$(gap_sum "$TRAP_OUT" "$s")
+  r=$(gap_sum "$REPLAY_OUT" "$s")
+  if awk -v t="$t" -v r="$r" 'BEGIN { exit !(r < t) }'; then
+    echo "OK: $s gap sum narrowed: trap $t -> replay $r"
+  else
+    echo "FAIL: $s gap sum did not narrow: trap $t -> replay $r"
+    status=1
+  fi
+done
+exit "$status"
