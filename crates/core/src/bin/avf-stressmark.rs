@@ -10,6 +10,7 @@
 //!                         [--instructions N] [--threads N] [--ci-target F]
 //!                         [--batch N] [--checkpoint-interval N]
 //!                         [--workers host:port,host:port,...]
+//!                         [--prune off|on|audit]
 //! avf-stressmark serve    --listen host:port [--threads N]
 //! ```
 //!
@@ -20,7 +21,7 @@ use std::process::ExitCode;
 
 use avf_ace::FaultRates;
 use avf_ga::GaParams;
-use avf_inject::{CampaignConfig, FaultModel, GoldenMode, LocalBackend};
+use avf_inject::{CampaignConfig, FaultModel, GoldenMode, LocalBackend, PruneMode};
 use avf_service::{serve, RemoteBackend, ServeOptions};
 use avf_sim::MachineConfig;
 use avf_stressmark::cli::{bool_flag, value_flag, Args, FlagSpec};
@@ -63,6 +64,7 @@ const VALIDATE_FLAGS: &[FlagSpec] = &[
     value_flag("workers"),
     value_flag("golden"),
     value_flag("fault-model"),
+    value_flag("prune"),
 ];
 
 const SERVE_FLAGS: &[FlagSpec] = &[
@@ -242,6 +244,11 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
         FaultModel::parse(spelled)
             .ok_or_else(|| format!("unknown fault model `{spelled}` (trap|replay)"))?
     };
+    let prune = {
+        let spelled = args.flag("prune").unwrap_or("off");
+        PruneMode::parse(spelled)
+            .ok_or_else(|| format!("unknown prune mode `{spelled}` (off|on|audit)"))?
+    };
     let config = CampaignConfig {
         injections: args.parse_u64("injections", 1000).map_err(|e| e.0)?,
         seed: args.parse_u64("seed", 42).map_err(|e| e.0)?,
@@ -252,6 +259,7 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
         checkpoint_interval: args.parse_u64("checkpoint-interval", 0).map_err(|e| e.0)?,
         golden_mode,
         fault_model,
+        prune,
         ..CampaignConfig::default()
     };
     match config.ci_target {
@@ -373,7 +381,12 @@ commands:
             ROB/IQ/LQ/SQ control/tag flips resolve — the micro-op
             replay oracle [default: corrupted entries re-decode and
             re-execute, outcomes classified architecturally] or the
-            coarse control-corruption-is-DUE trap model)
+            coarse control-corruption-is-DUE trap model; --prune
+            off|on|audit gates the pre-campaign masked-site classifier —
+            `on` skips provably-masked (structure, bit, cycle) strata
+            and credits them as exact zeros in a stratified estimator,
+            `audit` additionally injects into a deterministic sample of
+            pruned sites and hard-fails on any non-masked outcome)
   serve     run a long-lived campaign worker: accepts (program, machine,
             store-hash) jobs over TCP, resolves checkpoint stores
             through a bounded LRU cache (HAVE/NEED handshake) or its own

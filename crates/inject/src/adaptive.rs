@@ -29,17 +29,28 @@ use crate::stats::OutcomeCounts;
 ///
 /// Targets with no data yet sit at the maximum half-width (0.5), so the
 /// first batch spreads evenly.
+///
+/// `residual` gives each target's residual fraction under pruning (1.0
+/// without a prune map). A stratified campaign samples only the
+/// residual stratum and scales the estimate by the residual mass, so
+/// the *overall* half-width is `w·hw` — targets converge once
+/// `w·hw ≤ ci_target`, and fully-pruned targets (`w = 0`, an exact
+/// zero) never receive trials.
 #[must_use]
 pub(crate) fn allocate_batch(
     targets: &[InjectionTarget],
     counts: &[OutcomeCounts],
+    residual: &[f64],
     ci_target: f64,
     batch: u64,
 ) -> Vec<(InjectionTarget, u64)> {
     debug_assert_eq!(targets.len(), counts.len());
+    debug_assert_eq!(targets.len(), residual.len());
     let unfinished: Vec<(usize, f64)> = counts
         .iter()
         .map(OutcomeCounts::half_width95)
+        .zip(residual.iter())
+        .map(|(hw, &w)| w * hw)
         .enumerate()
         .filter(|&(_, hw)| hw > ci_target)
         .collect();
@@ -99,7 +110,7 @@ mod tests {
     fn first_batch_spreads_evenly() {
         let targets = &InjectionTarget::ALL;
         let counts = vec![OutcomeCounts::default(); targets.len()];
-        let alloc = allocate_batch(targets, &counts, 0.05, 80);
+        let alloc = allocate_batch(targets, &counts, &vec![1.0; targets.len()], 0.05, 80);
         assert_eq!(alloc.len(), targets.len());
         assert!(alloc.iter().all(|&(_, n)| n == 10), "{alloc:?}");
     }
@@ -109,7 +120,7 @@ mod tests {
         let targets = [InjectionTarget::Rob, InjectionTarget::Iq];
         // ROB: 0/10000 unmasked — razor-thin interval. IQ: 50/100 — wide.
         let counts = counts_of(&[(0, 10_000), (50, 100)]);
-        let alloc = allocate_batch(&targets, &counts, 0.05, 64);
+        let alloc = allocate_batch(&targets, &counts, &[1.0; 2], 0.05, 64);
         assert_eq!(alloc, vec![(InjectionTarget::Iq, 64)]);
     }
 
@@ -117,7 +128,7 @@ mod tests {
     fn all_converged_means_empty_allocation() {
         let targets = [InjectionTarget::Rob, InjectionTarget::Iq];
         let counts = counts_of(&[(0, 10_000), (5_000, 10_000)]);
-        assert!(allocate_batch(&targets, &counts, 0.05, 64).is_empty());
+        assert!(allocate_batch(&targets, &counts, &[1.0; 2], 0.05, 64).is_empty());
     }
 
     #[test]
@@ -129,7 +140,7 @@ mod tests {
         ];
         // Half-widths roughly 0.5 (no data), ~0.097 (50/100), ~0.031 (50/1000).
         let counts = counts_of(&[(0, 0), (50, 100), (50, 1_000)]);
-        let alloc = allocate_batch(&targets, &counts, 0.01, 100);
+        let alloc = allocate_batch(&targets, &counts, &[1.0; 3], 0.01, 100);
         let total: u64 = alloc.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 100, "every batch trial is assigned");
         let rob = alloc.iter().find(|&&(t, _)| t == InjectionTarget::Rob);
@@ -138,6 +149,22 @@ mod tests {
             rob.unwrap().1 > lq.unwrap().1 * 5,
             "widest interval dominates: {alloc:?}"
         );
+    }
+
+    #[test]
+    fn residual_scaling_converges_pruned_targets_early() {
+        let targets = [InjectionTarget::Rob, InjectionTarget::Iq];
+        // Identical (wide) raw intervals, but ROB's residual stratum is
+        // 8% of its space: its overall half-width is already under the
+        // target, so the whole batch goes to the unpruned IQ.
+        let counts = counts_of(&[(50, 100), (50, 100)]);
+        let alloc = allocate_batch(&targets, &counts, &[0.08, 1.0], 0.05, 64);
+        assert_eq!(alloc, vec![(InjectionTarget::Iq, 64)]);
+        // A fully-pruned target (w = 0, an exact zero) never gets
+        // trials, even with no data at all.
+        let empty = counts_of(&[(0, 0), (0, 0)]);
+        let alloc = allocate_batch(&targets, &empty, &[0.0, 1.0], 0.05, 64);
+        assert_eq!(alloc, vec![(InjectionTarget::Iq, 64)]);
     }
 
     #[test]
@@ -153,8 +180,9 @@ mod tests {
             (7, 30),
             (2, 2),
         ]);
-        let a = allocate_batch(&targets, &counts, 0.08, 97);
-        let b = allocate_batch(&targets, &counts, 0.08, 97);
+        let ones = vec![1.0; targets.len()];
+        let a = allocate_batch(&targets, &counts, &ones, 0.08, 97);
+        let b = allocate_batch(&targets, &counts, &ones, 0.08, 97);
         assert_eq!(a, b);
         assert_eq!(a.iter().map(|&(_, n)| n).sum::<u64>(), 97);
     }

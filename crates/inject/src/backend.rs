@@ -39,9 +39,11 @@ use std::thread::JoinHandle;
 
 use avf_isa::wire::{kind, WireError, WireReader, WireWriter};
 use avf_isa::Program;
+use avf_prune::PruneMap;
 use avf_sim::{
-    golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FaultModel, FlipEffect,
-    GoldenRun, InjectionSim, InjectionTarget, MachineConfig, RunEnd,
+    golden_run_checkpointed, golden_run_with_evidence, CheckpointStore, DecodedCheckpoints,
+    FaultModel, FlipEffect, GoldenRun, InjectionSim, InjectionTarget, MachineConfig, RunEnd,
+    PRUNE_WINDOW,
 };
 
 use crate::plan::Trial;
@@ -165,6 +167,12 @@ pub struct JobSpec {
     pub fault_model: FaultModel,
     /// Where the fault-free reference comes from.
     pub golden: GoldenSpec,
+    /// Whether the campaign samples under a prune map. In delegated
+    /// golden mode this asks the venue to capture ACE evidence during
+    /// its golden pass and return the classifier's [`PruneMap`] in the
+    /// opened job; in shipped mode the driver built the map alongside
+    /// the store it ships, so the venue has nothing to add.
+    pub prune: bool,
 }
 
 /// The hang watchdog every trial runs under, derived from the golden
@@ -235,6 +243,12 @@ pub struct OpenedJob {
     pub checkpoints: usize,
     /// How each worker obtained the store.
     pub provisioning: Vec<WorkerProvision>,
+    /// The prune map the venue built during a delegated golden pass
+    /// (`None` when the job did not request pruning, or when the driver
+    /// shipped the reference and therefore already holds the map). When
+    /// multiple workers build it independently, the backend must
+    /// cross-check they agree bit-for-bit before returning one.
+    pub prune: Option<Arc<PruneMap>>,
 }
 
 /// One classified trial outcome, streamed back from wherever the trial
@@ -553,6 +567,7 @@ impl CampaignBackend for LocalBackend {
     }
 
     fn open(&self, spec: JobSpec) -> Result<OpenedJob, BackendError> {
+        let mut prune = None;
         let (store, decoded, golden, cycle_budget, source) = match spec.golden {
             GoldenSpec::Shipped {
                 store,
@@ -568,12 +583,32 @@ impl CampaignBackend for LocalBackend {
                         "delegated golden run needs a positive checkpoint interval".to_owned(),
                     ));
                 }
-                let (golden, store) = golden_run_checkpointed(
-                    &spec.machine,
-                    &spec.program,
-                    spec.instr_budget,
-                    checkpoint_interval,
-                );
+                let (golden, store) = if spec.prune {
+                    // The instrumented golden pass captures ACE evidence
+                    // for the site classifier while producing the exact
+                    // same checkpoint stream.
+                    let (golden, store, evidence) = golden_run_with_evidence(
+                        &spec.machine,
+                        &spec.program,
+                        spec.instr_budget,
+                        checkpoint_interval,
+                        PRUNE_WINDOW,
+                    );
+                    prune = Some(Arc::new(PruneMap::build(
+                        &spec.machine,
+                        &spec.program,
+                        spec.fault_model,
+                        &evidence,
+                    )));
+                    (golden, store)
+                } else {
+                    golden_run_checkpointed(
+                        &spec.machine,
+                        &spec.program,
+                        spec.instr_budget,
+                        checkpoint_interval,
+                    )
+                };
                 (
                     Arc::new(store),
                     None,
@@ -614,6 +649,7 @@ impl CampaignBackend for LocalBackend {
                 worker: "local".to_owned(),
                 source,
             }],
+            prune,
         })
     }
 }

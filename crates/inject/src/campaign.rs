@@ -22,7 +22,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use avf_isa::Program;
-use avf_sim::{golden_run_checkpointed, simulate, MachineConfig};
+use avf_prune::{PruneMap, PruneMode};
+use avf_sim::{
+    golden_run_checkpointed, golden_run_with_evidence, simulate, MachineConfig, PRUNE_WINDOW,
+};
 
 use crate::adaptive::allocate_batch;
 use crate::backend::{
@@ -31,6 +34,11 @@ use crate::backend::{
 use crate::plan::SamplingPlan;
 use crate::report::{ace_avf_of, BatchProgress, CampaignReport, StopReason, TargetReport};
 use crate::stats::OutcomeCounts;
+use crate::Outcome;
+
+/// Deterministic audit trials drawn per target from the pruned strata
+/// under [`PruneMode::Audit`] — every one must observe masked.
+const AUDIT_TRIALS_PER_TARGET: u64 = 64;
 
 /// Who executes the fault-free golden pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +92,12 @@ pub struct CampaignConfig {
     /// the micro-op replay oracle; `trap` restores the coarse
     /// control-corruption-is-DUE model for comparison).
     pub fault_model: avf_sim::FaultModel,
+    /// Pre-campaign injection-site pruning (default: off). `On`
+    /// stratifies sampling over the residual site space and credits the
+    /// provably-masked strata analytically; `Audit` additionally injects
+    /// a deterministic sample of *pruned* sites and hard-fails the
+    /// campaign on any non-masked observation.
+    pub prune: PruneMode,
 }
 
 impl Default for CampaignConfig {
@@ -99,6 +113,7 @@ impl Default for CampaignConfig {
             checkpoint_interval: 0,
             golden_mode: GoldenMode::Worker,
             fault_model: avf_sim::FaultModel::default(),
+            prune: PruneMode::Off,
         }
     }
 }
@@ -161,17 +176,40 @@ impl<'a> Campaign<'a> {
     /// campaign (unreachable workers, protocol violation, codec skew).
     pub fn run_on(&self, backend: &dyn CampaignBackend) -> Result<CampaignReport, BackendError> {
         let start = Instant::now();
+        let prune_requested = self.config.prune.enabled();
+        // In driver golden mode the driver runs the (instrumented)
+        // golden pass itself and builds the prune map locally; in worker
+        // mode the venue builds it during its delegated golden run and
+        // returns it in the opened job.
+        let mut driver_map: Option<Arc<PruneMap>> = None;
         let golden_spec = match self.config.golden_mode {
             GoldenMode::Worker => GoldenSpec::Delegated {
                 checkpoint_interval: self.config.effective_checkpoint_interval(),
             },
             GoldenMode::Driver => {
-                let (golden, store) = golden_run_checkpointed(
-                    self.machine,
-                    self.program,
-                    self.config.instr_budget,
-                    self.config.effective_checkpoint_interval(),
-                );
+                let (golden, store) = if prune_requested {
+                    let (golden, store, evidence) = golden_run_with_evidence(
+                        self.machine,
+                        self.program,
+                        self.config.instr_budget,
+                        self.config.effective_checkpoint_interval(),
+                        PRUNE_WINDOW,
+                    );
+                    driver_map = Some(Arc::new(PruneMap::build(
+                        self.machine,
+                        self.program,
+                        self.config.fault_model,
+                        &evidence,
+                    )));
+                    (golden, store)
+                } else {
+                    golden_run_checkpointed(
+                        self.machine,
+                        self.program,
+                        self.config.instr_budget,
+                        self.config.effective_checkpoint_interval(),
+                    )
+                };
                 GoldenSpec::Shipped {
                     store: Arc::new(store),
                     decoded: None,
@@ -186,11 +224,39 @@ impl<'a> Campaign<'a> {
             instr_budget: self.config.instr_budget,
             fault_model: self.config.fault_model,
             golden: golden_spec,
+            prune: prune_requested,
         })?;
         let golden = opened.golden;
         let checkpoints = opened.checkpoints;
         let provisioning = opened.provisioning;
         let mut session = opened.session;
+
+        let prune_map: Option<Arc<PruneMap>> = if prune_requested {
+            let map = driver_map.or(opened.prune).ok_or_else(|| {
+                BackendError::Protocol(
+                    "pruning requested but neither the driver nor the venue produced a prune map"
+                        .to_owned(),
+                )
+            })?;
+            if map.cycles() != golden.cycles {
+                return Err(BackendError::Protocol(format!(
+                    "prune map covers {} golden cycles but the venue's golden run has {}",
+                    map.cycles(),
+                    golden.cycles
+                )));
+            }
+            Some(map)
+        } else {
+            None
+        };
+        // Per-target residual masses: the stratified estimator samples
+        // only the residual stratum and scales by these (1.0 unpruned).
+        let residual: Vec<f64> = self
+            .config
+            .targets
+            .iter()
+            .map(|&t| prune_map.as_ref().map_or(1.0, |m| m.residual_fraction(t)))
+            .collect();
 
         let mut counts = vec![OutcomeCounts::default(); self.config.targets.len()];
         let mut batches: Vec<BatchProgress> = Vec::new();
@@ -210,12 +276,28 @@ impl<'a> Campaign<'a> {
                             stop = StopReason::FixedPlan;
                             break;
                         }
+                        // A fully-pruned target is an exact zero: the
+                        // fixed plan round-robins over the targets that
+                        // still have residual mass to sample.
+                        let active: Vec<avf_sim::InjectionTarget> = self
+                            .config
+                            .targets
+                            .iter()
+                            .zip(&residual)
+                            .filter(|&(_, &w)| w > 0.0)
+                            .map(|(&t, _)| t)
+                            .collect();
+                        if active.is_empty() {
+                            stop = StopReason::FixedPlan;
+                            break;
+                        }
                         SamplingPlan::new(
                             self.machine,
-                            &self.config.targets,
+                            &active,
                             self.config.injections,
                             golden.cycles,
                             self.config.seed,
+                            prune_map.as_deref(),
                         )
                     }
                     Some(ci_target) => {
@@ -227,6 +309,7 @@ impl<'a> Campaign<'a> {
                         let alloc = allocate_batch(
                             &self.config.targets,
                             &counts,
+                            &residual,
                             ci_target,
                             self.config.batch_size.max(1).min(budget_left.max(1)),
                         );
@@ -245,6 +328,7 @@ impl<'a> Campaign<'a> {
                             self.config.seed,
                             batches.len() as u64,
                             executed,
+                            prune_map.as_deref(),
                         )
                     }
                 };
@@ -284,6 +368,8 @@ impl<'a> Campaign<'a> {
                 let (widest_slot, max_half_width) = counts
                     .iter()
                     .map(OutcomeCounts::half_width95)
+                    .zip(&residual)
+                    .map(|(hw, &w)| w * hw)
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("at least one target");
@@ -299,15 +385,46 @@ impl<'a> Campaign<'a> {
             Ok::<_, BackendError>(ace_handle.join().expect("ACE reference thread panicked"))
         })?;
 
+        // Audit mode: inject a deterministic sample of the *pruned*
+        // sites. Every one is claimed provably masked by the classifier,
+        // so a single non-masked observation is a soundness bug and
+        // fails the campaign outright.
+        let mut audited = 0u64;
+        if self.config.prune == PruneMode::Audit {
+            let map = prune_map
+                .as_deref()
+                .expect("audit mode always resolves a prune map");
+            let plan = SamplingPlan::audit(
+                self.machine,
+                map,
+                AUDIT_TRIALS_PER_TARGET,
+                golden.cycles,
+                self.config.seed,
+            );
+            for event in session.submit(plan.trials())? {
+                let event = event?;
+                if event.outcome != Outcome::Masked {
+                    return Err(BackendError::Protocol(format!(
+                        "prune audit failed: site claimed provably masked on {} \
+                         observed {:?} (audit trial {})",
+                        event.target, event.outcome, event.index
+                    )));
+                }
+                audited += 1;
+            }
+        }
+
         let targets = self
             .config
             .targets
             .iter()
             .zip(counts)
-            .map(|(&target, counts)| TargetReport {
+            .zip(&residual)
+            .map(|((&target, counts), &residual)| TargetReport {
                 target,
                 counts,
                 ace_avf: ace_avf_of(&ace.report, target),
+                residual,
             })
             .collect();
 
@@ -320,6 +437,8 @@ impl<'a> Campaign<'a> {
             golden,
             targets,
             ci_target: self.config.ci_target,
+            prune: self.config.prune,
+            audited,
             stop,
             batches,
             checkpoints,

@@ -80,13 +80,14 @@ pub use backend::{
     LocalBackend, OpenedJob, StoreSource, TrialEvent, TrialStream, WorkerProvision,
 };
 pub use campaign::{Campaign, CampaignConfig, GoldenMode};
-pub use plan::{SamplingPlan, Trial};
+pub use plan::{SamplingPlan, Trial, AUDIT_BATCH};
 pub use report::{BatchProgress, CampaignReport, StopReason, TargetReport, Verdict};
 pub use stats::{wilson_interval, OutcomeCounts};
 
+pub use avf_prune::{ProofTag, PruneMap, PruneMode};
 pub use avf_sim::{
-    golden_run_checkpointed, CheckpointStore, DecodedCheckpoints, FaultModel, FlipEffect,
-    InjectionTarget, MaskReason, RunEnd,
+    golden_run_checkpointed, golden_run_with_evidence, CheckpointStore, DecodedCheckpoints,
+    FaultModel, FlipEffect, InjectionTarget, MaskReason, PruneEvidence, RunEnd, PRUNE_WINDOW,
 };
 
 /// Classified outcome of one injection trial.

@@ -16,7 +16,18 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use avf_isa::wire::{WireError, WireReader, WireWriter};
+use avf_prune::PruneMap;
 use avf_sim::{InjectionTarget, MachineConfig};
+
+/// Sentinel batch id of the audit sampling stream (`--prune audit`),
+/// disjoint from the sequential batch ids of the estimation stream.
+pub const AUDIT_BATCH: u64 = u64::MAX;
+
+/// Redraw bound per planned trial before the plan gives up on a
+/// stratum. Expected redraws are `1/w` (residual sampling) or
+/// `1/(1-w)` (audit sampling); a stratum needing more than this is too
+/// thin to sample and the planner skips it rather than spinning.
+const MAX_REDRAWS: u32 = 65_536;
 
 /// One planned injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +125,10 @@ impl SamplingPlan {
     /// with injection cycles in `[1, cycles)` — the fixed-size plan of a
     /// non-adaptive campaign (batch 0 of the sampling stream).
     ///
+    /// With a [`PruneMap`], each trial redraws until it lands in the
+    /// residual stratum — still a pure function of `(seed, batch,
+    /// index)`, so stratified plans stay venue- and thread-independent.
+    ///
     /// # Panics
     ///
     /// Panics if `targets` is empty or `cycles < 2`.
@@ -124,13 +139,14 @@ impl SamplingPlan {
         injections: u64,
         cycles: u64,
         seed: u64,
+        prune: Option<&PruneMap>,
     ) -> SamplingPlan {
         assert!(
             !targets.is_empty(),
             "sampling plan needs at least one target"
         );
         let picks = (0..injections).map(|index| targets[(index % targets.len() as u64) as usize]);
-        SamplingPlan::from_targets(machine, picks, cycles, seed, 0, 0)
+        SamplingPlan::from_targets(machine, picks, cycles, seed, 0, 0, prune)
     }
 
     /// Plans one adaptive batch: `allocation` gives each target's trial
@@ -149,13 +165,67 @@ impl SamplingPlan {
         seed: u64,
         batch: u64,
         first_index: u64,
+        prune: Option<&PruneMap>,
     ) -> SamplingPlan {
         let picks = allocation
             .iter()
             .flat_map(|&(target, n)| std::iter::repeat_n(target, n as usize));
-        SamplingPlan::from_targets(machine, picks, cycles, seed, batch, first_index)
+        SamplingPlan::from_targets(machine, picks, cycles, seed, batch, first_index, prune)
     }
 
+    /// Plans the audit stream of `--prune audit`: up to `per_target`
+    /// deterministic samples drawn from each target's *pruned* strata
+    /// (the inverse of residual sampling). Every one of these sites is
+    /// claimed provably masked — the campaign injects into them and
+    /// hard-fails on any non-masked outcome.
+    ///
+    /// Targets whose pruned mass is zero (or too thin to hit within the
+    /// redraw bound) contribute no audit trials.
+    #[must_use]
+    pub fn audit(
+        machine: &MachineConfig,
+        map: &PruneMap,
+        per_target: u64,
+        cycles: u64,
+        seed: u64,
+    ) -> SamplingPlan {
+        assert!(
+            cycles >= 2,
+            "golden run too short to sample injection cycles"
+        );
+        let sizes = machine.structure_sizes();
+        let mut trials = Vec::new();
+        let mut index = 0u64;
+        for target in InjectionTarget::ALL {
+            if map.of(target).pruned() == 0 {
+                continue;
+            }
+            for _ in 0..per_target {
+                let mut rng = trial_rng(seed, AUDIT_BATCH, index);
+                let entries = target.entries(machine);
+                let bits = target.entry_bits(&sizes);
+                for _ in 0..MAX_REDRAWS {
+                    let cycle = rng.gen_range(1..cycles);
+                    let entry = rng.gen_range(0..entries);
+                    let bit = rng.gen_range(0..bits);
+                    if map.is_pruned(target, entry, bit, cycle) {
+                        trials.push(Trial {
+                            index,
+                            target,
+                            cycle,
+                            entry,
+                            bit,
+                        });
+                        index += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        SamplingPlan { trials }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn from_targets(
         machine: &MachineConfig,
         picks: impl Iterator<Item = InjectionTarget>,
@@ -163,6 +233,7 @@ impl SamplingPlan {
         seed: u64,
         batch: u64,
         first_index: u64,
+        prune: Option<&PruneMap>,
     ) -> SamplingPlan {
         assert!(
             cycles >= 2,
@@ -174,12 +245,29 @@ impl SamplingPlan {
             .map(|(offset, target)| {
                 let index = first_index + offset as u64;
                 let mut rng = trial_rng(seed, batch, index);
-                Trial {
-                    index,
-                    target,
-                    cycle: rng.gen_range(1..cycles),
-                    entry: rng.gen_range(0..target.entries(machine)),
-                    bit: rng.gen_range(0..target.entry_bits(&sizes)),
+                let entries = target.entries(machine);
+                let bits = target.entry_bits(&sizes);
+                let mut redraws = 0u32;
+                loop {
+                    let cycle = rng.gen_range(1..cycles);
+                    let entry = rng.gen_range(0..entries);
+                    let bit = rng.gen_range(0..bits);
+                    let pruned = prune.is_some_and(|m| m.is_pruned(target, entry, bit, cycle));
+                    if !pruned {
+                        break Trial {
+                            index,
+                            target,
+                            cycle,
+                            entry,
+                            bit,
+                        };
+                    }
+                    redraws += 1;
+                    assert!(
+                        redraws < MAX_REDRAWS,
+                        "{target}: residual stratum too thin to sample \
+                         (allocator must skip fully-pruned targets)"
+                    );
                 }
             })
             .collect();
@@ -216,8 +304,8 @@ mod tests {
     #[test]
     fn plan_is_deterministic_and_in_range() {
         let machine = MachineConfig::baseline();
-        let a = SamplingPlan::new(&machine, &InjectionTarget::ALL, 500, 10_000, 7);
-        let b = SamplingPlan::new(&machine, &InjectionTarget::ALL, 500, 10_000, 7);
+        let a = SamplingPlan::new(&machine, &InjectionTarget::ALL, 500, 10_000, 7, None);
+        let b = SamplingPlan::new(&machine, &InjectionTarget::ALL, 500, 10_000, 7, None);
         assert_eq!(a.trials(), b.trials());
         let sizes = machine.structure_sizes();
         for t in a.trials() {
@@ -230,8 +318,8 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let machine = MachineConfig::baseline();
-        let a = SamplingPlan::new(&machine, &InjectionTarget::ALL, 100, 10_000, 1);
-        let b = SamplingPlan::new(&machine, &InjectionTarget::ALL, 100, 10_000, 2);
+        let a = SamplingPlan::new(&machine, &InjectionTarget::ALL, 100, 10_000, 1, None);
+        let b = SamplingPlan::new(&machine, &InjectionTarget::ALL, 100, 10_000, 2, None);
         assert_ne!(a.trials(), b.trials());
     }
 
@@ -245,8 +333,15 @@ mod tests {
         // four seed pairs; the old scheme collides almost everywhere.
         let machine = MachineConfig::baseline();
         for base in [0u64, 41, 1 << 32, u64::MAX - 1] {
-            let a = SamplingPlan::new(&machine, &InjectionTarget::ALL, 1000, 10_000, base);
-            let b = SamplingPlan::new(&machine, &InjectionTarget::ALL, 1000, 10_000, base + 1);
+            let a = SamplingPlan::new(&machine, &InjectionTarget::ALL, 1000, 10_000, base, None);
+            let b = SamplingPlan::new(
+                &machine,
+                &InjectionTarget::ALL,
+                1000,
+                10_000,
+                base + 1,
+                None,
+            );
             let aligned = a
                 .trials()
                 .iter()
@@ -265,8 +360,8 @@ mod tests {
     fn batches_extend_the_stream_without_re_randomizing() {
         let machine = MachineConfig::baseline();
         let alloc = [(InjectionTarget::Rob, 5u64), (InjectionTarget::Iq, 3)];
-        let b1 = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 1, 100);
-        let b1_again = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 1, 100);
+        let b1 = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 1, 100, None);
+        let b1_again = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 1, 100, None);
         assert_eq!(b1.trials(), b1_again.trials());
         assert_eq!(b1.len(), 8);
         assert_eq!(b1.trials()[0].index, 100);
@@ -280,7 +375,7 @@ mod tests {
         );
         // A different batch index at the same global indices samples
         // fresh points.
-        let b2 = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 2, 100);
+        let b2 = SamplingPlan::for_batch(&machine, &alloc, 5_000, 9, 2, 100, None);
         assert_ne!(b1.trials(), b2.trials());
     }
 

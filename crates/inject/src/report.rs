@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use avf_ace::{AceGap, AvfReport};
+use avf_prune::PruneMode;
 use avf_sim::{FaultModel, GoldenRun, InjectionTarget};
 
 use crate::backend::{DispatchRecord, WorkerProvision};
@@ -51,19 +52,52 @@ pub struct TargetReport {
     /// (bit-weighted across tag/data arrays where the target spans
     /// both).
     pub ace_avf: f64,
+    /// Residual fraction of the target's bit×cycle space under
+    /// pre-campaign pruning (1.0 without a prune map). Trials sample
+    /// only the residual stratum; the pruned strata are provably masked,
+    /// so the stratified estimator scales the residual proportion — and
+    /// its interval — by this mass.
+    pub residual: f64,
 }
 
 impl TargetReport {
-    /// Injection-measured AVF.
+    /// Injection-measured AVF — the stratified estimate `w · p̂_R`,
+    /// where `w` is the residual fraction and `p̂_R` the unmasked
+    /// proportion observed over the residual stratum. Without pruning
+    /// `w = 1` and this is the plain proportion.
     #[must_use]
     pub fn measured_avf(&self) -> f64 {
-        self.counts.avf()
+        self.residual * self.counts.avf()
     }
 
-    /// 95% Wilson interval of the measurement.
+    /// 95% Wilson interval of the measurement. Under pruning both ends
+    /// scale by the residual fraction: the pruned strata contribute
+    /// exact zeros, so the stratified interval is `[w·lo, w·hi]`.
     #[must_use]
     pub fn ci95(&self) -> (f64, f64) {
-        self.counts.ci95()
+        let (lo, hi) = self.counts.ci95();
+        (self.residual * lo, self.residual * hi)
+    }
+
+    /// Half-width of [`TargetReport::ci95`] — the overall precision of
+    /// the stratified estimate (`w` times the raw half-width).
+    #[must_use]
+    pub fn half_width95(&self) -> f64 {
+        self.residual * self.counts.half_width95()
+    }
+
+    /// Trials the stratified estimator avoided for this target: the
+    /// expected number of draws that would have landed in pruned space
+    /// had the same residual-stratum sample been taken by uniform
+    /// sampling, `n·(1−w)/w`. Zero without pruning (and for a
+    /// fully-pruned target, which needs no trials at all).
+    #[must_use]
+    pub fn trials_saved(&self) -> u64 {
+        let n = self.counts.total() + self.counts.unreached;
+        if self.residual <= 0.0 || self.residual >= 1.0 {
+            return 0;
+        }
+        (n as f64 * (1.0 - self.residual) / self.residual).round() as u64
     }
 
     /// The measured-vs-ACE gap for this structure: how much of the
@@ -95,8 +129,12 @@ impl TargetReport {
     #[must_use]
     pub fn verdict(&self) -> Verdict {
         let (_, hi) = self.ci95();
-        let (strict_lo, _) =
+        let (raw_strict_lo, _) =
             crate::stats::wilson_interval(self.counts.unmasked(), self.counts.total(), 2.576);
+        // Under pruning the measurement (and thus both quantile bounds)
+        // scales by the residual mass — the pruned strata are exact
+        // zeros, never evidence against the ACE bound.
+        let strict_lo = self.residual * raw_strict_lo;
         if self.counts.total() >= 30
             && self.counts.unmasked() >= 3
             && self.ace_avf + EPS < strict_lo
@@ -170,6 +208,11 @@ pub struct CampaignReport {
     pub targets: Vec<TargetReport>,
     /// CI half-width target of an adaptive campaign (`None` = fixed plan).
     pub ci_target: Option<f64>,
+    /// Pre-campaign pruning mode the campaign ran under.
+    pub prune: PruneMode,
+    /// Audit trials executed against pruned strata (`--prune audit`
+    /// only; each one observed masked, or the campaign hard-failed).
+    pub audited: u64,
     /// Why the campaign stopped.
     pub stop: StopReason,
     /// Per-batch convergence progress.
@@ -233,12 +276,18 @@ impl CampaignReport {
         self.targets.iter().map(|t| t.counts.unreached).sum()
     }
 
-    /// Whether every target's 95% CI half-width is at or below `target`.
+    /// Whether every target's overall 95% CI half-width (residual-scaled
+    /// under pruning) is at or below `target`.
     #[must_use]
     pub fn converged_to(&self, target: f64) -> bool {
-        self.targets
-            .iter()
-            .all(|t| t.counts.half_width95() <= target)
+        self.targets.iter().all(|t| t.half_width95() <= target)
+    }
+
+    /// Trials the stratified estimator avoided across all targets
+    /// (zero without pruning).
+    #[must_use]
+    pub fn trials_saved(&self) -> u64 {
+        self.targets.iter().map(TargetReport::trials_saved).sum()
     }
 
     /// Trials that had to be re-dispatched because their worker's
@@ -284,9 +333,13 @@ impl fmt::Display for CampaignReport {
                 self.injections
             )?;
         }
+        // Pruning columns append AFTER the verdict so the first twelve
+        // whitespace-separated fields of each row are identical with
+        // pruning off — CI scripts parse those by position.
+        let prune = self.prune.enabled();
         writeln!(
             f,
-            "{:<6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9} {:>17} {:>9} {:>8}  verdict",
+            "{:<6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9} {:>17} {:>9} {:>8}  verdict{}",
             "struct",
             "trials",
             "masked",
@@ -296,11 +349,12 @@ impl fmt::Display for CampaignReport {
             "inj-AVF",
             "95% CI",
             "ACE-AVF",
-            "gap"
+            "gap",
+            if prune { "  pruned   saved" } else { "" }
         )?;
         for t in &self.targets {
             let (lo, hi) = t.ci95();
-            writeln!(
+            write!(
                 f,
                 "{:<6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9.4} [{:>6.4}, {:>6.4}] {:>9.4} {:>8.4}  {}",
                 t.target.name(),
@@ -315,6 +369,19 @@ impl fmt::Display for CampaignReport {
                 t.ace_avf,
                 t.gap().gap(),
                 t.verdict().name()
+            )?;
+            if prune {
+                write!(f, " {:>8.4} {:>7}", 1.0 - t.residual, t.trials_saved())?;
+            }
+            writeln!(f)?;
+        }
+        if prune {
+            writeln!(
+                f,
+                "  prune {}: stratified estimator skipped ~{} trial(s); {} audit trial(s), all masked",
+                self.prune,
+                self.trials_saved(),
+                self.audited
             )?;
         }
         if self.redispatched_trials() > 0 {
@@ -370,6 +437,7 @@ mod tests {
                 unreached: 0,
             },
             ace_avf,
+            residual: 1.0,
         }
     }
 
@@ -394,5 +462,24 @@ mod tests {
     fn tiny_samples_never_flag() {
         let t = report_with(5, 10, 0.0);
         assert_ne!(t.verdict(), Verdict::Violation);
+    }
+
+    #[test]
+    fn residual_scales_estimate_interval_and_verdict() {
+        let mut t = report_with(30, 100, 0.08);
+        // Unpruned: measured 0.30 against ACE 0.08 → a gross overshoot.
+        assert_eq!(t.verdict(), Verdict::Violation);
+        // The same counts over a 25% residual stratum estimate
+        // 0.25·0.30 = 0.075 overall — inside the bound.
+        t.residual = 0.25;
+        assert!((t.measured_avf() - 0.075).abs() < 1e-12);
+        let (lo, hi) = t.ci95();
+        let (raw_lo, raw_hi) = t.counts.ci95();
+        assert!((lo - 0.25 * raw_lo).abs() < 1e-12);
+        assert!((hi - 0.25 * raw_hi).abs() < 1e-12);
+        assert!((t.half_width95() - 0.25 * t.counts.half_width95()).abs() < 1e-12);
+        assert_ne!(t.verdict(), Verdict::Violation);
+        // 100 residual trials over w = 0.25 stand in for ~300 pruned-space draws.
+        assert_eq!(t.trials_saved(), 300);
     }
 }

@@ -151,7 +151,14 @@ fn checkpoint_restored_trials_classify_like_full_prefix_replay() {
     assert_eq!(golden.cycles, golden_cp.cycles);
     assert!(store.len() >= 4, "several checkpoints in play");
 
-    let plan = SamplingPlan::new(&machine, &InjectionTarget::ALL, 160, golden.cycles, 23);
+    let plan = SamplingPlan::new(
+        &machine,
+        &InjectionTarget::ALL,
+        160,
+        golden.cycles,
+        23,
+        None,
+    );
     for trial in plan.trials() {
         // Full-prefix replay: fresh sim walked from cycle 0.
         let mut slow = InjectionSim::new(&machine, &program, instr_budget);

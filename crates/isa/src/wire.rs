@@ -37,7 +37,13 @@ pub const WIRE_MAGIC: [u8; 4] = *b"AVFW";
 /// (trap vs replay), and trial events gained the `ReplayDiverged`
 /// outcome code for corrupted entries that decode to architecturally
 /// impossible states.
-pub const WIRE_VERSION: u8 = 4;
+///
+/// v5: pre-campaign injection-site pruning. `JOB_SETUP` carries the
+/// campaign's prune flag and `JOB_READY` optionally carries the
+/// worker-built `PruneMap` (per-target masked-site strata with proof
+/// tags), so delegated workers and the driver agree bit-for-bit on the
+/// stratified sampling space.
+pub const WIRE_VERSION: u8 = 5;
 
 /// Bytes an envelope occupies on the wire: magic + version + kind.
 pub const ENVELOPE_BYTES: usize = 6;

@@ -1,0 +1,161 @@
+//! Campaign-level pruning properties: the stratified estimator must
+//! reproduce the unpruned measurement (same seed, same precision
+//! target) while spending strictly fewer trials, stay deterministic
+//! across thread counts, and survive the audit mode that re-injects
+//! into sites the classifier swore were masked.
+
+use avf_inject::{Campaign, CampaignConfig, CampaignReport, PruneMode};
+use avf_isa::Program;
+use avf_sim::MachineConfig;
+use avf_workloads::testkit::{idle_loop, register_chain};
+
+fn adaptive_config(prune: PruneMode, threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        injections: 4_000,
+        seed: 11,
+        threads,
+        instr_budget: 6_000,
+        ci_target: Some(0.15),
+        batch_size: 64,
+        prune,
+        ..CampaignConfig::default()
+    }
+}
+
+fn run(program: &Program, prune: PruneMode, threads: usize) -> CampaignReport {
+    let machine = MachineConfig::baseline();
+    Campaign::new(&machine, program, adaptive_config(prune, threads)).run()
+}
+
+/// The four equivalence witnesses: both testkit extremes plus two
+/// validation workload profiles (one integer pointer-chaser, one
+/// embedded kernel), so the savings claim is not an idle-loop artifact.
+fn witness_programs() -> Vec<Program> {
+    vec![
+        idle_loop(),
+        register_chain(),
+        avf_workloads::by_name("429.mcf")
+            .expect("mcf proxy")
+            .build(),
+        avf_workloads::by_name("susan")
+            .expect("susan proxy")
+            .build(),
+    ]
+}
+
+#[test]
+fn pruned_campaigns_match_unpruned_within_ci_and_spend_fewer_trials() {
+    let mut cheaper = 0usize;
+    let mut saved_total = 0u64;
+    let programs = witness_programs();
+    for program in &programs {
+        let off = run(program, PruneMode::Off, 2);
+        let on = run(program, PruneMode::On, 2);
+        assert!(
+            off.consistent(),
+            "{}: unpruned run violated ACE",
+            off.program
+        );
+        assert!(on.consistent(), "{}: pruned run violated ACE", on.program);
+        for (a, b) in off.targets.iter().zip(&on.targets) {
+            assert_eq!(a.target, b.target);
+            // Stratified estimate vs plain estimate: two measurements
+            // of the same quantity must agree within their combined
+            // 95% precision.
+            let gap = (a.measured_avf() - b.measured_avf()).abs();
+            let tolerance = a.half_width95() + b.half_width95();
+            assert!(
+                gap <= tolerance + 1e-9,
+                "{} {}: pruned {:.4} vs unpruned {:.4} differ by {gap:.4} > ±{tolerance:.4}",
+                on.program,
+                a.target,
+                b.measured_avf(),
+                a.measured_avf()
+            );
+        }
+        // A target that converges with zero trials (its residual-scaled
+        // half-width already meets the target) credits no `saved`
+        // draws, so the per-trial credit is only meaningful summed over
+        // programs that do spend trials on pruned targets.
+        saved_total += on.trials_saved();
+        if on.injections < off.injections {
+            cheaper += 1;
+        }
+    }
+    assert!(
+        saved_total > 0,
+        "the stratified estimator never credited a skipped draw"
+    );
+    assert!(
+        cheaper >= 3,
+        "pruning must reach the same CI target with strictly fewer injections \
+         on at least 3 of {} programs (got {cheaper})",
+        programs.len()
+    );
+}
+
+#[test]
+fn stratified_campaign_is_deterministic_across_thread_counts() {
+    let program = register_chain();
+    let reports: Vec<CampaignReport> = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| run(&program, PruneMode::On, threads))
+        .collect();
+    let one = &reports[0];
+    for other in &reports[1..] {
+        assert_eq!(one.injections, other.injections);
+        assert_eq!(one.stop, other.stop);
+        assert_eq!(one.batches.len(), other.batches.len());
+        for (a, b) in one.targets.iter().zip(&other.targets) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.counts, b.counts, "{}: thread counts differ", a.target);
+            assert_eq!(
+                a.residual.to_bits(),
+                b.residual.to_bits(),
+                "{}: residual mass must be venue-independent",
+                a.target
+            );
+        }
+        for (a, b) in one.batches.iter().zip(&other.batches) {
+            assert_eq!(a.trials, b.trials);
+            assert_eq!(a.widest, b.widest);
+            assert_eq!(a.max_half_width.to_bits(), b.max_half_width.to_bits());
+        }
+    }
+}
+
+#[test]
+fn audit_mode_reinjects_pruned_sites_and_observes_all_masked() {
+    // Audit hard-fails the campaign on any non-masked pruned site, so
+    // a clean return IS the soundness assertion; the count proves the
+    // audit stream actually ran.
+    let report = run(&idle_loop(), PruneMode::Audit, 2);
+    assert!(report.audited > 0, "audit mode must execute audit trials");
+    assert!(report.consistent());
+    let text = report.to_string();
+    assert!(
+        text.contains("audit trial(s), all masked"),
+        "report must surface the audit verdict: {text}"
+    );
+}
+
+#[test]
+fn report_appends_pruning_columns_after_the_verdict() {
+    let pruned = run(&idle_loop(), PruneMode::On, 2);
+    let plain = run(&idle_loop(), PruneMode::Off, 2);
+    let pruned_text = pruned.to_string();
+    let plain_text = plain.to_string();
+    assert!(pruned_text.contains("pruned   saved"));
+    assert!(!plain_text.contains("pruned   saved"));
+    // CI scripts parse the first twelve whitespace-separated fields by
+    // position; the pruning columns must extend rows, not reshape them.
+    let mut rows = 0;
+    for line in pruned_text.lines() {
+        if line.starts_with("ROB ") {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            assert!(fields.len() >= 14, "ROB row carries pruned+saved: {line}");
+            rows += 1;
+        }
+    }
+    assert_eq!(rows, 1, "exactly one ROB row in the report");
+}

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use avf_sim::{CheckpointStore, DecodedCheckpoints, GoldenRun};
+use avf_sim::{CheckpointStore, DecodedCheckpoints, GoldenRun, PruneEvidence};
 
 /// Default entry bound of a server's cache.
 pub const DEFAULT_CACHE_ENTRIES: usize = 16;
@@ -46,6 +46,14 @@ pub struct CacheEntry {
     /// typed decode error for an out-of-bounds panic — a lookup whose
     /// fingerprint disagrees is answered as a miss instead.
     pub geometry: u64,
+    /// Per-cycle ACE evidence captured during the golden pass, when the
+    /// pass ran instrumented (a pruning delegated job). Evidence is
+    /// fault-model independent — the model only gates which *strata*
+    /// the classifier derives from it — so one capture serves trap and
+    /// replay campaigns alike, matching the model-free cache key.
+    /// `None` when the golden pass ran uninstrumented; a later pruning
+    /// session regenerates it and refreshes the entry.
+    pub evidence: Option<Arc<PruneEvidence>>,
 }
 
 impl CacheEntry {
@@ -212,6 +220,7 @@ mod tests {
             decoded: Arc::new(decoded),
             golden,
             geometry: GEO,
+            evidence: None,
         }
     }
 

@@ -34,6 +34,7 @@ use std::sync::Arc;
 use avf_inject::{decode_trial_batch, BackendError, Trial, TrialEvent};
 use avf_isa::wire::{content_hash64, kind, WireError, WireReader, WireWriter, ENVELOPE_BYTES};
 use avf_isa::Program;
+use avf_prune::PruneMap;
 use avf_sim::{CheckpointStore, FaultModel, GoldenRun, MachineConfig};
 
 fn encode_golden(w: &mut WireWriter, golden: &GoldenRun) {
@@ -109,6 +110,14 @@ pub struct JobSetup {
     /// is fault-free, so trap and replay campaigns over the same
     /// (machine, program, budget, interval) share one checkpoint store.
     pub fault_model: FaultModel,
+    /// Whether the campaign samples under pre-campaign site pruning
+    /// (wire v5). In delegated mode a pruning worker captures ACE
+    /// evidence during its golden pass and ships the classifier's
+    /// [`PruneMap`] back in `JOB_READY`; in shipped mode the driver
+    /// already holds the map, so the flag changes nothing worker-side.
+    /// Not part of the cache key either: the checkpoint stream is
+    /// bit-identical with and without evidence capture.
+    pub prune: bool,
     /// Golden-run mode.
     pub mode: SetupMode,
 }
@@ -140,6 +149,7 @@ impl JobSetup {
         self.program.encode(&mut w);
         w.u64(self.instr_budget);
         w.u8(self.fault_model.wire_code());
+        w.u8(u8::from(self.prune));
         match &self.mode {
             SetupMode::Shipped {
                 store_hash,
@@ -168,6 +178,11 @@ impl JobSetup {
         let model_code = r.u8()?;
         let fault_model =
             FaultModel::from_wire_code(model_code).ok_or(WireError::BadTag(model_code))?;
+        let prune = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(WireError::BadTag(t)),
+        };
         let mode = match r.u8()? {
             0 => SetupMode::Shipped {
                 store_hash: r.u64()?,
@@ -190,6 +205,7 @@ impl JobSetup {
             program,
             instr_budget,
             fault_model,
+            prune,
             mode,
         })
     }
@@ -198,7 +214,11 @@ impl JobSetup {
 /// The worker's end-of-setup report: which store it is running on and
 /// the golden run it resolved (its own measurement in delegated mode,
 /// the driver's echo in shipped mode).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Eq` is load-bearing: a driver fanning one job over N workers
+/// compares their `JobReady`s bit-for-bit, so when workers build prune
+/// maps independently the cross-check covers the maps too.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobReady {
     /// Cache key the worker stored/found the job under.
     pub store_hash: u64,
@@ -206,6 +226,10 @@ pub struct JobReady {
     pub golden: GoldenRun,
     /// Checkpoints in the store.
     pub checkpoints: u64,
+    /// The prune map the worker built during a delegated golden pass
+    /// with pruning requested (wire v5); `None` otherwise. Masses are
+    /// recomputed at decode, never trusted from the wire.
+    pub prune: Option<PruneMap>,
 }
 
 /// One client-to-server message.
@@ -312,6 +336,13 @@ impl ServerMessage {
                 w.u64(ready.store_hash);
                 encode_golden(&mut w, &ready.golden);
                 w.u64(ready.checkpoints);
+                match &ready.prune {
+                    None => w.u8(0),
+                    Some(map) => {
+                        w.u8(1);
+                        map.encode(&mut w);
+                    }
+                }
                 w.into_bytes()
             }
             ServerMessage::Done { events } => {
@@ -341,11 +372,22 @@ impl ServerMessage {
             kind::TRIAL_EVENT => ServerMessage::Event(TrialEvent::decode_body(&mut r)?),
             kind::STORE_HAVE => ServerMessage::StoreHave { hash: r.u64()? },
             kind::STORE_NEED => ServerMessage::StoreNeed { hash: r.u64()? },
-            kind::JOB_READY => ServerMessage::Ready(JobReady {
-                store_hash: r.u64()?,
-                golden: decode_golden(&mut r)?,
-                checkpoints: r.u64()?,
-            }),
+            kind::JOB_READY => {
+                let store_hash = r.u64()?;
+                let golden = decode_golden(&mut r)?;
+                let checkpoints = r.u64()?;
+                let prune = match r.u8()? {
+                    0 => None,
+                    1 => Some(PruneMap::decode(&mut r)?),
+                    t => return Err(WireError::BadTag(t)),
+                };
+                ServerMessage::Ready(JobReady {
+                    store_hash,
+                    golden,
+                    checkpoints,
+                    prune,
+                })
+            }
             kind::BATCH_DONE => ServerMessage::Done { events: r.u64()? },
             kind::SERVICE_ERROR => ServerMessage::Error(r.str()?),
             found => {
@@ -431,6 +473,7 @@ mod tests {
                 store_hash: 99,
                 golden: golden(),
                 checkpoints: 12,
+                prune: None,
             }),
             ServerMessage::Done { events: 128 },
             ServerMessage::Error("checkpoint store rejected".to_owned()),
@@ -438,6 +481,23 @@ mod tests {
         for msg in msgs {
             assert_eq!(ServerMessage::from_wire(&msg.to_wire()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn job_ready_carries_the_prune_map_bit_identically() {
+        let machine = MachineConfig::baseline();
+        let program = avf_workloads::testkit::idle_loop();
+        let (run, _, evidence) =
+            avf_sim::golden_run_with_evidence(&machine, &program, 600, 128, avf_sim::PRUNE_WINDOW);
+        let map = PruneMap::build(&machine, &program, FaultModel::Replay, &evidence);
+        let msg = ServerMessage::Ready(JobReady {
+            store_hash: 0xC0FFEE,
+            golden: run,
+            checkpoints: 3,
+            prune: Some(map),
+        });
+        let back = ServerMessage::from_wire(&msg.to_wire()).unwrap();
+        assert_eq!(back, msg, "map equality over the wire is exact");
     }
 
     #[test]
@@ -454,22 +514,26 @@ mod tests {
                 checkpoint_interval: 512,
             },
         ] {
-            let setup = JobSetup {
-                machine: machine.clone(),
-                program: program.clone(),
-                instr_budget: 4_000,
-                fault_model: FaultModel::Trap,
-                mode,
-            };
-            let bytes = setup.to_wire();
-            match ClientMessage::from_wire(&bytes).unwrap() {
-                ClientMessage::Setup(back) => {
-                    assert_eq!(back.instr_budget, setup.instr_budget);
-                    assert_eq!(back.fault_model, setup.fault_model);
-                    assert_eq!(back.mode, setup.mode);
-                    assert_eq!(back.cache_key(), setup.cache_key());
+            for prune in [false, true] {
+                let setup = JobSetup {
+                    machine: machine.clone(),
+                    program: program.clone(),
+                    instr_budget: 4_000,
+                    fault_model: FaultModel::Trap,
+                    prune,
+                    mode,
+                };
+                let bytes = setup.to_wire();
+                match ClientMessage::from_wire(&bytes).unwrap() {
+                    ClientMessage::Setup(back) => {
+                        assert_eq!(back.instr_budget, setup.instr_budget);
+                        assert_eq!(back.fault_model, setup.fault_model);
+                        assert_eq!(back.prune, setup.prune);
+                        assert_eq!(back.mode, setup.mode);
+                        assert_eq!(back.cache_key(), setup.cache_key());
+                    }
+                    other => panic!("expected a setup, got {other:?}"),
                 }
-                other => panic!("expected a setup, got {other:?}"),
             }
         }
     }
@@ -484,6 +548,7 @@ mod tests {
         program.encode(&mut w);
         w.u64(1_000);
         w.u8(FaultModel::Replay.wire_code());
+        w.u8(0); // prune off
         w.u8(1);
         w.u64(0); // zero interval: the golden pass would never checkpoint
         assert_eq!(
@@ -539,6 +604,20 @@ mod tests {
             Err(WireError::UnsupportedVersion {
                 found: avf_isa::wire::WIRE_VERSION + 3,
                 expected: avf_isa::wire::WIRE_VERSION,
+            })
+        );
+        // A pre-pruning v4 build talking to this v5 build fails with the
+        // typed version error at the envelope — long before the decoder
+        // could misread the setup's new prune byte as a mode tag.
+        let mut v4 = Vec::from(avf_isa::wire::WIRE_MAGIC);
+        v4.push(4);
+        v4.push(kind::JOB_READY);
+        v4.extend_from_slice(&[0u8; 48]);
+        assert_eq!(
+            ServerMessage::from_wire(&v4),
+            Err(WireError::UnsupportedVersion {
+                found: 4,
+                expected: 5,
             })
         );
         // A client-side frame kind arriving where a server message belongs.

@@ -171,6 +171,9 @@ impl CampaignBackend for RemoteBackend {
                     store_hash: hash,
                     golden: *golden,
                     checkpoints: store.len() as u64,
+                    // Shipped mode: the driver built any prune map
+                    // alongside the store; workers have nothing to add.
+                    prune: None,
                 };
                 (
                     SetupMode::Shipped {
@@ -198,6 +201,7 @@ impl CampaignBackend for RemoteBackend {
                 program: spec.program,
                 instr_budget: spec.instr_budget,
                 fault_model: spec.fault_model,
+                prune: spec.prune,
                 mode,
             }
             .to_wire(),
@@ -237,7 +241,10 @@ impl CampaignBackend for RemoteBackend {
             });
         }
         cross_check_ready(&readys)?;
-        let ready = readys[0].1;
+        // Cross-check passed: every worker reported this identical
+        // ready, prune map included — adopting worker 0's is adopting
+        // all of them.
+        let ready = readys[0].1.clone();
         if let Some(expected) = expected {
             if ready != expected {
                 return Err(BackendError::Protocol(format!(
@@ -259,6 +266,7 @@ impl CampaignBackend for RemoteBackend {
             golden: ready.golden,
             checkpoints: usize::try_from(ready.checkpoints).unwrap_or(usize::MAX),
             provisioning,
+            prune: ready.prune.map(Arc::new),
         })
     }
 }
@@ -523,6 +531,7 @@ mod tests {
                 digest,
             },
             checkpoints: 4,
+            prune: None,
         }
     }
 

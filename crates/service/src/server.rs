@@ -26,7 +26,8 @@ use std::sync::Arc;
 use avf_inject::{
     cycle_budget_of, BackendError, CampaignBackend, GoldenSpec, JobSpec, LocalBackend,
 };
-use avf_sim::golden_run_checkpointed;
+use avf_prune::PruneMap;
+use avf_sim::{golden_run_checkpointed, golden_run_with_evidence, PRUNE_WINDOW};
 
 use crate::cache::{CacheEntry, StoreCache};
 use crate::frame::{read_frame, write_frame, FrameBatcher};
@@ -131,15 +132,47 @@ fn resolve_store(
     let setup = *setup;
     let key = setup.cache_key();
     let geometry = geometry_fingerprint(&setup.machine, &setup.program);
-    if let Some(entry) = cache.get(key, geometry) {
+    // A pruning delegated job needs the golden pass's ACE evidence on
+    // top of the store (shipped-mode pruning is driver-side only).
+    let wants_evidence = setup.prune && matches!(setup.mode, SetupMode::Delegated { .. });
+    if let Some(mut entry) = cache.get(key, geometry) {
         eprintln!("serve: job {key:016x} checkpoint store HAVE (cache hit)");
         writer.push(&ServerMessage::StoreHave { hash: key }.to_wire())?;
         writer.flush()?;
+        if wants_evidence && entry.evidence.is_none() {
+            // The cached store came from an uninstrumented pass: re-run
+            // instrumented to capture evidence, cross-check it resolved
+            // the identical reference, and refresh the entry so the
+            // next pruning session hits outright.
+            let SetupMode::Delegated {
+                checkpoint_interval,
+            } = setup.mode
+            else {
+                unreachable!("wants_evidence implies delegated mode");
+            };
+            eprintln!("serve: job {key:016x} regenerating prune evidence (instrumented pass)");
+            let (golden, _, evidence) = golden_run_with_evidence(
+                &setup.machine,
+                &setup.program,
+                setup.instr_budget,
+                checkpoint_interval,
+                PRUNE_WINDOW,
+            );
+            if golden != entry.golden {
+                return Err(BackendError::Protocol(format!(
+                    "instrumented golden pass diverged from the cached reference: \
+                     digest {:016x} vs {:016x}",
+                    golden.digest, entry.golden.digest
+                )));
+            }
+            entry.evidence = Some(Arc::new(evidence));
+            cache.insert(key, entry.clone());
+        }
         return Ok((setup, entry, key));
     }
     writer.push(&ServerMessage::StoreNeed { hash: key }.to_wire())?;
     writer.flush()?;
-    let (store, golden) = match setup.mode {
+    let (store, golden, evidence) = match setup.mode {
         SetupMode::Shipped {
             store_hash, golden, ..
         } => {
@@ -160,19 +193,30 @@ fn resolve_store(
                     "shipped store hashes to {hash:016x}, setup announced {store_hash:016x}"
                 )));
             }
-            (store, golden)
+            (store, golden, None)
         }
         SetupMode::Delegated {
             checkpoint_interval,
         } => {
             eprintln!("serve: job {key:016x} checkpoint store NEED (running golden pass)");
-            let (golden, store) = golden_run_checkpointed(
-                &setup.machine,
-                &setup.program,
-                setup.instr_budget,
-                checkpoint_interval,
-            );
-            (Arc::new(store), golden)
+            if setup.prune {
+                let (golden, store, evidence) = golden_run_with_evidence(
+                    &setup.machine,
+                    &setup.program,
+                    setup.instr_budget,
+                    checkpoint_interval,
+                    PRUNE_WINDOW,
+                );
+                (Arc::new(store), golden, Some(Arc::new(evidence)))
+            } else {
+                let (golden, store) = golden_run_checkpointed(
+                    &setup.machine,
+                    &setup.program,
+                    setup.instr_budget,
+                    checkpoint_interval,
+                );
+                (Arc::new(store), golden, None)
+            }
         }
     };
     // Decode once at insertion: every later campaign on this worker —
@@ -185,6 +229,7 @@ fn resolve_store(
         decoded,
         golden,
         geometry,
+        evidence,
     };
     cache.insert(key, entry.clone());
     Ok((setup, entry, key))
@@ -212,6 +257,19 @@ fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), Back
     // allowed to panic a worker thread.
     let machine = setup.machine.clone();
     let sizes = machine.structure_sizes();
+    // A pruning delegated job ships the classifier's map back with
+    // JOB_READY: the driver never simulated the golden pass, so the
+    // worker's evidence is the only source. The map derives from the
+    // session's fault model; the cached evidence is model-independent.
+    let prune = match (&setup.mode, entry.evidence.as_deref()) {
+        (SetupMode::Delegated { .. }, Some(evidence)) if setup.prune => Some(PruneMap::build(
+            &machine,
+            &setup.program,
+            setup.fault_model,
+            evidence,
+        )),
+        _ => None,
+    };
     let backend = LocalBackend::new(opts.threads);
     let golden = entry.golden;
     let opened = backend.open(JobSpec {
@@ -225,12 +283,14 @@ fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), Back
             golden,
             cycle_budget,
         },
+        prune: false, // the store (and map) are already resolved here
     })?;
     writer.push(
         &ServerMessage::Ready(JobReady {
             store_hash: key,
             golden,
             checkpoints: opened.checkpoints as u64,
+            prune,
         })
         .to_wire(),
     )?;
@@ -318,6 +378,7 @@ mod tests {
                 program,
                 instr_budget,
                 fault_model: avf_inject::FaultModel::default(),
+                prune: false,
                 mode: SetupMode::Delegated {
                     checkpoint_interval: 256,
                 },

@@ -153,6 +153,7 @@ fn scripted_worker(
                 digest: 0x1234,
             },
             checkpoints: 1,
+            prune: None,
         };
         let mut w = std::io::BufWriter::new(&stream);
         write_frame(&mut w, &ServerMessage::StoreNeed { hash: 0xFA4E }.to_wire()).unwrap();
@@ -177,6 +178,7 @@ fn delegated_spec() -> JobSpec {
         golden: GoldenSpec::Delegated {
             checkpoint_interval: 512,
         },
+        prune: false,
     }
 }
 

@@ -1257,6 +1257,162 @@ pub fn golden_run_checkpointed(
     )
 }
 
+/// Default cycle-window width for [`PruneEvidence`] folding. Smaller
+/// windows bound occupancy tighter (more pruning); larger windows keep
+/// the evidence compact. 64 keeps a 50k-cycle run under 1k windows.
+pub const PRUNE_WINDOW: u64 = 64;
+
+/// Per-window occupancy and register-deadness evidence recorded during
+/// an instrumented golden pass, consumed by the `avf-prune` site
+/// classifier.
+///
+/// All samples are taken at cycle boundaries `c ∈ [1, cycles)` — the
+/// exact states a planned trial at cycle `c` observes after
+/// [`InjectionSim::run_to_cycle`]`(c)` — and folded conservatively over
+/// fixed windows of `window` cycles: occupancies by per-window *max*
+/// (an entry index at or past the max is vacant on every cycle of the
+/// window), register deadness by per-window *AND* (a register is in a
+/// dead window only if it was provably masked on every cycle of it).
+///
+/// `PartialEq`/`Eq` are load-bearing: in delegated mode every worker
+/// derives the evidence (and hence the prune map) itself, and the
+/// driver cross-checks bit-identity the same way it does for
+/// [`GoldenRun`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruneEvidence {
+    /// Cycle-window width the per-cycle samples were folded over.
+    pub window: u64,
+    /// Golden-run cycle count; the samples span cycles `1..cycles`.
+    pub cycles: u64,
+    /// Per-window maximum ROB occupancy (the ROB is prefix-occupied:
+    /// entry indices at or past `rob.len()` are vacant).
+    pub rob_max: Vec<u64>,
+    /// Per-window maximum count of in-IQ micro-ops (the flip engine
+    /// indexes the IQ by compaction over `Stage::InIq` entries).
+    pub iq_max: Vec<u64>,
+    /// Per-window maximum count of in-flight loads (LQ compaction
+    /// index space).
+    pub lq_max: Vec<u64>,
+    /// Per-window maximum count of in-flight stores (SQ compaction
+    /// index space).
+    pub sq_max: Vec<u64>,
+    /// Per-window maximum DTLB residency (the DTLB fills bottom-up;
+    /// entries at or past `resident()` are vacant).
+    pub dtlb_max: Vec<u64>,
+    /// Per-window AND-folded register-deadness bitmaps
+    /// (`ceil(phys_regs / 64)` words per window): bit `p` set means
+    /// physical register `p` was free or held a superseded definition
+    /// on *every* cycle of the window — exactly the two conditions
+    /// `flip_regfile` masks on.
+    pub rf_dead: Vec<Vec<u64>>,
+}
+
+impl PruneEvidence {
+    fn new(window: u64) -> PruneEvidence {
+        PruneEvidence {
+            window,
+            cycles: 1,
+            rob_max: Vec::new(),
+            iq_max: Vec::new(),
+            lq_max: Vec::new(),
+            sq_max: Vec::new(),
+            dtlb_max: Vec::new(),
+            rf_dead: Vec::new(),
+        }
+    }
+
+    /// Number of evidence windows covering the sampled cycle space.
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.rob_max.len()
+    }
+}
+
+/// [`golden_run_checkpointed`] that additionally records the per-cycle
+/// occupancy/deadness evidence the pre-campaign site classifier
+/// consumes. The checkpoint store and golden run are bit-identical to
+/// the uninstrumented pass (the evidence is read-only observation).
+///
+/// # Panics
+///
+/// Panics if `interval` or `window` is zero or the fault-free run does
+/// not complete cleanly.
+#[must_use]
+pub fn golden_run_with_evidence(
+    config: &MachineConfig,
+    program: &Program,
+    instr_budget: u64,
+    interval: u64,
+    window: u64,
+) -> (GoldenRun, CheckpointStore, PruneEvidence) {
+    assert!(interval > 0, "checkpoint interval must be positive");
+    assert!(window > 0, "evidence window must be positive");
+    let mut sim = InjectionSim::new(config, program, instr_budget);
+    let mut checkpoints = vec![(0, sim.snapshot_wire())];
+    let mut ev = PruneEvidence::new(window);
+    let rf_words = config.phys_regs.div_ceil(64);
+    loop {
+        if sim.pipe.done(sim.instr_budget) || sim.pipe.cycle >= sim.cycle_budget {
+            break;
+        }
+        sim.pipe.tick(sim.instr_budget);
+        let c = sim.pipe.cycle;
+        let w = ((c - 1) / window) as usize;
+        if w == ev.rob_max.len() {
+            ev.rob_max.push(0);
+            ev.iq_max.push(0);
+            ev.lq_max.push(0);
+            ev.sq_max.push(0);
+            ev.dtlb_max.push(0);
+            ev.rf_dead.push(vec![u64::MAX; rf_words]);
+        }
+        let (mut iq, mut lq, mut sq) = (0u64, 0u64, 0u64);
+        for e in sim.pipe.rob.iter() {
+            if e.stage == Stage::InIq {
+                iq += 1;
+            }
+            match e.inst.op.class() {
+                OpClass::Load => lq += 1,
+                OpClass::Store => sq += 1,
+                _ => {}
+            }
+        }
+        ev.rob_max[w] = ev.rob_max[w].max(sim.pipe.rob.len() as u64);
+        ev.iq_max[w] = ev.iq_max[w].max(iq);
+        ev.lq_max[w] = ev.lq_max[w].max(lq);
+        ev.sq_max[w] = ev.sq_max[w].max(sq);
+        ev.dtlb_max[w] = ev.dtlb_max[w].max(sim.pipe.dtlb.resident() as u64);
+        let dead = &mut ev.rf_dead[w];
+        for p in 0..config.phys_regs as u32 {
+            let masked = sim.pipe.rf.is_free(p) || sim.pipe.rf.arch_of_newest(p).is_none();
+            if !masked {
+                dead[(p / 64) as usize] &= !(1u64 << (p % 64));
+            }
+        }
+        if c.is_multiple_of(interval) {
+            checkpoints.push((c, sim.snapshot_wire()));
+        }
+    }
+    let end = sim.run_to_end();
+    assert!(
+        end == RunEnd::Completed,
+        "fault-free golden run must complete cleanly, got {end:?}"
+    );
+    ev.cycles = sim.cycle().max(1);
+    (
+        GoldenRun {
+            cycles: sim.cycle().max(1),
+            committed: sim.committed(),
+            digest: sim.memory_digest(),
+        },
+        CheckpointStore {
+            interval,
+            checkpoints,
+        },
+        ev,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,11 +11,17 @@
 # replay-oracle hot-path regression blocks the PR instead of only
 # printing a number. Unset (the default for local runs) keeps it
 # advisory.
+#
+# Ratchet mode: when a series *improves* beyond the same noise margin
+# (AVF_BENCH_MAX_REGRESS, or 5% when unset), the script prints a WARN
+# suggesting the new artifact be committed as the floor — an earned
+# speedup the history doesn't record is headroom a later regression can
+# silently spend.
 set -euo pipefail
 
 # Single authority for the PR number: the bench and the artifact name
 # both derive from this export.
-export AVF_BENCH_PR=5
+export AVF_BENCH_PR=6
 ARTIFACT="BENCH_pr${AVF_BENCH_PR}.json"
 
 # The bench must run at a scale comparable with the committed history,
@@ -45,7 +51,7 @@ if [ "$old_scale" != "standard" ]; then
 fi
 max_regress="${AVF_BENCH_MAX_REGRESS:-}"
 gate_series() { # $1 = label, $2 = new median, $3 = committed median
-  awk -v label="$1" -v new="$2" -v old="$3" -v max="$max_regress" 'BEGIN {
+  awk -v label="$1" -v new="$2" -v old="$3" -v max="$max_regress" -v art="$ARTIFACT" 'BEGIN {
     delta = (new - old) / old * 100.0
     printf "%s delta: %+.1f%% (CI runners are noisy; the committed 1-CPU history is the anchor)\n",
            label, delta
@@ -56,6 +62,13 @@ gate_series() { # $1 = label, $2 = new median, $3 = committed median
     }
     if (max != "") {
       printf "OK: %s series within the %s%% regression gate\n", label, max
+    }
+    # Ratchet: an improvement beyond the same noise margin deserves a
+    # new committed floor, or the gain is unprotected headroom.
+    noise = (max != "") ? max + 0 : 5
+    if (delta > noise) {
+      printf "WARN: %s-series median improved %.1f%% beyond the %.0f%% noise margin — ", label, delta, noise
+      printf "commit bench-results/%s to ratchet the floor up\n", art
     }
   }'
 }
