@@ -159,7 +159,7 @@ fn main() {
 /// authority in CI (it exports `AVF_BENCH_PR`); this fallback only
 /// serves ad-hoc local runs, so a stale value here cannot break the
 /// pipeline.
-const BENCH_PR_FALLBACK: &str = "5";
+const BENCH_PR_FALLBACK: &str = "8";
 
 /// Inj/s of three identical fixed campaigns under `model`, sorted
 /// ascending (the caller reads the median at index 1 and records the
@@ -189,14 +189,77 @@ fn sorted_rates(
     rates.try_into().expect("three runs")
 }
 
+/// Inj/s of three identical fixed campaigns routed through an
+/// in-process broker fronting two loopback workers, sorted ascending.
+/// Every frame crosses two real TCP hops (driver → broker → worker),
+/// so this series prices the whole brokered path: MUX wrapping, the
+/// scheduler grant, and the relay copy. Delegated golden only — the
+/// brokered plane does not ship checkpoint stores.
+fn brokered_rates(
+    machine: &MachineConfig,
+    program: &avf_isa::Program,
+    injections: u64,
+    instr_budget: u64,
+) -> [f64; 3] {
+    use avf_broker::{Broker, BrokerOptions, BrokeredBackend};
+    use avf_service::{spawn_local, ServeOptions};
+
+    let workers: Vec<String> = (0..2)
+        .map(|_| {
+            spawn_local(ServeOptions {
+                threads: 1,
+                ..ServeOptions::default()
+            })
+            .expect("spawn bench worker")
+            .to_string()
+        })
+        .collect();
+    let store = std::env::temp_dir().join(format!(
+        "avf-bench-broker-{}-campaigns.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&store);
+    let broker = Broker::start(BrokerOptions {
+        workers,
+        store_path: store.clone(),
+        ..BrokerOptions::default()
+    })
+    .expect("start bench broker");
+    let addr = broker.spawn_local().expect("broker listener").to_string();
+    let backend = BrokeredBackend::connect(&addr, "bench", None).expect("connect");
+
+    let mut rates = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let config = CampaignConfig {
+            injections,
+            seed: 42,
+            threads: 1,
+            instr_budget,
+            golden_mode: avf_inject::GoldenMode::Worker,
+            ..CampaignConfig::default()
+        };
+        let start = Instant::now();
+        let report = Campaign::new(machine, program, config)
+            .run_on(&backend)
+            .expect("brokered bench campaign");
+        rates.push(report.injections as f64 / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    let _ = std::fs::remove_file(&store);
+    rates.sort_by(f64::total_cmp);
+    rates.try_into().expect("three runs")
+}
+
 /// Emits `BENCH_pr<N>.json` (path overridable via `AVF_BENCH_JSON`):
 /// the median inj/s of three identical fixed campaigns, the per-PR
 /// perf-trajectory artifact CI uploads and diffs against the committed
 /// history in `bench-results/`. The primary `median` series runs the
 /// trap fault model — directly comparable with the pre-replay history —
-/// and a second `replay_median` series tracks the replay oracle's
+/// a second `replay_median` series tracks the replay oracle's
 /// throughput (its hot path adds field decode + the in-flight walk, so
-/// regressions there must be visible per PR too).
+/// regressions there must be visible per PR too), and a third
+/// `brokered_median` series runs the same trap campaign through an
+/// in-process broker fronting two loopback workers, pricing the
+/// relay/auth/scheduling overhead of the brokered path per PR.
 fn write_bench_json(
     machine: &MachineConfig,
     program: &avf_isa::Program,
@@ -212,8 +275,10 @@ fn write_bench_json(
         instr_budget,
         FaultModel::Replay,
     );
+    let brokered = brokered_rates(machine, program, injections, instr_budget);
     let median = rates[1];
     let replay_median = replay[1];
+    let brokered_median = brokered[1];
     let scale = std::env::var("AVF_EXPERIMENT_SCALE").unwrap_or_else(|_| "standard".to_owned());
     let pr = std::env::var("AVF_BENCH_PR").unwrap_or_else(|_| BENCH_PR_FALLBACK.to_owned());
     let path = std::env::var("AVF_BENCH_JSON").unwrap_or_else(|_| format!("BENCH_pr{pr}.json"));
@@ -225,14 +290,24 @@ fn write_bench_json(
          \"metric\": \"inj_per_s\",\n  \"scale\": \"{scale}\",\n  \
          \"injections\": {injections},\n  \"instr_budget\": {instr_budget},\n  \
          \"runs\": [{:.1}, {:.1}, {:.1}],\n  \"median\": {median:.1},\n  \
-         \"replay_runs\": [{:.1}, {:.1}, {:.1}],\n  \"replay_median\": {replay_median:.1}\n}}\n",
-        rates[0], rates[1], rates[2], replay[0], replay[1], replay[2],
+         \"replay_runs\": [{:.1}, {:.1}, {:.1}],\n  \"replay_median\": {replay_median:.1},\n  \
+         \"brokered_runs\": [{:.1}, {:.1}, {:.1}],\n  \
+         \"brokered_median\": {brokered_median:.1}\n}}\n",
+        rates[0],
+        rates[1],
+        rates[2],
+        replay[0],
+        replay[1],
+        replay[2],
+        brokered[0],
+        brokered[1],
+        brokered[2],
     );
     match std::fs::write(&path, json) {
         Ok(()) => println!(
             "\nperf artifact {path}: median {median:.0} inj/s (trap), \
-             {replay_median:.0} inj/s (replay) over 3 fixed runs each \
-             ({injections} inj, {scale} scale)"
+             {replay_median:.0} inj/s (replay), {brokered_median:.0} inj/s \
+             (brokered) over 3 fixed runs each ({injections} inj, {scale} scale)"
         ),
         Err(e) => eprintln!("WARNING: could not write {path}: {e}"),
     }

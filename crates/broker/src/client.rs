@@ -1,0 +1,211 @@
+//! Synchronous driver-side client for the broker's spec path.
+//!
+//! [`BrokerClient`] speaks the submit/attach plane: it opens the
+//! session with a tenant hello, submits [`CampaignSpec`]s for durable
+//! queued execution, and waits for (or re-attaches to) their reports.
+//! The connection is persistent; Status pushes for every campaign this
+//! client submitted or attached to interleave on it and are surfaced
+//! through the progress callback of [`BrokerClient::wait_with`].
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use avf_inject::{BackendError, CampaignReport};
+use avf_service::auth::{read_frame_verified, write_frame_signed, AuthKey, ConnectionAuth};
+
+use crate::protocol::{CampaignPhase, CampaignSpec, RejectReason, Reply, Request};
+
+/// Why a submission (or wait) did not yield a report.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The broker refused admission, with a typed reason.
+    Rejected {
+        /// Which admission limit was hit.
+        reason: RejectReason,
+        /// Operator-facing detail from the broker.
+        detail: String,
+    },
+    /// The campaign ran and failed, or the transport/protocol broke.
+    Backend(BackendError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected { reason, detail } => {
+                write!(f, "submission rejected ({reason}): {detail}")
+            }
+            SubmitError::Backend(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<BackendError> for SubmitError {
+    fn from(e: BackendError) -> SubmitError {
+        SubmitError::Backend(e)
+    }
+}
+
+/// A persistent submit/attach connection to one broker.
+pub struct BrokerClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    auth: Option<Arc<ConnectionAuth>>,
+    workers: u64,
+}
+
+impl BrokerClient {
+    /// Connects, authenticates, and opens the session as `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, a key mismatch, or a non-hello-ack
+    /// first reply.
+    pub fn connect(
+        addr: &str,
+        tenant: &str,
+        key: Option<AuthKey>,
+    ) -> Result<BrokerClient, BackendError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| BackendError::Io(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| BackendError::Io(format!("clone stream: {e}")))?,
+        );
+        let mut client = BrokerClient {
+            stream,
+            reader,
+            auth: key.map(|k| Arc::new(ConnectionAuth::client(k))),
+            workers: 0,
+        };
+        client.send(&Request::Hello {
+            tenant: tenant.to_owned(),
+        })?;
+        match client.recv()? {
+            Reply::HelloAck { workers } => client.workers = workers,
+            Reply::Failed { error, .. } => return Err(BackendError::Remote(error)),
+            other => {
+                return Err(BackendError::Protocol(format!(
+                    "broker answered hello with {other:?}"
+                )))
+            }
+        }
+        Ok(client)
+    }
+
+    /// Worker fleet size the broker fronts.
+    #[must_use]
+    pub fn workers(&self) -> u64 {
+        self.workers
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), BackendError> {
+        let mut w = BufWriter::new(&self.stream);
+        write_frame_signed(
+            &mut w,
+            &request.to_wire(),
+            self.auth.as_ref().map(|a| a.signer.as_ref()),
+        )?;
+        w.flush().map_err(BackendError::from)
+    }
+
+    fn recv(&mut self) -> Result<Reply, BackendError> {
+        let payload = read_frame_verified(
+            &mut self.reader,
+            self.auth.as_ref().map(|a| a.verifier.as_ref()),
+        )?
+        .ok_or_else(|| BackendError::Disconnected {
+            worker: "broker".to_owned(),
+            detail: "broker closed the connection".to_owned(),
+        })?;
+        Reply::from_wire(&payload).map_err(BackendError::from)
+    }
+
+    /// Submits a spec for durable queued execution, returning its
+    /// campaign id. The connection is auto-attached: a later
+    /// [`BrokerClient::wait`] on this client streams the campaign's
+    /// progress and report.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Rejected`] on typed admission refusal,
+    /// [`SubmitError::Backend`] on transport/protocol failure.
+    pub fn submit(&mut self, spec: &CampaignSpec) -> Result<u64, SubmitError> {
+        self.send(&Request::Submit(Box::new(spec.clone())))?;
+        loop {
+            match self.recv()? {
+                Reply::Accepted { id } => return Ok(id),
+                Reply::Rejected { reason, detail } => {
+                    return Err(SubmitError::Rejected { reason, detail })
+                }
+                // Status/terminal pushes of earlier campaigns on this
+                // connection may interleave; they are not the answer.
+                Reply::Status { .. } | Reply::Report { .. } => {}
+                Reply::Failed { id: 0, error } => {
+                    return Err(SubmitError::Backend(BackendError::Remote(error)))
+                }
+                Reply::Failed { .. } => {}
+                other => {
+                    return Err(SubmitError::Backend(BackendError::Protocol(format!(
+                        "broker answered submit with {other:?}"
+                    ))))
+                }
+            }
+        }
+    }
+
+    /// Attaches to campaign `id` (submitted by any connection, before
+    /// or after a broker restart) and subscribes to its progress.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unknown id.
+    pub fn attach(&mut self, id: u64) -> Result<(), BackendError> {
+        self.send(&Request::Attach { id })
+    }
+
+    /// Blocks until campaign `id` terminates, returning its report.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Backend`] when the campaign failed or the
+    /// connection broke.
+    pub fn wait(&mut self, id: u64) -> Result<CampaignReport, SubmitError> {
+        self.wait_with(id, |_, _| {})
+    }
+
+    /// [`BrokerClient::wait`] with a progress callback invoked on every
+    /// Status push for `id` (phase, trials dispatched so far).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Backend`] when the campaign failed or the
+    /// connection broke.
+    pub fn wait_with(
+        &mut self,
+        id: u64,
+        mut progress: impl FnMut(CampaignPhase, u64),
+    ) -> Result<CampaignReport, SubmitError> {
+        loop {
+            match self.recv()? {
+                Reply::Status {
+                    id: sid,
+                    phase,
+                    trials_done,
+                } if sid == id => progress(phase, trials_done),
+                Reply::Report { id: rid, report } if rid == id => return Ok(*report),
+                Reply::Failed { id: fid, error } if fid == id || fid == 0 => {
+                    return Err(SubmitError::Backend(BackendError::Remote(error)))
+                }
+                // Frames about other campaigns on this shared
+                // connection: not ours, keep draining.
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Broker-side counters for the plaintext metrics endpoint.
+//!
+//! The rendering itself lives in [`crate::server`] (it needs live
+//! queue depths and worker probes); this module only holds the atomic
+//! counters every broker thread bumps lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic broker counters. All methods are lock-free and safe to
+/// call from any thread.
+#[derive(Debug, Default)]
+pub struct BrokerStats {
+    /// Specs admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Specs refused by admission control.
+    pub rejected: AtomicU64,
+    /// Campaigns that produced a report.
+    pub completed: AtomicU64,
+    /// Campaigns that terminated in error.
+    pub failed: AtomicU64,
+    /// Trials dispatched to workers across all campaigns.
+    pub trials_dispatched: AtomicU64,
+    /// Trials re-dispatched after a worker death.
+    pub trials_redispatched: AtomicU64,
+    /// Frames refused by authentication.
+    pub auth_rejects: AtomicU64,
+    /// Interactive (MUX) sessions relayed.
+    pub mux_sessions: AtomicU64,
+    /// Driver connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl BrokerStats {
+    /// A fresh shared counter block.
+    #[must_use]
+    pub fn shared() -> Arc<BrokerStats> {
+        Arc::new(BrokerStats::default())
+    }
+
+    /// Relaxed add — counters are advisory, not synchronization.
+    pub fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Relaxed read for rendering.
+    #[must_use]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = BrokerStats::shared();
+        BrokerStats::bump(&stats.accepted, 1);
+        BrokerStats::bump(&stats.accepted, 2);
+        BrokerStats::bump(&stats.trials_dispatched, 128);
+        assert_eq!(BrokerStats::get(&stats.accepted), 3);
+        assert_eq!(BrokerStats::get(&stats.trials_dispatched), 128);
+        assert_eq!(BrokerStats::get(&stats.failed), 0);
+    }
+}

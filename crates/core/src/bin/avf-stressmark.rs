@@ -11,7 +11,12 @@
 //!                         [--batch N] [--checkpoint-interval N]
 //!                         [--workers host:port,host:port,...]
 //!                         [--prune off|on|audit]
-//! avf-stressmark serve    --listen host:port [--threads N]
+//! avf-stressmark serve    --listen host:port [--threads N] [--auth-key-file F]
+//!                         [--metrics host:port]
+//! avf-stressmark broker   --listen host:port --workers host:port,...
+//!                         [--store F] [--auth-key-file F] [--metrics host:port]
+//! avf-stressmark submit   --broker host:port --tenant NAME [--program P] [--detach]
+//! avf-stressmark attach   --broker host:port --tenant NAME --id N
 //! ```
 //!
 //! Flags are strict: an unrecognized `--flag` is an error (with a
@@ -20,9 +25,11 @@
 use std::process::ExitCode;
 
 use avf_ace::FaultRates;
+use avf_broker::{Broker, BrokerClient, BrokerOptions, BrokeredBackend, CampaignSpec, SubmitError};
 use avf_ga::GaParams;
 use avf_inject::{CampaignConfig, FaultModel, GoldenMode, LocalBackend, PruneMode};
-use avf_service::{serve, RemoteBackend, ServeOptions};
+use avf_isa::Program;
+use avf_service::{serve, spawn_metrics, AuthKey, RemoteBackend, ServeOptions};
 use avf_sim::MachineConfig;
 use avf_stressmark::cli::{bool_flag, value_flag, Args, FlagSpec};
 use avf_stressmark::{
@@ -65,12 +72,53 @@ const VALIDATE_FLAGS: &[FlagSpec] = &[
     value_flag("golden"),
     value_flag("fault-model"),
     value_flag("prune"),
+    value_flag("broker"),
+    value_flag("tenant"),
+    value_flag("auth-key-file"),
 ];
 
 const SERVE_FLAGS: &[FlagSpec] = &[
     value_flag("listen"),
     value_flag("threads"),
     value_flag("die-mid-batch"),
+    value_flag("auth-key-file"),
+    value_flag("metrics"),
+];
+
+const BROKER_FLAGS: &[FlagSpec] = &[
+    value_flag("listen"),
+    value_flag("workers"),
+    value_flag("store"),
+    value_flag("auth-key-file"),
+    value_flag("metrics"),
+    value_flag("max-running"),
+    value_flag("per-tenant-pending"),
+    value_flag("max-pending"),
+    value_flag("quantum"),
+];
+
+const SUBMIT_FLAGS: &[FlagSpec] = &[
+    value_flag("broker"),
+    value_flag("tenant"),
+    value_flag("auth-key-file"),
+    value_flag("program"),
+    value_flag("machine"),
+    value_flag("injections"),
+    value_flag("seed"),
+    value_flag("instructions"),
+    value_flag("ci-target"),
+    value_flag("batch"),
+    value_flag("checkpoint-interval"),
+    value_flag("fault-model"),
+    value_flag("prune"),
+    bool_flag("detach"),
+];
+
+const ATTACH_FLAGS: &[FlagSpec] = &[
+    value_flag("broker"),
+    value_flag("tenant"),
+    value_flag("auth-key-file"),
+    value_flag("id"),
 ];
 
 fn rates_of(args: &Args) -> Result<FaultRates, String> {
@@ -90,6 +138,23 @@ fn machine_of(args: &Args) -> Result<MachineConfig, String> {
         "config-a" => Ok(MachineConfig::config_a()),
         other => Err(format!("unknown machine `{other}` (baseline|config-a)")),
     }
+}
+
+/// Loads the shared frame-authentication key named by
+/// `--auth-key-file`, if the flag is present.
+fn auth_key_of(args: &Args) -> Result<Option<AuthKey>, String> {
+    match args.flag("auth-key-file") {
+        None => Ok(None),
+        Some(path) => AuthKey::load(std::path::Path::new(path)).map(Some),
+    }
+}
+
+/// The tenant name for broker-facing commands: `--tenant`, falling
+/// back to the login user so ad-hoc runs still get a stable lane.
+fn tenant_of(args: &Args) -> String {
+    args.flag("tenant")
+        .map(str::to_owned)
+        .unwrap_or_else(|| std::env::var("USER").unwrap_or_else(|_| "default".to_owned()))
 }
 
 fn cmd_search(args: &Args) -> Result<(), String> {
@@ -274,33 +339,67 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
             config.injections, config.fault_model, config.seed
         ),
     }
-    let validation = match args.flag("workers") {
-        None => injection_vs_ace_on(&machine, &config, &LocalBackend::new(config.threads)),
-        Some(list) => {
-            if args.has("threads") {
-                // Accepting the flag but letting it do nothing would be
-                // the exact silent-no-effect failure the strict parser
-                // exists to prevent.
-                return Err(
-                    "--threads selects local worker threads and has no effect with \
-                     --workers; set --threads on each `serve` process instead"
-                        .to_owned(),
-                );
-            }
-            let addrs: Vec<String> = list
-                .split(',')
-                .map(str::trim)
-                .filter(|a| !a.is_empty())
-                .map(str::to_owned)
-                .collect();
-            if addrs.is_empty() {
-                return Err("--workers expects a comma-separated list of host:port".to_owned());
-            }
-            eprintln!(
-                "dispatching campaigns to {} remote worker(s)...",
-                addrs.len()
+    let auth = auth_key_of(args)?;
+    let validation = if let Some(broker) = args.flag("broker") {
+        if args.has("workers") {
+            return Err(
+                "--broker and --workers are mutually exclusive; the broker owns the \
+                 worker fleet, pass --workers to the `broker` process instead"
+                    .to_owned(),
             );
-            injection_vs_ace_on(&machine, &config, &RemoteBackend::new(addrs))
+        }
+        if args.has("threads") {
+            return Err(
+                "--threads selects local worker threads and has no effect with \
+                 --broker; set --threads on each `serve` process instead"
+                    .to_owned(),
+            );
+        }
+        if golden_mode != GoldenMode::Worker {
+            return Err(
+                "--broker requires --golden worker: the broker delegates golden \
+                 runs to its fleet"
+                    .to_owned(),
+            );
+        }
+        let tenant = tenant_of(args);
+        eprintln!("dispatching campaigns through broker {broker} as tenant `{tenant}`...");
+        let backend = BrokeredBackend::connect(broker, &tenant, auth)
+            .map_err(|e| format!("cannot reach broker `{broker}`: {e}"))?;
+        injection_vs_ace_on(&machine, &config, &backend)
+    } else {
+        match args.flag("workers") {
+            None => injection_vs_ace_on(&machine, &config, &LocalBackend::new(config.threads)),
+            Some(list) => {
+                if args.has("threads") {
+                    // Accepting the flag but letting it do nothing would be
+                    // the exact silent-no-effect failure the strict parser
+                    // exists to prevent.
+                    return Err(
+                        "--threads selects local worker threads and has no effect with \
+                     --workers; set --threads on each `serve` process instead"
+                            .to_owned(),
+                    );
+                }
+                let addrs: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if addrs.is_empty() {
+                    return Err("--workers expects a comma-separated list of host:port".to_owned());
+                }
+                eprintln!(
+                    "dispatching campaigns to {} remote worker(s)...",
+                    addrs.len()
+                );
+                let backend = match auth {
+                    Some(key) => RemoteBackend::with_auth(addrs, key),
+                    None => RemoteBackend::new(addrs),
+                };
+                injection_vs_ace_on(&machine, &config, &backend)
+            }
         }
     }
     .map_err(|e| format!("campaign backend failed: {e}"))?;
@@ -327,6 +426,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
              its batch {n} (resilience testing only)"
         );
     }
+    let auth = auth_key_of(args)?;
+    if auth.is_some() {
+        eprintln!("serve: frame authentication required on every connection");
+    }
     let listener = std::net::TcpListener::bind(listen)
         .map_err(|e| format!("cannot listen on `{listen}`: {e}"))?;
     eprintln!(
@@ -342,15 +445,174 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             threads
         }
     );
-    serve(
-        listener,
-        &ServeOptions {
-            threads,
-            die_mid_batch,
-            ..ServeOptions::default()
-        },
-    )
-    .map_err(|e| format!("accept loop failed: {e}"))
+    let opts = ServeOptions {
+        threads,
+        die_mid_batch,
+        auth,
+        ..ServeOptions::default()
+    };
+    if let Some(metrics) = args.flag("metrics") {
+        let stats = opts.stats.clone();
+        let cache = opts.cache.clone();
+        let bound = spawn_metrics(metrics, move || stats.render(&cache))
+            .map_err(|e| format!("cannot serve metrics on `{metrics}`: {e}"))?;
+        eprintln!("metrics endpoint on http://{bound}/metrics");
+    }
+    serve(listener, &opts).map_err(|e| format!("accept loop failed: {e}"))
+}
+
+fn cmd_broker(args: &Args) -> Result<(), String> {
+    let listen = args
+        .flag("listen")
+        .ok_or("broker requires --listen host:port")?;
+    let workers: Vec<String> = args
+        .flag("workers")
+        .ok_or("broker requires --workers host:port,host:port,...")?
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if workers.is_empty() {
+        return Err("--workers expects a comma-separated list of host:port".to_owned());
+    }
+    let defaults = BrokerOptions::default();
+    let opts = BrokerOptions {
+        workers,
+        auth: auth_key_of(args)?,
+        max_running: args
+            .parse_u64("max-running", defaults.max_running as u64)
+            .map_err(|e| e.0)? as usize,
+        per_tenant_pending: args
+            .parse_u64("per-tenant-pending", defaults.per_tenant_pending as u64)
+            .map_err(|e| e.0)? as usize,
+        max_pending: args
+            .parse_u64("max-pending", defaults.max_pending as u64)
+            .map_err(|e| e.0)? as usize,
+        quantum: args
+            .parse_u64("quantum", defaults.quantum)
+            .map_err(|e| e.0)?,
+        store_path: args
+            .flag("store")
+            .map_or(defaults.store_path, std::path::PathBuf::from),
+    };
+    if opts.auth.is_some() {
+        eprintln!("broker: frame authentication required on every driver connection");
+    }
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot listen on `{listen}`: {e}"))?;
+    eprintln!(
+        "campaign broker listening on {} fronting {} worker(s), log at {}",
+        listener
+            .local_addr()
+            .map_or_else(|_| listen.to_owned(), |a| a.to_string()),
+        opts.workers.len(),
+        opts.store_path.display()
+    );
+    let broker = Broker::start(opts).map_err(|e| format!("cannot start broker: {e}"))?;
+    if let Some(metrics) = args.flag("metrics") {
+        let bound = spawn_metrics(metrics, broker.metrics_renderer())
+            .map_err(|e| format!("cannot serve metrics on `{metrics}`: {e}"))?;
+        eprintln!("metrics endpoint on http://{bound}/metrics");
+    }
+    broker
+        .listen(listener)
+        .map_err(|e| format!("accept loop failed: {e}"))
+}
+
+/// Builds the spec a `submit` run ships to the broker: the shared
+/// campaign knobs plus a program picked by name.
+fn spec_of(args: &Args) -> Result<CampaignSpec, String> {
+    let machine = machine_of(args)?;
+    let fault_model = {
+        let spelled = args.flag("fault-model").unwrap_or("replay");
+        FaultModel::parse(spelled)
+            .ok_or_else(|| format!("unknown fault model `{spelled}` (trap|replay)"))?
+    };
+    let prune = {
+        let spelled = args.flag("prune").unwrap_or("off");
+        PruneMode::parse(spelled)
+            .ok_or_else(|| format!("unknown prune mode `{spelled}` (off|on|audit)"))?
+    };
+    let program: Program = match args.flag("program").unwrap_or("stressmark") {
+        "stressmark" => {
+            avf_codegen::generate(
+                &avf_codegen::Knobs::paper_baseline(),
+                &avf_stressmark::target_params(&machine),
+            )
+            .program
+        }
+        name => avf_workloads::by_name(name)
+            .ok_or_else(|| format!("unknown program `{name}` (stressmark or a suite workload)"))?
+            .build(),
+    };
+    let config = CampaignConfig {
+        injections: args.parse_u64("injections", 1000).map_err(|e| e.0)?,
+        seed: args.parse_u64("seed", 42).map_err(|e| e.0)?,
+        instr_budget: args.parse_u64("instructions", 30_000).map_err(|e| e.0)?,
+        ci_target: args.parse_f64_opt("ci-target").map_err(|e| e.0)?,
+        batch_size: args.parse_u64("batch", 128).map_err(|e| e.0)?.max(1),
+        checkpoint_interval: args.parse_u64("checkpoint-interval", 0).map_err(|e| e.0)?,
+        golden_mode: GoldenMode::Worker,
+        fault_model,
+        prune,
+        ..CampaignConfig::default()
+    };
+    Ok(CampaignSpec::from_config(machine, program, &config))
+}
+
+fn wait_and_print(client: &mut BrokerClient, id: u64) -> Result<(), String> {
+    let report = client
+        .wait_with(id, |phase, trials_done| {
+            eprintln!("campaign {id}: {phase}, {trials_done} trial(s) dispatched");
+        })
+        .map_err(|e| match e {
+            SubmitError::Rejected { reason, detail } => {
+                format!("campaign {id} rejected ({reason}): {detail}")
+            }
+            SubmitError::Backend(e) => format!("campaign {id} failed: {e}"),
+        })?;
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let broker = args
+        .flag("broker")
+        .ok_or("submit requires --broker host:port")?;
+    let spec = spec_of(args)?;
+    let tenant = tenant_of(args);
+    let mut client = BrokerClient::connect(broker, &tenant, auth_key_of(args)?)
+        .map_err(|e| format!("cannot reach broker `{broker}`: {e}"))?;
+    let id = client.submit(&spec).map_err(|e| match e {
+        SubmitError::Rejected { reason, detail } => format!("rejected ({reason}): {detail}"),
+        SubmitError::Backend(e) => format!("submit failed: {e}"),
+    })?;
+    if args.has("detach") {
+        // The id is the durable handle: print it alone on stdout so
+        // scripts can capture it and `attach` later.
+        println!("{id}");
+        return Ok(());
+    }
+    eprintln!("campaign {id} accepted (tenant `{tenant}`); waiting...");
+    wait_and_print(&mut client, id)
+}
+
+fn cmd_attach(args: &Args) -> Result<(), String> {
+    let broker = args
+        .flag("broker")
+        .ok_or("attach requires --broker host:port")?;
+    let id = args.parse_u64("id", u64::MAX).map_err(|e| e.0)?;
+    if id == u64::MAX {
+        return Err("attach requires --id N (as printed by `submit --detach`)".to_owned());
+    }
+    let tenant = tenant_of(args);
+    let mut client = BrokerClient::connect(broker, &tenant, auth_key_of(args)?)
+        .map_err(|e| format!("cannot reach broker `{broker}`: {e}"))?;
+    client
+        .attach(id)
+        .map_err(|e| format!("attach failed: {e}"))?;
+    wait_and_print(&mut client, id)
 }
 
 const USAGE: &str = "\
@@ -391,8 +653,33 @@ commands:
             store-hash) jobs over TCP, resolves checkpoint stores
             through a bounded LRU cache (HAVE/NEED handshake) or its own
             golden run, and streams per-trial outcomes back (options:
-            --listen host:port, --threads; --die-mid-batch N aborts each
-            connection midway through batch N — resilience testing only)
+            --listen host:port, --threads; --auth-key-file F requires a
+            valid frame tag on every connection; --metrics host:port
+            serves plaintext session/cache counters over HTTP;
+            --die-mid-batch N aborts each connection midway through
+            batch N — resilience testing only)
+  broker    run the multi-tenant campaign broker fronting a `serve`
+            fleet: admits specs under per-tenant quotas, schedules them
+            deficit-round-robin, journals every acceptance and outcome
+            to an append-only log so campaigns survive driver and
+            broker restarts, and relays interactive `validate --broker`
+            sessions (options: --listen host:port, --workers
+            host:port,..., --store F, --auth-key-file F, --metrics
+            host:port, --max-running, --per-tenant-pending,
+            --max-pending, --quantum)
+  submit    queue one campaign on a broker and wait for its report
+            (options: --broker host:port, --tenant NAME,
+            --auth-key-file F, --program stressmark|<suite workload>,
+            plus the validate campaign knobs: --machine, --injections,
+            --seed, --instructions, --ci-target, --batch,
+            --checkpoint-interval, --fault-model, --prune; --detach
+            prints the campaign id and exits immediately)
+  attach    re-attach to a queued, running, or finished campaign by id
+            and print its report (options: --broker host:port,
+            --tenant NAME, --auth-key-file F, --id N)
+
+validate also accepts --broker host:port [--tenant NAME] to route its
+campaigns through a broker instead of --workers or local threads.
 
 flags are strict: unknown --flags are errors, not ignored.
 ";
@@ -410,6 +697,9 @@ fn main() -> ExitCode {
         "bounds" => BOUNDS_FLAGS,
         "validate" => VALIDATE_FLAGS,
         "serve" => SERVE_FLAGS,
+        "broker" => BROKER_FLAGS,
+        "submit" => SUBMIT_FLAGS,
+        "attach" => ATTACH_FLAGS,
         _ => {
             eprint!("{USAGE}");
             return ExitCode::FAILURE;
@@ -424,6 +714,9 @@ fn main() -> ExitCode {
             "bounds" => cmd_bounds(&args),
             "validate" => cmd_validate(&args),
             "serve" => cmd_serve(&args),
+            "broker" => cmd_broker(&args),
+            "submit" => cmd_submit(&args),
+            "attach" => cmd_attach(&args),
             _ => unreachable!("command validated above"),
         },
     };

@@ -82,6 +82,11 @@ pub enum BackendError {
     Protocol(String),
     /// A worker reported a fatal error of its own.
     Remote(String),
+    /// A frame failed keyed-hash authentication: missing or mismatched
+    /// tag, a replayed sequence number, or an unauthenticated peer
+    /// talking to a keyed endpoint. Always fatal for the session —
+    /// authentication failures are never retried or silently ignored.
+    Auth(String),
 }
 
 impl fmt::Display for BackendError {
@@ -97,6 +102,7 @@ impl fmt::Display for BackendError {
             }
             BackendError::Protocol(what) => write!(f, "protocol violation: {what}"),
             BackendError::Remote(what) => write!(f, "worker error: {what}"),
+            BackendError::Auth(what) => write!(f, "frame authentication failed: {what}"),
         }
     }
 }

@@ -4,10 +4,11 @@ use std::fmt;
 use std::time::Duration;
 
 use avf_ace::{AceGap, AvfReport};
+use avf_isa::wire::{WireError, WireReader, WireWriter};
 use avf_prune::PruneMode;
 use avf_sim::{FaultModel, GoldenRun, InjectionTarget};
 
-use crate::backend::{DispatchRecord, WorkerProvision};
+use crate::backend::{DispatchRecord, StoreSource, WorkerProvision};
 use crate::stats::OutcomeCounts;
 
 /// Numerical slack when comparing a point estimate to a CI edge.
@@ -170,6 +171,27 @@ impl StopReason {
             StopReason::TrialCap => "trial cap reached",
         }
     }
+
+    /// Stable wire code (broker report codec).
+    #[must_use]
+    pub fn wire_code(self) -> u8 {
+        match self {
+            StopReason::FixedPlan => 0,
+            StopReason::CiTarget => 1,
+            StopReason::TrialCap => 2,
+        }
+    }
+
+    /// Inverse of [`StopReason::wire_code`].
+    #[must_use]
+    pub fn from_wire_code(code: u8) -> Option<StopReason> {
+        match code {
+            0 => Some(StopReason::FixedPlan),
+            1 => Some(StopReason::CiTarget),
+            2 => Some(StopReason::TrialCap),
+            _ => None,
+        }
+    }
 }
 
 /// Progress of one adaptive batch, recorded as the campaign aggregates
@@ -299,6 +321,204 @@ impl CampaignReport {
             .filter(|d| d.redispatched)
             .map(|d| d.trials)
             .sum()
+    }
+
+    /// Serializes the complete report (every field, bit-exact floats)
+    /// into `w`. The broker's durable log and its `BROKER_REPORT`
+    /// frames carry reports this way, so a driver that re-attaches
+    /// after a disconnect receives a report bit-identical to the one a
+    /// connected driver would have streamed.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.str(&self.program);
+        w.u64(self.injections);
+        w.u8(self.fault_model.wire_code());
+        w.u64(self.seed);
+        w.usize(self.workers);
+        w.u64(self.golden.cycles);
+        w.u64(self.golden.committed);
+        w.u64(self.golden.digest);
+        w.usize(self.targets.len());
+        for t in &self.targets {
+            w.u8(t.target.wire_code());
+            w.u64(t.counts.masked);
+            w.u64(t.counts.sdc);
+            w.u64(t.counts.due);
+            w.u64(t.counts.diverged);
+            w.u64(t.counts.unreached);
+            w.f64(t.ace_avf);
+            w.f64(t.residual);
+        }
+        match self.ci_target {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                w.f64(v);
+            }
+        }
+        w.u8(prune_wire_code(self.prune));
+        w.u64(self.audited);
+        w.u8(self.stop.wire_code());
+        w.usize(self.batches.len());
+        for b in &self.batches {
+            w.u64(b.batch);
+            w.u64(b.trials);
+            w.u64(b.cumulative);
+            w.u8(b.widest.wire_code());
+            w.f64(b.max_half_width);
+        }
+        w.usize(self.checkpoints);
+        w.usize(self.provisioning.len());
+        for p in &self.provisioning {
+            w.str(&p.worker);
+            w.u8(store_source_wire_code(p.source));
+        }
+        w.usize(self.dispatches.len());
+        for d in &self.dispatches {
+            w.u64(d.batch);
+            w.str(&d.worker);
+            w.u64(d.trials);
+            w.bool(d.redispatched);
+        }
+        w.u64(self.wall.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Decodes a report written by [`CampaignReport::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or unknown codes.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<CampaignReport, WireError> {
+        let program = r.str()?;
+        let injections = r.u64()?;
+        let model_code = r.u8()?;
+        let fault_model =
+            FaultModel::from_wire_code(model_code).ok_or(WireError::BadTag(model_code))?;
+        let seed = r.u64()?;
+        let workers = r.usize()?;
+        let golden = GoldenRun {
+            cycles: r.u64()?,
+            committed: r.u64()?,
+            digest: r.u64()?,
+        };
+        let n_targets = r.seq_len(1)?;
+        let mut targets = Vec::with_capacity(n_targets);
+        for _ in 0..n_targets {
+            let code = r.u8()?;
+            let target = InjectionTarget::from_wire_code(code).ok_or(WireError::BadTag(code))?;
+            let counts = OutcomeCounts {
+                masked: r.u64()?,
+                sdc: r.u64()?,
+                due: r.u64()?,
+                diverged: r.u64()?,
+                unreached: r.u64()?,
+            };
+            targets.push(TargetReport {
+                target,
+                counts,
+                ace_avf: r.f64()?,
+                residual: r.f64()?,
+            });
+        }
+        let ci_target = match r.u8()? {
+            0 => None,
+            1 => Some(r.f64()?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        let prune_code = r.u8()?;
+        let prune = prune_from_wire_code(prune_code).ok_or(WireError::BadTag(prune_code))?;
+        let audited = r.u64()?;
+        let stop_code = r.u8()?;
+        let stop = StopReason::from_wire_code(stop_code).ok_or(WireError::BadTag(stop_code))?;
+        let n_batches = r.seq_len(1)?;
+        let mut batches = Vec::with_capacity(n_batches);
+        for _ in 0..n_batches {
+            let batch = r.u64()?;
+            let trials = r.u64()?;
+            let cumulative = r.u64()?;
+            let code = r.u8()?;
+            let widest = InjectionTarget::from_wire_code(code).ok_or(WireError::BadTag(code))?;
+            batches.push(BatchProgress {
+                batch,
+                trials,
+                cumulative,
+                widest,
+                max_half_width: r.f64()?,
+            });
+        }
+        let checkpoints = r.usize()?;
+        let n_prov = r.seq_len(1)?;
+        let mut provisioning = Vec::with_capacity(n_prov);
+        for _ in 0..n_prov {
+            let worker = r.str()?;
+            let code = r.u8()?;
+            let source = store_source_from_wire_code(code).ok_or(WireError::BadTag(code))?;
+            provisioning.push(WorkerProvision { worker, source });
+        }
+        let n_disp = r.seq_len(1)?;
+        let mut dispatches = Vec::with_capacity(n_disp);
+        for _ in 0..n_disp {
+            dispatches.push(DispatchRecord {
+                batch: r.u64()?,
+                worker: r.str()?,
+                trials: r.u64()?,
+                redispatched: r.bool()?,
+            });
+        }
+        let wall = Duration::from_nanos(r.u64()?);
+        Ok(CampaignReport {
+            program,
+            injections,
+            fault_model,
+            seed,
+            workers,
+            golden,
+            targets,
+            ci_target,
+            prune,
+            audited,
+            stop,
+            batches,
+            checkpoints,
+            provisioning,
+            dispatches,
+            wall,
+        })
+    }
+}
+
+/// Stable wire code of a [`PruneMode`] (defined here because the prune
+/// crate has no wire dependency).
+fn prune_wire_code(mode: PruneMode) -> u8 {
+    match mode {
+        PruneMode::Off => 0,
+        PruneMode::On => 1,
+        PruneMode::Audit => 2,
+    }
+}
+
+fn prune_from_wire_code(code: u8) -> Option<PruneMode> {
+    match code {
+        0 => Some(PruneMode::Off),
+        1 => Some(PruneMode::On),
+        2 => Some(PruneMode::Audit),
+        _ => None,
+    }
+}
+
+fn store_source_wire_code(source: StoreSource) -> u8 {
+    match source {
+        StoreSource::Cached => 0,
+        StoreSource::Shipped => 1,
+        StoreSource::GoldenRun => 2,
+    }
+}
+
+fn store_source_from_wire_code(code: u8) -> Option<StoreSource> {
+    match code {
+        0 => Some(StoreSource::Cached),
+        1 => Some(StoreSource::Shipped),
+        2 => Some(StoreSource::GoldenRun),
+        _ => None,
     }
 }
 
@@ -462,6 +682,113 @@ mod tests {
     fn tiny_samples_never_flag() {
         let t = report_with(5, 10, 0.0);
         assert_ne!(t.verdict(), Verdict::Violation);
+    }
+
+    #[test]
+    fn campaign_report_wire_round_trips_bit_exact() {
+        let report = CampaignReport {
+            program: "avf-stressmark".to_owned(),
+            injections: 800,
+            fault_model: FaultModel::Replay,
+            seed: 42,
+            workers: 2,
+            golden: GoldenRun {
+                cycles: 123_456,
+                committed: 30_000,
+                digest: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            targets: vec![
+                report_with(2, 30, 0.0075),
+                TargetReport {
+                    target: InjectionTarget::Rob,
+                    counts: OutcomeCounts {
+                        masked: 70,
+                        sdc: 11,
+                        due: 13,
+                        diverged: 5,
+                        unreached: 1,
+                    },
+                    ace_avf: 0.123_456_789,
+                    residual: 0.75,
+                },
+            ],
+            ci_target: Some(0.1),
+            prune: PruneMode::Audit,
+            audited: 64,
+            stop: StopReason::CiTarget,
+            batches: vec![BatchProgress {
+                batch: 0,
+                trials: 128,
+                cumulative: 128,
+                widest: InjectionTarget::Lq,
+                max_half_width: 0.217,
+            }],
+            checkpoints: 9,
+            provisioning: vec![
+                WorkerProvision {
+                    worker: "127.0.0.1:7001".to_owned(),
+                    source: StoreSource::GoldenRun,
+                },
+                WorkerProvision {
+                    worker: "127.0.0.1:7002".to_owned(),
+                    source: StoreSource::Cached,
+                },
+            ],
+            dispatches: vec![DispatchRecord {
+                batch: 0,
+                worker: "127.0.0.1:7001".to_owned(),
+                trials: 64,
+                redispatched: true,
+            }],
+            wall: Duration::from_nanos(987_654_321),
+        };
+        let mut w = WireWriter::new();
+        report.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = CampaignReport::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.program, report.program);
+        assert_eq!(back.injections, report.injections);
+        assert_eq!(back.fault_model, report.fault_model);
+        assert_eq!(back.seed, report.seed);
+        assert_eq!(back.workers, report.workers);
+        assert_eq!(back.golden, report.golden);
+        assert_eq!(back.targets.len(), report.targets.len());
+        for (a, b) in back.targets.iter().zip(&report.targets) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.counts, b.counts);
+            assert_eq!(a.ace_avf.to_bits(), b.ace_avf.to_bits());
+            assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        }
+        assert_eq!(
+            back.ci_target.map(f64::to_bits),
+            report.ci_target.map(f64::to_bits)
+        );
+        assert_eq!(back.prune, report.prune);
+        assert_eq!(back.audited, report.audited);
+        assert_eq!(back.stop, report.stop);
+        assert_eq!(back.batches.len(), report.batches.len());
+        assert_eq!(back.batches[0].widest, report.batches[0].widest);
+        assert_eq!(
+            back.batches[0].max_half_width.to_bits(),
+            report.batches[0].max_half_width.to_bits()
+        );
+        assert_eq!(back.checkpoints, report.checkpoints);
+        assert_eq!(back.provisioning, report.provisioning);
+        assert_eq!(back.dispatches, report.dispatches);
+        assert_eq!(back.wall, report.wall);
+    }
+
+    #[test]
+    fn report_decode_rejects_unknown_codes() {
+        let mut w = WireWriter::new();
+        w.str("p");
+        w.u64(1);
+        w.u8(99); // no such fault model
+        let bytes = w.into_bytes();
+        let err = CampaignReport::decode(&mut WireReader::new(&bytes)).unwrap_err();
+        assert_eq!(err, WireError::BadTag(99));
     }
 
     #[test]

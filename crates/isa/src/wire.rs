@@ -43,7 +43,16 @@ pub const WIRE_MAGIC: [u8; 4] = *b"AVFW";
 /// worker-built `PruneMap` (per-target masked-site strata with proof
 /// tags), so delegated workers and the driver agree bit-for-bit on the
 /// stratified sampling space.
-pub const WIRE_VERSION: u8 = 5;
+///
+/// v6: the campaign broker. New envelope kinds for broker sessions
+/// (hello/submit/attach/status/report and campaign-id-tagged `MUX`
+/// frames that interleave many campaigns on one socket), a wire codec
+/// for complete `CampaignReport`s (requiring `f64` scalar support),
+/// and the broker's durable on-disk campaign log records. Frames may
+/// additionally carry a keyed-hash authentication tag *outside* the
+/// envelope (see `avf-service`'s auth module); the envelope layout
+/// itself is unchanged.
+pub const WIRE_VERSION: u8 = 6;
 
 /// Bytes an envelope occupies on the wire: magic + version + kind.
 pub const ENVELOPE_BYTES: usize = 6;
@@ -71,6 +80,31 @@ pub mod kind {
     pub const STORE_DATA: u8 = 9;
     /// Worker finished job setup (store resolved, golden run known).
     pub const JOB_READY: u8 = 10;
+    /// Driver submits a campaign spec to the broker for queued execution.
+    pub const BROKER_SUBMIT: u8 = 11;
+    /// Broker accepted a submitted campaign (carries its campaign id).
+    pub const BROKER_ACCEPTED: u8 = 12;
+    /// Broker rejected a submission (typed admission-control reason).
+    pub const BROKER_REJECTED: u8 = 13;
+    /// Driver asks for a campaign's current state / final report.
+    pub const BROKER_ATTACH: u8 = 14;
+    /// Broker reports a campaign's queue/progress state.
+    pub const BROKER_STATUS: u8 = 15;
+    /// Broker delivers a completed campaign's full `CampaignReport`.
+    pub const BROKER_REPORT: u8 = 16;
+    /// Broker reports that a campaign failed (carries the error text).
+    pub const BROKER_FAILED: u8 = 17;
+    /// Durable-log record: a campaign spec was accepted into the queue.
+    pub const LOG_ACCEPTED: u8 = 18;
+    /// Durable-log record: a trial batch of a running campaign finished.
+    pub const LOG_PROGRESS: u8 = 19;
+    /// Campaign-id-tagged frame multiplexing one campaign's inner
+    /// protocol frame onto a shared broker connection.
+    pub const MUX: u8 = 20;
+    /// First frame of a broker session: tenant name + intent.
+    pub const BROKER_HELLO: u8 = 21;
+    /// Broker's reply to [`BROKER_HELLO`] (fleet size, session id).
+    pub const BROKER_HELLO_ACK: u8 = 22;
 }
 
 /// 64-bit FNV-1a content hash with a leading domain byte.
@@ -221,6 +255,12 @@ impl WireWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Writes an `f64` as its IEEE-754 bit pattern (little-endian
+    /// `u64`), so encode/decode round-trips are exact to the bit.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
     /// Writes a length-prefixed UTF-8 string.
     pub fn str(&mut self, s: &str) {
         self.usize(s.len());
@@ -354,6 +394,11 @@ impl<'a> WireReader<'a> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
+    /// Reads an `f64` written by [`WireWriter::f64`] (exact bit pattern).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
     /// Reads a string written by [`WireWriter::str`].
     pub fn str(&mut self) -> Result<String, WireError> {
         let len = self.seq_len(1)?;
@@ -451,6 +496,20 @@ mod tests {
         assert_eq!(r.opt_u32().unwrap(), None);
         assert_eq!(r.opt_u32().unwrap(), Some(5));
         assert_eq!(r.opt_u64().unwrap(), Some(1 << 40));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_round_trips_to_the_bit() {
+        let mut w = WireWriter::new();
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::NAN, 0.123_456_789] {
+            w.f64(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::NAN, 0.123_456_789] {
+            assert_eq!(r.f64().unwrap().to_bits(), v.to_bits());
+        }
         r.finish().unwrap();
     }
 

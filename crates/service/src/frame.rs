@@ -9,9 +9,12 @@
 //! decoder ever runs.
 
 use std::io::{ErrorKind, Read, Write};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use avf_inject::BackendError;
+
+use crate::auth::{AuthSigner, AUTH_TAG_BYTES};
 
 /// Upper bound on a single frame payload.
 ///
@@ -108,6 +111,7 @@ pub struct FrameBatcher<W: Write> {
     oldest: Option<Instant>,
     max_frames: usize,
     max_delay: Duration,
+    signer: Option<Arc<AuthSigner>>,
 }
 
 impl<W: Write> FrameBatcher<W> {
@@ -125,7 +129,18 @@ impl<W: Write> FrameBatcher<W> {
             oldest: None,
             max_frames: max_frames.max(1),
             max_delay,
+            signer: None,
         }
+    }
+
+    /// Attaches a frame signer: every queued frame is tagged with the
+    /// signer's next sequence number, in push order, using the
+    /// tag-inside-length layout of
+    /// [`write_frame_signed`](crate::auth::write_frame_signed).
+    #[must_use]
+    pub fn with_signer(mut self, signer: Option<Arc<AuthSigner>>) -> FrameBatcher<W> {
+        self.signer = signer;
+        self
     }
 
     /// Queues one frame, flushing if the count or time window closed.
@@ -136,15 +151,22 @@ impl<W: Write> FrameBatcher<W> {
     /// [`MAX_FRAME_BYTES`] (nothing is queued), or the transport error
     /// of a triggered flush.
     pub fn push(&mut self, payload: &[u8]) -> Result<(), BackendError> {
-        let len = u32::try_from(payload.len())
+        let framed = payload.len() + self.signer.as_ref().map_or(0, |_| AUTH_TAG_BYTES);
+        let len = u32::try_from(framed)
             .ok()
             .filter(|&l| l <= MAX_FRAME_BYTES)
             .ok_or(BackendError::Oversized {
-                len: payload.len() as u64,
+                len: framed as u64,
                 max: u64::from(MAX_FRAME_BYTES),
             })?;
+        // Sign only after the size check: a rejected frame must not
+        // advance the sequence counter (nothing of it hits the wire).
+        let tag = self.signer.as_ref().map(|s| s.sign(payload));
         self.buf.extend_from_slice(&len.to_le_bytes());
         self.buf.extend_from_slice(payload);
+        if let Some(tag) = tag {
+            self.buf.extend_from_slice(&tag);
+        }
         self.pending += 1;
         let oldest = *self.oldest.get_or_insert_with(Instant::now);
         if self.pending >= self.max_frames || oldest.elapsed() >= self.max_delay {

@@ -26,7 +26,16 @@
 //! * [`RemoteBackend`] — the client, fanning each batch's cycle-sorted
 //!   shards across one or more workers, merging their event streams,
 //!   and **re-dispatching** the unacknowledged trials of any worker
-//!   whose connection dies mid-batch onto the survivors.
+//!   whose connection dies mid-batch onto the survivors;
+//! * [`auth`] — keyed-hash (SipHash-2-4) frame authentication under a
+//!   shared `--auth-key-file` key: per-connection, per-direction
+//!   sequence-numbered tags reject tampered, replayed, reflected, and
+//!   unauthenticated frames with a typed error, closing the
+//!   trusted-peers gap recorded since PR 3;
+//! * [`metrics`] — a plaintext `GET /metrics` + `GET /healthz`
+//!   endpoint (workers expose their [`StoreCache`] and session
+//!   counters; the broker in `avf-broker` exposes queue depths and
+//!   worker liveness), scrapable with `curl`/`nc`.
 //!
 //! Determinism is the design invariant: with a fixed seed, a campaign
 //! over `RemoteBackend` produces a [`CampaignReport`] identical to the
@@ -46,12 +55,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod cache;
 pub mod frame;
+pub mod metrics;
 pub mod protocol;
 mod remote;
 mod server;
 
+pub use auth::{AuthKey, ConnectionAuth};
 pub use cache::{CacheStats, StoreCache};
+pub use metrics::{spawn_metrics, ServeStats};
 pub use remote::RemoteBackend;
 pub use server::{serve, spawn_local, ServeOptions};

@@ -1,0 +1,157 @@
+//! Plaintext metrics/health endpoint.
+//!
+//! Production-shaped services are scrapable: CI (and any operator with
+//! `curl` or `nc`) needs to ask a worker or the broker how it is doing
+//! without speaking the binary campaign protocol. This is a minimal
+//! HTTP/1.0 responder — enough for `GET /metrics` (one
+//! `name value` pair per line, Prometheus-style exposition) and
+//! `GET /healthz` (`ok`) — listening on its own port so the metrics
+//! plane never contends with, or confuses, the framed campaign plane.
+//!
+//! The render callback is taken at spawn time and invoked per scrape,
+//! so counters are always read fresh; anything
+//! `Fn() -> String + Send + Sync` works (the serve and broker binaries
+//! pass closures over their live stat structs).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Session/stream counters a `serve` worker exposes alongside its
+/// [`StoreCache`](crate::StoreCache) stats. All relaxed atomics: these
+/// are monotone operational counters, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections whose session handler completed cleanly.
+    pub sessions_ok: AtomicU64,
+    /// Connections whose session handler failed (any [`BackendError`]).
+    ///
+    /// [`BackendError`]: avf_inject::BackendError
+    pub sessions_failed: AtomicU64,
+    /// Trial batches executed to completion.
+    pub batches_served: AtomicU64,
+    /// Trial events streamed back to drivers.
+    pub events_streamed: AtomicU64,
+    /// Frames rejected by keyed-hash authentication.
+    pub auth_rejects: AtomicU64,
+}
+
+impl ServeStats {
+    /// A fresh zeroed counter set behind an [`Arc`].
+    #[must_use]
+    pub fn shared() -> Arc<ServeStats> {
+        Arc::new(ServeStats::default())
+    }
+
+    /// Renders the worker's `/metrics` lines (cache + session
+    /// counters).
+    #[must_use]
+    pub fn render(&self, cache: &crate::StoreCache) -> String {
+        let c = cache.stats();
+        format!(
+            "avf_store_cache_hits {}\n\
+             avf_store_cache_misses {}\n\
+             avf_store_cache_evictions {}\n\
+             avf_store_cache_entries {}\n\
+             avf_store_cache_bytes {}\n\
+             avf_serve_sessions_ok {}\n\
+             avf_serve_sessions_failed {}\n\
+             avf_serve_batches_served {}\n\
+             avf_serve_events_streamed {}\n\
+             avf_serve_auth_rejects {}\n",
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.entries,
+            c.bytes,
+            self.sessions_ok.load(Ordering::Relaxed),
+            self.sessions_failed.load(Ordering::Relaxed),
+            self.batches_served.load(Ordering::Relaxed),
+            self.events_streamed.load(Ordering::Relaxed),
+            self.auth_rejects.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Serves `GET /metrics` and `GET /healthz` on `listener` until the
+/// process exits. One short-lived thread per scrape; scrapes are rare
+/// (CI, a watch loop) and must never block the campaign plane.
+fn metrics_loop(listener: &TcpListener, render: &(dyn Fn() -> String + Send + Sync)) {
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        let _ = respond(&stream, render);
+    }
+}
+
+/// Answers one HTTP request on `stream`.
+fn respond(stream: &TcpStream, render: &(dyn Fn() -> String + Send + Sync)) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    let path = request.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = match path {
+        "/metrics" => ("200 OK", render()),
+        "/healthz" => ("200 OK", "ok\n".to_owned()),
+        _ => (
+            "404 Not Found",
+            "unknown path (try /metrics or /healthz)\n".to_owned(),
+        ),
+    };
+    let mut w = stream;
+    write!(
+        w,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    w.flush()
+}
+
+/// Binds `addr` and serves the metrics endpoint on a background
+/// thread, returning the bound address (useful with port 0).
+///
+/// # Errors
+///
+/// Returns the I/O error if the address cannot be bound.
+pub fn spawn_metrics(
+    addr: &str,
+    render: impl Fn() -> String + Send + Sync + 'static,
+) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::spawn(move || metrics_loop(&listener, &render));
+    Ok(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        body
+    }
+
+    #[test]
+    fn metrics_and_health_respond_over_plain_http() {
+        let hits = Arc::new(AtomicU64::new(41));
+        let render_hits = Arc::clone(&hits);
+        let addr = spawn_metrics("127.0.0.1:0", move || {
+            format!("test_counter {}\n", render_hits.load(Ordering::Relaxed))
+        })
+        .unwrap();
+        let body = get(addr, "/metrics");
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        assert!(body.contains("test_counter 41"), "{body}");
+        // Counters are read per scrape, not snapshotted at spawn.
+        hits.fetch_add(1, Ordering::Relaxed);
+        assert!(get(addr, "/metrics").contains("test_counter 42"));
+        assert!(get(addr, "/healthz").contains("ok"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.0 404"));
+    }
+}

@@ -445,6 +445,66 @@ pub fn remote_error(msg: String) -> BackendError {
     BackendError::Remote(msg)
 }
 
+/// A campaign-tagged frame: one inner protocol frame multiplexed onto a
+/// shared connection (wire v6).
+///
+/// A broker connection is persistent and carries many campaigns — the
+/// tag scopes every inner frame to one of them, so two tenants' (or one
+/// tenant's two concurrent campaigns') setup/batch/event frames can
+/// interleave on one socket without ambiguity. The tag is
+/// connection-local: the side opening a campaign picks it, and both
+/// sides echo it on every frame belonging to that campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mux {
+    /// Connection-local campaign tag.
+    pub tag: u64,
+    /// The complete inner frame payload (itself enveloped).
+    pub inner: Vec<u8>,
+}
+
+impl Mux {
+    /// Wraps an inner frame payload under `tag`.
+    #[must_use]
+    pub fn wrap(tag: u64, inner: Vec<u8>) -> Mux {
+        Mux { tag, inner }
+    }
+
+    /// Serializes the multiplexed frame to an enveloped payload.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.envelope(kind::MUX);
+        w.u64(self.tag);
+        w.u32(u32::try_from(self.inner.len()).expect("inner frame exceeds u32 length"));
+        w.bytes(&self.inner);
+        w.into_bytes()
+    }
+
+    /// Decodes a frame payload written by [`Mux::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on envelope mismatch, truncation, or a
+    /// non-MUX frame kind.
+    pub fn from_wire(bytes: &[u8]) -> Result<Mux, WireError> {
+        let mut r = WireReader::new(bytes);
+        match r.envelope()? {
+            kind::MUX => {}
+            found => {
+                return Err(WireError::WrongKind {
+                    found,
+                    expected: kind::MUX,
+                })
+            }
+        }
+        let tag = r.u64()?;
+        let len = r.u32()? as usize;
+        let inner = r.bytes(len)?.to_vec();
+        r.finish()?;
+        Ok(Mux { tag, inner })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,18 +666,18 @@ mod tests {
                 expected: avf_isa::wire::WIRE_VERSION,
             })
         );
-        // A pre-pruning v4 build talking to this v5 build fails with the
+        // A pre-broker v5 build talking to this v6 build fails with the
         // typed version error at the envelope — long before the decoder
-        // could misread the setup's new prune byte as a mode tag.
-        let mut v4 = Vec::from(avf_isa::wire::WIRE_MAGIC);
-        v4.push(4);
-        v4.push(kind::JOB_READY);
-        v4.extend_from_slice(&[0u8; 48]);
+        // could misinterpret broker frame kinds or the report codec.
+        let mut v5 = Vec::from(avf_isa::wire::WIRE_MAGIC);
+        v5.push(5);
+        v5.push(kind::JOB_READY);
+        v5.extend_from_slice(&[0u8; 48]);
         assert_eq!(
-            ServerMessage::from_wire(&v4),
+            ServerMessage::from_wire(&v5),
             Err(WireError::UnsupportedVersion {
-                found: 4,
-                expected: 5,
+                found: 5,
+                expected: 6,
             })
         );
         // A client-side frame kind arriving where a server message belongs.
@@ -631,6 +691,30 @@ mod tests {
         assert!(matches!(
             ClientMessage::from_wire(&done),
             Err(WireError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn mux_frames_round_trip_and_reject_wrong_kinds() {
+        let inner = ServerMessage::Done { events: 3 }.to_wire();
+        let mux = Mux::wrap(0xFEED, inner.clone());
+        let decoded = Mux::from_wire(&mux.to_wire()).unwrap();
+        assert_eq!(decoded, mux);
+        // The inner payload is a complete frame in its own right.
+        assert_eq!(
+            ServerMessage::from_wire(&decoded.inner).unwrap(),
+            ServerMessage::Done { events: 3 }
+        );
+        // An unwrapped frame where a MUX frame belongs fails typed.
+        assert!(matches!(
+            Mux::from_wire(&inner),
+            Err(WireError::WrongKind { .. })
+        ));
+        // A truncated MUX frame fails typed, not by panicking.
+        let whole = mux.to_wire();
+        assert!(matches!(
+            Mux::from_wire(&whole[..whole.len() - 2]),
+            Err(WireError::Truncated)
         ));
     }
 }

@@ -32,7 +32,7 @@ use avf_inject::{
     WorkerProvision,
 };
 
-use crate::frame::{read_frame, write_frame};
+use crate::auth::{read_frame_verified, write_frame_signed, AuthKey, ConnectionAuth};
 use crate::protocol::{
     encode_store_data, store_frame_hash, JobReady, JobSetup, ServerMessage, SetupMode,
 };
@@ -40,6 +40,7 @@ use crate::protocol::{
 /// A campaign backend executing trials on remote `serve` workers.
 pub struct RemoteBackend {
     addrs: Vec<String>,
+    auth: Option<AuthKey>,
 }
 
 impl RemoteBackend {
@@ -55,7 +56,22 @@ impl RemoteBackend {
             !addrs.is_empty(),
             "remote backend needs at least one worker"
         );
-        RemoteBackend { addrs }
+        RemoteBackend { addrs, auth: None }
+    }
+
+    /// [`RemoteBackend::new`] with frame authentication: every frame
+    /// to and from every worker carries a keyed tag under `key`, and
+    /// every received frame must verify (the workers must be running
+    /// with the same `--auth-key-file`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty.
+    #[must_use]
+    pub fn with_auth(addrs: Vec<String>, key: AuthKey) -> RemoteBackend {
+        let mut backend = RemoteBackend::new(addrs);
+        backend.auth = Some(key);
+        backend
     }
 
     /// The configured worker addresses.
@@ -92,11 +108,23 @@ fn cross_check_ready(readys: &[(String, JobReady)]) -> Result<(), BackendError> 
 fn handshake_frame(
     reader: &mut BufReader<&TcpStream>,
     addr: &str,
+    auth: Option<&ConnectionAuth>,
 ) -> Result<Vec<u8>, BackendError> {
-    read_frame(reader)?.ok_or_else(|| BackendError::Disconnected {
-        worker: addr.to_owned(),
-        detail: "connection closed during the setup handshake".to_owned(),
+    read_frame_verified(reader, auth.map(|a| a.verifier.as_ref()))?.ok_or_else(|| {
+        BackendError::Disconnected {
+            worker: addr.to_owned(),
+            detail: "connection closed during the setup handshake".to_owned(),
+        }
     })
+}
+
+/// One worker's completed setup handshake: its live connection plus
+/// what it reported.
+struct OpenedWorker {
+    stream: TcpStream,
+    auth: Option<Arc<ConnectionAuth>>,
+    ready: JobReady,
+    source: StoreSource,
 }
 
 /// Runs the full setup handshake against one worker.
@@ -104,22 +132,25 @@ fn open_worker(
     addr: &str,
     setup_frame: &[u8],
     store_frame: Option<&[u8]>,
-) -> Result<(TcpStream, JobReady, StoreSource), BackendError> {
+    key: Option<AuthKey>,
+) -> Result<OpenedWorker, BackendError> {
     let stream =
         TcpStream::connect(addr).map_err(|e| BackendError::Io(format!("connect {addr}: {e}")))?;
     // Event frames are tiny; don't let Nagle batch them up.
     let _ = stream.set_nodelay(true);
+    let auth = key.map(|k| Arc::new(ConnectionAuth::client(k)));
+    let signer = auth.as_ref().map(|a| a.signer.as_ref());
     let mut w = BufWriter::new(&stream);
-    write_frame(&mut w, setup_frame)?;
+    write_frame_signed(&mut w, setup_frame, signer)?;
     w.flush().map_err(BackendError::from)?;
 
     let mut r = BufReader::new(&stream);
-    let reply = handshake_frame(&mut r, addr)?;
+    let reply = handshake_frame(&mut r, addr, auth.as_deref())?;
     let source = match ServerMessage::from_wire(&reply)? {
         ServerMessage::StoreHave { .. } => StoreSource::Cached,
         ServerMessage::StoreNeed { .. } => match store_frame {
             Some(frame) => {
-                write_frame(&mut w, frame)?;
+                write_frame_signed(&mut w, frame, signer)?;
                 w.flush().map_err(BackendError::from)?;
                 StoreSource::Shipped
             }
@@ -133,7 +164,7 @@ fn open_worker(
             )))
         }
     };
-    let reply = handshake_frame(&mut r, addr)?;
+    let reply = handshake_frame(&mut r, addr, auth.as_deref())?;
     let ready = match ServerMessage::from_wire(&reply)? {
         ServerMessage::Ready(ready) => ready,
         ServerMessage::Error(msg) => return Err(crate::protocol::remote_error(msg)),
@@ -147,7 +178,12 @@ fn open_worker(
     // frame, so dropping the BufReader here cannot strand reply bytes.
     drop(r);
     drop(w);
-    Ok((stream, ready, source))
+    Ok(OpenedWorker {
+        stream,
+        auth,
+        ready,
+        source,
+    })
 }
 
 impl CampaignBackend for RemoteBackend {
@@ -216,11 +252,13 @@ impl CampaignBackend for RemoteBackend {
                 let addr = addr.clone();
                 let setup_frame = Arc::clone(&setup_frame);
                 let store_frame = store_frame.clone();
+                let key = self.auth;
                 std::thread::spawn(move || {
                     open_worker(
                         &addr,
                         &setup_frame,
                         store_frame.as_deref().map(Vec::as_slice),
+                        key,
                     )
                 })
             })
@@ -229,15 +267,16 @@ impl CampaignBackend for RemoteBackend {
         let mut readys = Vec::with_capacity(self.addrs.len());
         let mut provisioning = Vec::with_capacity(self.addrs.len());
         for (handle, addr) in handles.into_iter().zip(&self.addrs) {
-            let (stream, ready, source) = handle.join().expect("handshake thread panicked")?;
+            let opened = handle.join().expect("handshake thread panicked")?;
             workers.push(RemoteWorker {
                 addr: addr.clone(),
-                stream: Some(stream),
+                stream: Some(opened.stream),
+                auth: opened.auth,
             });
-            readys.push((addr.clone(), ready));
+            readys.push((addr.clone(), opened.ready));
             provisioning.push(WorkerProvision {
                 worker: addr.clone(),
-                source,
+                source: opened.source,
             });
         }
         cross_check_ready(&readys)?;
@@ -276,6 +315,11 @@ struct RemoteWorker {
     /// `None` once the connection died; the slot stays so worker
     /// indices remain stable across batches.
     stream: Option<TcpStream>,
+    /// This connection's frame-auth state (sequence counters live for
+    /// the connection's whole life, shared between the dispatching
+    /// writer and the draining reader thread). `None` on a plain
+    /// backend.
+    auth: Option<Arc<ConnectionAuth>>,
 }
 
 struct RemoteSession {
@@ -366,13 +410,17 @@ fn supervise_batch(
                 let dispatched = {
                     let stream = worker.stream.as_ref().expect("live worker");
                     let mut w = BufWriter::new(stream);
-                    write_frame(&mut w, &frame)
-                        .and_then(|()| w.flush().map_err(BackendError::from))
-                        .and_then(|()| {
-                            stream
-                                .try_clone()
-                                .map_err(|e| BackendError::Io(format!("clone stream: {e}")))
-                        })
+                    write_frame_signed(
+                        &mut w,
+                        &frame,
+                        worker.auth.as_ref().map(|a| a.signer.as_ref()),
+                    )
+                    .and_then(|()| w.flush().map_err(BackendError::from))
+                    .and_then(|()| {
+                        stream
+                            .try_clone()
+                            .map_err(|e| BackendError::Io(format!("clone stream: {e}")))
+                    })
                 };
                 match dispatched {
                     Ok(reader) => {
@@ -382,7 +430,13 @@ fn supervise_batch(
                             trials: shard.len() as u64,
                             redispatched,
                         });
-                        round.push((live[k], worker.addr.clone(), shard, reader));
+                        round.push((
+                            live[k],
+                            worker.addr.clone(),
+                            shard,
+                            reader,
+                            worker.auth.clone(),
+                        ));
                     }
                     Err(e) => {
                         last_disconnect = Some(BackendError::Disconnected {
@@ -401,9 +455,11 @@ fn supervise_batch(
         // to while their reader is mid-stream.
         let handles: Vec<_> = round
             .into_iter()
-            .map(|(wi, addr, shard, reader)| {
+            .map(|(wi, addr, shard, reader, auth)| {
                 let tx = tx.clone();
-                std::thread::spawn(move || (wi, drain_shard(reader, &addr, shard, &tx)))
+                std::thread::spawn(move || {
+                    (wi, drain_shard(reader, &addr, shard, auth.as_deref(), &tx))
+                })
             })
             .collect();
         let mut fatal: Option<BackendError> = None;
@@ -443,6 +499,7 @@ fn drain_shard(
     stream: TcpStream,
     addr: &str,
     shard: Vec<Trial>,
+    auth: Option<&ConnectionAuth>,
     tx: &mpsc::Sender<Result<TrialEvent, BackendError>>,
 ) -> ShardFate {
     let mut outstanding: HashMap<u64, usize> = shard
@@ -468,7 +525,7 @@ fn drain_shard(
     let expected = shard.len() as u64;
     let mut seen = 0u64;
     loop {
-        let payload = match read_frame(&mut reader) {
+        let payload = match read_frame_verified(&mut reader, auth.map(|a| a.verifier.as_ref())) {
             Ok(Some(p)) => p,
             Ok(None) => {
                 return disconnected(

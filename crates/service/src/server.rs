@@ -21,6 +21,7 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use avf_inject::{
@@ -29,8 +30,10 @@ use avf_inject::{
 use avf_prune::PruneMap;
 use avf_sim::{golden_run_checkpointed, golden_run_with_evidence, PRUNE_WINDOW};
 
+use crate::auth::{read_frame_verified, write_frame_signed, AuthKey, AuthVerifier, ConnectionAuth};
 use crate::cache::{CacheEntry, StoreCache};
-use crate::frame::{read_frame, write_frame, FrameBatcher};
+use crate::frame::FrameBatcher;
+use crate::metrics::ServeStats;
 use crate::protocol::{geometry_fingerprint, ClientMessage, JobReady, ServerMessage, SetupMode};
 
 /// Server tuning.
@@ -47,6 +50,12 @@ pub struct ServeOptions {
     /// default-bounded cache per `ServeOptions` unless the caller
     /// wants to observe or share one.
     pub cache: Arc<StoreCache>,
+    /// Shared frame-authentication key (`--auth-key-file`). `None`
+    /// accepts plain frames; `Some` requires every frame on every
+    /// connection to carry a valid tag and tags every reply.
+    pub auth: Option<AuthKey>,
+    /// Session counters the metrics endpoint renders.
+    pub stats: Arc<ServeStats>,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +64,8 @@ impl Default for ServeOptions {
             threads: 0,
             die_mid_batch: None,
             cache: StoreCache::shared(),
+            auth: None,
+            stats: ServeStats::shared(),
         }
     }
 }
@@ -65,6 +76,7 @@ impl std::fmt::Debug for ServeOptions {
             .field("threads", &self.threads)
             .field("die_mid_batch", &self.die_mid_batch)
             .field("cache", &self.cache.stats())
+            .field("auth", &self.auth.is_some())
             .finish()
     }
 }
@@ -83,13 +95,31 @@ pub fn serve(listener: TcpListener, opts: &ServeOptions) -> std::io::Result<()> 
             let peer = stream
                 .peer_addr()
                 .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
-            if let Err(e) = handle_connection(&stream, &opts) {
-                // Best-effort error frame; the connection may already be
-                // gone, and either way the session is over.
-                let mut w = BufWriter::new(&stream);
-                let _ = write_frame(&mut w, &ServerMessage::Error(e.to_string()).to_wire());
-                let _ = w.flush();
-                eprintln!("serve: session with {peer} failed: {e}");
+            // One auth pair per connection: fresh per-direction
+            // sequence spaces are what make replay detection sound.
+            let auth = opts.auth.map(|key| Arc::new(ConnectionAuth::server(key)));
+            match handle_connection(&stream, &opts, auth.as_ref()) {
+                Ok(()) => {
+                    opts.stats.sessions_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    opts.stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
+                    if matches!(e, BackendError::Auth(_)) {
+                        opts.stats.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Best-effort error frame; the connection may already be
+                    // gone, and either way the session is over. Signed when
+                    // the server is keyed — an authenticated driver must
+                    // never trust an unsigned error frame.
+                    let mut w = BufWriter::new(&stream);
+                    let _ = write_frame_signed(
+                        &mut w,
+                        &ServerMessage::Error(e.to_string()).to_wire(),
+                        auth.as_ref().map(|a| a.signer.as_ref()),
+                    );
+                    let _ = w.flush();
+                    eprintln!("serve: session with {peer} failed: {e}");
+                }
             }
         });
     }
@@ -123,6 +153,7 @@ fn resolve_store(
     reader: &mut BufReader<&TcpStream>,
     writer: &mut FrameBatcher<&TcpStream>,
     cache: &StoreCache,
+    verifier: Option<&AuthVerifier>,
 ) -> Result<(crate::protocol::JobSetup, CacheEntry, u64), BackendError> {
     let ClientMessage::Setup(setup) = setup else {
         return Err(BackendError::Protocol(
@@ -177,7 +208,7 @@ fn resolve_store(
             store_hash, golden, ..
         } => {
             eprintln!("serve: job {key:016x} checkpoint store NEED (awaiting shipment)");
-            let Some(payload) = read_frame(reader)? else {
+            let Some(payload) = read_frame_verified(reader, verifier)? else {
                 return Err(BackendError::Disconnected {
                     worker: "client".to_owned(),
                     detail: "connection closed before the checkpoint store arrived".to_owned(),
@@ -236,16 +267,22 @@ fn resolve_store(
 }
 
 /// Drives one campaign session over one connection.
-fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), BackendError> {
+fn handle_connection(
+    stream: &TcpStream,
+    opts: &ServeOptions,
+    auth: Option<&Arc<ConnectionAuth>>,
+) -> Result<(), BackendError> {
     let mut reader = BufReader::new(stream);
-    let mut writer = FrameBatcher::new(stream);
+    let verifier = auth.map(|a| a.verifier.as_ref());
+    let mut writer = FrameBatcher::new(stream).with_signer(auth.map(|a| Arc::clone(&a.signer)));
 
     // The session must open with a job setup frame.
-    let Some(payload) = read_frame(&mut reader)? else {
+    let Some(payload) = read_frame_verified(&mut reader, verifier)? else {
         return Ok(()); // connected and left; nothing to do
     };
     let first = ClientMessage::from_wire(&payload)?;
-    let (setup, entry, key) = resolve_store(first, &mut reader, &mut writer, &opts.cache)?;
+    let (setup, entry, key) =
+        resolve_store(first, &mut reader, &mut writer, &opts.cache, verifier)?;
 
     let cycle_budget = match setup.mode {
         SetupMode::Shipped { cycle_budget, .. } => cycle_budget,
@@ -299,7 +336,7 @@ fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), Back
 
     // Then any number of trial batches until the client hangs up.
     let mut served = 0u64;
-    while let Some(payload) = read_frame(&mut reader)? {
+    while let Some(payload) = read_frame_verified(&mut reader, verifier)? {
         let ClientMessage::Batch(trials) = ClientMessage::from_wire(&payload)? else {
             return Err(BackendError::Protocol(
                 "expected a trial batch frame".to_owned(),
@@ -340,6 +377,10 @@ fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), Back
         // The DONE marker is a protocol barrier: everything queued for
         // the batch must reach the driver before it plans the next one.
         writer.flush()?;
+        opts.stats.batches_served.fetch_add(1, Ordering::Relaxed);
+        opts.stats
+            .events_streamed
+            .fetch_add(events, Ordering::Relaxed);
         served += 1;
     }
     Ok(())
@@ -348,6 +389,7 @@ fn handle_connection(stream: &TcpStream, opts: &ServeOptions) -> Result<(), Back
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::{read_frame, write_frame};
     use crate::protocol::JobSetup;
     use avf_sim::MachineConfig;
 

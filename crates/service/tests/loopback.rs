@@ -125,6 +125,82 @@ fn two_workers_split_the_campaign_and_still_match() {
     assert_reports_identical(&local, &remote);
 }
 
+/// Pulls one metric value out of a `/metrics` exposition body.
+fn metric(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(name).map(str::trim))
+        .unwrap_or_else(|| panic!("metric `{name}` missing from:\n{body}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("metric `{name}` is not a counter: {e}"))
+}
+
+fn scrape(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics");
+    write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("response");
+    body
+}
+
+/// The worker's operational counters — store-cache hits/misses and
+/// session totals — must be observable over the HTTP metrics plane and
+/// must move as campaigns run, because that scrape is exactly how CI
+/// (and operators) watch a fleet.
+#[test]
+fn metrics_endpoint_tracks_cache_hits_and_sessions_across_campaigns() {
+    use avf_service::spawn_metrics;
+
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let mut config = adaptive_config();
+    config.ci_target = Some(0.2);
+    config.injections = 256;
+    config.golden_mode = GoldenMode::Driver;
+
+    let opts = serve_options(1);
+    let cache = std::sync::Arc::clone(&opts.cache);
+    let stats = std::sync::Arc::clone(&opts.stats);
+    let worker = spawn_local(opts).expect("worker");
+    let metrics_addr =
+        spawn_metrics("127.0.0.1:0", move || stats.render(&cache)).expect("metrics endpoint");
+
+    let before = scrape(metrics_addr);
+    assert_eq!(metric(&before, "avf_store_cache_hits"), 0);
+    assert_eq!(metric(&before, "avf_store_cache_misses"), 0);
+    assert_eq!(metric(&before, "avf_serve_sessions_ok"), 0);
+
+    // First campaign ships the store (a miss), the second re-uses it
+    // (a hit) — both visible through the scrape, not just in-process.
+    let backend = RemoteBackend::new(vec![worker.to_string()]);
+    for _ in 0..2 {
+        Campaign::new(&machine, &program, config.clone())
+            .run_on(&backend)
+            .expect("campaign");
+    }
+    let after = scrape(metrics_addr);
+    assert_eq!(metric(&after, "avf_store_cache_misses"), 1, "{after}");
+    assert_eq!(metric(&after, "avf_store_cache_hits"), 1, "{after}");
+    // The worker's session-side counters (batch completions, session
+    // teardown) land asynchronously to the driver seeing its report —
+    // poll the scrape until they settle.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let body = scrape(metrics_addr);
+        if metric(&body, "avf_serve_sessions_ok") == 2
+            && metric(&body, "avf_serve_batches_served") >= 2
+            && metric(&body, "avf_serve_events_streamed") >= 256
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session counters never settled:\n{body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
 #[test]
 fn unreachable_worker_fails_loudly_not_wrongly() {
     let machine = MachineConfig::baseline();

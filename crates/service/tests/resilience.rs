@@ -194,6 +194,132 @@ fn two_trials() -> Vec<Trial> {
         .collect()
 }
 
+// ------------------------------------------------------------- broker paths
+
+/// Broker-routed failure scenarios: the broker owns campaign execution,
+/// so a *driver* death must not cost any work — the campaign finishes
+/// on the fleet and a later `attach` (same tenant, new connection)
+/// retrieves the identical report from the durable log.
+#[test]
+fn driver_death_mid_campaign_loses_nothing_and_attach_gets_the_report() {
+    use avf_broker::{Broker, BrokerClient, BrokerOptions, CampaignSpec};
+
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let config = adaptive_config();
+    let clean = Campaign::new(&machine, &program, config.clone())
+        .run_on(&LocalBackend::new(1))
+        .expect("fault-free reference");
+
+    let worker = spawn_local(ServeOptions {
+        threads: 1,
+        ..ServeOptions::default()
+    })
+    .expect("worker");
+    let store = std::env::temp_dir().join(format!(
+        "avf-resilience-driver-death-{}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&store);
+    let broker = Broker::start(BrokerOptions {
+        workers: vec![worker.to_string()],
+        store_path: store,
+        ..BrokerOptions::default()
+    })
+    .expect("broker");
+    let addr = broker.spawn_local().expect("broker addr").to_string();
+
+    // Submit, then die: drop the client the moment the campaign is
+    // accepted, exactly like a driver process being killed.
+    let id = {
+        let mut doomed = BrokerClient::connect(&addr, "mortal", None).expect("connect");
+        doomed
+            .submit(&CampaignSpec::from_config(
+                machine.clone(),
+                program.clone(),
+                &config,
+            ))
+            .expect("submit")
+        // `doomed` drops here — the TCP connection closes.
+    };
+
+    // A brand-new connection attaches by id and collects the report.
+    let mut heir = BrokerClient::connect(&addr, "mortal", None).expect("reconnect");
+    heir.attach(id).expect("attach");
+    let recovered = heir.wait(id).expect("report despite the driver death");
+    assert_reports_identical(&clean, &recovered);
+}
+
+/// Queue overflow is an *admission* failure: the driver gets a typed
+/// rejection naming the limit, and campaigns already admitted — and the
+/// workers running them — are completely undisturbed.
+#[test]
+fn queue_overflow_rejects_typed_without_disrupting_admitted_work() {
+    use avf_broker::{
+        Broker, BrokerClient, BrokerOptions, CampaignSpec, RejectReason, SubmitError,
+    };
+
+    let machine = MachineConfig::baseline();
+    let program = register_chain();
+    let config = adaptive_config();
+
+    let worker = spawn_local(ServeOptions {
+        threads: 1,
+        ..ServeOptions::default()
+    })
+    .expect("worker");
+    let store = std::env::temp_dir().join(format!(
+        "avf-resilience-overflow-{}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&store);
+    let broker = Broker::start(BrokerOptions {
+        workers: vec![worker.to_string()],
+        store_path: store,
+        max_running: 1,
+        per_tenant_pending: 1,
+        max_pending: 1,
+        ..BrokerOptions::default()
+    })
+    .expect("broker");
+    let addr = broker.spawn_local().expect("broker addr").to_string();
+
+    let mut client = BrokerClient::connect(&addr, "flood", None).expect("connect");
+    let spec = CampaignSpec::from_config(machine.clone(), program.clone(), &config);
+    let first = client.submit(&spec).expect("first submit admitted");
+    let mut admitted = vec![first];
+    let mut rejected = false;
+    for _ in 0..8 {
+        match client.submit(&spec) {
+            Ok(id) => admitted.push(id),
+            Err(SubmitError::Rejected { reason, detail }) => {
+                assert!(
+                    matches!(
+                        reason,
+                        RejectReason::QuotaExceeded | RejectReason::QueueFull
+                    ),
+                    "unexpected rejection reason {reason:?}"
+                );
+                assert!(!detail.is_empty(), "the rejection must name the limit");
+                rejected = true;
+                break;
+            }
+            Err(other) => panic!("expected a typed admission rejection, got {other}"),
+        }
+    }
+    assert!(rejected, "the admission limits never engaged");
+
+    // Everything admitted before the overflow still completes, and the
+    // reports are the fault-free ones — the flood touched nothing.
+    let clean = Campaign::new(&machine, &program, config)
+        .run_on(&LocalBackend::new(1))
+        .expect("fault-free reference");
+    for id in admitted {
+        let report = client.wait(id).expect("admitted campaign completes");
+        assert_reports_identical(&clean, &report);
+    }
+}
+
 #[test]
 fn frame_truncation_mid_stream_is_disconnected_not_a_decode_panic() {
     use avf_service::frame::write_frame;

@@ -21,7 +21,7 @@ set -euo pipefail
 
 # Single authority for the PR number: the bench and the artifact name
 # both derive from this export.
-export AVF_BENCH_PR=6
+export AVF_BENCH_PR=8
 ARTIFACT="BENCH_pr${AVF_BENCH_PR}.json"
 
 # The bench must run at a scale comparable with the committed history,
@@ -35,8 +35,9 @@ field() { grep "\"$2\"" "$1" | sed -E 's/[^0-9.]+//g'; }
 [ -f "$ARTIFACT" ] || { echo "error: bench did not write $ARTIFACT" >&2; exit 1; }
 new_median=$(field "$ARTIFACT" median)
 replay_median=$(field "$ARTIFACT" replay_median || true)
+brokered_median=$(field "$ARTIFACT" brokered_median || true)
 echo "== perf trajectory =="
-echo "$ARTIFACT (this run): ${new_median} inj/s median (trap)${replay_median:+, ${replay_median} inj/s median (replay)}"
+echo "$ARTIFACT (this run): ${new_median} inj/s median (trap)${replay_median:+, ${replay_median} inj/s median (replay)}${brokered_median:+, ${brokered_median} inj/s median (brokered)}"
 
 prev=$(ls bench-results/BENCH_pr*.json 2>/dev/null | grep -v "/$ARTIFACT$" | sort -V | tail -1 || true)
 if [ -z "$prev" ]; then
@@ -83,4 +84,15 @@ if [ -n "$old_replay" ] && [ -n "$replay_median" ]; then
   gate_series replay "$replay_median" "$old_replay"
 else
   echo "no committed replay_median to diff against (first replay-series artifact)"
+fi
+# The brokered series prices the driver → broker → worker relay path
+# (MUX wrapping, scheduler grants, the relay copy); a regression there
+# is invisible to both in-process series, so gate it separately once
+# the history carries it.
+old_brokered=$(field "$prev" brokered_median || true)
+if [ -n "$old_brokered" ] && [ -n "$brokered_median" ]; then
+  echo "$prev (committed): ${old_brokered} inj/s median (brokered)"
+  gate_series brokered "$brokered_median" "$old_brokered"
+else
+  echo "no committed brokered_median to diff against (first brokered-series artifact)"
 fi
