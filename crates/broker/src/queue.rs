@@ -105,21 +105,35 @@ impl<T> FairQueue<T> {
         self.lanes.last_mut().expect("just pushed")
     }
 
-    /// Admits a job, or refuses it with a typed reason. Refusal leaves
-    /// the queue untouched.
+    /// The admission decision alone, without queueing anything. Lets a
+    /// caller that must do fallible work between admission and enqueue
+    /// (e.g. a durable-log append) decide first and then
+    /// [`FairQueue::force_enqueue`] — valid as long as the caller holds
+    /// the queue's lock across both.
     ///
     /// # Errors
     ///
     /// [`RejectReason::QuotaExceeded`] when the tenant is at its
     /// pending cap; [`RejectReason::QueueFull`] when the broker is at
     /// its global cap.
-    pub fn enqueue(&mut self, tenant: &str, cost: u64, item: T) -> Result<(), RejectReason> {
+    pub fn check_admission(&self, tenant: &str) -> Result<(), RejectReason> {
         if self.tenant_depth(tenant) >= self.per_tenant_limit {
             return Err(RejectReason::QuotaExceeded);
         }
         if self.pending >= self.total_limit {
             return Err(RejectReason::QueueFull);
         }
+        Ok(())
+    }
+
+    /// Admits a job, or refuses it with a typed reason. Refusal leaves
+    /// the queue untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FairQueue::check_admission`].
+    pub fn enqueue(&mut self, tenant: &str, cost: u64, item: T) -> Result<(), RejectReason> {
+        self.check_admission(tenant)?;
         self.force_enqueue(tenant, cost, item);
         Ok(())
     }

@@ -252,6 +252,22 @@ impl Broker {
     }
 }
 
+/// Escapes a Prometheus label value. Tenant names come verbatim from
+/// the driver's Hello frame, so backslashes, quotes, and newlines must
+/// not reach the exposition format unescaped.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn render_metrics(inner: &Inner) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -262,7 +278,11 @@ fn render_metrics(inner: &Inner) -> String {
         let _ = writeln!(out, "avf_broker_running {}", sched.running);
         let _ = writeln!(out, "avf_broker_queued {}", sched.queue.len());
         for (tenant, depth) in sched.queue.depths() {
-            let _ = writeln!(out, "avf_broker_queue_depth{{tenant=\"{tenant}\"}} {depth}");
+            let _ = writeln!(
+                out,
+                "avf_broker_queue_depth{{tenant=\"{}\"}} {depth}",
+                escape_label(&tenant)
+            );
         }
     }
     {
@@ -279,7 +299,8 @@ fn render_metrics(inner: &Inner) -> String {
         for ((tenant, phase), n) in counts {
             let _ = writeln!(
                 out,
-                "avf_broker_campaigns{{tenant=\"{tenant}\",phase=\"{phase}\"}} {n}"
+                "avf_broker_campaigns{{tenant=\"{}\",phase=\"{phase}\"}} {n}",
+                escape_label(&tenant)
             );
         }
     }
@@ -594,10 +615,19 @@ fn handle_driver(inner: &Arc<Inner>, stream: TcpStream) {
                     return;
                 };
                 if let Some(route) = routes.get(&mux.tag) {
-                    if route.send(mux.inner).is_ok() {
-                        continue;
+                    // An empty payload is the driver's end-of-session
+                    // marker: the relay exits on it, so drop the route
+                    // now rather than keeping a dead Sender for the
+                    // life of this persistent connection.
+                    let ended = mux.inner.is_empty();
+                    if route.send(mux.inner).is_err() || ended {
+                        routes.remove(&mux.tag);
                     }
-                    routes.remove(&mux.tag);
+                    continue;
+                }
+                // A stale end-of-session marker for a tag whose route
+                // is already gone must not open a new session.
+                if mux.inner.is_empty() {
                     continue;
                 }
                 // First frame of a new interactive session.
@@ -668,37 +698,36 @@ fn admit_spec(
     outbox: &mpsc::Sender<Vec<u8>>,
 ) -> Reply {
     let spec = Arc::new(spec);
-    let id;
-    {
-        // Id allocation and admission are one critical section so two
-        // concurrent submits can neither share an id nor jump the
-        // admission check.
-        let mut sched = inner.sched.lock().expect("sched lock");
-        id = inner.next_id.load(std::sync::atomic::Ordering::Relaxed);
-        if let Err(reason) = sched.queue.enqueue(tenant, spec.cost(), Work::Spec(id)) {
-            let detail = match reason {
-                crate::protocol::RejectReason::QuotaExceeded => format!(
-                    "tenant `{tenant}` already has {} campaign(s) pending (limit {})",
-                    sched.queue.tenant_depth(tenant),
-                    inner.opts.per_tenant_pending
-                ),
-                crate::protocol::RejectReason::QueueFull => format!(
-                    "broker queue is full ({} campaign(s) pending, limit {})",
-                    sched.queue.len(),
-                    inner.opts.max_pending
-                ),
-                crate::protocol::RejectReason::BadSpec => "unusable spec".to_owned(),
-            };
-            drop(sched);
-            BrokerStats::bump(&inner.stats.rejected, 1);
-            return Reply::Rejected { reason, detail };
-        }
-        inner
-            .next_id
-            .store(id + 1, std::sync::atomic::Ordering::Relaxed);
+    // Admission, id allocation, durable append, registry insert, and
+    // enqueue are one critical section under the sched lock: two
+    // concurrent submits can neither share an id nor jump the
+    // admission check, and — because the enqueue comes last — a waking
+    // scheduler thread can never pop an id that isn't already durably
+    // logged and registered.
+    let mut sched = inner.sched.lock().expect("sched lock");
+    if let Err(reason) = sched.queue.check_admission(tenant) {
+        let detail = match reason {
+            crate::protocol::RejectReason::QuotaExceeded => format!(
+                "tenant `{tenant}` already has {} campaign(s) pending (limit {})",
+                sched.queue.tenant_depth(tenant),
+                inner.opts.per_tenant_pending
+            ),
+            crate::protocol::RejectReason::QueueFull => format!(
+                "broker queue is full ({} campaign(s) pending, limit {})",
+                sched.queue.len(),
+                inner.opts.max_pending
+            ),
+            crate::protocol::RejectReason::BadSpec => "unusable spec".to_owned(),
+        };
+        drop(sched);
+        BrokerStats::bump(&inner.stats.rejected, 1);
+        return Reply::Rejected { reason, detail };
     }
+    let id = inner.next_id.load(std::sync::atomic::Ordering::Relaxed);
     // Durable before acknowledged: once the driver sees Accepted, a
-    // broker restart must still know about the campaign.
+    // broker restart must still know about the campaign. Nothing is
+    // queued or registered yet, so a failed append refuses the
+    // campaign instead of acknowledging it un-durably.
     if let Err(e) =
         inner
             .store
@@ -710,19 +739,32 @@ fn admit_spec(
                 spec: Box::new((*spec).clone()),
             })
     {
+        drop(sched);
         eprintln!("broker: durable log append failed for campaign {id}: {e}");
+        BrokerStats::bump(&inner.stats.rejected, 1);
+        return Reply::Failed {
+            id: 0,
+            error: format!("broker could not durably record the campaign: {e}"),
+        };
     }
+    inner
+        .next_id
+        .store(id + 1, std::sync::atomic::Ordering::Relaxed);
     inner.registry.lock().expect("registry lock").insert(
         id,
         CampaignState {
             tenant: tenant.to_owned(),
-            spec,
+            spec: Arc::clone(&spec),
             phase: CampaignPhase::Queued,
             trials_done: 0,
             outcome: None,
             waiters: vec![outbox.clone()],
         },
     );
+    // Admission was checked above under this same lock, so the caps
+    // cannot have been overshot in between.
+    sched.queue.force_enqueue(tenant, spec.cost(), Work::Spec(id));
+    drop(sched);
     BrokerStats::bump(&inner.stats.accepted, 1);
     inner.wake.notify_all();
     Reply::Accepted { id }
