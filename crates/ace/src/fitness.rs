@@ -6,8 +6,13 @@
 //! new values" (Section VI-A). [`FitnessScope`] additionally allows
 //! core-only searches, which Section VII uses when discussing
 //! SER-mitigation trade-offs in the core.
+//!
+//! The fitness lives here, next to the report types it scores, so every
+//! layer that evaluates candidates — the local search loop and the
+//! distributed evaluation workers alike — shares one definition.
 
-use avf_ace::{AvfReport, FaultRates};
+use crate::report::AvfReport;
+use crate::FaultRates;
 
 /// Which structures the fitness aggregates over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,8 +92,8 @@ impl Fitness {
             FitnessScope::Caches => {
                 // Bit-weighted combination of the two cache classes.
                 let sizes = report.sizes();
-                let d_bits = sizes.class_bits(avf_ace::StructureClass::Dl1Dtlb) as f64;
-                let l_bits = sizes.class_bits(avf_ace::StructureClass::L2) as f64;
+                let d_bits = sizes.class_bits(crate::StructureClass::Dl1Dtlb) as f64;
+                let l_bits = sizes.class_bits(crate::StructureClass::L2) as f64;
                 (ser.dl1_dtlb() * d_bits + ser.l2() * l_bits) / (d_bits + l_bits)
             }
         }
@@ -98,7 +103,7 @@ impl Fitness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avf_ace::{DeadnessStats, Structure, StructureSizes};
+    use crate::{DeadnessStats, Structure, StructureSizes};
 
     fn full_report() -> AvfReport {
         let sizes = StructureSizes::baseline();

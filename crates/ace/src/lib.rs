@@ -55,6 +55,7 @@ mod analyzer;
 mod cam;
 mod deadness;
 mod faultrates;
+mod fitness;
 mod lifetime;
 mod record;
 mod report;
@@ -64,6 +65,7 @@ pub use analyzer::{AceConfig, AvfAnalyzer};
 pub use cam::CamAnalysis;
 pub use deadness::{AceAccumulator, DeadnessEngine, DeadnessStats, Liveness};
 pub use faultrates::FaultRates;
+pub use fitness::{Fitness, FitnessScope};
 pub use lifetime::{CacheLifetime, TlbLifetime};
 pub use record::{AceKind, DynId, InstrRecord, MemRef, PregRecord, Residency, Slice};
 pub use report::{AceGap, AvfReport, SerReport};

@@ -8,7 +8,7 @@ use avf_ace::FaultRates;
 use avf_codegen::{generate, Knobs, GENOME_LEN};
 use avf_ga::{random_genome, GaParams};
 use avf_sim::{simulate, MachineConfig};
-use avf_stressmark::{generate_stressmark, target_params, Fitness, SearchConfig};
+use avf_stressmark::{generate_stressmark, target_params, Fitness, SearchBackend, SearchConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -24,8 +24,9 @@ fn main() {
             ga: cfg.ga.clone(),
             eval_instructions: cfg.eval_instructions,
             final_instructions: cfg.eval_instructions,
+            backend: SearchBackend::default(),
         };
-        let ga = generate_stressmark(&search);
+        let ga = generate_stressmark(&search).expect("local search cannot fail");
         let ga_evals = ga.ga.evaluations;
 
         // Random search with the same number of evaluations.

@@ -159,7 +159,7 @@ fn main() {
 /// authority in CI (it exports `AVF_BENCH_PR`); this fallback only
 /// serves ad-hoc local runs, so a stale value here cannot break the
 /// pipeline.
-const BENCH_PR_FALLBACK: &str = "8";
+const BENCH_PR_FALLBACK: &str = "10";
 
 /// Inj/s of three identical fixed campaigns under `model`, sorted
 /// ascending (the caller reads the median at index 1 and records the
@@ -249,6 +249,36 @@ fn brokered_rates(
     rates.try_into().expect("three runs")
 }
 
+/// Generations/s of three identical fixed-seed GA searches on the
+/// local evaluator, sorted ascending. The search hot path is candidate
+/// scoring — codegen + simulate per distinct genome, memoized for
+/// elites — so this series prices the whole `search` loop the
+/// distributed backends must keep up with.
+fn search_rates(machine: &MachineConfig, instr_budget: u64) -> [f64; 3] {
+    use avf_ace::FaultRates;
+    use avf_ga::GaParams;
+    use avf_stressmark::{generate_stressmark, Fitness, SearchConfig};
+
+    let mut config = SearchConfig::quick(machine.clone(), Fitness::overall(FaultRates::baseline()));
+    config.ga = GaParams {
+        population: 8,
+        generations: 6,
+        ..GaParams::quick()
+    };
+    config.eval_instructions = instr_budget;
+    config.final_instructions = instr_budget;
+
+    let mut rates = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let start = Instant::now();
+        let outcome = generate_stressmark(&config).expect("local search cannot fail");
+        let gens = outcome.ga.history.len() as f64;
+        rates.push(gens / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    rates.sort_by(f64::total_cmp);
+    rates.try_into().expect("three runs")
+}
+
 /// Emits `BENCH_pr<N>.json` (path overridable via `AVF_BENCH_JSON`):
 /// the median inj/s of three identical fixed campaigns, the per-PR
 /// perf-trajectory artifact CI uploads and diffs against the committed
@@ -259,7 +289,10 @@ fn brokered_rates(
 /// regressions there must be visible per PR too), and a third
 /// `brokered_median` series runs the same trap campaign through an
 /// in-process broker fronting two loopback workers, pricing the
-/// relay/auth/scheduling overhead of the brokered path per PR.
+/// relay/auth/scheduling overhead of the brokered path per PR. A
+/// fourth `search_gen_per_s` series times the GA search loop itself
+/// (generations/s on the local evaluator) so stressmark-search
+/// regressions are visible independently of campaign throughput.
 fn write_bench_json(
     machine: &MachineConfig,
     program: &avf_isa::Program,
@@ -276,9 +309,11 @@ fn write_bench_json(
         FaultModel::Replay,
     );
     let brokered = brokered_rates(machine, program, injections, instr_budget);
+    let search = search_rates(machine, instr_budget);
     let median = rates[1];
     let replay_median = replay[1];
     let brokered_median = brokered[1];
+    let search_median = search[1];
     let scale = std::env::var("AVF_EXPERIMENT_SCALE").unwrap_or_else(|_| "standard".to_owned());
     let pr = std::env::var("AVF_BENCH_PR").unwrap_or_else(|_| BENCH_PR_FALLBACK.to_owned());
     let path = std::env::var("AVF_BENCH_JSON").unwrap_or_else(|_| format!("BENCH_pr{pr}.json"));
@@ -292,7 +327,9 @@ fn write_bench_json(
          \"runs\": [{:.1}, {:.1}, {:.1}],\n  \"median\": {median:.1},\n  \
          \"replay_runs\": [{:.1}, {:.1}, {:.1}],\n  \"replay_median\": {replay_median:.1},\n  \
          \"brokered_runs\": [{:.1}, {:.1}, {:.1}],\n  \
-         \"brokered_median\": {brokered_median:.1}\n}}\n",
+         \"brokered_median\": {brokered_median:.1},\n  \
+         \"search_runs\": [{:.2}, {:.2}, {:.2}],\n  \
+         \"search_gen_per_s\": {search_median:.2}\n}}\n",
         rates[0],
         rates[1],
         rates[2],
@@ -302,12 +339,16 @@ fn write_bench_json(
         brokered[0],
         brokered[1],
         brokered[2],
+        search[0],
+        search[1],
+        search[2],
     );
     match std::fs::write(&path, json) {
         Ok(()) => println!(
             "\nperf artifact {path}: median {median:.0} inj/s (trap), \
              {replay_median:.0} inj/s (replay), {brokered_median:.0} inj/s \
-             (brokered) over 3 fixed runs each ({injections} inj, {scale} scale)"
+             (brokered), {search_median:.2} gen/s (search) over 3 fixed runs \
+             each ({injections} inj, {scale} scale)"
         ),
         Err(e) => eprintln!("WARNING: could not write {path}: {e}"),
     }

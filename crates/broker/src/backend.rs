@@ -18,12 +18,14 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
+use avf_ga::{EvalError, FitnessEvaluator};
 use avf_inject::{
     encode_trial_batch, BackendError, CampaignBackend, CampaignSession, DispatchRecord, GoldenSpec,
     JobSpec, OpenedJob, StoreSource, Trial, TrialStream, WorkerProvision,
 };
 use avf_service::auth::{read_frame_verified, write_frame_signed, AuthKey, ConnectionAuth};
 use avf_service::protocol::{JobSetup, Mux, ServerMessage, SetupMode};
+use avf_service::{DistinctCounter, EvalBatch, EvalContext, EvalReply};
 
 use crate::protocol::{Reply, Request};
 
@@ -101,50 +103,61 @@ impl BrokeredBackend {
         tenant: &str,
         key: Option<AuthKey>,
     ) -> Result<BrokeredBackend, BackendError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| BackendError::Io(format!("connect {addr}: {e}")))?;
-        let _ = stream.set_nodelay(true);
-        let reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| BackendError::Io(format!("clone stream: {e}")))?,
-        );
-        let conn = Conn {
-            addr: addr.to_owned(),
-            stream,
-            reader: Mutex::new(reader),
-            auth: key.map(|k| Arc::new(ConnectionAuth::client(k))),
-        };
-        conn.send_payload(
-            &Request::Hello {
-                tenant: tenant.to_owned(),
-            }
-            .to_wire(),
-        )?;
-        let workers = {
-            let mut reader = conn.reader.lock().expect("reader lock");
-            let payload = conn.recv_payload(&mut reader)?;
-            match Reply::from_wire(&payload)? {
-                Reply::HelloAck { workers } => workers as usize,
-                Reply::Failed { error, .. } => return Err(BackendError::Remote(error)),
-                other => {
-                    return Err(BackendError::Protocol(format!(
-                        "broker answered hello with {other:?}"
-                    )))
-                }
-            }
-        };
-        if workers == 0 {
-            return Err(BackendError::Protocol(
-                "broker fronts no workers".to_owned(),
-            ));
-        }
+        let (conn, workers) = open_conn(addr, tenant, key)?;
         Ok(BrokeredBackend {
             conn: Arc::new(conn),
             workers,
             next_tag: AtomicU64::new(1),
         })
     }
+}
+
+/// Connects, says hello as `tenant`, and returns the live connection
+/// plus the broker's advertised worker count.
+fn open_conn(
+    addr: &str,
+    tenant: &str,
+    key: Option<AuthKey>,
+) -> Result<(Conn, usize), BackendError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| BackendError::Io(format!("connect {addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| BackendError::Io(format!("clone stream: {e}")))?,
+    );
+    let conn = Conn {
+        addr: addr.to_owned(),
+        stream,
+        reader: Mutex::new(reader),
+        auth: key.map(|k| Arc::new(ConnectionAuth::client(k))),
+    };
+    conn.send_payload(
+        &Request::Hello {
+            tenant: tenant.to_owned(),
+        }
+        .to_wire(),
+    )?;
+    let workers = {
+        let mut reader = conn.reader.lock().expect("reader lock");
+        let payload = conn.recv_payload(&mut reader)?;
+        match Reply::from_wire(&payload)? {
+            Reply::HelloAck { workers } => workers as usize,
+            Reply::Failed { error, .. } => return Err(BackendError::Remote(error)),
+            other => {
+                return Err(BackendError::Protocol(format!(
+                    "broker answered hello with {other:?}"
+                )))
+            }
+        }
+    };
+    if workers == 0 {
+        return Err(BackendError::Protocol(
+            "broker fronts no workers".to_owned(),
+        ));
+    }
+    Ok((conn, workers))
 }
 
 impl CampaignBackend for BrokeredBackend {
@@ -292,5 +305,140 @@ impl CampaignSession for BrokeredSession {
 
     fn dispatch_log(&self) -> Vec<DispatchRecord> {
         self.log.lock().expect("dispatch log lock").clone()
+    }
+}
+
+/// A fitness evaluator that scores GA generations through the broker
+/// (wire v7): the evaluation analogue of [`BrokeredBackend`].
+///
+/// One authenticated connection, one MUX tag for the whole search.
+/// Each generation becomes one `EVAL_BATCH` relayed by the broker into
+/// its own [`avf_service::EvalFleet`] against the worker fleet — so
+/// genome-cache affinity and death re-dispatch come from the same
+/// machinery the direct `--workers` path uses, behind the broker's
+/// admission control and fair scheduling.
+pub struct BrokeredEvaluator {
+    conn: Conn,
+    tag: u64,
+    context: EvalContext,
+    generation: u64,
+    distinct: DistinctCounter,
+    cache_hits: u64,
+}
+
+impl BrokeredEvaluator {
+    /// Connects to the broker at `addr` as `tenant` and binds the
+    /// session to an evaluation context.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, a key mismatch, or a broker fronting
+    /// zero workers.
+    pub fn connect(
+        addr: &str,
+        tenant: &str,
+        key: Option<AuthKey>,
+        context: EvalContext,
+    ) -> Result<BrokeredEvaluator, BackendError> {
+        let (conn, _workers) = open_conn(addr, tenant, key)?;
+        Ok(BrokeredEvaluator {
+            conn,
+            tag: 1,
+            context,
+            generation: 0,
+            distinct: DistinctCounter::default(),
+            cache_hits: 0,
+        })
+    }
+
+    /// Worker-reported cache hits across the search (observability; not
+    /// part of the deterministic evaluation count).
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    fn exchange(&self, generation: &[Vec<f64>]) -> Result<Vec<(f64, bool)>, BackendError> {
+        let batch = EvalBatch {
+            context: self.context.clone(),
+            generation: self.generation,
+            individuals: generation
+                .iter()
+                .enumerate()
+                .map(|(i, genes)| (i as u64, genes.clone()))
+                .collect(),
+        };
+        self.conn
+            .send_payload(&Mux::wrap(self.tag, batch.to_wire()).to_wire())?;
+        let mut scores: Vec<Option<(f64, bool)>> = vec![None; generation.len()];
+        let mut seen = 0u64;
+        let mut reader = self.conn.reader.lock().expect("reader lock");
+        loop {
+            let payload = self.conn.recv_payload(&mut reader)?;
+            if let Ok(Reply::Failed { error, .. }) = Reply::from_wire(&payload) {
+                return Err(BackendError::Remote(error));
+            }
+            let mux = Mux::from_wire(&payload)?;
+            if mux.tag != self.tag {
+                return Err(BackendError::Protocol(format!(
+                    "broker answered on MUX tag {} while tag {} was active",
+                    mux.tag, self.tag
+                )));
+            }
+            match EvalReply::from_wire(&mux.inner)? {
+                EvalReply::Score(score) => {
+                    let slot = scores.get_mut(score.index as usize).ok_or_else(|| {
+                        BackendError::Protocol(format!(
+                            "broker scored individual {} outside the generation",
+                            score.index
+                        ))
+                    })?;
+                    if slot.replace((score.score, score.cached)).is_some() {
+                        return Err(BackendError::Protocol(format!(
+                            "broker scored individual {} twice",
+                            score.index
+                        )));
+                    }
+                    seen += 1;
+                }
+                EvalReply::Done { results } => {
+                    if results != seen || scores.iter().any(Option::is_none) {
+                        return Err(BackendError::Protocol(format!(
+                            "broker reported {results} results, streamed {seen}, \
+                             expected {}",
+                            scores.len()
+                        )));
+                    }
+                    return Ok(scores.into_iter().map(|s| s.expect("checked")).collect());
+                }
+                EvalReply::Error(msg) => return Err(BackendError::Remote(msg)),
+            }
+        }
+    }
+}
+
+impl Drop for BrokeredEvaluator {
+    fn drop(&mut self) {
+        // End-of-session marker, as for campaigns: an empty MUX payload
+        // releases the broker's scheduler slot.
+        let _ = self
+            .conn
+            .send_payload(&Mux::wrap(self.tag, Vec::new()).to_wire());
+    }
+}
+
+impl FitnessEvaluator for BrokeredEvaluator {
+    fn evaluate(&mut self, generation: &[Vec<f64>]) -> Result<Vec<f64>, EvalError> {
+        let scored = self
+            .exchange(generation)
+            .map_err(|e| EvalError(e.to_string()))?;
+        self.generation += 1;
+        self.distinct.record(generation);
+        self.cache_hits += scored.iter().filter(|(_, cached)| *cached).count() as u64;
+        Ok(scored.into_iter().map(|(score, _)| score).collect())
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.distinct.count()
     }
 }

@@ -38,7 +38,7 @@ pub mod queue;
 pub mod server;
 pub mod store;
 
-pub use backend::BrokeredBackend;
+pub use backend::{BrokeredBackend, BrokeredEvaluator};
 pub use client::{BrokerClient, SubmitError};
 pub use metrics::BrokerStats;
 pub use protocol::{CampaignPhase, CampaignSpec, LogRecord, RejectReason, Reply, Request};

@@ -41,7 +41,7 @@ use avf_inject::{
 use avf_isa::wire::kind;
 use avf_service::auth::{read_frame_verified, write_frame_signed, AuthKey, ConnectionAuth};
 use avf_service::protocol::{ClientMessage, JobReady, Mux, ServerMessage, SetupMode};
-use avf_service::RemoteBackend;
+use avf_service::{EvalBatch, EvalFleet, EvalScore, RemoteBackend};
 
 use crate::metrics::BrokerStats;
 use crate::protocol::{frame_kind, CampaignPhase, CampaignSpec, Reply, Request};
@@ -763,7 +763,9 @@ fn admit_spec(
     );
     // Admission was checked above under this same lock, so the caps
     // cannot have been overshot in between.
-    sched.queue.force_enqueue(tenant, spec.cost(), Work::Spec(id));
+    sched
+        .queue
+        .force_enqueue(tenant, spec.cost(), Work::Spec(id));
     drop(sched);
     BrokerStats::bump(&inner.stats.accepted, 1);
     inner.wake.notify_all();
@@ -834,6 +836,12 @@ fn relay_interactive(
     outbox: &mpsc::Sender<Vec<u8>>,
 ) {
     BrokerStats::bump(&inner.stats.mux_sessions, 1);
+    // A fitness-evaluation session (wire v7) opens with an EVAL_BATCH
+    // instead of a campaign setup; it shares this path's admission and
+    // slot accounting but relays generations into an EvalFleet.
+    if frame_kind(&first) == Some(kind::EVAL_BATCH) {
+        return relay_eval(inner, tenant, tag, first, rx, outbox);
+    }
     let setup = match ClientMessage::from_wire(&first) {
         Ok(ClientMessage::Setup(setup)) => *setup,
         Ok(_) | Err(_) => {
@@ -969,5 +977,116 @@ fn relay_interactive(
         {
             return;
         }
+    }
+}
+
+/// Runs one fitness-evaluation session: admission, slot wait, fleet
+/// connect, then one [`EvalFleet`] round per `EVAL_BATCH` until the
+/// driver closes the tag or the connection. Mirrors the interactive
+/// campaign relay — same quantum, same slot guard — so chatty searches
+/// cannot crowd out queued spec campaigns either.
+fn relay_eval(
+    inner: &Arc<Inner>,
+    tenant: &str,
+    tag: u64,
+    first: Vec<u8>,
+    rx: &mpsc::Receiver<Vec<u8>>,
+    outbox: &mpsc::Sender<Vec<u8>>,
+) {
+    let (grant_tx, grant_rx) = mpsc::channel();
+    {
+        let mut sched = inner.sched.lock().expect("sched lock");
+        if let Err(reason) = sched
+            .queue
+            .enqueue(tenant, inner.opts.quantum, Work::Grant(grant_tx))
+        {
+            drop(sched);
+            BrokerStats::bump(&inner.stats.rejected, 1);
+            let _ = outbox.send(mux_error(tag, &format!("admission rejected: {reason}")));
+            return;
+        }
+    }
+    inner.wake.notify_all();
+    if grant_rx.recv().is_err() {
+        return; // scheduler gone — broker shutting down
+    }
+    let _slot = SlotGuard(inner);
+
+    let mut fleet = match EvalFleet::connect(&inner.opts.workers, inner.opts.auth) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            let _ = outbox.send(mux_error(tag, &format!("fleet open failed: {e}")));
+            return;
+        }
+    };
+    let mut frame = first;
+    let mut redis_seen = 0u64;
+    loop {
+        // The driver's end-of-session marker, as on the campaign plane.
+        if frame.is_empty() {
+            return;
+        }
+        let batch = match EvalBatch::from_wire(&frame) {
+            Ok(batch) => batch,
+            Err(e) => {
+                let _ = outbox.send(mux_error(tag, &format!("bad eval batch: {e}")));
+                return;
+            }
+        };
+        BrokerStats::bump(
+            &inner.stats.trials_dispatched,
+            batch.individuals.len() as u64,
+        );
+        let genomes: Vec<Vec<f64>> = batch.individuals.iter().map(|(_, g)| g.clone()).collect();
+        let scored = match fleet.run(&batch.context, &genomes) {
+            Ok(scored) => scored,
+            Err(e) => {
+                let _ = outbox.send(mux_error(tag, &e.to_string()));
+                return;
+            }
+        };
+        let mut results: Vec<EvalScore> = batch
+            .individuals
+            .iter()
+            .zip(&scored)
+            .map(|((index, _), &(score, cached))| EvalScore {
+                index: *index,
+                score,
+                cached,
+            })
+            .collect();
+        results.sort_by_key(|s| s.index);
+        for score in &results {
+            if outbox
+                .send(Mux::wrap(tag, score.to_wire()).to_wire())
+                .is_err()
+            {
+                return;
+            }
+        }
+        let redispatched = fleet.redispatched();
+        if redispatched > redis_seen {
+            BrokerStats::bump(&inner.stats.trials_redispatched, redispatched - redis_seen);
+            redis_seen = redispatched;
+        }
+        if outbox
+            .send(
+                Mux::wrap(
+                    tag,
+                    ServerMessage::Done {
+                        events: results.len() as u64,
+                    }
+                    .to_wire(),
+                )
+                .to_wire(),
+            )
+            .is_err()
+        {
+            return;
+        }
+        frame = match rx.recv() {
+            Ok(next) => next,
+            Err(_) => return,
+        };
     }
 }

@@ -3,6 +3,8 @@
 //! ```text
 //! avf-stressmark search   [--rates baseline|rhc|edr] [--machine baseline|config-a]
 //!                         [--population N] [--generations N] [--eval N] [--final N] [--seed N]
+//!                         [--threads N | --workers host:port,... | --broker host:port
+//!                         [--tenant NAME]] [--auth-key-file F]
 //! avf-stressmark suite    [--rates ...] [--machine ...] [--instructions N] [--tsv]
 //! avf-stressmark fig      <3|4|5|6|7|8|9|table3> [--smoke]
 //! avf-stressmark bounds   [--machine ...]
@@ -35,7 +37,7 @@ use avf_stressmark::cli::{bool_flag, value_flag, Args, FlagSpec};
 use avf_stressmark::{
     fig3, fig4, fig5, fig6, fig7, fig8, fig9, generate_stressmark, injection_vs_ace_on,
     instantaneous_qs_bound, instantaneous_qs_bound_general, raw_sum_core, run_suite, table3,
-    ExperimentConfig, Fitness, KnobSettings, SearchConfig,
+    ExperimentConfig, Fitness, KnobSettings, SearchBackend, SearchConfig,
 };
 
 const SEARCH_FLAGS: &[FlagSpec] = &[
@@ -46,6 +48,11 @@ const SEARCH_FLAGS: &[FlagSpec] = &[
     value_flag("eval"),
     value_flag("final"),
     value_flag("seed"),
+    value_flag("threads"),
+    value_flag("workers"),
+    value_flag("broker"),
+    value_flag("tenant"),
+    value_flag("auth-key-file"),
 ];
 
 const SUITE_FLAGS: &[FlagSpec] = &[
@@ -172,13 +179,75 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     config.eval_instructions = args.parse_u64("eval", 120_000).map_err(|e| e.0)?;
     config.final_instructions = args.parse_u64("final", 2_000_000).map_err(|e| e.0)?;
 
+    let auth = auth_key_of(args)?;
+    config.backend = if let Some(broker) = args.flag("broker") {
+        if args.has("workers") {
+            return Err(
+                "--broker and --workers are mutually exclusive; the broker owns the \
+                 worker fleet, pass --workers to the `broker` process instead"
+                    .to_owned(),
+            );
+        }
+        if args.has("threads") {
+            return Err(
+                "--threads selects local worker threads and has no effect with \
+                 --broker; set --threads on each `serve` process instead"
+                    .to_owned(),
+            );
+        }
+        let tenant = tenant_of(args);
+        eprintln!("evaluating generations through broker {broker} as tenant `{tenant}`...");
+        SearchBackend::Broker {
+            addr: broker.to_owned(),
+            tenant,
+            auth,
+        }
+    } else if let Some(list) = args.flag("workers") {
+        if args.has("threads") {
+            // Accepting the flag but letting it do nothing would be
+            // the exact silent-no-effect failure the strict parser
+            // exists to prevent.
+            return Err(
+                "--threads selects local worker threads and has no effect with \
+                 --workers; set --threads on each `serve` process instead"
+                    .to_owned(),
+            );
+        }
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if addrs.is_empty() {
+            return Err("--workers expects a comma-separated list of host:port".to_owned());
+        }
+        eprintln!(
+            "evaluating generations on {} remote worker(s)...",
+            addrs.len()
+        );
+        SearchBackend::Workers { addrs, auth }
+    } else {
+        if auth.is_some() {
+            return Err(
+                "--auth-key-file authenticates worker/broker connections and has no \
+                 effect on a local search; pass --workers or --broker"
+                    .to_owned(),
+            );
+        }
+        SearchBackend::Local {
+            threads: args.parse_u64("threads", 0).map_err(|e| e.0)? as usize,
+        }
+    };
+
     eprintln!(
         "searching ({} rates, {} x {} GA)...",
         rates.name(),
         config.ga.population,
         config.ga.generations
     );
-    let outcome = generate_stressmark(&config);
+    let outcome =
+        generate_stressmark(&config).map_err(|e| format!("search backend failed: {e}"))?;
     println!("knob settings:");
     print!("{}", KnobSettings::of(&outcome));
     let ser = outcome.result.report.ser(&rates);
@@ -620,7 +689,18 @@ usage: avf-stressmark <command> [options]
 
 commands:
   search    generate a stressmark via the GA (options: --rates, --machine,
-            --population, --generations, --eval, --final, --seed)
+            --population, --generations, --eval, --final, --seed;
+            evaluation backends: --threads N scores generations on a
+            local thread pool [default, 0 = all cores], --workers
+            host:port,... fans each generation out to `serve` processes
+            — workers code-generate and simulate candidates from their
+            genomes, memoize scores in a genome-keyed cache, and a
+            worker's unacknowledged individuals re-dispatch to
+            survivors if it dies mid-generation; --broker host:port
+            [--tenant NAME] routes generations through the campaign
+            broker under fair scheduling; --auth-key-file F
+            authenticates worker/broker frames; results are
+            bit-identical across all backends at a fixed --seed)
   suite     run the 33-program proxy suite (options: --rates, --machine,
             --instructions, --tsv)
   fig       regenerate a paper figure: fig <3|4|5|6|7|8|9|table3> [--smoke]
@@ -726,5 +806,48 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn worker_typo_suggests_workers() {
+        // The motivating regression: `search --worker host:1234` must
+        // not silently fall back to a local search.
+        let err = Args::parse(&argv(&["--worker", "host:1234"]), SEARCH_FLAGS).unwrap_err();
+        assert!(err.0.contains("unknown flag `--worker`"), "{err}");
+        assert!(err.0.contains("did you mean `--workers`"), "{err}");
+    }
+
+    #[test]
+    fn workers_and_threads_conflict_is_a_hard_error() {
+        let args = Args::parse(
+            &argv(&["--workers", "host:1234", "--threads", "4"]),
+            SEARCH_FLAGS,
+        )
+        .unwrap();
+        let err = cmd_search(&args).unwrap_err();
+        assert!(
+            err.contains("--threads selects local worker threads"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn broker_and_workers_conflict_is_a_hard_error() {
+        let args = Args::parse(
+            &argv(&["--broker", "host:1", "--workers", "host:2"]),
+            SEARCH_FLAGS,
+        )
+        .unwrap();
+        let err = cmd_search(&args).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 }

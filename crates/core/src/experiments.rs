@@ -12,9 +12,9 @@ use avf_sim::{simulate, MachineConfig, SimResult};
 use avf_workloads::Workload;
 
 use crate::bounds::{instantaneous_qs_bound, raw_sum_core};
-use crate::fitness::Fitness;
 use crate::search::{generate_stressmark, SearchConfig, SearchOutcome};
 use crate::table::Table;
+use avf_ace::Fitness;
 
 /// Budgets and GA scale for experiment regeneration.
 ///
@@ -74,6 +74,9 @@ impl ExperimentConfig {
             ga: self.ga.clone(),
             eval_instructions: self.eval_instructions,
             final_instructions: self.final_instructions,
+            backend: crate::SearchBackend::Local {
+                threads: self.threads,
+            },
         }
     }
 }
@@ -144,6 +147,7 @@ pub fn stressmark_for(
     rates: FaultRates,
 ) -> SearchOutcome {
     generate_stressmark(&cfg.search_config(machine, Fitness::overall(rates)))
+        .expect("local search cannot fail")
 }
 
 /// Figure 3: normalized SER of the stressmark vs the SPEC CPU2006 proxies

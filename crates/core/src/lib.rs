@@ -32,10 +32,14 @@
 //!     MachineConfig::baseline(),
 //!     Fitness::overall(FaultRates::baseline()),
 //! );
-//! let outcome = generate_stressmark(&config);
+//! let outcome = generate_stressmark(&config).expect("local search cannot fail");
 //! println!("worst-case SER ≈ {:.3} units/bit", outcome.score);
 //! println!("knobs: {:?}", outcome.stressmark.knobs);
 //! ```
+//!
+//! The GA consumes a pluggable evaluator: `config.backend` selects
+//! in-process threads, a `--workers` fleet, or the campaign broker,
+//! with bit-identical results at a fixed seed (see [`SearchBackend`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,16 +47,17 @@
 mod bounds;
 pub mod cli;
 pub mod experiments;
-mod fitness;
 mod search;
 mod table;
 
+pub use avf_ace::{Fitness, FitnessScope};
 pub use bounds::{instantaneous_qs_bound, instantaneous_qs_bound_general, raw_sum, raw_sum_core};
 pub use experiments::{
     fig3, fig4, fig5, fig6, fig7, fig8, fig9, injection_vs_ace, injection_vs_ace_on, merged_avf,
     run_suite, stressmark_for, table3, ExperimentConfig, Fig5, Fig8, Fig9, InjectionValidation,
     KnobSettings, Table3, VALIDATION_PROFILES,
 };
-pub use fitness::{Fitness, FitnessScope};
-pub use search::{evaluate_knobs, generate_stressmark, target_params, SearchConfig, SearchOutcome};
+pub use search::{
+    evaluate_knobs, generate_stressmark, target_params, SearchBackend, SearchConfig, SearchOutcome,
+};
 pub use table::Table;

@@ -1,11 +1,59 @@
 //! The end-to-end stressmark search: GA over code-generator knobs with
 //! simulated SER as the fitness (paper Figure 2's outer loop).
+//!
+//! The GA consumes a pluggable [`avf_ga::FitnessEvaluator`], and
+//! [`SearchBackend`] selects who implements it: an in-process memoizing
+//! thread pool, a fleet of `serve` workers spoken to directly, or the
+//! campaign broker. Scores are deterministic functions of
+//! (machine, fitness, budget, genome), so at a fixed seed the GA
+//! history — per-generation best fitness, final genome, and evaluation
+//! count — is bit-identical across all three venues, including runs
+//! where a worker dies mid-generation and its unacknowledged
+//! individuals are re-dispatched.
 
-use avf_codegen::{generate, Knobs, Stressmark, TargetParams, GENOME_LEN};
-use avf_ga::{optimize, GaParams, GaResult};
+use avf_ace::Fitness;
+use avf_broker::BrokeredEvaluator;
+use avf_codegen::{generate, Knobs, Stressmark, GENOME_LEN};
+use avf_ga::{optimize, EvalError, GaParams, GaResult, LocalEvaluator};
+use avf_service::{evaluate_genome, AuthKey, EvalContext, RemoteEvaluator};
 use avf_sim::{simulate, MachineConfig, SimResult};
 
-use crate::fitness::Fitness;
+pub use avf_service::target_params;
+
+/// Where fitness evaluation runs.
+#[derive(Debug, Clone)]
+pub enum SearchBackend {
+    /// In-process evaluation on a persistent memoizing thread pool
+    /// ([`LocalEvaluator`]).
+    Local {
+        /// Worker threads (0 = all available cores).
+        threads: usize,
+    },
+    /// Generations fan out across a fleet of `serve` workers
+    /// (`search --workers host:port,...`).
+    Workers {
+        /// Worker addresses (`host:port`).
+        addrs: Vec<String>,
+        /// Shared frame-authentication key (`--auth-key-file`).
+        auth: Option<AuthKey>,
+    },
+    /// Generations relay through the campaign broker into its fleet
+    /// (`search --broker addr --tenant name`).
+    Broker {
+        /// Broker address (`host:port`).
+        addr: String,
+        /// Tenant the search bills to under fair scheduling.
+        tenant: String,
+        /// Shared frame-authentication key (`--auth-key-file`).
+        auth: Option<AuthKey>,
+    },
+}
+
+impl Default for SearchBackend {
+    fn default() -> SearchBackend {
+        SearchBackend::Local { threads: 0 }
+    }
+}
 
 /// Configuration of one stressmark search.
 #[derive(Debug, Clone)]
@@ -21,11 +69,14 @@ pub struct SearchConfig {
     pub eval_instructions: u64,
     /// Instructions simulated for the final re-evaluation of the winner.
     pub final_instructions: u64,
+    /// Who evaluates each generation.
+    pub backend: SearchBackend,
 }
 
 impl SearchConfig {
     /// A fast default: baseline machine, overall-SER fitness under the
-    /// given rates, quick GA, 150k-instruction evaluations.
+    /// given rates, quick GA, 150k-instruction evaluations, local
+    /// evaluation on all cores.
     #[must_use]
     pub fn quick(machine: MachineConfig, fitness: Fitness) -> SearchConfig {
         SearchConfig {
@@ -34,6 +85,7 @@ impl SearchConfig {
             ga: GaParams::quick(),
             eval_instructions: 150_000,
             final_instructions: 3_000_000,
+            backend: SearchBackend::default(),
         }
     }
 
@@ -44,6 +96,14 @@ impl SearchConfig {
         SearchConfig {
             ga: GaParams::paper(),
             ..SearchConfig::quick(machine, fitness)
+        }
+    }
+
+    fn eval_context(&self) -> EvalContext {
+        EvalContext {
+            machine: self.machine.clone(),
+            fitness: self.fitness.clone(),
+            instr_budget: self.eval_instructions,
         }
     }
 }
@@ -61,36 +121,36 @@ pub struct SearchOutcome {
     pub ga: GaResult,
 }
 
-/// Derives code-generator target parameters from a machine configuration.
-#[must_use]
-pub fn target_params(machine: &MachineConfig) -> TargetParams {
-    TargetParams {
-        rob_entries: machine.rob_entries as u32,
-        line_bytes: machine.dl1.line_bytes,
-        page_bytes: machine.page_bytes,
-        dtlb_entries: machine.dtlb_entries as u32,
-        dl1_bytes: machine.dl1.size_bytes,
-        l2_bytes: machine.l2.size_bytes,
-    }
-}
-
 /// Runs the full search loop of Figure 2: the GA proposes knob values, the
-/// code generator materializes candidates, the simulator measures their
-/// SER, and the best candidate is re-evaluated at the final budget.
-#[must_use]
-pub fn generate_stressmark(config: &SearchConfig) -> SearchOutcome {
-    let params = target_params(&config.machine);
-    let machine = config.machine.clone();
-    let fitness = config.fitness.clone();
-    let eval_budget = config.eval_instructions;
-
-    let evaluate = move |genes: &[f64]| -> f64 {
-        let knobs = Knobs::from_genome(genes, &params);
-        let candidate = generate(&knobs, &params);
-        let result = simulate(&machine, &candidate.program, eval_budget);
-        fitness.score(&result.report)
+/// code generator materializes candidates, the configured
+/// [`SearchBackend`] measures their SER, and the best candidate is
+/// re-evaluated locally at the final budget.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] when a remote or brokered backend fails —
+/// every worker dead, a protocol violation, or a refused connection.
+/// Local searches cannot fail.
+pub fn generate_stressmark(config: &SearchConfig) -> Result<SearchOutcome, EvalError> {
+    let ga = match &config.backend {
+        SearchBackend::Local { threads } => {
+            let ctx = config.eval_context();
+            let mut evaluator =
+                LocalEvaluator::new(*threads, move |genes: &[f64]| evaluate_genome(&ctx, genes));
+            optimize(GENOME_LEN, &config.ga, &mut evaluator)?
+        }
+        SearchBackend::Workers { addrs, auth } => {
+            let mut evaluator = RemoteEvaluator::connect(addrs, *auth, config.eval_context())
+                .map_err(|e| EvalError(e.to_string()))?;
+            optimize(GENOME_LEN, &config.ga, &mut evaluator)?
+        }
+        SearchBackend::Broker { addr, tenant, auth } => {
+            let mut evaluator =
+                BrokeredEvaluator::connect(addr, tenant, *auth, config.eval_context())
+                    .map_err(|e| EvalError(e.to_string()))?;
+            optimize(GENOME_LEN, &config.ga, &mut evaluator)?
+        }
     };
-    let ga = optimize(GENOME_LEN, &config.ga, evaluate);
 
     let params = target_params(&config.machine);
     let knobs = Knobs::from_genome(&ga.best_genome, &params);
@@ -101,12 +161,12 @@ pub fn generate_stressmark(config: &SearchConfig) -> SearchOutcome {
         config.final_instructions,
     );
     let score = config.fitness.score(&result.report);
-    SearchOutcome {
+    Ok(SearchOutcome {
         stressmark,
         result,
         score,
         ga,
-    }
+    })
 }
 
 /// Evaluates fixed knob values (no search) at the given budget — useful for
@@ -138,8 +198,7 @@ mod tests {
         assert_eq!(p.l2_bytes, 2 * 1024 * 1024);
     }
 
-    #[test]
-    fn tiny_search_improves_over_first_generation() {
+    fn tiny_config() -> SearchConfig {
         let mut config = SearchConfig::quick(
             MachineConfig::baseline(),
             Fitness::overall(FaultRates::baseline()),
@@ -151,7 +210,12 @@ mod tests {
         };
         config.eval_instructions = 8_000;
         config.final_instructions = 20_000;
-        let outcome = generate_stressmark(&config);
+        config
+    }
+
+    #[test]
+    fn tiny_search_improves_over_first_generation() {
+        let outcome = generate_stressmark(&tiny_config()).expect("local search cannot fail");
         assert!(outcome.ga.history.len() == 5);
         let first = outcome.ga.history[0].best;
         assert!(
@@ -162,6 +226,23 @@ mod tests {
         );
         assert!(outcome.score > 0.0);
         assert!(outcome.stressmark.knobs.loop_size >= 10);
+    }
+
+    #[test]
+    fn search_is_thread_count_invariant() {
+        let mut one = tiny_config();
+        one.backend = SearchBackend::Local { threads: 1 };
+        let mut four = tiny_config();
+        four.backend = SearchBackend::Local { threads: 4 };
+        let a = generate_stressmark(&one).expect("local search cannot fail");
+        let b = generate_stressmark(&four).expect("local search cannot fail");
+        assert_eq!(a.ga.best_genome, b.ga.best_genome);
+        assert_eq!(a.ga.evaluations, b.ga.evaluations);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        for (x, y) in a.ga.history.iter().zip(&b.ga.history) {
+            assert_eq!(x.best.to_bits(), y.best.to_bits());
+            assert_eq!(x.mean.to_bits(), y.mean.to_bits());
+        }
     }
 
     #[test]

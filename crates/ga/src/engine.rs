@@ -4,6 +4,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::evaluator::{EvalError, FitnessEvaluator};
 use crate::history::{mean_std, GenerationStats};
 use crate::ops::{crossover, mutate, random_genome, tournament};
 use crate::params::GaParams;
@@ -17,22 +18,37 @@ pub struct GaResult {
     pub best_fitness: f64,
     /// Per-generation statistics (Figure 5b's series).
     pub history: Vec<GenerationStats>,
-    /// Total fitness evaluations performed.
+    /// Actual fitness evaluations performed by the evaluator: cache
+    /// hits excluded, re-dispatched duplicates counted once (see
+    /// [`FitnessEvaluator::evaluations`]).
     pub evaluations: u64,
 }
 
-/// Maximizes `fitness` over genomes of `genome_len` genes in `[0, 1]`.
+/// Maximizes fitness over genomes of `genome_len` genes in `[0, 1]`,
+/// scoring each generation through `evaluator`.
 ///
-/// Fitness evaluation is parallelized over `params.threads` scoped threads;
-/// the search itself is deterministic for a fixed seed and a deterministic
-/// fitness function.
+/// The search itself is deterministic for a fixed seed and a
+/// deterministic evaluator: the RNG consumption sequence depends only
+/// on the parameters and the returned scores, never on where or how the
+/// evaluator computed them — which is what makes local, remote, and
+/// brokered runs bit-identical.
+///
+/// # Errors
+///
+/// Propagates the evaluator's [`EvalError`] (local evaluation is
+/// infallible; a remote fleet dying entirely is not).
 ///
 /// # Panics
 ///
-/// Panics if `params` fail [`GaParams::validate`] or `genome_len == 0`.
-pub fn optimize<F>(genome_len: usize, params: &GaParams, fitness: F) -> GaResult
+/// Panics if `params` fail [`GaParams::validate`], `genome_len == 0`,
+/// or the evaluator returns the wrong number of scores.
+pub fn optimize<E>(
+    genome_len: usize,
+    params: &GaParams,
+    evaluator: &mut E,
+) -> Result<GaResult, EvalError>
 where
-    F: Fn(&[f64]) -> f64 + Sync,
+    E: FitnessEvaluator + ?Sized,
 {
     params.validate();
     assert!(genome_len > 0, "genome must have at least one gene");
@@ -44,12 +60,15 @@ where
     let mut best_genome = population[0].clone();
     let mut best_fitness = f64::NEG_INFINITY;
     let mut history = Vec::with_capacity(params.generations);
-    let mut evaluations = 0u64;
     let mut stagnant = 0usize;
 
     for generation in 0..params.generations {
-        let scores = evaluate_all(&population, &fitness, params.threads);
-        evaluations += scores.len() as u64;
+        let scores = evaluator.evaluate(&population)?;
+        assert_eq!(
+            scores.len(),
+            population.len(),
+            "evaluator must score every individual"
+        );
 
         let (mean, std_dev) = mean_std(&scores);
         let (gen_best_idx, gen_best) = scores
@@ -131,54 +150,27 @@ where
         population = next;
     }
 
-    GaResult {
+    Ok(GaResult {
         best_genome,
         best_fitness,
         history,
-        evaluations,
-    }
-}
-
-fn evaluate_all<F>(population: &[Vec<f64>], fitness: &F, threads: usize) -> Vec<f64>
-where
-    F: Fn(&[f64]) -> f64 + Sync,
-{
-    if threads <= 1 || population.len() <= 1 {
-        return population.iter().map(|g| fitness(g)).collect();
-    }
-    let n = population.len();
-    let chunk = n.div_ceil(threads);
-    let mut scores = vec![0.0; n];
-    std::thread::scope(|scope| {
-        let mut remaining: &mut [f64] = &mut scores;
-        let mut offset = 0;
-        let mut handles = Vec::new();
-        while offset < n {
-            let take = chunk.min(n - offset);
-            let (head, tail) = remaining.split_at_mut(take);
-            remaining = tail;
-            let slice = &population[offset..offset + take];
-            handles.push(scope.spawn(move || {
-                for (out, genome) in head.iter_mut().zip(slice) {
-                    *out = fitness(genome);
-                }
-            }));
-            offset += take;
-        }
-        for h in handles {
-            h.join().expect("fitness worker panicked");
-        }
-    });
-    scores
+        evaluations: evaluator.evaluations(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::{ClosureEvaluator, LocalEvaluator};
 
     /// Smooth unimodal test function with maximum 0 at the target point.
     fn sphere(genome: &[f64]) -> f64 {
         -genome.iter().map(|&g| (g - 0.7) * (g - 0.7)).sum::<f64>()
+    }
+
+    fn run<F: Fn(&[f64]) -> f64>(genome_len: usize, params: &GaParams, f: F) -> GaResult {
+        optimize(genome_len, params, &mut ClosureEvaluator::new(f))
+            .expect("closure evaluation cannot fail")
     }
 
     #[test]
@@ -188,7 +180,7 @@ mod tests {
             generations: 40,
             ..GaParams::quick()
         };
-        let result = optimize(6, &params, sphere);
+        let result = run(6, &params, sphere);
         assert!(
             result.best_fitness > -0.02,
             "GA should approach the optimum, got {}",
@@ -202,8 +194,8 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let params = GaParams::quick().with_seed(99);
-        let a = optimize(5, &params, sphere);
-        let b = optimize(5, &params, sphere);
+        let a = run(5, &params, sphere);
+        let b = run(5, &params, sphere);
         assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
         assert_eq!(a.best_genome, b.best_genome);
         assert_eq!(a.history.len(), b.history.len());
@@ -216,9 +208,13 @@ mod tests {
             generations: 12,
             ..GaParams::quick()
         };
-        let result = optimize(4, &params, sphere);
+        let result = run(4, &params, sphere);
         assert_eq!(result.history.len(), 12);
-        assert_eq!(result.evaluations, 8 * 12);
+        assert_eq!(
+            result.evaluations,
+            8 * 12,
+            "the uncached evaluator counts every call"
+        );
         for (i, h) in result.history.iter().enumerate() {
             assert_eq!(h.generation, i);
             assert!(h.best >= h.mean, "best {} >= mean {}", h.best, h.mean);
@@ -232,7 +228,7 @@ mod tests {
             generations: 20,
             ..GaParams::quick()
         };
-        let result = optimize(4, &params, sphere);
+        let result = run(4, &params, sphere);
         let mut run_best = f64::NEG_INFINITY;
         for h in &result.history {
             run_best = run_best.max(h.best);
@@ -248,7 +244,7 @@ mod tests {
             generations: 10,
             ..GaParams::quick()
         };
-        let result = optimize(4, &params, |_| 1.0);
+        let result = run(4, &params, |_| 1.0);
         assert!(
             result.history.iter().any(|h| h.cataclysm),
             "constant fitness must trigger a cataclysm"
@@ -256,20 +252,35 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_agree() {
-        let seq = GaParams {
-            threads: 1,
-            ..GaParams::quick().with_seed(5)
-        };
-        let par = GaParams {
-            threads: 4,
-            ..GaParams::quick().with_seed(5)
-        };
-        let a = optimize(6, &seq, sphere);
-        let b = optimize(6, &par, sphere);
+    fn pooled_and_uncached_evaluators_agree() {
+        let params = GaParams::quick().with_seed(5);
+        let a = run(6, &params, sphere);
+        let mut seq = LocalEvaluator::new(1, sphere);
+        let mut par = LocalEvaluator::new(4, sphere);
+        let b = optimize(6, &params, &mut seq).unwrap();
+        let c = optimize(6, &params, &mut par).unwrap();
         assert_eq!(
             a.best_genome, b.best_genome,
+            "caching must not change the search"
+        );
+        assert_eq!(
+            b.best_genome, c.best_genome,
             "thread count must not change the search"
+        );
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.best.to_bits(), y.best.to_bits());
+            assert_eq!(x.mean.to_bits(), y.mean.to_bits());
+        }
+        assert_eq!(
+            b.evaluations, c.evaluations,
+            "distinct-genome count is venue-independent"
+        );
+        assert!(
+            b.evaluations <= a.evaluations,
+            "memoized evaluations ({}) cannot exceed raw calls ({})",
+            b.evaluations,
+            a.evaluations
         );
     }
 
@@ -280,7 +291,7 @@ mod tests {
             generations: 25,
             ..GaParams::quick()
         };
-        let result = optimize(1, &params, |g| -(g[0] - 0.25).abs());
+        let result = run(1, &params, |g| -(g[0] - 0.25).abs());
         assert!((result.best_genome[0] - 0.25).abs() < 0.05);
     }
 }

@@ -18,13 +18,20 @@
 //! Genomes are vectors of `[0, 1]` genes; the stressmark layer maps them
 //! onto code-generator knobs.
 //!
+//! Fitness evaluation is pluggable: [`optimize`] scores each generation
+//! through a [`FitnessEvaluator`] — wrap a closure in
+//! [`ClosureEvaluator`], use [`LocalEvaluator`] for a persistent memoizing
+//! thread pool, or supply a remote backend (the stressmark layer ships
+//! one that fans generations out across a worker fleet).
+//!
 //! ## Example
 //!
 //! ```
-//! use avf_ga::{optimize, GaParams};
+//! use avf_ga::{optimize, ClosureEvaluator, GaParams};
 //!
 //! let params = GaParams { population: 16, generations: 12, ..GaParams::quick() };
-//! let result = optimize(3, &params, |g| -(g[0] - 0.5).abs() - g[1] * g[2]);
+//! let mut fitness = ClosureEvaluator::new(|g: &[f64]| -(g[0] - 0.5).abs() - g[1] * g[2]);
+//! let result = optimize(3, &params, &mut fitness).expect("local evaluation cannot fail");
 //! assert_eq!(result.history.len(), 12);
 //! assert!(result.best_fitness <= 0.0);
 //! ```
@@ -33,11 +40,13 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod evaluator;
 mod history;
 mod ops;
 mod params;
 
 pub use engine::{optimize, GaResult};
+pub use evaluator::{genome_bits, ClosureEvaluator, EvalError, FitnessEvaluator, LocalEvaluator};
 pub use history::{mean_std, GenerationStats};
 pub use ops::{crossover, mutate, random_genome, tournament};
 pub use params::GaParams;

@@ -35,8 +35,6 @@ pub struct GaParams {
     /// RNG seed; the whole search is deterministic given the seed and a
     /// deterministic fitness function.
     pub seed: u64,
-    /// Number of worker threads for fitness evaluation (1 = sequential).
-    pub threads: usize,
 }
 
 impl GaParams {
@@ -57,7 +55,6 @@ impl GaParams {
             migration_interval: 10,
             migration_count: 4,
             seed: 0xA5F5_7E55,
-            threads: available_threads(),
         }
     }
 
@@ -108,12 +105,6 @@ impl Default for GaParams {
     fn default() -> Self {
         GaParams::quick()
     }
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -52,7 +52,15 @@ pub const WIRE_MAGIC: [u8; 4] = *b"AVFW";
 /// additionally carry a keyed-hash authentication tag *outside* the
 /// envelope (see `avf-service`'s auth module); the envelope layout
 /// itself is unchanged.
-pub const WIRE_VERSION: u8 = 6;
+///
+/// v7: distributed stressmark search. The protocol carries GA fitness
+/// jobs, not just injection campaigns: `EVAL_BATCH` ships one
+/// generation of genomes (knobs, not programs — each individual is
+/// codegen'd worker-side) plus the machine, fault rates, fitness
+/// scope, and evaluation budget; `EVAL_RESULT` streams back one
+/// individual's score with a cache flag, terminated by the existing
+/// `BATCH_DONE` marker.
+pub const WIRE_VERSION: u8 = 7;
 
 /// Bytes an envelope occupies on the wire: magic + version + kind.
 pub const ENVELOPE_BYTES: usize = 6;
@@ -105,6 +113,12 @@ pub mod kind {
     pub const BROKER_HELLO: u8 = 21;
     /// Broker's reply to [`BROKER_HELLO`] (fleet size, session id).
     pub const BROKER_HELLO_ACK: u8 = 22;
+    /// One GA generation of genomes to score (machine, rates, scope,
+    /// budget, and `(index, genome)` pairs — the worker codegens each
+    /// individual from its genome).
+    pub const EVAL_BATCH: u8 = 23;
+    /// One individual's fitness score (index, score, cache flag).
+    pub const EVAL_RESULT: u8 = 24;
 }
 
 /// 64-bit FNV-1a content hash with a leading domain byte.

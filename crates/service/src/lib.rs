@@ -57,6 +57,7 @@
 
 pub mod auth;
 pub mod cache;
+pub mod eval;
 pub mod frame;
 pub mod metrics;
 pub mod protocol;
@@ -65,6 +66,10 @@ mod server;
 
 pub use auth::{AuthKey, ConnectionAuth};
 pub use cache::{CacheStats, StoreCache};
+pub use eval::{
+    evaluate_genome, genome_key, target_params, DistinctCounter, EvalBatch, EvalCache,
+    EvalCacheStats, EvalContext, EvalFleet, EvalReply, EvalScore, RemoteEvaluator,
+};
 pub use metrics::{spawn_metrics, ServeStats};
 pub use remote::RemoteBackend;
 pub use server::{serve, spawn_local, ServeOptions};

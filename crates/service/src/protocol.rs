@@ -62,6 +62,11 @@ pub const HASH_DOMAIN_DELEGATED_JOB: u8 = 1;
 /// different configuration).
 pub const HASH_DOMAIN_GEOMETRY: u8 = 2;
 
+/// Hash domain of fitness-evaluation content (wire v7): the evaluation
+/// context fingerprint and the genome routing/logging key — the two
+/// halves of a worker's [`crate::EvalCache`] key.
+pub const HASH_DOMAIN_EVAL: u8 = 3;
+
 /// Fingerprint of the machine/program pair a cached decoded store is
 /// only valid for.
 #[must_use]
@@ -666,18 +671,18 @@ mod tests {
                 expected: avf_isa::wire::WIRE_VERSION,
             })
         );
-        // A pre-broker v5 build talking to this v6 build fails with the
+        // A pre-eval v6 build talking to this v7 build fails with the
         // typed version error at the envelope — long before the decoder
-        // could misinterpret broker frame kinds or the report codec.
-        let mut v5 = Vec::from(avf_isa::wire::WIRE_MAGIC);
-        v5.push(5);
-        v5.push(kind::JOB_READY);
-        v5.extend_from_slice(&[0u8; 48]);
+        // could misinterpret the eval frame kinds it does not know.
+        let mut v6 = Vec::from(avf_isa::wire::WIRE_MAGIC);
+        v6.push(6);
+        v6.push(kind::JOB_READY);
+        v6.extend_from_slice(&[0u8; 48]);
         assert_eq!(
-            ServerMessage::from_wire(&v5),
+            ServerMessage::from_wire(&v6),
             Err(WireError::UnsupportedVersion {
-                found: 5,
-                expected: 6,
+                found: 6,
+                expected: 7,
             })
         );
         // A client-side frame kind arriving where a server message belongs.

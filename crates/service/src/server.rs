@@ -32,6 +32,7 @@ use avf_sim::{golden_run_checkpointed, golden_run_with_evidence, PRUNE_WINDOW};
 
 use crate::auth::{read_frame_verified, write_frame_signed, AuthKey, AuthVerifier, ConnectionAuth};
 use crate::cache::{CacheEntry, StoreCache};
+use crate::eval::{handle_eval_session, EvalCache};
 use crate::frame::FrameBatcher;
 use crate::metrics::ServeStats;
 use crate::protocol::{geometry_fingerprint, ClientMessage, JobReady, ServerMessage, SetupMode};
@@ -56,6 +57,11 @@ pub struct ServeOptions {
     pub auth: Option<AuthKey>,
     /// Session counters the metrics endpoint renders.
     pub stats: Arc<ServeStats>,
+    /// The genome→fitness score cache shared by every evaluation
+    /// session (wire v7), the fitness analogue of `cache`: elite
+    /// genomes re-scored across generations hit here instead of
+    /// re-simulating.
+    pub eval_cache: Arc<EvalCache>,
 }
 
 impl Default for ServeOptions {
@@ -66,6 +72,7 @@ impl Default for ServeOptions {
             cache: StoreCache::shared(),
             auth: None,
             stats: ServeStats::shared(),
+            eval_cache: EvalCache::shared(),
         }
     }
 }
@@ -77,6 +84,7 @@ impl std::fmt::Debug for ServeOptions {
             .field("die_mid_batch", &self.die_mid_batch)
             .field("cache", &self.cache.stats())
             .field("auth", &self.auth.is_some())
+            .field("eval_cache", &self.eval_cache.stats())
             .finish()
     }
 }
@@ -276,10 +284,14 @@ fn handle_connection(
     let verifier = auth.map(|a| a.verifier.as_ref());
     let mut writer = FrameBatcher::new(stream).with_signer(auth.map(|a| Arc::clone(&a.signer)));
 
-    // The session must open with a job setup frame.
+    // The session must open with a job setup frame — or, since wire
+    // v7, an EVAL_BATCH frame opening a fitness-evaluation session.
     let Some(payload) = read_frame_verified(&mut reader, verifier)? else {
         return Ok(()); // connected and left; nothing to do
     };
+    if payload.get(5) == Some(&avf_isa::wire::kind::EVAL_BATCH) {
+        return handle_eval_session(stream, &mut reader, &mut writer, payload, opts, verifier);
+    }
     let first = ClientMessage::from_wire(&payload)?;
     let (setup, entry, key) =
         resolve_store(first, &mut reader, &mut writer, &opts.cache, verifier)?;

@@ -32,7 +32,7 @@ fn main() {
         config.ga.generations,
         config.eval_instructions / 1000
     );
-    let outcome = generate_stressmark(&config);
+    let outcome = generate_stressmark(&config).expect("local search cannot fail");
 
     println!("\nGA convergence (mean fitness per generation, as in Fig. 5b):");
     for g in &outcome.ga.history {

@@ -21,7 +21,7 @@ set -euo pipefail
 
 # Single authority for the PR number: the bench and the artifact name
 # both derive from this export.
-export AVF_BENCH_PR=8
+export AVF_BENCH_PR=10
 ARTIFACT="BENCH_pr${AVF_BENCH_PR}.json"
 
 # The bench must run at a scale comparable with the committed history,
@@ -36,8 +36,9 @@ field() { grep "\"$2\"" "$1" | sed -E 's/[^0-9.]+//g'; }
 new_median=$(field "$ARTIFACT" median)
 replay_median=$(field "$ARTIFACT" replay_median || true)
 brokered_median=$(field "$ARTIFACT" brokered_median || true)
+search_median=$(field "$ARTIFACT" search_gen_per_s || true)
 echo "== perf trajectory =="
-echo "$ARTIFACT (this run): ${new_median} inj/s median (trap)${replay_median:+, ${replay_median} inj/s median (replay)}${brokered_median:+, ${brokered_median} inj/s median (brokered)}"
+echo "$ARTIFACT (this run): ${new_median} inj/s median (trap)${replay_median:+, ${replay_median} inj/s median (replay)}${brokered_median:+, ${brokered_median} inj/s median (brokered)}${search_median:+, ${search_median} gen/s median (search)}"
 
 prev=$(ls bench-results/BENCH_pr*.json 2>/dev/null | grep -v "/$ARTIFACT$" | sort -V | tail -1 || true)
 if [ -z "$prev" ]; then
@@ -95,4 +96,15 @@ if [ -n "$old_brokered" ] && [ -n "$brokered_median" ]; then
   gate_series brokered "$brokered_median" "$old_brokered"
 else
   echo "no committed brokered_median to diff against (first brokered-series artifact)"
+fi
+# The search series times the GA loop (codegen + simulate + memoized
+# elite re-scoring per generation); a regression there is invisible to
+# the campaign series, so gate it separately once the history carries
+# it.
+old_search=$(field "$prev" search_gen_per_s || true)
+if [ -n "$old_search" ] && [ -n "$search_median" ]; then
+  echo "$prev (committed): ${old_search} gen/s median (search)"
+  gate_series search "$search_median" "$old_search"
+else
+  echo "no committed search_gen_per_s to diff against (first search-series artifact)"
 fi

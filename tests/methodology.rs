@@ -138,8 +138,8 @@ fn deterministic_search_end_to_end() {
     };
     config.eval_instructions = 8_000;
     config.final_instructions = 15_000;
-    let a = avf_stressmark::generate_stressmark(&config);
-    let b = avf_stressmark::generate_stressmark(&config);
+    let a = avf_stressmark::generate_stressmark(&config).expect("local search cannot fail");
+    let b = avf_stressmark::generate_stressmark(&config).expect("local search cannot fail");
     assert_eq!(a.ga.best_genome, b.ga.best_genome);
     assert_eq!(a.score.to_bits(), b.score.to_bits());
 }
